@@ -1,0 +1,58 @@
+//! Criterion micro-benchmarks: compressed cache operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latte_cache::{CacheGeometry, CompressedCache, DecompressionQueue, LineAddr, Mshr};
+use latte_compress::{Compression, CompressionAlgo};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("compressed_cache_lookup_hit", |b| {
+        let mut cache = CompressedCache::new(CacheGeometry::paper_l1());
+        for i in 0..128u64 {
+            cache.fill(LineAddr::new(i), CompressionAlgo::Bdi, Compression::new(32), i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.lookup(LineAddr::new(i % 128), i))
+        });
+    });
+
+    c.bench_function("compressed_cache_fill_evict", |b| {
+        let mut cache = CompressedCache::new(CacheGeometry::paper_l1());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.fill(
+                LineAddr::new(i),
+                CompressionAlgo::Sc,
+                Compression::new(48),
+                i,
+            ))
+        });
+    });
+
+    c.bench_function("decompression_queue_enqueue", |b| {
+        let mut q = DecompressionQueue::new();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 2;
+            black_box(q.enqueue(cycle, 14))
+        });
+    });
+
+    c.bench_function("mshr_allocate_release", |b| {
+        let mut mshr = Mshr::new(64, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let addr = LineAddr::new(i % 48);
+            let out = mshr.allocate(addr);
+            mshr.release(addr);
+            black_box(out)
+        });
+    });
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks: compressor throughput on characteristic
+//! cache-line contents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latte_cache::LineAddr;
+use latte_compress::{Bdi, Bpc, CacheLine, Compressor, CpackZ, Fpc, Sc, VftBuilder};
+use latte_workloads::ValueProfile;
+use std::hint::black_box;
+
+fn lines_for(profile: ValueProfile) -> Vec<CacheLine> {
+    (0..128).map(|i| profile.line(LineAddr::new(i), 7)).collect()
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_line");
+    let cases = [
+        ("small_ints", ValueProfile::SmallInts { max: 1024 }),
+        ("pointers", ValueProfile::Pointers),
+        ("hot_floats", ValueProfile::HotFloats { alphabet: 64 }),
+        ("random_floats", ValueProfile::RandomFloats),
+    ];
+    for (name, profile) in cases {
+        let lines = lines_for(profile);
+        let mut vft = VftBuilder::new();
+        for l in &lines {
+            vft.observe_line(l);
+        }
+        let sc = Sc::new(vft.build());
+        let algos: Vec<(&str, Box<dyn Compressor>)> = vec![
+            ("bdi", Box::new(Bdi::new())),
+            ("fpc", Box::new(Fpc::new())),
+            ("cpack", Box::new(CpackZ::new())),
+            ("bpc", Box::new(Bpc::new())),
+            ("sc", Box::new(sc)),
+        ];
+        for (algo_name, algo) in algos {
+            group.bench_with_input(BenchmarkId::new(algo_name, name), &lines, |b, lines| {
+                let mut i = 0;
+                b.iter(|| {
+                    let line = &lines[i % lines.len()];
+                    i += 1;
+                    black_box(algo.compress(black_box(line)))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sc_training(c: &mut Criterion) {
+    let lines = lines_for(ValueProfile::HotFloats { alphabet: 256 });
+    c.bench_function("sc_vft_train_and_build", |b| {
+        b.iter(|| {
+            let mut vft = VftBuilder::new();
+            for l in &lines {
+                vft.observe_line(black_box(l));
+            }
+            black_box(vft.build())
+        });
+    });
+}
+
+criterion_group!(benches, bench_compressors, bench_sc_training);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion macro-benchmarks: whole-simulation throughput per policy —
+//! how long a simulated kernel takes to run on the substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use latte_bench::PolicyKind;
+use latte_gpusim::{Gpu, GpuConfig, Kernel};
+use latte_workloads::benchmark;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_kernel");
+    group.sample_size(10);
+    let config = GpuConfig {
+        num_sms: 1,
+        ..GpuConfig::small()
+    };
+    let bench = benchmark("NW").expect("NW is small and quick");
+    for policy in [
+        PolicyKind::Baseline,
+        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,
+        PolicyKind::LatteCc,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("nw", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut gpu = Gpu::new(config.clone(), |_| policy.build(&config));
+                    let mut cycles = 0;
+                    for kernel in bench.build_kernels() {
+                        cycles += gpu.run_kernel(black_box(&kernel as &dyn Kernel)).cycles;
+                    }
+                    black_box(cycles)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

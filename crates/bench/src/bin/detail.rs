@@ -1,0 +1,32 @@
+//! Per-policy statistics dump for one benchmark (calibration tooling).
+
+use latte_bench::{run_benchmark, ALL_POLICIES};
+use latte_workloads::benchmark;
+
+fn main() {
+    let abbr = std::env::args().nth(1).expect("usage: detail <ABBR>");
+    let bench = benchmark(&abbr).expect("unknown benchmark");
+    println!(
+        "{:18} {:>10} {:>8} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9} {:>10} {:>9} {:>8}",
+        "policy", "cycles", "ipc", "l1hits", "l1miss", "hit%", "decomp", "dqwait", "hitwait", "misswait", "barwait", "dram"
+    );
+    for p in ALL_POLICIES {
+        let r = run_benchmark(p, &bench);
+        let s = &r.stats;
+        println!(
+            "{:18} {:>10} {:>8.3} {:>10} {:>10} {:>8.3} {:>10} {:>10} {:>9} {:>10} {:>9} {:>8}",
+            p.name(),
+            s.cycles,
+            s.ipc(),
+            s.l1.hits,
+            s.l1.misses,
+            s.l1.hit_rate(),
+            s.decompressions.total(),
+            s.decompression_queue_wait,
+            s.hit_wait_cycles,
+            s.miss_wait_cycles,
+            s.barrier_wait_cycles,
+            s.dram_accesses,
+        );
+    }
+}

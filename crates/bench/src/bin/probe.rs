@@ -1,0 +1,54 @@
+//! Calibration probe: per-benchmark speedup/miss/energy under the main
+//! policies. Not part of the published experiment set; used to tune the
+//! synthetic workloads against the paper's reported shapes.
+
+use latte_bench::{run_benchmark, PolicyKind};
+use latte_workloads::suite;
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let policies = [
+        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,
+        PolicyKind::LatteCc,
+    ];
+    println!(
+        "{:5} {:8} | {:>9} {:>9} {:>9} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | hitr",
+        "bench", "cat", "spd-BDI", "spd-SC", "spd-LAT", "mr-BDI", "mr-SC", "mr-LAT", "en-BDI",
+        "en-SC", "en-LAT"
+    );
+    for bench in suite() {
+        if !filter.is_empty() && !filter.iter().any(|f| f.eq_ignore_ascii_case(bench.abbr)) {
+            continue;
+        }
+        let base = run_benchmark(PolicyKind::Baseline, &bench);
+        let results: Vec<_> = policies.iter().map(|&p| run_benchmark(p, &bench)).collect();
+        print!("{:5} {:8} |", bench.abbr, bench.category.to_string());
+        for r in &results {
+            print!(" {:>8.3}", r.speedup_over(&base));
+        }
+        print!(" |");
+        for r in &results {
+            print!(" {:>6.1}%", r.miss_reduction_over(&base) * 100.0);
+        }
+        print!(" |");
+        for r in &results {
+            print!(" {:>7.3}", r.energy_ratio_over(&base));
+        }
+        // LATTE-CC mode histogram (summed over SMs): None/Low/High EPs.
+        let latte = &results[2];
+        let mut hist = [0u64; 3];
+        for r in &latte.reports {
+            for (h, m) in hist.iter_mut().zip(r.eps_in_mode) {
+                *h += m;
+            }
+        }
+        println!(
+            " | {:.2} | modes N/L/H {:>4}/{:>4}/{:>4}",
+            base.stats.l1.hit_rate(),
+            hist[0],
+            hist[1],
+            hist[2]
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Ablation studies over LATTE-CC's design choices (called out in
+//! DESIGN.md §4): the latency-tolerance term, the effective miss-latency
+//! constant, the experimental-phase length, the number of dedicated
+//! sampling sets, and the warp scheduler.
+//!
+//! Each ablation reports the C-Sens-subset geomean speedup of LATTE-CC
+//! under the varied parameter, everything else held at the defaults.
+
+use crate::experiments::write_csv;
+use crate::runner::{experiment_config, geomean, PolicyKind};
+use latte_core::{LatteCc, LatteConfig};
+use latte_gpusim::{Gpu, GpuConfig, Kernel, SchedulerKind};
+use latte_workloads::{benchmark, BenchmarkSpec};
+
+/// A representative cache-sensitive subset (one per behaviour class) that
+/// keeps each ablation under a minute.
+fn subset() -> Vec<BenchmarkSpec> {
+    ["SS", "KM", "BC", "FW", "PRK", "DJK"]
+        .iter()
+        .map(|a| benchmark(a).expect("subset benchmark exists"))
+        .collect()
+}
+
+fn run_latte(config: &GpuConfig, latte: &LatteConfig, bench: &BenchmarkSpec) -> u64 {
+    let latte = latte.clone();
+    let mut gpu = Gpu::new(config.clone(), move |_| Box::new(LatteCc::new(latte.clone())));
+    bench
+        .build_kernels()
+        .iter()
+        .map(|k| gpu.run_kernel(k as &dyn Kernel).cycles)
+        .sum()
+}
+
+fn run_baseline(config: &GpuConfig, bench: &BenchmarkSpec) -> u64 {
+    let mut gpu = Gpu::new(config.clone(), |_| PolicyKind::Baseline.build(config));
+    bench
+        .build_kernels()
+        .iter()
+        .map(|k| gpu.run_kernel(k as &dyn Kernel).cycles)
+        .sum()
+}
+
+fn latte_defaults(config: &GpuConfig) -> LatteConfig {
+    LatteConfig {
+        num_l1_sets: config.l1_geometry.num_sets(),
+        l1_base_hit_latency: config.l1_hit_latency as f64,
+        ..LatteConfig::paper()
+    }
+}
+
+/// Geomean LATTE-CC speedup over the subset for one (gpu, latte) config.
+fn subset_geomean(config: &GpuConfig, latte: &LatteConfig) -> f64 {
+    let speedups: Vec<f64> = subset()
+        .iter()
+        .map(|b| run_baseline(config, b) as f64 / run_latte(config, latte, b).max(1) as f64)
+        .collect();
+    geomean(&speedups)
+}
+
+/// Tolerance-awareness ablation: scale the Eq. (4) estimate from 0
+/// (tolerance-blind, i.e. conventional AMAT) upwards.
+pub fn tolerance() {
+    println!("Ablation: latency-tolerance scale (0 = tolerance-blind)\n");
+    let config = experiment_config();
+    let mut rows = vec![vec!["tolerance_scale".to_owned(), "csens_subset_geomean".to_owned()]];
+    for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let latte = LatteConfig {
+            tolerance_scale: scale,
+            ..latte_defaults(&config)
+        };
+        let g = subset_geomean(&config, &latte);
+        println!("scale {scale:>4.1}: {g:.4}");
+        rows.push(vec![format!("{scale}"), format!("{g:.4}")]);
+    }
+    write_csv("ablation_tolerance_scale", &rows);
+}
+
+/// Miss-latency constant ablation: how sensitive are the AMAT decisions
+/// to the assumed effective miss cost?
+pub fn miss_latency() {
+    println!("Ablation: AMAT effective miss-latency constant\n");
+    let config = experiment_config();
+    let mut rows = vec![vec!["miss_latency".to_owned(), "csens_subset_geomean".to_owned()]];
+    for ml in [40.0, 80.0, 110.0, 150.0, 230.0] {
+        let latte = LatteConfig {
+            miss_latency: ml,
+            ..latte_defaults(&config)
+        };
+        let g = subset_geomean(&config, &latte);
+        println!("miss_latency {ml:>5.0}: {g:.4}");
+        rows.push(vec![format!("{ml}"), format!("{g:.4}")]);
+    }
+    write_csv("ablation_miss_latency", &rows);
+}
+
+/// EP-length ablation (the paper empirically picked 256 accesses/EP):
+/// shorter EPs adapt faster but sample less; longer EPs the reverse.
+pub fn ep_length() {
+    println!("Ablation: experimental-phase length (L1 accesses per EP)\n");
+    let base = experiment_config();
+    let mut rows = vec![vec!["ep_accesses".to_owned(), "csens_subset_geomean".to_owned()]];
+    for ep in [64u64, 128, 256, 512, 1024] {
+        let config = GpuConfig {
+            ep_accesses: ep,
+            ..base.clone()
+        };
+        let latte = latte_defaults(&config);
+        let g = subset_geomean(&config, &latte);
+        println!("EP {ep:>5}: {g:.4}");
+        rows.push(vec![ep.to_string(), format!("{g:.4}")]);
+    }
+    write_csv("ablation_ep_length", &rows);
+}
+
+/// Dedicated-set count ablation: sampling fidelity vs sampling overhead.
+pub fn dedicated_sets() {
+    println!("Ablation: dedicated sets per compression mode\n");
+    let config = experiment_config();
+    let mut rows = vec![vec![
+        "dedicated_per_mode".to_owned(),
+        "csens_subset_geomean".to_owned(),
+    ]];
+    for d in [1usize, 2, 4, 8] {
+        let latte = LatteConfig {
+            dedicated_sets_per_mode: d,
+            ..latte_defaults(&config)
+        };
+        let g = subset_geomean(&config, &latte);
+        println!("dedicated {d}: {g:.4}  (overhead {:.0}% of sets)", 3.0 * d as f64 / 32.0 * 100.0);
+        rows.push(vec![d.to_string(), format!("{g:.4}")]);
+    }
+    write_csv("ablation_dedicated_sets", &rows);
+}
+
+/// Scheduler ablation: the paper's GTO vs loose round-robin.
+pub fn scheduler() {
+    println!("Ablation: warp scheduler (GTO vs LRR)\n");
+    let base = experiment_config();
+    let mut rows = vec![vec![
+        "scheduler".to_owned(),
+        "csens_subset_geomean".to_owned(),
+    ]];
+    for (name, kind) in [("GTO", SchedulerKind::Gto), ("LRR", SchedulerKind::Lrr)] {
+        let config = GpuConfig {
+            scheduler: kind,
+            ..base.clone()
+        };
+        let latte = latte_defaults(&config);
+        let g = subset_geomean(&config, &latte);
+        println!("{name}: {g:.4}");
+        rows.push(vec![name.to_owned(), format!("{g:.4}")]);
+    }
+    write_csv("ablation_scheduler", &rows);
+}
+
+/// Runs every ablation.
+pub fn run() {
+    tolerance();
+    println!();
+    miss_latency();
+    println!();
+    ep_length();
+    println!();
+    dedicated_sets();
+    println!();
+    scheduler();
+}

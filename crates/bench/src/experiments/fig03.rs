@@ -1,0 +1,51 @@
+//! **Figure 3** — Performance upper bound of static compression: the
+//! capacity benefit with decompression latency forced to zero.
+
+use crate::experiments::write_csv;
+use crate::runner::{geomean, run_benchmark_with_config, experiment_config, PolicyKind};
+use latte_gpusim::GpuConfig;
+use latte_workloads::{suite, Category};
+
+/// Runs the Fig 3 upper-bound study.
+pub fn run() {
+    println!("Figure 3: speedup upper bound (zero decompression latency)\n");
+    let config = GpuConfig {
+        zero_decompression_latency: true,
+        ..experiment_config()
+    };
+    println!("{:6} {:>10} {:>10}", "bench", "BDI-0lat", "SC-0lat");
+    let mut rows = vec![vec![
+        "benchmark".to_owned(),
+        "static_bdi_zero_latency".to_owned(),
+        "static_sc_zero_latency".to_owned(),
+    ]];
+    let mut sens = (Vec::new(), Vec::new());
+    for bench in suite() {
+        let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
+        let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
+        let sc = run_benchmark_with_config(PolicyKind::StaticSc, &bench, &config);
+        let (s_bdi, s_sc) = (bdi.speedup_over(&base), sc.speedup_over(&base));
+        println!("{:6} {:>10.3} {:>10.3}", bench.abbr, s_bdi, s_sc);
+        rows.push(vec![
+            bench.abbr.to_owned(),
+            format!("{s_bdi:.4}"),
+            format!("{s_sc:.4}"),
+        ]);
+        if bench.category == Category::CSens {
+            sens.0.push(s_bdi);
+            sens.1.push(s_sc);
+        }
+    }
+    println!(
+        "{:6} {:>10.3} {:>10.3}   (C-Sens geomean)",
+        "MEAN",
+        geomean(&sens.0),
+        geomean(&sens.1)
+    );
+    rows.push(vec![
+        "CSENS_GEOMEAN".to_owned(),
+        format!("{:.4}", geomean(&sens.0)),
+        format!("{:.4}", geomean(&sens.1)),
+    ]);
+    write_csv("fig03_zero_latency_upper_bound", &rows);
+}

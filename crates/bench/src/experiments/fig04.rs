@@ -1,0 +1,37 @@
+//! **Figure 4** — Performance degradation from decompression latency
+//! alone: compressed hit latencies are charged but the capacity benefit is
+//! suppressed. Per the paper, FW (−47%) and BC (−22%) suffer most under
+//! SC's 14-cycle latency while PRK tolerates it fully.
+
+use crate::experiments::write_csv;
+use crate::runner::{run_benchmark_with_config, experiment_config, PolicyKind};
+use latte_gpusim::GpuConfig;
+use latte_workloads::suite;
+
+/// Runs the Fig 4 latency-only study.
+pub fn run() {
+    println!("Figure 4: slowdown from decompression latency only (no capacity benefit)\n");
+    let config = GpuConfig {
+        ignore_capacity_benefit: true,
+        ..experiment_config()
+    };
+    println!("{:6} {:>10} {:>10}", "bench", "BDI-lat", "SC-lat");
+    let mut rows = vec![vec![
+        "benchmark".to_owned(),
+        "static_bdi_latency_only".to_owned(),
+        "static_sc_latency_only".to_owned(),
+    ]];
+    for bench in suite() {
+        let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
+        let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
+        let sc = run_benchmark_with_config(PolicyKind::StaticSc, &bench, &config);
+        let (s_bdi, s_sc) = (bdi.speedup_over(&base), sc.speedup_over(&base));
+        println!("{:6} {:>10.3} {:>10.3}", bench.abbr, s_bdi, s_sc);
+        rows.push(vec![
+            bench.abbr.to_owned(),
+            format!("{s_bdi:.4}"),
+            format!("{s_sc:.4}"),
+        ]);
+    }
+    write_csv("fig04_latency_only_degradation", &rows);
+}

@@ -1,0 +1,66 @@
+//! **Figure 6** — Motivation: the spread of (a) performance and (b)
+//! energy when BDI or SC is applied statically, versus an adaptive scheme
+//! (LATTE-CC). Paper shape: statics swing from +48% to −52% (and 0.76x to
+//! 1.36x energy); the adaptive scheme recovers the upside everywhere,
+//! most visibly on KM, SS and VM.
+
+use crate::experiments::write_csv;
+use crate::runner::{run_benchmark, PolicyKind};
+use latte_workloads::suite;
+
+/// Runs the Fig 6 motivation study.
+pub fn run() {
+    println!("Figure 6: static vs adaptive — (a) speedup, (b) normalised energy\n");
+    println!(
+        "{:6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "bench", "spd-BDI", "spd-SC", "spd-AD", "en-BDI", "en-SC", "en-AD"
+    );
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "speedup_bdi".to_owned(),
+        "speedup_sc".to_owned(),
+        "speedup_adaptive".to_owned(),
+        "energy_bdi".to_owned(),
+        "energy_sc".to_owned(),
+        "energy_adaptive".to_owned(),
+    ]];
+    let mut spread: (f64, f64) = (f64::MAX, f64::MIN);
+    for bench in suite() {
+        let base = run_benchmark(PolicyKind::Baseline, &bench);
+        let bdi = run_benchmark(PolicyKind::StaticBdi, &bench);
+        let sc = run_benchmark(PolicyKind::StaticSc, &bench);
+        let ad = run_benchmark(PolicyKind::LatteCc, &bench);
+        let s = [
+            bdi.speedup_over(&base),
+            sc.speedup_over(&base),
+            ad.speedup_over(&base),
+        ];
+        let e = [
+            bdi.energy_ratio_over(&base),
+            sc.energy_ratio_over(&base),
+            ad.energy_ratio_over(&base),
+        ];
+        for v in &s[..2] {
+            spread.0 = spread.0.min(*v);
+            spread.1 = spread.1.max(*v);
+        }
+        println!(
+            "{:6} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}",
+            bench.abbr, s[0], s[1], s[2], e[0], e[1], e[2]
+        );
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{:.4}", s[0]),
+            format!("{:.4}", s[1]),
+            format!("{:.4}", s[2]),
+            format!("{:.4}", e[0]),
+            format!("{:.4}", e[1]),
+            format!("{:.4}", e[2]),
+        ]);
+    }
+    println!(
+        "\nstatic-policy speedup spread: {:.3} .. {:.3} (paper: 0.48 .. 1.48)",
+        spread.0, spread.1
+    );
+    write_csv("fig06_static_vs_adaptive", &csv);
+}

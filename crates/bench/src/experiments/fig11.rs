@@ -1,0 +1,108 @@
+//! **Figure 11** — Application speedup under Static-BDI, Static-SC,
+//! LATTE-CC and Kernel-OPT, normalised to the uncompressed baseline.
+//!
+//! Paper shape: LATTE-CC wins on average for C-Sens (+19.2%, vs +13.7%
+//! Static-BDI and −8.2% Static-SC) and slightly beats the Kernel-OPT
+//! oracle; C-InSens workloads are unaffected except Static-SC, which
+//! degrades several of them.
+
+use crate::experiments::write_csv;
+use crate::runner::{experiment_config, geomean, run_benchmark, PolicyKind};
+use latte_core::run_kernel_opt;
+use latte_gpusim::Kernel;
+use latte_workloads::{suite, Category};
+
+/// One benchmark's Fig 11 numbers.
+#[derive(Debug, Clone)]
+pub struct Fig11Row {
+    /// Benchmark abbreviation.
+    pub abbr: &'static str,
+    /// Sensitivity category.
+    pub category: Category,
+    /// Speedups: [Static-BDI, Static-SC, LATTE-CC, Kernel-OPT].
+    pub speedups: [f64; 4],
+}
+
+/// Computes the Fig 11 data set (reused by `summary`).
+#[must_use]
+pub fn collect() -> Vec<Fig11Row> {
+    let config = experiment_config();
+    suite()
+        .iter()
+        .map(|bench| {
+            let base = run_benchmark(PolicyKind::Baseline, bench);
+            let bdi = run_benchmark(PolicyKind::StaticBdi, bench);
+            let sc = run_benchmark(PolicyKind::StaticSc, bench);
+            let latte = run_benchmark(PolicyKind::LatteCc, bench);
+            let kernels = bench.build_kernels();
+            let refs: Vec<&dyn Kernel> = kernels.iter().map(|k| k as &dyn Kernel).collect();
+            let opt = run_kernel_opt(&config, &refs);
+            let base_cycles = base.stats.cycles as f64;
+            Fig11Row {
+                abbr: bench.abbr,
+                category: bench.category,
+                speedups: [
+                    bdi.speedup_over(&base),
+                    sc.speedup_over(&base),
+                    latte.speedup_over(&base),
+                    base_cycles / opt.total_cycles().max(1) as f64,
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Prints per-category geomeans for a set of rows.
+fn print_means(rows: &[Fig11Row], category: Category, csv: &mut Vec<Vec<String>>) {
+    let in_cat: Vec<&Fig11Row> = rows.iter().filter(|r| r.category == category).collect();
+    let mut means = [0.0; 4];
+    for (i, m) in means.iter_mut().enumerate() {
+        *m = geomean(&in_cat.iter().map(|r| r.speedups[i]).collect::<Vec<_>>());
+    }
+    println!(
+        "{:6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}   ({category} geomean)",
+        "MEAN", means[0], means[1], means[2], means[3]
+    );
+    csv.push(vec![
+        format!("{category}_GEOMEAN"),
+        format!("{:.4}", means[0]),
+        format!("{:.4}", means[1]),
+        format!("{:.4}", means[2]),
+        format!("{:.4}", means[3]),
+    ]);
+}
+
+/// Runs the Fig 11 experiment.
+pub fn run() {
+    println!("Figure 11: speedup over uncompressed baseline\n");
+    println!(
+        "{:6} {:>9} {:>9} {:>9} {:>9}",
+        "bench", "BDI", "SC", "LATTE", "K-OPT"
+    );
+    let rows = collect();
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "static_bdi".to_owned(),
+        "static_sc".to_owned(),
+        "latte_cc".to_owned(),
+        "kernel_opt".to_owned(),
+    ]];
+    for cat in [Category::CInSens, Category::CSens] {
+        for r in rows.iter().filter(|r| r.category == cat) {
+            println!(
+                "{:6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                r.abbr, r.speedups[0], r.speedups[1], r.speedups[2], r.speedups[3]
+            );
+            csv.push(vec![
+                r.abbr.to_owned(),
+                format!("{:.4}", r.speedups[0]),
+                format!("{:.4}", r.speedups[1]),
+                format!("{:.4}", r.speedups[2]),
+                format!("{:.4}", r.speedups[3]),
+            ]);
+        }
+        print_means(&rows, cat, &mut csv);
+        println!();
+    }
+    write_csv("fig11_speedups", &csv);
+}

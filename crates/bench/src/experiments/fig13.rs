@@ -1,0 +1,54 @@
+//! **Figure 13** — Normalised GPU energy per policy. Paper shape: on
+//! C-Sens workloads LATTE-CC saves ~10%, Static-BDI ~5%, Static-SC ~0%;
+//! on C-InSens, Static-SC *increases* energy (up to +53% on HW).
+
+use crate::experiments::write_csv;
+use crate::runner::{geomean, run_benchmark, PolicyKind};
+use latte_workloads::{suite, Category};
+
+/// Runs the Fig 13 experiment.
+pub fn run() {
+    println!("Figure 13: GPU energy normalised to baseline (lower is better)\n");
+    println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "static_bdi".to_owned(),
+        "static_sc".to_owned(),
+        "latte_cc".to_owned(),
+    ]];
+    let mut by_cat = [[Vec::new(), Vec::new(), Vec::new()], [Vec::new(), Vec::new(), Vec::new()]];
+    for bench in suite() {
+        let base = run_benchmark(PolicyKind::Baseline, &bench);
+        let e: Vec<f64> = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc]
+            .iter()
+            .map(|&p| run_benchmark(p, &bench).energy_ratio_over(&base))
+            .collect();
+        println!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, e[0], e[1], e[2]);
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{:.4}", e[0]),
+            format!("{:.4}", e[1]),
+            format!("{:.4}", e[2]),
+        ]);
+        let cat = usize::from(bench.category == Category::CSens);
+        for (s, v) in by_cat[cat].iter_mut().zip(&e) {
+            s.push(*v);
+        }
+    }
+    for (cat, name) in [(1usize, "C-Sens"), (0, "C-InSens")] {
+        println!(
+            "{:6} {:>9.3} {:>9.3} {:>9.3}   ({name} geomean)",
+            "MEAN",
+            geomean(&by_cat[cat][0]),
+            geomean(&by_cat[cat][1]),
+            geomean(&by_cat[cat][2])
+        );
+        csv.push(vec![
+            format!("{name}_GEOMEAN"),
+            format!("{:.4}", geomean(&by_cat[cat][0])),
+            format!("{:.4}", geomean(&by_cat[cat][1])),
+            format!("{:.4}", geomean(&by_cat[cat][2])),
+        ]);
+    }
+    write_csv("fig13_energy", &csv);
+}

@@ -1,0 +1,75 @@
+//! **Figure 14** — Breakdown of LATTE-CC's energy saving on C-Sens
+//! workloads. Paper shape: data movement and static energy provide the
+//! bulk of the saving (~4.2% and ~3.7% of GPU energy respectively) while
+//! compressor/decompressor overhead stays below 0.25%.
+
+use crate::experiments::write_csv;
+use crate::runner::{run_benchmark, PolicyKind};
+use latte_workloads::c_sens;
+
+/// Runs the Fig 14 experiment.
+pub fn run() {
+    println!("Figure 14: LATTE-CC energy saving breakdown, C-Sens (% of baseline GPU energy)\n");
+    println!(
+        "{:6} {:>10} {:>9} {:>9} {:>10} {:>9}",
+        "bench", "data-move", "static", "core+L1", "overhead", "total"
+    );
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "data_movement_saving_pct".to_owned(),
+        "static_saving_pct".to_owned(),
+        "core_l1_saving_pct".to_owned(),
+        "compression_overhead_pct".to_owned(),
+        "total_saving_pct".to_owned(),
+    ]];
+    let mut sums = [0.0f64; 5];
+    let benches = c_sens();
+    for bench in &benches {
+        let base = run_benchmark(PolicyKind::Baseline, bench);
+        let latte = run_benchmark(PolicyKind::LatteCc, bench);
+        let total = base.energy.total_nj();
+        let dm = (base.energy.data_movement_nj() - latte.energy.data_movement_nj()) / total * 100.0;
+        let st = (base.energy.static_nj - latte.energy.static_nj) / total * 100.0;
+        let core = (base.energy.core_nj + base.energy.l1_nj
+            - latte.energy.core_nj
+            - latte.energy.l1_nj)
+            / total
+            * 100.0;
+        let overhead = latte.energy.compression_overhead_nj() / total * 100.0;
+        let saving = (total - latte.energy.total_nj()) / total * 100.0;
+        println!(
+            "{:6} {:>9.2}% {:>8.2}% {:>8.2}% {:>9.3}% {:>8.2}%",
+            bench.abbr, dm, st, core, overhead, saving
+        );
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{dm:.3}"),
+            format!("{st:.3}"),
+            format!("{core:.3}"),
+            format!("{overhead:.4}"),
+            format!("{saving:.3}"),
+        ]);
+        for (s, v) in sums.iter_mut().zip([dm, st, core, overhead, saving]) {
+            *s += v;
+        }
+    }
+    let n = benches.len() as f64;
+    println!(
+        "{:6} {:>9.2}% {:>8.2}% {:>8.2}% {:>9.3}% {:>8.2}%   (mean)",
+        "MEAN",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n
+    );
+    csv.push(vec![
+        "MEAN".to_owned(),
+        format!("{:.3}", sums[0] / n),
+        format!("{:.3}", sums[1] / n),
+        format!("{:.3}", sums[2] / n),
+        format!("{:.4}", sums[3] / n),
+        format!("{:.3}", sums[4] / n),
+    ]);
+    write_csv("fig14_energy_breakdown", &csv);
+}

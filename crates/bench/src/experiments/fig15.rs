@@ -1,0 +1,72 @@
+//! **Figure 15** — How often LATTE-CC's fine-grained decisions agree with
+//! the Kernel-OPT oracle, and the performance gap between the two.
+//! Disagreement is not necessarily loss: for phase-changing workloads
+//! (KM, SS, MM) LATTE-CC beats the oracle *because* it deviates within
+//! kernels.
+
+use crate::experiments::write_csv;
+use crate::runner::{experiment_config, PolicyKind};
+use latte_core::run_kernel_opt;
+use latte_gpusim::{Gpu, Kernel};
+use latte_workloads::c_sens;
+
+/// Runs the Fig 15 agreement analysis.
+pub fn run() {
+    println!("Figure 15: LATTE-CC vs Kernel-OPT decision agreement (C-Sens)\n");
+    println!(
+        "{:6} {:>8} {:>11} {:>11} {:>9}",
+        "bench", "agree%", "spd-LATTE", "spd-K-OPT", "perfΔ%"
+    );
+    let config = experiment_config();
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "agreement_pct".to_owned(),
+        "latte_speedup".to_owned(),
+        "kernel_opt_speedup".to_owned(),
+        "perf_delta_pct".to_owned(),
+    ]];
+    for bench in c_sens() {
+        let kernels = bench.build_kernels();
+        let refs: Vec<&dyn Kernel> = kernels.iter().map(|k| k as &dyn Kernel).collect();
+        let opt = run_kernel_opt(&config, &refs);
+
+        // Baseline cycles for speedups.
+        let mut base_gpu = Gpu::new(config.clone(), |_| PolicyKind::Baseline.build(&config));
+        let base_cycles: u64 = kernels.iter().map(|k| base_gpu.run_kernel(k as &dyn Kernel).cycles).sum();
+
+        // LATTE-CC kernel by kernel, collecting per-kernel mode histograms.
+        let mut latte_gpu = Gpu::new(config.clone(), |_| PolicyKind::LatteCc.build(&config));
+        let mut latte_cycles = 0u64;
+        let mut agree_eps = 0u64;
+        let mut total_eps = 0u64;
+        for (kernel, opt_kernel) in kernels.iter().zip(&opt.kernels) {
+            latte_cycles += latte_gpu.run_kernel(kernel as &dyn Kernel).cycles;
+            let oracle_mode = opt_kernel.best.index();
+            for report in latte_gpu.policy_reports() {
+                agree_eps += report.eps_in_mode[oracle_mode];
+                total_eps += report.total_eps();
+            }
+        }
+        let agreement = if total_eps == 0 {
+            0.0
+        } else {
+            agree_eps as f64 / total_eps as f64 * 100.0
+        };
+        let spd_latte = base_cycles as f64 / latte_cycles.max(1) as f64;
+        let spd_opt = base_cycles as f64 / opt.total_cycles().max(1) as f64;
+        let delta = (spd_opt - spd_latte) * 100.0;
+        println!(
+            "{:6} {:>7.1}% {:>11.3} {:>11.3} {:>9.1}",
+            bench.abbr, agreement, spd_latte, spd_opt, delta
+        );
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{agreement:.2}"),
+            format!("{spd_latte:.4}"),
+            format!("{spd_opt:.4}"),
+            format!("{delta:.2}"),
+        ]);
+    }
+    println!("\n(negative perfΔ: LATTE-CC beats the oracle via intra-kernel adaptation)");
+    write_csv("fig15_kernel_opt_agreement", &csv);
+}

@@ -1,0 +1,63 @@
+//! **Figure 16** — Effective cache capacity over time for SS under
+//! Static-BDI, Static-SC and LATTE-CC. Static-BDI stays near 1x (BDI
+//! cannot compress SS's float data), Static-SC stays high (~3x), LATTE-CC
+//! hovers between 1-2x, opportunistically taking SC capacity only during
+//! tolerant phases.
+
+use crate::experiments::write_csv;
+use crate::runner::{experiment_config, PolicyKind};
+use latte_gpusim::{Gpu, GpuConfig, Kernel};
+use latte_workloads::benchmark;
+
+fn trace(policy: PolicyKind) -> Vec<f64> {
+    let bench = benchmark("SS").expect("SS exists");
+    let config = GpuConfig {
+        record_traces: true,
+        ..experiment_config()
+    };
+    let mut gpu = Gpu::new(config.clone(), |_| policy.build(&config));
+    let mut capacities = Vec::new();
+    for kernel in bench.build_kernels() {
+        let stats = gpu.run_kernel(&kernel as &dyn Kernel);
+        capacities.extend(stats.traces.iter().map(|t| t.effective_capacity));
+    }
+    capacities
+}
+
+/// Runs the Fig 16 capacity trace.
+pub fn run() {
+    println!("Figure 16: effective L1 capacity over time (SS, SM 0, 1.0 = baseline)\n");
+    let policies = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc];
+    let traces: Vec<Vec<f64>> = policies.iter().map(|&p| trace(p)).collect();
+    let len = traces.iter().map(Vec::len).min().unwrap_or(0);
+    println!("{:>6} {:>9} {:>9} {:>9}", "EP", "BDI", "SC", "LATTE");
+    let mut rows = vec![vec![
+        "ep".to_owned(),
+        "static_bdi".to_owned(),
+        "static_sc".to_owned(),
+        "latte_cc".to_owned(),
+    ]];
+    #[allow(clippy::needless_range_loop)] // parallel indexing into three traces
+    for ep in 0..len {
+        if ep % 8 == 0 {
+            println!(
+                "{:>6} {:>9.2} {:>9.2} {:>9.2}",
+                ep, traces[0][ep], traces[1][ep], traces[2][ep]
+            );
+        }
+        rows.push(vec![
+            ep.to_string(),
+            format!("{:.4}", traces[0][ep]),
+            format!("{:.4}", traces[1][ep]),
+            format!("{:.4}", traces[2][ep]),
+        ]);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nmeans: BDI {:.2}x  SC {:.2}x  LATTE {:.2}x",
+        mean(&traces[0][..len]),
+        mean(&traces[1][..len]),
+        mean(&traces[2][..len])
+    );
+    write_csv("fig16_ss_effective_capacity", &rows);
+}

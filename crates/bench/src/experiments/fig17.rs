@@ -1,0 +1,81 @@
+//! **Figure 17** — The value of latency-tolerance awareness: LATTE-CC vs
+//! Adaptive-Hit-Count (maximises hits, latency-blind) and Adaptive-CMP
+//! (latency-aware, tolerance-blind). Paper shape: all three reduce misses
+//! similarly (~24%), but only LATTE-CC converts the reduction into the
+//! full speedup (19.2% vs 15% / 13%).
+
+use crate::experiments::write_csv;
+use crate::runner::{geomean, run_benchmark, PolicyKind};
+use latte_workloads::c_sens;
+
+/// Runs the Fig 17 comparison.
+pub fn run() {
+    println!("Figure 17: adaptive policy comparison (C-Sens)\n");
+    println!(
+        "{:6} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
+        "bench", "LATTE", "AHC", "ACMP", "mrLATTE", "mrAHC", "mrACMP"
+    );
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "latte_speedup".to_owned(),
+        "adaptive_hit_count_speedup".to_owned(),
+        "adaptive_cmp_speedup".to_owned(),
+        "latte_miss_reduction_pct".to_owned(),
+        "ahc_miss_reduction_pct".to_owned(),
+        "acmp_miss_reduction_pct".to_owned(),
+    ]];
+    let mut spd = [Vec::new(), Vec::new(), Vec::new()];
+    let mut mrs = [Vec::new(), Vec::new(), Vec::new()];
+    for bench in c_sens() {
+        let base = run_benchmark(PolicyKind::Baseline, &bench);
+        let policies = [
+            PolicyKind::LatteCc,
+            PolicyKind::AdaptiveHitCount,
+            PolicyKind::AdaptiveCmp,
+        ];
+        let results: Vec<_> = policies.iter().map(|&p| run_benchmark(p, &bench)).collect();
+        let s: Vec<f64> = results.iter().map(|r| r.speedup_over(&base)).collect();
+        let m: Vec<f64> = results
+            .iter()
+            .map(|r| r.miss_reduction_over(&base) * 100.0)
+            .collect();
+        println!(
+            "{:6} {:>9.3} {:>9.3} {:>9.3} | {:>7.1}% {:>7.1}% {:>7.1}%",
+            bench.abbr, s[0], s[1], s[2], m[0], m[1], m[2]
+        );
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{:.4}", s[0]),
+            format!("{:.4}", s[1]),
+            format!("{:.4}", s[2]),
+            format!("{:.2}", m[0]),
+            format!("{:.2}", m[1]),
+            format!("{:.2}", m[2]),
+        ]);
+        for i in 0..3 {
+            spd[i].push(s[i]);
+            mrs[i].push(m[i]);
+        }
+    }
+    let amean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "{:6} {:>9.3} {:>9.3} {:>9.3} | {:>7.1}% {:>7.1}% {:>7.1}%   (means)",
+        "MEAN",
+        geomean(&spd[0]),
+        geomean(&spd[1]),
+        geomean(&spd[2]),
+        amean(&mrs[0]),
+        amean(&mrs[1]),
+        amean(&mrs[2])
+    );
+    csv.push(vec![
+        "MEAN".to_owned(),
+        format!("{:.4}", geomean(&spd[0])),
+        format!("{:.4}", geomean(&spd[1])),
+        format!("{:.4}", geomean(&spd[2])),
+        format!("{:.2}", amean(&mrs[0])),
+        format!("{:.2}", amean(&mrs[1])),
+        format!("{:.2}", amean(&mrs[2])),
+    ]);
+    write_csv("fig17_adaptive_comparison", &csv);
+}

@@ -1,0 +1,53 @@
+//! **Figure 18** — LATTE-CC's flexibility in its component algorithms:
+//! swapping SC for BPC as the high-capacity mode (LATTE-CC-BDI-BPC).
+//! Paper shape: similar on average, better on the BPC-affine workloads
+//! (PF, MIS, CLR, FW).
+
+use crate::experiments::write_csv;
+use crate::runner::{geomean, run_benchmark, PolicyKind};
+use latte_workloads::{c_sens, Category};
+
+/// Runs the Fig 18 variant study.
+pub fn run() {
+    println!("Figure 18: LATTE-CC vs LATTE-CC-BDI-BPC (C-Sens)\n");
+    println!("{:6} {:>11} {:>15}", "bench", "LATTE(SC)", "LATTE(BDI-BPC)");
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "latte_bdi_sc".to_owned(),
+        "latte_bdi_bpc".to_owned(),
+    ]];
+    let mut sc_spd = Vec::new();
+    let mut bpc_spd = Vec::new();
+    for bench in c_sens() {
+        debug_assert_eq!(bench.category, Category::CSens);
+        let base = run_benchmark(PolicyKind::Baseline, &bench);
+        let latte = run_benchmark(PolicyKind::LatteCc, &bench);
+        let latte_bpc = run_benchmark(PolicyKind::LatteCcBdiBpc, &bench);
+        let (s1, s2) = (latte.speedup_over(&base), latte_bpc.speedup_over(&base));
+        let marker = if ["PF", "MIS", "CLR", "FW"].contains(&bench.abbr) {
+            "  <- BPC-affine"
+        } else {
+            ""
+        };
+        println!("{:6} {:>11.3} {:>15.3}{marker}", bench.abbr, s1, s2);
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{s1:.4}"),
+            format!("{s2:.4}"),
+        ]);
+        sc_spd.push(s1);
+        bpc_spd.push(s2);
+    }
+    println!(
+        "{:6} {:>11.3} {:>15.3}   (geomean)",
+        "MEAN",
+        geomean(&sc_spd),
+        geomean(&bpc_spd)
+    );
+    csv.push(vec![
+        "GEOMEAN".to_owned(),
+        format!("{:.4}", geomean(&sc_spd)),
+        format!("{:.4}", geomean(&bpc_spd)),
+    ]);
+    write_csv("fig18_bdi_bpc_variant", &csv);
+}

@@ -1,0 +1,59 @@
+//! One module per table/figure of the paper's evaluation. Each module
+//! exposes `run()`, prints a human-readable table to stdout, and writes a
+//! CSV into `results/`.
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod multi_mode;
+pub mod paper_machine;
+pub mod sens_cache;
+pub mod sens_write;
+pub mod summary;
+pub mod table1;
+pub mod trace;
+pub mod table2;
+pub mod table3;
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// Writes `rows` (first row = header) to `results/<name>.csv`.
+///
+/// # Panics
+///
+/// Panics if the results directory or file cannot be written.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) {
+    let dir = PathBuf::from("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.csv"));
+    let body: String = rows
+        .iter()
+        .map(|r| r.join(","))
+        .collect::<Vec<_>>()
+        .join("\n");
+    fs::write(&path, body + "\n").expect("write csv");
+    println!("[wrote {}]", path.display());
+}
+
+/// Formats a row of cells with a fixed column width.
+pub fn row<D: Display>(cells: &[D], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>width$}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

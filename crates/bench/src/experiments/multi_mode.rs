@@ -1,0 +1,59 @@
+//! **Multi-mode extension** (beyond the paper) — arbitrate between all
+//! four options (None / BDI / BPC / SC) at once, versus the paper's
+//! three-mode variants. §V-E argues LATTE-CC is agnostic to its component
+//! algorithms; this experiment checks whether *more* components help.
+
+use crate::experiments::write_csv;
+use crate::runner::{geomean, run_benchmark, PolicyKind};
+use latte_workloads::c_sens;
+
+/// Runs the multi-mode comparison.
+pub fn run() {
+    println!("Multi-mode extension: 3-mode (BDI+SC), 3-mode (BDI+BPC), 4-mode (C-Sens)\n");
+    println!(
+        "{:6} {:>11} {:>12} {:>10}",
+        "bench", "LATTE(SC)", "LATTE(BPC)", "4-mode"
+    );
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "latte_bdi_sc".to_owned(),
+        "latte_bdi_bpc".to_owned(),
+        "latte_four_mode".to_owned(),
+    ]];
+    let mut means = [Vec::new(), Vec::new(), Vec::new()];
+    for bench in c_sens() {
+        let base = run_benchmark(PolicyKind::Baseline, &bench);
+        let s: Vec<f64> = [
+            PolicyKind::LatteCc,
+            PolicyKind::LatteCcBdiBpc,
+            PolicyKind::LatteCcMulti,
+        ]
+        .iter()
+        .map(|&p| run_benchmark(p, &bench).speedup_over(&base))
+        .collect();
+        println!("{:6} {:>11.3} {:>12.3} {:>10.3}", bench.abbr, s[0], s[1], s[2]);
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{:.4}", s[0]),
+            format!("{:.4}", s[1]),
+            format!("{:.4}", s[2]),
+        ]);
+        for (m, v) in means.iter_mut().zip(&s) {
+            m.push(*v);
+        }
+    }
+    println!(
+        "{:6} {:>11.3} {:>12.3} {:>10.3}   (geomean)",
+        "MEAN",
+        geomean(&means[0]),
+        geomean(&means[1]),
+        geomean(&means[2])
+    );
+    csv.push(vec![
+        "GEOMEAN".to_owned(),
+        format!("{:.4}", geomean(&means[0])),
+        format!("{:.4}", geomean(&means[1])),
+        format!("{:.4}", geomean(&means[2])),
+    ]);
+    write_csv("multi_mode_extension", &csv);
+}

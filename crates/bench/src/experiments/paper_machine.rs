@@ -1,0 +1,53 @@
+//! **Full-machine validation** — the Fig 11 policies re-run on the
+//! unscaled Table II configuration (15 SMs, 768 KB L2) to confirm the
+//! scaled experiment machine preserves the result structure.
+
+use crate::experiments::write_csv;
+use crate::runner::{geomean, run_benchmark_with_config, PolicyKind};
+use latte_gpusim::GpuConfig;
+use latte_workloads::c_sens;
+
+/// Runs the C-Sens policy comparison on the full 15-SM machine.
+pub fn run() {
+    println!("Full Table II machine (15 SMs): C-Sens speedups\n");
+    let config = GpuConfig::paper();
+    println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "static_bdi".to_owned(),
+        "static_sc".to_owned(),
+        "latte_cc".to_owned(),
+    ]];
+    let mut means = [Vec::new(), Vec::new(), Vec::new()];
+    for bench in c_sens() {
+        let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
+        let s: Vec<f64> = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc]
+            .iter()
+            .map(|&p| run_benchmark_with_config(p, &bench, &config).speedup_over(&base))
+            .collect();
+        println!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, s[0], s[1], s[2]);
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{:.4}", s[0]),
+            format!("{:.4}", s[1]),
+            format!("{:.4}", s[2]),
+        ]);
+        for (m, v) in means.iter_mut().zip(&s) {
+            m.push(*v);
+        }
+    }
+    println!(
+        "{:6} {:>9.3} {:>9.3} {:>9.3}   (geomean)",
+        "MEAN",
+        geomean(&means[0]),
+        geomean(&means[1]),
+        geomean(&means[2])
+    );
+    csv.push(vec![
+        "GEOMEAN".to_owned(),
+        format!("{:.4}", geomean(&means[0])),
+        format!("{:.4}", geomean(&means[1])),
+        format!("{:.4}", geomean(&means[2])),
+    ]);
+    write_csv("paper_machine_csens", &csv);
+}

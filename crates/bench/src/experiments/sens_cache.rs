@@ -1,0 +1,47 @@
+//! **§V-E cache-size sensitivity** — LATTE-CC on the 48 KB L1
+//! configuration. Paper: LATTE-CC still gains ~6% on C-Sens (Static-BDI
+//! ~3%): larger caches shrink but do not erase the benefit.
+
+use crate::experiments::write_csv;
+use crate::runner::{experiment_config, geomean, run_benchmark_with_config, PolicyKind};
+use latte_workloads::c_sens;
+
+/// Runs the 48 KB sensitivity study.
+pub fn run() {
+    println!("Cache-size sensitivity (48 KB L1, C-Sens)\n");
+    let config = experiment_config().with_large_l1();
+    println!("{:6} {:>9} {:>9}", "bench", "BDI", "LATTE");
+    let mut csv = vec![vec![
+        "benchmark".to_owned(),
+        "static_bdi_48k".to_owned(),
+        "latte_cc_48k".to_owned(),
+    ]];
+    let mut bdi_spd = Vec::new();
+    let mut latte_spd = Vec::new();
+    for bench in c_sens() {
+        let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
+        let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
+        let latte = run_benchmark_with_config(PolicyKind::LatteCc, &bench, &config);
+        let (s_bdi, s_latte) = (bdi.speedup_over(&base), latte.speedup_over(&base));
+        println!("{:6} {:>9.3} {:>9.3}", bench.abbr, s_bdi, s_latte);
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            format!("{s_bdi:.4}"),
+            format!("{s_latte:.4}"),
+        ]);
+        bdi_spd.push(s_bdi);
+        latte_spd.push(s_latte);
+    }
+    println!(
+        "{:6} {:>9.3} {:>9.3}   (geomean; paper: 1.03 / 1.06)",
+        "MEAN",
+        geomean(&bdi_spd),
+        geomean(&latte_spd)
+    );
+    csv.push(vec![
+        "GEOMEAN".to_owned(),
+        format!("{:.4}", geomean(&bdi_spd)),
+        format!("{:.4}", geomean(&latte_spd)),
+    ]);
+    write_csv("sens_cache_48k", &csv);
+}

@@ -1,0 +1,57 @@
+//! **Table II** — The simulated GPU configuration, and the scaled
+//! experiment machine actually used for the sweeps.
+
+use crate::experiments::write_csv;
+use crate::runner::experiment_config;
+use latte_gpusim::GpuConfig;
+
+fn print_config(name: &str, c: &GpuConfig, csv: &mut Vec<Vec<String>>) {
+    let entries: Vec<(&str, String)> = vec![
+        ("num_sms", c.num_sms.to_string()),
+        ("max_warps_per_sm", c.max_warps_per_sm.to_string()),
+        ("warps_per_block", c.warps_per_block.to_string()),
+        ("schedulers_per_sm", c.schedulers_per_sm.to_string()),
+        ("scheduler", format!("{:?}", c.scheduler)),
+        (
+            "l1_data_cache",
+            format!(
+                "{} KB/SM, 128B lines, {}-way, {}x tags",
+                c.l1_geometry.size_bytes / 1024,
+                c.l1_geometry.ways,
+                c.l1_geometry.tag_factor
+            ),
+        ),
+        (
+            "l2_cache",
+            format!(
+                "{} KB shared, {}-way",
+                c.l2_geometry.size_bytes / 1024,
+                c.l2_geometry.ways
+            ),
+        ),
+        ("l1_hit_latency", format!("{} cycles", c.l1_hit_latency)),
+        ("min_l2_latency", format!("{} cycles", c.l2_latency)),
+        ("min_dram_latency", format!("{} cycles", c.dram_latency)),
+        ("mshr", format!("{} entries x {} merges", c.mshr_entries, c.mshr_merges)),
+        ("ep_length", format!("{} L1 accesses", c.ep_accesses)),
+    ];
+    println!("[{name}]");
+    for (k, v) in &entries {
+        println!("  {k:22} {v}");
+        csv.push(vec![name.to_owned(), (*k).to_owned(), v.clone()]);
+    }
+    println!();
+}
+
+/// Prints Table II.
+pub fn run() {
+    println!("Table II: simulated GPU configurations\n");
+    let mut csv = vec![vec![
+        "config".to_owned(),
+        "parameter".to_owned(),
+        "value".to_owned(),
+    ]];
+    print_config("paper (Table II)", &GpuConfig::paper(), &mut csv);
+    print_config("experiment machine", &experiment_config(), &mut csv);
+    write_csv("table2_configuration", &csv);
+}

@@ -1,0 +1,74 @@
+//! **Table III** — The benchmark suite and its cache-sensitivity
+//! classification: a workload is C-Sens if a 4× larger L1 speeds it up by
+//! more than 20%. This experiment *measures* the classification on the
+//! synthetic suite and reports any divergence from the declared category.
+
+use crate::experiments::write_csv;
+use crate::runner::experiment_config;
+use latte_cache::CacheGeometry;
+use latte_gpusim::{Gpu, GpuConfig, Kernel, UncompressedPolicy};
+use latte_workloads::{suite, Category};
+
+fn total_cycles(config: &GpuConfig, bench: &latte_workloads::BenchmarkSpec) -> u64 {
+    let mut gpu = Gpu::new(config.clone(), |_| Box::new(UncompressedPolicy));
+    bench
+        .build_kernels()
+        .iter()
+        .map(|k| gpu.run_kernel(k as &dyn Kernel).cycles)
+        .sum()
+}
+
+/// Runs the Table III classification check.
+pub fn run() {
+    println!("Table III: benchmarks and measured 4x-cache sensitivity\n");
+    println!(
+        "{:6} {:28} {:>9} {:>10} {:>10} {:>6}",
+        "abbr", "name", "declared", "4x-speedup", "measured", "match"
+    );
+    let base_config = experiment_config();
+    let big_config = GpuConfig {
+        l1_geometry: CacheGeometry {
+            size_bytes: base_config.l1_geometry.size_bytes * 4,
+            ..base_config.l1_geometry
+        },
+        ..base_config.clone()
+    };
+    let mut csv = vec![vec![
+        "abbr".to_owned(),
+        "name".to_owned(),
+        "declared_category".to_owned(),
+        "speedup_with_4x_cache".to_owned(),
+        "measured_category".to_owned(),
+    ]];
+    let mut mismatches = 0;
+    for bench in suite() {
+        let base = total_cycles(&base_config, &bench);
+        let big = total_cycles(&big_config, &bench);
+        let speedup = base as f64 / big.max(1) as f64;
+        let measured = if speedup > 1.20 {
+            Category::CSens
+        } else {
+            Category::CInSens
+        };
+        let matches = measured == bench.category;
+        mismatches += usize::from(!matches);
+        println!(
+            "{:6} {:28} {:>9} {:>10.3} {:>10} {:>6}",
+            bench.abbr,
+            bench.name,
+            bench.category.to_string(),
+            speedup,
+            measured.to_string(),
+            if matches { "yes" } else { "NO" }
+        );
+        csv.push(vec![
+            bench.abbr.to_owned(),
+            bench.name.to_owned(),
+            bench.category.to_string(),
+            format!("{speedup:.4}"),
+            measured.to_string(),
+        ]);
+    }
+    println!("\n{mismatches} classification mismatches");
+    write_csv("table3_benchmarks", &csv);
+}

@@ -1,0 +1,86 @@
+//! **Decision trace** — a temporal view of LATTE-CC's operation on one
+//! benchmark (the paper's Fig 10 schematic, rendered with real data):
+//! per-EP latency tolerance, selected mode, effective capacity and hit
+//! rate on SM 0.
+
+use crate::experiments::write_csv;
+use crate::runner::{experiment_config, PolicyKind};
+use latte_gpusim::{EpTraceEntry, Gpu, GpuConfig, Kernel};
+use latte_workloads::benchmark;
+
+fn mode_glyph(m: Option<usize>) -> char {
+    match m {
+        Some(0) => '.',
+        Some(1) => 'L',
+        Some(2) => 'H',
+        _ => '?',
+    }
+}
+
+/// Runs the decision trace for one benchmark (default SS).
+pub fn run_for(abbr: &str) {
+    let Some(bench) = benchmark(abbr) else {
+        eprintln!("unknown benchmark: {abbr}");
+        return;
+    };
+    println!(
+        "LATTE-CC decision trace: {} ({}), SM 0\n",
+        bench.name, bench.abbr
+    );
+    let config = GpuConfig {
+        record_traces: true,
+        ..experiment_config()
+    };
+    let mut gpu = Gpu::new(config.clone(), |_| PolicyKind::LatteCc.build(&config));
+    let mut traces: Vec<EpTraceEntry> = Vec::new();
+    for kernel in bench.build_kernels() {
+        traces.extend(gpu.run_kernel(&kernel as &dyn Kernel).traces);
+    }
+
+    // Mode strip, 64 EPs per row.
+    println!("mode per EP ('.' none, 'L' low-latency, 'H' high-capacity):");
+    for (row, chunk) in traces.chunks(64).enumerate() {
+        let strip: String = chunk.iter().map(|t| mode_glyph(t.selected_mode)).collect();
+        println!("  EP {:>4} | {strip}", row * 64);
+    }
+
+    // Tolerance and capacity summary per 16-EP window.
+    println!("\n{:>6} {:>10} {:>10} {:>8} {:>6}", "EP", "tolerance", "capacity", "hit%", "mode");
+    let mut rows = vec![vec![
+        "ep".to_owned(),
+        "latency_tolerance".to_owned(),
+        "effective_capacity".to_owned(),
+        "l1_hit_rate".to_owned(),
+        "mode".to_owned(),
+    ]];
+    for (ep, t) in traces.iter().enumerate() {
+        if ep % 16 == 0 {
+            println!(
+                "{:>6} {:>10.2} {:>9.2}x {:>7.1}% {:>6}",
+                ep,
+                t.latency_tolerance,
+                t.effective_capacity,
+                t.l1_hit_rate * 100.0,
+                mode_glyph(t.selected_mode)
+            );
+        }
+        rows.push(vec![
+            ep.to_string(),
+            format!("{:.4}", t.latency_tolerance),
+            format!("{:.4}", t.effective_capacity),
+            format!("{:.4}", t.l1_hit_rate),
+            mode_glyph(t.selected_mode).to_string(),
+        ]);
+    }
+    let switches = traces
+        .windows(2)
+        .filter(|w| w[0].selected_mode != w[1].selected_mode)
+        .count();
+    println!("\n{} EPs, {} mode switches", traces.len(), switches);
+    write_csv(&format!("trace_{}", abbr.to_lowercase()), &rows);
+}
+
+/// Default entry: trace SS.
+pub fn run() {
+    run_for("SS");
+}

@@ -1,0 +1,13 @@
+//! Shared experiment infrastructure for the LATTE-CC reproduction: policy
+//! construction, benchmark runners, and report formatting. The
+//! `latte-bench` binary dispatches one subcommand per paper table/figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{
+    geomean, run_benchmark, run_benchmark_with_config, BenchResult, PolicyKind, ALL_POLICIES,
+};

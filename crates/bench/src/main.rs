@@ -1,0 +1,73 @@
+//! `latte-bench` — the experiment harness regenerating every table and
+//! figure of the LATTE-CC paper (HPCA 2018).
+//!
+//! ```text
+//! latte-bench <experiment> [<experiment> ...]
+//! latte-bench all
+//! ```
+
+use latte_bench::experiments as exp;
+
+const EXPERIMENTS: &[(&str, &str, fn())] = &[
+    ("fig1", "L1 hit-latency sensitivity sweep", exp::fig01::run),
+    ("table1", "compression algorithm comparison", exp::table1::run),
+    ("fig2", "per-benchmark compression ratios", exp::fig02::run),
+    ("fig3", "zero-latency capacity upper bound", exp::fig03::run),
+    ("fig4", "decompression-latency-only degradation", exp::fig04::run),
+    ("fig5", "SS latency tolerance over time", exp::fig05::run),
+    ("fig6", "static vs adaptive potential (perf + energy)", exp::fig06::run),
+    ("table2", "simulated GPU configuration", exp::table2::run),
+    ("table3", "benchmarks + cache-sensitivity classification", exp::table3::run),
+    ("fig11", "speedups: BDI / SC / LATTE-CC / Kernel-OPT", exp::fig11::run),
+    ("fig12", "L1 miss reductions", exp::fig12::run),
+    ("fig13", "normalised GPU energy", exp::fig13::run),
+    ("fig14", "LATTE-CC energy-saving breakdown", exp::fig14::run),
+    ("fig15", "Kernel-OPT agreement analysis", exp::fig15::run),
+    ("fig16", "SS effective cache capacity over time", exp::fig16::run),
+    ("fig17", "adaptive policy comparison", exp::fig17::run),
+    ("fig18", "LATTE-CC-BDI-BPC variant", exp::fig18::run),
+    ("sens-cache", "48 KB L1 sensitivity", exp::sens_cache::run),
+    ("sens-write", "write-policy sensitivity (write-avoid vs write-allocate)", exp::sens_write::run),
+    ("summary", "headline aggregate numbers", exp::summary::run),
+    ("ablations", "design-choice ablation studies", exp::ablations::run),
+    ("trace", "LATTE-CC decision trace on SS (Fig 10-style)", exp::trace::run),
+    ("paper-machine", "C-Sens comparison on the full 15-SM Table II machine", exp::paper_machine::run),
+    ("multi-mode", "4-mode LATTE-CC extension (None/BDI/BPC/SC)", exp::multi_mode::run),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: latte-bench <experiment> [<experiment> ...] | all\n");
+    eprintln!("experiments:");
+    for (name, desc, _) in EXPERIMENTS {
+        eprintln!("  {name:12} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let selected: Vec<&(&str, &str, fn())> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                EXPERIMENTS
+                    .iter()
+                    .find(|(name, _, _)| name.eq_ignore_ascii_case(a))
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment: {a}\n");
+                        usage()
+                    })
+            })
+            .collect()
+    };
+    for (name, _, run) in selected {
+        println!("==================== {name} ====================");
+        let start = std::time::Instant::now();
+        run();
+        println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

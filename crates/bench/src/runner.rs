@@ -1,0 +1,226 @@
+//! Benchmark runners: execute a [`BenchmarkSpec`] under a compression
+//! management policy and collect aggregate statistics.
+
+use latte_core::{
+    AdaptiveCmp, AdaptiveHitCount, HighCapacityAlgo, LatteCc, LatteCcMulti, LatteConfig,
+    MultiConfig, StaticBdi, StaticBpc, StaticSc,
+};
+use latte_energy::{EnergyModel, EnergyReport};
+use latte_gpusim::{Gpu, GpuConfig, Kernel, KernelStats, L1CompressionPolicy, UncompressedPolicy};
+use latte_workloads::BenchmarkSpec;
+
+/// The compression management policies under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Uncompressed baseline.
+    Baseline,
+    /// Static BDI on every fill.
+    StaticBdi,
+    /// Static SC on every fill.
+    StaticSc,
+    /// Static BPC on every fill.
+    StaticBpc,
+    /// LATTE-CC with BDI + SC component algorithms.
+    LatteCc,
+    /// LATTE-CC with BDI + BPC component algorithms (Fig 18).
+    LatteCcBdiBpc,
+    /// The generalised four-mode controller (None/BDI/BPC/SC) — the §V-E
+    /// extension.
+    LatteCcMulti,
+    /// Adaptive-Hit-Count (§V-D).
+    AdaptiveHitCount,
+    /// Adaptive-CMP (§V-D).
+    AdaptiveCmp,
+}
+
+/// Every policy, in report order.
+pub const ALL_POLICIES: [PolicyKind; 9] = [
+    PolicyKind::Baseline,
+    PolicyKind::StaticBdi,
+    PolicyKind::StaticSc,
+    PolicyKind::StaticBpc,
+    PolicyKind::LatteCc,
+    PolicyKind::LatteCcBdiBpc,
+    PolicyKind::LatteCcMulti,
+    PolicyKind::AdaptiveHitCount,
+    PolicyKind::AdaptiveCmp,
+];
+
+impl PolicyKind {
+    /// Display name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "Baseline",
+            PolicyKind::StaticBdi => "Static-BDI",
+            PolicyKind::StaticSc => "Static-SC",
+            PolicyKind::StaticBpc => "Static-BPC",
+            PolicyKind::LatteCc => "LATTE-CC",
+            PolicyKind::LatteCcBdiBpc => "LATTE-CC-BDI-BPC",
+            PolicyKind::LatteCcMulti => "LATTE-CC-4mode",
+            PolicyKind::AdaptiveHitCount => "Adaptive-Hit-Count",
+            PolicyKind::AdaptiveCmp => "Adaptive-CMP",
+        }
+    }
+
+    /// Builds a fresh policy instance, tuned to `gpu_config`'s L1.
+    #[must_use]
+    pub fn build(self, gpu_config: &GpuConfig) -> Box<dyn L1CompressionPolicy> {
+        let latte = LatteConfig {
+            num_l1_sets: gpu_config.l1_geometry.num_sets(),
+            l1_base_hit_latency: gpu_config.l1_hit_latency as f64,
+            ..LatteConfig::paper()
+        };
+        match self {
+            PolicyKind::Baseline => Box::new(UncompressedPolicy),
+            PolicyKind::StaticBdi => Box::new(StaticBdi::new()),
+            PolicyKind::StaticSc => Box::new(StaticSc::new()),
+            PolicyKind::StaticBpc => Box::new(StaticBpc::new()),
+            PolicyKind::LatteCc => Box::new(LatteCc::new(latte)),
+            PolicyKind::LatteCcBdiBpc => Box::new(LatteCc::new(LatteConfig {
+                high_capacity: HighCapacityAlgo::Bpc,
+                ..latte
+            })),
+            PolicyKind::LatteCcMulti => Box::new(LatteCcMulti::new(MultiConfig {
+                num_l1_sets: latte.num_l1_sets,
+                l1_base_hit_latency: latte.l1_base_hit_latency,
+                miss_latency: latte.miss_latency,
+                tolerance_scale: latte.tolerance_scale,
+                ..MultiConfig::four_mode()
+            })),
+            PolicyKind::AdaptiveHitCount => Box::new(AdaptiveHitCount::new(latte)),
+            PolicyKind::AdaptiveCmp => Box::new(AdaptiveCmp::new(latte)),
+        }
+    }
+}
+
+/// Aggregate result of one benchmark under one policy.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark abbreviation.
+    pub abbr: &'static str,
+    /// Policy evaluated.
+    pub policy: PolicyKind,
+    /// Summed statistics over all kernels.
+    pub stats: KernelStats,
+    /// Energy report over the whole benchmark.
+    pub energy: EnergyReport,
+    /// Per-SM policy decision reports after the final kernel.
+    pub reports: Vec<latte_gpusim::PolicyReport>,
+}
+
+impl BenchResult {
+    /// Total cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Speedup of this result relative to `baseline` (cycles ratio).
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &BenchResult) -> f64 {
+        baseline.stats.cycles as f64 / self.stats.cycles.max(1) as f64
+    }
+
+    /// L1 miss reduction relative to `baseline` (positive = fewer misses).
+    #[must_use]
+    pub fn miss_reduction_over(&self, baseline: &BenchResult) -> f64 {
+        let b = baseline.stats.l1.misses.max(1) as f64;
+        (b - self.stats.l1.misses as f64) / b
+    }
+
+    /// Energy relative to `baseline` (1.0 = equal, <1 = saves energy).
+    #[must_use]
+    pub fn energy_ratio_over(&self, baseline: &BenchResult) -> f64 {
+        self.energy.total_nj() / baseline.energy.total_nj().max(1e-9)
+    }
+}
+
+/// The default experiment machine: a scaled-down Table II configuration
+/// (fewer SMs, proportional L2) chosen for wall-clock reasons; per-SM
+/// behaviour is unchanged. Experiments that need the full 15-SM machine
+/// construct [`GpuConfig::paper`] themselves.
+#[must_use]
+pub fn experiment_config() -> GpuConfig {
+    GpuConfig {
+        num_sms: 2,
+        ..GpuConfig::small()
+    }
+}
+
+/// Runs `bench` under `policy` on the default experiment machine.
+#[must_use]
+pub fn run_benchmark(policy: PolicyKind, bench: &BenchmarkSpec) -> BenchResult {
+    run_benchmark_with_config(policy, bench, &experiment_config())
+}
+
+/// Runs `bench` under `policy` on a specific machine configuration.
+#[must_use]
+pub fn run_benchmark_with_config(
+    policy: PolicyKind,
+    bench: &BenchmarkSpec,
+    config: &GpuConfig,
+) -> BenchResult {
+    let mut gpu = Gpu::new(config.clone(), |_| policy.build(config));
+    let kernels = bench.build_kernels();
+    let mut stats = KernelStats::default();
+    for kernel in &kernels {
+        let ks = gpu.run_kernel(kernel as &dyn Kernel);
+        assert!(
+            !ks.timed_out,
+            "{}/{} timed out under {}",
+            bench.abbr,
+            kernel.name(),
+            policy.name()
+        );
+        stats.accumulate(&ks);
+    }
+    let energy = EnergyModel::paper().account(&stats);
+    BenchResult {
+        abbr: bench.abbr,
+        policy,
+        stats,
+        energy,
+        reports: gpu.policy_reports(),
+    }
+}
+
+/// Geometric mean of a nonempty slice.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn all_policies_have_unique_names() {
+        let mut names: Vec<&str> = ALL_POLICIES.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_POLICIES.len());
+    }
+
+    #[test]
+    fn runner_executes_a_small_benchmark() {
+        let bench = latte_workloads::benchmark("NW").expect("NW exists");
+        let baseline = run_benchmark(PolicyKind::Baseline, &bench);
+        let bdi = run_benchmark(PolicyKind::StaticBdi, &bench);
+        assert!(baseline.stats.instructions > 0);
+        assert_eq!(baseline.stats.instructions, bdi.stats.instructions);
+        assert!(bdi.energy.total_nj() > 0.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The compressed L1 data cache organisation of §IV-A.
+
+use crate::geometry::{CacheGeometry, LineAddr};
+use crate::stats::CacheStats;
+use latte_compress::{CacheLine, Compression, CompressionAlgo};
+
+/// One allocated tag in a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TagEntry {
+    addr: LineAddr,
+    algo: CompressionAlgo,
+    compressed: bool,
+    subblocks: u8,
+    lru: u64,
+}
+
+/// One cache set: up to `tags_per_set` lines sharing `subblocks_per_set`
+/// data sub-blocks.
+#[derive(Debug, Clone, Default)]
+struct Set {
+    tags: Vec<TagEntry>,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The line is resident.
+    Hit {
+        /// Algorithm the stored line was compressed with.
+        algo: CompressionAlgo,
+        /// `false` when the line is stored raw (no decompression needed).
+        compressed: bool,
+    },
+    /// The line is not resident.
+    Miss,
+}
+
+impl LookupOutcome {
+    /// `true` on a hit.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        matches!(self, LookupOutcome::Hit { .. })
+    }
+
+    /// `true` on a miss.
+    #[must_use]
+    pub fn is_miss(self) -> bool {
+        !self.is_hit()
+    }
+
+    /// `true` when the hit requires decompression.
+    #[must_use]
+    pub fn needs_decompression(self) -> bool {
+        matches!(
+            self,
+            LookupOutcome::Hit {
+                compressed: true,
+                ..
+            }
+        )
+    }
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// Algorithm it was stored with.
+    pub algo: CompressionAlgo,
+}
+
+/// The compressed sector cache (§IV-A): 4× tags, 32-byte sub-block data
+/// array, LRU replacement that frees both a tag and enough sub-blocks.
+///
+/// The cache tracks *placement*, not payload bytes: in the simulator, line
+/// contents are a deterministic function of the address (the workload's
+/// value generator), so only sizes and compression metadata need modelling.
+///
+/// # Example
+///
+/// ```
+/// use latte_cache::{CacheGeometry, CompressedCache, LineAddr};
+/// use latte_compress::{Compression, CompressionAlgo};
+///
+/// let mut cache = CompressedCache::new(CacheGeometry::paper_l1());
+/// // Compressed fills pack many lines per set: here 16 lines at 32 B each
+/// // land in one 512 B set without eviction.
+/// for i in 0..16u64 {
+///     let addr = LineAddr::new(i * 32); // all map to set 0
+///     let evicted = cache.fill(addr, CompressionAlgo::Bdi, Compression::new(24), i);
+///     assert!(evicted.is_empty());
+/// }
+/// assert_eq!(cache.valid_lines(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompressedCache {
+    geometry: CacheGeometry,
+    sets: Vec<Set>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+impl CompressedCache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> CompressedCache {
+        CompressedCache {
+            geometry,
+            sets: vec![Set::default(); geometry.num_sets()],
+            stats: CacheStats::new(),
+            clock: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (contents stay).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The set index a line maps to (used by set sampling).
+    #[must_use]
+    pub fn set_of(&self, addr: LineAddr) -> usize {
+        self.geometry.set_of(addr)
+    }
+
+    /// Looks up `addr`, updating LRU state and hit/miss statistics.
+    pub fn lookup(&mut self, addr: LineAddr, _cycle: u64) -> LookupOutcome {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = &mut self.sets[self.geometry.set_of(addr)];
+        if let Some(tag) = set.tags.iter_mut().find(|t| t.addr == addr) {
+            tag.lru = clock;
+            self.stats.hits += 1;
+            if tag.compressed {
+                self.stats.compressed_hits += 1;
+            }
+            LookupOutcome::Hit {
+                algo: tag.algo,
+                compressed: tag.compressed,
+            }
+        } else {
+            self.stats.misses += 1;
+            LookupOutcome::Miss
+        }
+    }
+
+    /// Checks residency without perturbing LRU or statistics.
+    #[must_use]
+    pub fn contains(&self, addr: LineAddr) -> bool {
+        self.sets[self.geometry.set_of(addr)]
+            .tags
+            .iter()
+            .any(|t| t.addr == addr)
+    }
+
+    /// Inserts (or re-inserts) a line stored with `algo` at the compressed
+    /// size `compression`, evicting LRU lines as needed. Returns the
+    /// evicted lines.
+    ///
+    /// Sizes are quantised to 32-byte sub-blocks; an uncompressed line
+    /// always occupies four sub-blocks.
+    pub fn fill(
+        &mut self,
+        addr: LineAddr,
+        algo: CompressionAlgo,
+        compression: Compression,
+        _cycle: u64,
+    ) -> Vec<EvictedLine> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (algo, compressed) = if compression.is_compressed() {
+            (algo, true)
+        } else {
+            (CompressionAlgo::None, false)
+        };
+        let needed = if compressed {
+            CacheGeometry::subblocks_for(compression.size_bytes())
+        } else {
+            CacheLine::SIZE_BYTES / crate::geometry::SUBBLOCK_BYTES
+        } as u8;
+
+        self.stats.fills += 1;
+        if compressed {
+            self.stats.compressed_fills += 1;
+        }
+        self.stats.filled_bytes_uncompressed += CacheLine::SIZE_BYTES as u64;
+        self.stats.filled_bytes_stored +=
+            u64::from(needed) * crate::geometry::SUBBLOCK_BYTES as u64;
+
+        let set_idx = self.geometry.set_of(addr);
+        let max_tags = self.geometry.tags_per_set();
+        let max_subblocks = self.geometry.subblocks_per_set() as u32;
+        let set = &mut self.sets[set_idx];
+
+        // Re-fill in place when the line is already resident.
+        if let Some(pos) = set.tags.iter().position(|t| t.addr == addr) {
+            set.tags.remove(pos);
+        }
+
+        let mut evicted = Vec::new();
+        loop {
+            let used: u32 = set.tags.iter().map(|t| u32::from(t.subblocks)).sum();
+            let tags_free = set.tags.len() < max_tags;
+            let space_free = used + u32::from(needed) <= max_subblocks;
+            if tags_free && space_free {
+                break;
+            }
+            let victim_pos = set
+                .tags
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| t.lru)
+                .map(|(i, _)| i)
+                .expect("a full set has at least one victim");
+            let victim = set.tags.remove(victim_pos);
+            evicted.push(EvictedLine {
+                addr: victim.addr,
+                algo: victim.algo,
+            });
+            self.stats.evictions += 1;
+        }
+
+        set.tags.push(TagEntry {
+            addr,
+            algo,
+            compressed,
+            subblocks: needed,
+            lru: clock,
+        });
+        evicted
+    }
+
+    /// Invalidates one line if resident; returns whether it was.
+    pub fn invalidate(&mut self, addr: LineAddr) -> bool {
+        let set = &mut self.sets[self.geometry.set_of(addr)];
+        if let Some(pos) = set.tags.iter().position(|t| t.addr == addr) {
+            set.tags.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Invalidates every line; returns how many were valid. Used at kernel
+    /// boundaries.
+    pub fn invalidate_all(&mut self) -> usize {
+        let mut count = 0;
+        for set in &mut self.sets {
+            count += set.tags.len();
+            set.tags.clear();
+        }
+        count
+    }
+
+    /// Invalidates every line stored with `algo`; returns how many. The
+    /// paper's SC invalidates stale lines when a period's codebook is
+    /// rebuilt (§IV-C2).
+    pub fn invalidate_algo(&mut self, algo: CompressionAlgo) -> usize {
+        let mut count = 0;
+        for set in &mut self.sets {
+            let before = set.tags.len();
+            set.tags.retain(|t| t.algo != algo);
+            count += before - set.tags.len();
+        }
+        count
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.tags.len()).sum()
+    }
+
+    /// Sum of the *uncompressed* sizes of all valid lines, in bytes — the
+    /// "effective cache capacity" metric of Fig 16.
+    #[must_use]
+    pub fn effective_capacity_bytes(&self) -> usize {
+        self.valid_lines() * CacheLine::SIZE_BYTES
+    }
+
+    /// Sum of the stored (sub-block-quantised) sizes of all valid lines.
+    #[must_use]
+    pub fn stored_bytes(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.tags.iter())
+            .map(|t| usize::from(t.subblocks) * crate::geometry::SUBBLOCK_BYTES)
+            .sum()
+    }
+
+    /// Verifies the structural invariants of every set. Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set exceeds its tag or sub-block budget or holds
+    /// duplicate addresses.
+    pub fn assert_invariants(&self) {
+        for (i, set) in self.sets.iter().enumerate() {
+            assert!(
+                set.tags.len() <= self.geometry.tags_per_set(),
+                "set {i} exceeds tag budget"
+            );
+            let used: u32 = set.tags.iter().map(|t| u32::from(t.subblocks)).sum();
+            assert!(
+                used <= self.geometry.subblocks_per_set() as u32,
+                "set {i} exceeds sub-block budget: {used}"
+            );
+            for (j, t) in set.tags.iter().enumerate() {
+                assert!(
+                    !set.tags[j + 1..].iter().any(|u| u.addr == t.addr),
+                    "set {i} holds duplicate address {}",
+                    t.addr
+                );
+                assert!(t.subblocks >= 1 && t.subblocks <= 4);
+                assert_eq!(self.geometry.set_of(t.addr), i, "line mapped to wrong set");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CompressedCache {
+        CompressedCache::new(CacheGeometry::paper_l1())
+    }
+
+    /// Addresses that all map to set 0 of the paper L1 (32 sets).
+    fn set0_addr(i: u64) -> LineAddr {
+        LineAddr::new(i * 32)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = l1();
+        let a = LineAddr::new(42);
+        assert!(c.lookup(a, 0).is_miss());
+        c.fill(a, CompressionAlgo::Bdi, Compression::new(40), 1);
+        let out = c.lookup(a, 2);
+        assert!(out.is_hit());
+        assert!(out.needs_decompression());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn uncompressed_fill_occupies_four_subblocks() {
+        let mut c = l1();
+        // 4 uncompressed lines fill a set; the 5th evicts.
+        for i in 0..4 {
+            let ev = c.fill(set0_addr(i), CompressionAlgo::None, Compression::UNCOMPRESSED, i);
+            assert!(ev.is_empty());
+        }
+        let ev = c.fill(set0_addr(4), CompressionAlgo::None, Compression::UNCOMPRESSED, 4);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].addr, set0_addr(0), "LRU victim");
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn compressed_fills_quadruple_capacity() {
+        let mut c = l1();
+        for i in 0..16 {
+            let ev = c.fill(set0_addr(i), CompressionAlgo::Sc, Compression::new(32), i);
+            assert!(ev.is_empty(), "line {i} evicted {ev:?}");
+        }
+        assert_eq!(c.valid_lines(), 16);
+        assert_eq!(c.effective_capacity_bytes(), 16 * 128);
+        // The 17th line exceeds the tag budget.
+        let ev = c.fill(set0_addr(16), CompressionAlgo::Sc, Compression::new(32), 99);
+        assert_eq!(ev.len(), 1);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn mixed_sizes_evict_until_space() {
+        let mut c = l1();
+        // Two uncompressed (4 sb each) + three 2-sb lines: 14/16 sub-blocks.
+        c.fill(set0_addr(0), CompressionAlgo::None, Compression::UNCOMPRESSED, 0);
+        c.fill(set0_addr(1), CompressionAlgo::None, Compression::UNCOMPRESSED, 1);
+        c.fill(set0_addr(2), CompressionAlgo::Bdi, Compression::new(64), 2);
+        c.fill(set0_addr(3), CompressionAlgo::Bdi, Compression::new(64), 3);
+        c.fill(set0_addr(5), CompressionAlgo::Bdi, Compression::new(64), 5);
+        // An uncompressed fill needs 4 sub-blocks but only 2 are free:
+        // exactly one eviction (the LRU, a 4-sb line) frees enough.
+        let ev = c.fill(set0_addr(4), CompressionAlgo::None, Compression::UNCOMPRESSED, 6);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].addr, set0_addr(0));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn lru_respects_lookups() {
+        let mut c = l1();
+        for i in 0..4 {
+            c.fill(set0_addr(i), CompressionAlgo::None, Compression::UNCOMPRESSED, i);
+        }
+        // Touch line 0 so line 1 becomes LRU.
+        assert!(c.lookup(set0_addr(0), 10).is_hit());
+        let ev = c.fill(set0_addr(9), CompressionAlgo::None, Compression::UNCOMPRESSED, 11);
+        assert_eq!(ev[0].addr, set0_addr(1));
+    }
+
+    #[test]
+    fn refill_replaces_in_place() {
+        let mut c = l1();
+        let a = set0_addr(0);
+        c.fill(a, CompressionAlgo::Bdi, Compression::new(24), 0);
+        // Recompress the same line to a larger footprint.
+        let ev = c.fill(a, CompressionAlgo::None, Compression::UNCOMPRESSED, 1);
+        assert!(ev.is_empty());
+        assert_eq!(c.valid_lines(), 1);
+        assert_eq!(c.stored_bytes(), 128);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn incompressible_fill_downgrades_to_none() {
+        let mut c = l1();
+        let a = set0_addr(0);
+        c.fill(a, CompressionAlgo::Sc, Compression::UNCOMPRESSED, 0);
+        let out = c.lookup(a, 1);
+        assert_eq!(
+            out,
+            LookupOutcome::Hit {
+                algo: CompressionAlgo::None,
+                compressed: false
+            }
+        );
+        assert!(!out.needs_decompression());
+    }
+
+    #[test]
+    fn invalidate_algo_removes_only_matching() {
+        let mut c = l1();
+        c.fill(set0_addr(0), CompressionAlgo::Sc, Compression::new(16), 0);
+        c.fill(set0_addr(1), CompressionAlgo::Bdi, Compression::new(16), 1);
+        c.fill(set0_addr(2), CompressionAlgo::Sc, Compression::new(16), 2);
+        assert_eq!(c.invalidate_algo(CompressionAlgo::Sc), 2);
+        assert_eq!(c.valid_lines(), 1);
+        assert!(c.contains(set0_addr(1)));
+    }
+
+    #[test]
+    fn invalidate_all_counts() {
+        let mut c = l1();
+        for i in 0..10 {
+            c.fill(LineAddr::new(i), CompressionAlgo::Bdi, Compression::new(30), i);
+        }
+        assert_eq!(c.invalidate_all(), 10);
+        assert_eq!(c.valid_lines(), 0);
+        assert_eq!(c.effective_capacity_bytes(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_touch_stats() {
+        let mut c = l1();
+        let a = LineAddr::new(7);
+        c.fill(a, CompressionAlgo::Bdi, Compression::new(30), 0);
+        let before = *c.stats();
+        assert!(c.contains(a));
+        assert!(!c.contains(LineAddr::new(8)));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn fill_ratio_statistics() {
+        let mut c = l1();
+        c.fill(LineAddr::new(0), CompressionAlgo::Bdi, Compression::new(32), 0);
+        c.fill(LineAddr::new(1), CompressionAlgo::Bdi, Compression::new(32), 1);
+        // 2 lines of 128 B stored in 2 x 32 B.
+        assert!((c.stats().fill_compression_ratio() - 4.0).abs() < 1e-12);
+    }
+}

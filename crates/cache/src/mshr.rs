@@ -1,0 +1,174 @@
+//! Miss-status holding registers: outstanding misses to the same line are
+//! merged so the memory system sees one request per line.
+
+use crate::geometry::LineAddr;
+use std::collections::HashMap;
+
+/// Outcome of reserving an MSHR for a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// First miss to this line: a memory request must be issued.
+    Primary,
+    /// A request for this line is already in flight; this miss merged.
+    Merged,
+    /// No MSHR entry (or merge slot) available; the access must stall and
+    /// retry.
+    Full,
+}
+
+/// A fixed-capacity MSHR file.
+///
+/// # Example
+///
+/// ```
+/// use latte_cache::{LineAddr, Mshr, MshrOutcome};
+///
+/// let mut mshr = Mshr::new(2, 4);
+/// let a = LineAddr::new(1);
+/// assert_eq!(mshr.allocate(a), MshrOutcome::Primary);
+/// assert_eq!(mshr.allocate(a), MshrOutcome::Merged);
+/// mshr.release(a);
+/// assert_eq!(mshr.allocate(a), MshrOutcome::Primary);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    entries: HashMap<LineAddr, u32>,
+    capacity: usize,
+    max_merges: u32,
+    peak_used: usize,
+    merged_total: u64,
+}
+
+impl Mshr {
+    /// Creates an MSHR file with `capacity` entries, each able to hold
+    /// `max_merges` merged requests (including the primary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_merges` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, max_merges: u32) -> Mshr {
+        assert!(capacity > 0, "MSHR needs at least one entry");
+        assert!(max_merges > 0, "MSHR entries need at least one slot");
+        Mshr {
+            entries: HashMap::new(),
+            capacity,
+            max_merges,
+            peak_used: 0,
+            merged_total: 0,
+        }
+    }
+
+    /// `true` if [`Mshr::allocate`] for `addr` would succeed (as primary
+    /// or merged) without changing any state.
+    #[must_use]
+    pub fn would_accept(&self, addr: LineAddr) -> bool {
+        match self.entries.get(&addr) {
+            Some(&count) => count < self.max_merges,
+            None => self.entries.len() < self.capacity,
+        }
+    }
+
+    /// Reserves an entry (or merge slot) for a miss to `addr`.
+    pub fn allocate(&mut self, addr: LineAddr) -> MshrOutcome {
+        if let Some(count) = self.entries.get_mut(&addr) {
+            if *count >= self.max_merges {
+                return MshrOutcome::Full;
+            }
+            *count += 1;
+            self.merged_total += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(addr, 1);
+        self.peak_used = self.peak_used.max(self.entries.len());
+        MshrOutcome::Primary
+    }
+
+    /// Releases the entry for `addr` when its refill returns. Releasing an
+    /// address with no entry is a no-op.
+    pub fn release(&mut self, addr: LineAddr) {
+        self.entries.remove(&addr);
+    }
+
+    /// `true` if a request for `addr` is in flight.
+    #[must_use]
+    pub fn is_pending(&self, addr: LineAddr) -> bool {
+        self.entries.contains_key(&addr)
+    }
+
+    /// Entries currently in use.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Peak simultaneous entries.
+    #[must_use]
+    pub fn peak_used(&self) -> usize {
+        self.peak_used
+    }
+
+    /// Total merged (secondary) misses.
+    #[must_use]
+    pub fn merged_total(&self) -> u64 {
+        self.merged_total
+    }
+
+    /// Clears all in-flight state (kernel boundary).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_then_release() {
+        let mut m = Mshr::new(4, 8);
+        let a = LineAddr::new(10);
+        assert_eq!(m.allocate(a), MshrOutcome::Primary);
+        assert_eq!(m.allocate(a), MshrOutcome::Merged);
+        assert!(m.is_pending(a));
+        m.release(a);
+        assert!(!m.is_pending(a));
+        assert_eq!(m.merged_total(), 1);
+    }
+
+    #[test]
+    fn capacity_limit() {
+        let mut m = Mshr::new(2, 8);
+        assert_eq!(m.allocate(LineAddr::new(1)), MshrOutcome::Primary);
+        assert_eq!(m.allocate(LineAddr::new(2)), MshrOutcome::Primary);
+        assert_eq!(m.allocate(LineAddr::new(3)), MshrOutcome::Full);
+        // Merging into an existing entry still works when full.
+        assert_eq!(m.allocate(LineAddr::new(1)), MshrOutcome::Merged);
+        assert_eq!(m.peak_used(), 2);
+    }
+
+    #[test]
+    fn merge_limit() {
+        let mut m = Mshr::new(2, 2);
+        let a = LineAddr::new(5);
+        assert_eq!(m.allocate(a), MshrOutcome::Primary);
+        assert_eq!(m.allocate(a), MshrOutcome::Merged);
+        assert_eq!(m.allocate(a), MshrOutcome::Full);
+    }
+
+    #[test]
+    fn release_unknown_is_noop() {
+        let mut m = Mshr::new(1, 1);
+        m.release(LineAddr::new(99));
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        let _ = Mshr::new(0, 1);
+    }
+}

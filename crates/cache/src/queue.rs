@@ -1,0 +1,169 @@
+//! The decompression queue that turns a decompressor's pipeline latency
+//! into the *effective* hit latency of Eq. (3):
+//!
+//! ```text
+//! effective_hit_latency = decompression_latency + (queue_insertion_pos + 1)
+//! ```
+//!
+//! The decompressor is pipelined: it accepts one line per cycle and
+//! completes each `decompression_latency` cycles after it enters the pipe.
+//! A burst of compressed hits therefore queues at the pipe entrance —
+//! `queue_insertion_pos` entries are already waiting — and each waits one
+//! extra cycle per predecessor. §V-C shows this contention is a
+//! first-order effect: Static-SC loses performance on SS partly because
+//! its higher hit rate *congests the decompressor*.
+
+use latte_compress::Cycles;
+
+/// Models the entry queue in front of one SM's pipelined decompressor.
+///
+/// # Example
+///
+/// ```
+/// use latte_cache::DecompressionQueue;
+///
+/// let mut q = DecompressionQueue::new();
+/// // Back-to-back 14-cycle (SC) hits in the same cycle queue up.
+/// assert_eq!(q.enqueue(100, 14), 15); // enters the pipe next cycle
+/// assert_eq!(q.enqueue(100, 14), 16); // one entry ahead of it
+/// // After the queue drains, a new hit sees no contention.
+/// assert_eq!(q.enqueue(200, 14), 15);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecompressionQueue {
+    /// The cycle at which the most recently accepted line enters the
+    /// pipeline (`None` when idle).
+    last_entry_slot: Option<Cycles>,
+    /// Peak queue depth observed (entries waiting at the pipe entrance).
+    peak_depth: usize,
+    /// Total lines enqueued.
+    total_enqueued: u64,
+    /// Sum of queue positions at insertion.
+    total_wait: u64,
+}
+
+impl DecompressionQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> DecompressionQueue {
+        DecompressionQueue::default()
+    }
+
+    /// Enqueues a decompression arriving at `cycle` with pipeline latency
+    /// `decompression_latency`, returning the **effective hit latency**
+    /// (Eq. 3): one cycle per queued predecessor, plus this line's own
+    /// entry slot, plus the pipeline latency.
+    pub fn enqueue(&mut self, cycle: Cycles, decompression_latency: Cycles) -> Cycles {
+        let slot = match self.last_entry_slot {
+            Some(last) if last >= cycle => last + 1,
+            _ => cycle + 1,
+        };
+        self.last_entry_slot = Some(slot);
+        let insertion_pos = slot - cycle - 1;
+        self.peak_depth = self.peak_depth.max(insertion_pos as usize + 1);
+        self.total_enqueued += 1;
+        self.total_wait += insertion_pos;
+        decompression_latency + insertion_pos + 1
+    }
+
+    /// Number of lines waiting at the pipe entrance at `cycle` (excluding
+    /// any line entering exactly at `cycle`).
+    #[must_use]
+    pub fn depth_at(&self, cycle: Cycles) -> usize {
+        match self.last_entry_slot {
+            Some(last) if last > cycle => (last - cycle) as usize,
+            _ => 0,
+        }
+    }
+
+    /// Highest depth seen (including the entering line).
+    #[must_use]
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Total lines decompressed.
+    #[must_use]
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+
+    /// Mean queue position at insertion (0 = always idle).
+    #[must_use]
+    pub fn mean_insertion_pos(&self) -> f64 {
+        if self.total_enqueued == 0 {
+            0.0
+        } else {
+            self.total_wait as f64 / self.total_enqueued as f64
+        }
+    }
+
+    /// Clears in-flight state (kernel boundary).
+    pub fn flush(&mut self) {
+        self.last_entry_slot = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_queue_adds_one_service_slot() {
+        let mut q = DecompressionQueue::new();
+        assert_eq!(q.enqueue(0, 2), 3); // BDI
+        assert_eq!(q.enqueue(1000, 14), 15); // SC, long after
+    }
+
+    #[test]
+    fn burst_builds_contention() {
+        let mut q = DecompressionQueue::new();
+        let lats: Vec<u64> = (0..5).map(|_| q.enqueue(10, 14)).collect();
+        assert_eq!(lats, vec![15, 16, 17, 18, 19]);
+        assert_eq!(q.peak_depth(), 5);
+    }
+
+    #[test]
+    fn pipeline_drains_one_per_cycle() {
+        let mut q = DecompressionQueue::new();
+        q.enqueue(0, 14); // enters pipe at 1
+        q.enqueue(0, 14); // enters pipe at 2
+        assert_eq!(q.depth_at(0), 2);
+        assert_eq!(q.depth_at(1), 1);
+        assert_eq!(q.depth_at(2), 0);
+        // A steady 1-per-cycle arrival stream sees no queueing at all:
+        // the pipe accepts one line per cycle.
+        assert_eq!(q.enqueue(3, 14), 15);
+        assert_eq!(q.enqueue(4, 14), 15);
+        assert_eq!(q.enqueue(5, 14), 15);
+    }
+
+    #[test]
+    fn overlapping_bursts_accumulate() {
+        let mut q = DecompressionQueue::new();
+        assert_eq!(q.enqueue(0, 2), 3); // slot 1
+        assert_eq!(q.enqueue(0, 2), 4); // slot 2
+        assert_eq!(q.enqueue(1, 2), 4); // slot 3: one predecessor still queued
+        assert_eq!(q.enqueue(10, 2), 3); // drained by cycle 10
+    }
+
+    #[test]
+    fn mean_insertion_pos_statistics() {
+        let mut q = DecompressionQueue::new();
+        q.enqueue(0, 2);
+        q.enqueue(0, 2);
+        q.enqueue(0, 2);
+        // Positions 0, 1, 2 -> mean 1.
+        assert!((q.mean_insertion_pos() - 1.0).abs() < 1e-12);
+        assert_eq!(q.total_enqueued(), 3);
+    }
+
+    #[test]
+    fn flush_clears_contention() {
+        let mut q = DecompressionQueue::new();
+        q.enqueue(0, 14);
+        q.enqueue(0, 14);
+        q.flush();
+        assert_eq!(q.enqueue(1, 14), 15);
+    }
+}

@@ -1,0 +1,164 @@
+//! Set sampling for LATTE-CC's learning phase (§III-B1).
+//!
+//! During each period's learning phase a few *dedicated sets* run each
+//! compression mode (no-compression / low-latency / high-capacity) so the
+//! controller can measure per-mode hit and insertion counts. All remaining
+//! sets are *followers* that apply the winning mode. The paper dedicates
+//! four sets per mode (§IV-C3).
+
+/// The sampling role of one cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SetRole {
+    /// Dedicated to the no-compression (baseline) mode.
+    DedicatedNone,
+    /// Dedicated to the low-latency mode (BDI).
+    DedicatedLowLatency,
+    /// Dedicated to the high-capacity mode (SC or BPC).
+    DedicatedHighCapacity,
+    /// Applies whatever mode the controller currently selects.
+    Follower,
+}
+
+impl SetRole {
+    /// `true` for any dedicated role.
+    #[must_use]
+    pub fn is_dedicated(self) -> bool {
+        self != SetRole::Follower
+    }
+}
+
+/// Maps set indices to sampling roles.
+///
+/// Dedicated sets are spread across the index space (one group of three —
+/// none / low-latency / high-capacity — at the start of each of
+/// `dedicated_per_mode` equal strides), mirroring the complement-selection
+/// scheme used by set-dueling designs.
+///
+/// # Example
+///
+/// ```
+/// use latte_cache::{SetRole, SetSampler};
+///
+/// // The paper's L1 has 32 sets and 4 dedicated sets per mode.
+/// let s = SetSampler::new(32, 4);
+/// assert_eq!(s.role_of(0), SetRole::DedicatedNone);
+/// assert_eq!(s.role_of(1), SetRole::DedicatedLowLatency);
+/// assert_eq!(s.role_of(2), SetRole::DedicatedHighCapacity);
+/// assert_eq!(s.role_of(3), SetRole::Follower);
+/// assert_eq!(s.role_of(8), SetRole::DedicatedNone);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetSampler {
+    num_sets: usize,
+    stride: usize,
+    dedicated_per_mode: usize,
+}
+
+impl SetSampler {
+    /// Creates a sampler for `num_sets` sets with `dedicated_per_mode`
+    /// dedicated sets per compression mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache is too small to dedicate three distinct sets
+    /// per stride (needs `num_sets >= 3 * dedicated_per_mode`) or if
+    /// `dedicated_per_mode` is zero.
+    #[must_use]
+    pub fn new(num_sets: usize, dedicated_per_mode: usize) -> SetSampler {
+        assert!(dedicated_per_mode > 0, "need at least one dedicated set per mode");
+        assert!(
+            num_sets >= 3 * dedicated_per_mode,
+            "{num_sets} sets cannot host 3x{dedicated_per_mode} dedicated sets"
+        );
+        SetSampler {
+            num_sets,
+            stride: num_sets / dedicated_per_mode,
+            dedicated_per_mode,
+        }
+    }
+
+    /// The role of set `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn role_of(&self, idx: usize) -> SetRole {
+        assert!(idx < self.num_sets, "set {idx} out of range");
+        match idx % self.stride {
+            0 => SetRole::DedicatedNone,
+            1 => SetRole::DedicatedLowLatency,
+            2 => SetRole::DedicatedHighCapacity,
+            _ => SetRole::Follower,
+        }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Dedicated sets per mode.
+    #[must_use]
+    pub fn dedicated_per_mode(&self) -> usize {
+        self.dedicated_per_mode
+    }
+
+    /// Iterator over `(set index, role)` for all dedicated sets.
+    pub fn dedicated_sets(&self) -> impl Iterator<Item = (usize, SetRole)> + '_ {
+        (0..self.num_sets)
+            .map(|i| (i, self.role_of(i)))
+            .filter(|&(_, r)| r.is_dedicated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let s = SetSampler::new(32, 4);
+        let mut none = 0;
+        let mut low = 0;
+        let mut high = 0;
+        let mut follower = 0;
+        for i in 0..32 {
+            match s.role_of(i) {
+                SetRole::DedicatedNone => none += 1,
+                SetRole::DedicatedLowLatency => low += 1,
+                SetRole::DedicatedHighCapacity => high += 1,
+                SetRole::Follower => follower += 1,
+            }
+        }
+        assert_eq!((none, low, high, follower), (4, 4, 4, 20));
+    }
+
+    #[test]
+    fn dedicated_sets_iterator() {
+        let s = SetSampler::new(32, 4);
+        assert_eq!(s.dedicated_sets().count(), 12);
+    }
+
+    #[test]
+    fn follower_majority() {
+        let s = SetSampler::new(64, 4);
+        let followers = (0..64).filter(|&i| s.role_of(i) == SetRole::Follower).count();
+        assert_eq!(followers, 64 - 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn too_small_cache_panics() {
+        let _ = SetSampler::new(8, 4);
+    }
+
+    #[test]
+    fn minimum_viable() {
+        let s = SetSampler::new(3, 1);
+        assert_eq!(s.role_of(0), SetRole::DedicatedNone);
+        assert_eq!(s.role_of(1), SetRole::DedicatedLowLatency);
+        assert_eq!(s.role_of(2), SetRole::DedicatedHighCapacity);
+    }
+}

@@ -1,0 +1,429 @@
+//! Base-Delta-Immediate (BDI) compression — Pekhimenko et al., PACT 2012.
+//!
+//! BDI exploits *spatial value locality*: words within a line tend to have
+//! low dynamic range, so a line can be stored as one base value plus small
+//! per-block deltas. The "Immediate" part adds an implicit second base of
+//! zero, so a line mixing small immediates with large-but-close values still
+//! compresses; a per-block mask selects which base each delta is relative to.
+//!
+//! The encodings follow §IV-C1 of the LATTE-CC paper: all-zeros;
+//! (base = 8 B, Δ ∈ {0, 1, 2, 4}); (base = 4 B, Δ ∈ {0, 1, 2});
+//! (base = 2 B, Δ ∈ {0, 1}); or uncompressed. The chosen encoding is stored
+//! in a 4-bit `compression_enc` tag field, so it does not count towards the
+//! data footprint.
+
+use crate::line::CacheLine;
+use crate::{Compression, Compressor, Cycles};
+
+/// The 4-bit encoding selector stored in a tag block (§IV-C1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BdiEncoding {
+    /// Every byte of the line is zero. Stored as 1 byte.
+    Zeros,
+    /// All 8-byte words are identical (Δ = 0). Stored as the 8-byte base.
+    Rep8,
+    /// 8-byte base, 1-byte deltas.
+    B8D1,
+    /// 8-byte base, 2-byte deltas.
+    B8D2,
+    /// 8-byte base, 4-byte deltas.
+    B8D4,
+    /// 4-byte base, 1-byte deltas.
+    B4D1,
+    /// 4-byte base, 2-byte deltas.
+    B4D2,
+    /// 2-byte base, 1-byte deltas.
+    B2D1,
+    /// Line did not fit any encoding; stored raw.
+    Uncompressed,
+}
+
+impl BdiEncoding {
+    /// All encodings BDI attempts, cheapest first. (Δ = 0 with 4- or 2-byte
+    /// bases is subsumed by [`BdiEncoding::Rep8`]: if all 4-byte or 2-byte
+    /// blocks are equal, all 8-byte blocks are equal too.)
+    pub const CANDIDATES: [BdiEncoding; 7] = [
+        BdiEncoding::Rep8,
+        BdiEncoding::B8D1,
+        BdiEncoding::B2D1,
+        BdiEncoding::B8D2,
+        BdiEncoding::B4D1,
+        BdiEncoding::B4D2,
+        BdiEncoding::B8D4,
+    ];
+
+    /// Base size in bytes, or `None` for the degenerate encodings.
+    #[must_use]
+    pub fn base_bytes(self) -> Option<usize> {
+        match self {
+            BdiEncoding::Zeros | BdiEncoding::Uncompressed => None,
+            BdiEncoding::Rep8 | BdiEncoding::B8D1 | BdiEncoding::B8D2 | BdiEncoding::B8D4 => {
+                Some(8)
+            }
+            BdiEncoding::B4D1 | BdiEncoding::B4D2 => Some(4),
+            BdiEncoding::B2D1 => Some(2),
+        }
+    }
+
+    /// Delta size in bytes (0 for Δ = 0 / degenerate encodings).
+    #[must_use]
+    pub fn delta_bytes(self) -> usize {
+        match self {
+            BdiEncoding::Zeros | BdiEncoding::Uncompressed | BdiEncoding::Rep8 => 0,
+            BdiEncoding::B8D1 | BdiEncoding::B4D1 | BdiEncoding::B2D1 => 1,
+            BdiEncoding::B8D2 | BdiEncoding::B4D2 => 2,
+            BdiEncoding::B8D4 => 4,
+        }
+    }
+
+    /// Compressed size in bytes of a 128-byte line under this encoding:
+    /// base + per-block deltas + base-selector mask (1 bit/block).
+    #[must_use]
+    pub fn compressed_bytes(self) -> usize {
+        match self {
+            BdiEncoding::Zeros => 1,
+            BdiEncoding::Uncompressed => CacheLine::SIZE_BYTES,
+            BdiEncoding::Rep8 => 8,
+            enc => {
+                let base = enc.base_bytes().expect("non-degenerate encoding has a base");
+                let blocks = CacheLine::SIZE_BYTES / base;
+                base + blocks * enc.delta_bytes() + blocks.div_ceil(8)
+            }
+        }
+    }
+}
+
+/// A BDI-compressed line, retained in full so it can be decompressed —
+/// the simulator only needs sizes, but round-trip fidelity is what the unit
+/// and property tests check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BdiCompressed {
+    encoding: BdiEncoding,
+    /// Base value (zero-extended to u64).
+    base: u64,
+    /// Per-block deltas (sign info captured by two's-complement truncation).
+    deltas: Vec<u64>,
+    /// `true` where the block is relative to the implicit zero base.
+    zero_base_mask: Vec<bool>,
+    /// Raw copy for the `Uncompressed` encoding.
+    raw: Option<Box<CacheLine>>,
+}
+
+impl BdiCompressed {
+    /// The encoding this line compressed to.
+    #[must_use]
+    pub fn encoding(&self) -> BdiEncoding {
+        self.encoding
+    }
+
+    /// Compressed footprint in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.encoding.compressed_bytes()
+    }
+}
+
+/// The BDI compressor.
+///
+/// # Example
+///
+/// ```
+/// use latte_compress::{Bdi, BdiEncoding, CacheLine};
+///
+/// let line = CacheLine::from_u64_words(&[0x1000; 16]);
+/// assert_eq!(Bdi::new().encode(&line).encoding(), BdiEncoding::Rep8);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bdi {
+    _private: (),
+}
+
+impl Bdi {
+    /// Creates a BDI compressor.
+    #[must_use]
+    pub fn new() -> Bdi {
+        Bdi::default()
+    }
+
+    /// Compresses a line, keeping enough state to decompress it.
+    #[must_use]
+    pub fn encode(&self, line: &CacheLine) -> BdiCompressed {
+        if line.is_zero() {
+            return BdiCompressed {
+                encoding: BdiEncoding::Zeros,
+                base: 0,
+                deltas: Vec::new(),
+                zero_base_mask: Vec::new(),
+                raw: None,
+            };
+        }
+        let mut best: Option<BdiCompressed> = None;
+        for &enc in &BdiEncoding::CANDIDATES {
+            if best
+                .as_ref()
+                .is_some_and(|b| b.size_bytes() <= enc.compressed_bytes())
+            {
+                continue; // candidates are not strictly sorted; skip non-improving ones
+            }
+            if let Some(c) = try_encode(line, enc) {
+                best = Some(c);
+            }
+        }
+        best.unwrap_or(BdiCompressed {
+            encoding: BdiEncoding::Uncompressed,
+            base: 0,
+            deltas: Vec::new(),
+            zero_base_mask: Vec::new(),
+            raw: Some(Box::new(*line)),
+        })
+    }
+
+    /// Reconstructs the original line from its compressed form.
+    #[must_use]
+    pub fn decode(&self, c: &BdiCompressed) -> CacheLine {
+        match c.encoding {
+            BdiEncoding::Zeros => CacheLine::zeroed(),
+            BdiEncoding::Uncompressed => {
+                **c.raw.as_ref().expect("uncompressed BDI line keeps its raw bytes")
+            }
+            BdiEncoding::Rep8 => CacheLine::from_u64_words(&[c.base; CacheLine::NUM_U64_WORDS]),
+            enc => {
+                let base_bytes = enc.base_bytes().expect("delta encoding has a base");
+                let delta_bytes = enc.delta_bytes();
+                let blocks = CacheLine::SIZE_BYTES / base_bytes;
+                let mut out = [0u8; CacheLine::SIZE_BYTES];
+                for blk in 0..blocks {
+                    let base = if c.zero_base_mask[blk] { 0 } else { c.base };
+                    let delta = sign_extend(c.deltas[blk], delta_bytes * 8);
+                    let value = base.wrapping_add(delta) & mask_bytes(base_bytes);
+                    out[blk * base_bytes..(blk + 1) * base_bytes]
+                        .copy_from_slice(&value.to_le_bytes()[..base_bytes]);
+                }
+                CacheLine::from_bytes(out)
+            }
+        }
+    }
+}
+
+impl Compressor for Bdi {
+    fn name(&self) -> &'static str {
+        "BDI"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compression {
+        let c = self.encode(line);
+        if c.encoding == BdiEncoding::Uncompressed {
+            Compression::UNCOMPRESSED
+        } else {
+            Compression::new(c.size_bytes())
+        }
+    }
+
+    fn decompression_latency(&self) -> Cycles {
+        2
+    }
+
+    fn compression_latency(&self) -> Cycles {
+        2
+    }
+
+    fn compression_energy_nj(&self) -> f64 {
+        0.192
+    }
+
+    fn decompression_energy_nj(&self) -> f64 {
+        0.056
+    }
+}
+
+/// Reads block `blk` of `base_bytes` bytes as a zero-extended u64.
+fn block_value(line: &CacheLine, blk: usize, base_bytes: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b[..base_bytes].copy_from_slice(&line.as_bytes()[blk * base_bytes..(blk + 1) * base_bytes]);
+    u64::from_le_bytes(b)
+}
+
+fn mask_bytes(n: usize) -> u64 {
+    if n >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (n * 8)) - 1
+    }
+}
+
+fn sign_extend(v: u64, bits: usize) -> u64 {
+    if bits == 0 || bits >= 64 {
+        return v;
+    }
+    let shift = 64 - bits;
+    (((v << shift) as i64) >> shift) as u64
+}
+
+/// `true` if `delta` (a wrapping difference within `base_bytes` bytes) fits
+/// in `delta_bytes` as a signed value.
+fn delta_fits(delta: u64, base_bytes: usize, delta_bytes: usize) -> bool {
+    // Interpret the difference as signed within the base width.
+    let d = sign_extend(delta & mask_bytes(base_bytes), base_bytes * 8) as i64;
+    let half = 1i64 << (delta_bytes * 8 - 1);
+    (-half..half).contains(&d)
+}
+
+fn try_encode(line: &CacheLine, enc: BdiEncoding) -> Option<BdiCompressed> {
+    let base_bytes = enc.base_bytes()?;
+    let delta_bytes = enc.delta_bytes();
+    let blocks = CacheLine::SIZE_BYTES / base_bytes;
+
+    if enc == BdiEncoding::Rep8 {
+        let first = block_value(line, 0, 8);
+        let all_same = (1..blocks).all(|b| block_value(line, b, 8) == first);
+        return all_same.then(|| BdiCompressed {
+            encoding: BdiEncoding::Rep8,
+            base: first,
+            deltas: Vec::new(),
+            zero_base_mask: Vec::new(),
+            raw: None,
+        });
+    }
+
+    let mut base: Option<u64> = None;
+    let mut deltas = Vec::with_capacity(blocks);
+    let mut zero_mask = Vec::with_capacity(blocks);
+    for blk in 0..blocks {
+        let v = block_value(line, blk, base_bytes);
+        if delta_fits(v, base_bytes, delta_bytes) {
+            // Fits as an immediate relative to the zero base.
+            deltas.push(v & mask_bytes(delta_bytes));
+            zero_mask.push(true);
+            continue;
+        }
+        let b = *base.get_or_insert(v);
+        let delta = v.wrapping_sub(b);
+        if !delta_fits(delta, base_bytes, delta_bytes) {
+            return None;
+        }
+        deltas.push(delta & mask_bytes(delta_bytes));
+        zero_mask.push(false);
+    }
+    Some(BdiCompressed {
+        encoding: enc,
+        base: base.unwrap_or(0),
+        deltas,
+        zero_base_mask: zero_mask,
+        raw: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &CacheLine) -> BdiEncoding {
+        let bdi = Bdi::new();
+        let c = bdi.encode(line);
+        assert_eq!(&bdi.decode(&c), line, "round trip under {:?}", c.encoding());
+        c.encoding()
+    }
+
+    #[test]
+    fn zero_line() {
+        let enc = round_trip(&CacheLine::zeroed());
+        assert_eq!(enc, BdiEncoding::Zeros);
+        assert_eq!(BdiEncoding::Zeros.compressed_bytes(), 1);
+    }
+
+    #[test]
+    fn repeated_u64() {
+        let line = CacheLine::from_u64_words(&[0xdead_beef_cafe_f00d; 16]);
+        assert_eq!(round_trip(&line), BdiEncoding::Rep8);
+    }
+
+    #[test]
+    fn small_u32_values_use_narrow_base() {
+        // Values fit entirely as 1-byte immediates from the zero base within
+        // 4-byte blocks, the cheapest feasible encoding for this line.
+        let words: Vec<u32> = (0..32).map(|i| u32::from(i as u8 % 100)).collect();
+        let line = CacheLine::from_u32_words(&words);
+        let enc = round_trip(&line);
+        assert_eq!(enc, BdiEncoding::B4D1);
+        assert_eq!(enc.compressed_bytes(), 4 + 32 + 4);
+    }
+
+    #[test]
+    fn pointers_compress_with_b8d1() {
+        // Pointer-like values: large shared base, byte-range offsets.
+        let base = 0x7fff_aabb_0000_0000u64;
+        let words: Vec<u64> = (0..16).map(|i| base + i * 8).collect();
+        let line = CacheLine::from_u64_words(&words);
+        assert_eq!(round_trip(&line), BdiEncoding::B8D1);
+    }
+
+    #[test]
+    fn mixed_pointers_and_zeros_use_zero_base() {
+        // The "immediate" part: half the blocks are null pointers.
+        let base = 0x7fff_aabb_0000_0000u64;
+        let words: Vec<u64> = (0..16)
+            .map(|i| if i % 2 == 0 { 0 } else { base + i })
+            .collect();
+        let line = CacheLine::from_u64_words(&words);
+        let enc = round_trip(&line);
+        assert_ne!(enc, BdiEncoding::Uncompressed);
+    }
+
+    #[test]
+    fn random_line_is_uncompressed() {
+        // High-entropy bytes defeat every delta encoding.
+        let mut bytes = [0u8; CacheLine::SIZE_BYTES];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for b in bytes.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *b = (state >> 56) as u8;
+        }
+        let line = CacheLine::from_bytes(bytes);
+        assert_eq!(round_trip(&line), BdiEncoding::Uncompressed);
+    }
+
+    #[test]
+    fn negative_deltas_fit() {
+        let base = 0x1000u64;
+        let words: Vec<u64> = (0..16)
+            .map(|i| if i % 2 == 0 { base } else { base - 100 })
+            .collect();
+        let line = CacheLine::from_u64_words(&words);
+        let enc = round_trip(&line);
+        assert_ne!(enc, BdiEncoding::Uncompressed);
+    }
+
+    #[test]
+    fn encoding_sizes_match_formula() {
+        assert_eq!(BdiEncoding::B8D1.compressed_bytes(), 8 + 16 + 2);
+        assert_eq!(BdiEncoding::B8D2.compressed_bytes(), 8 + 32 + 2);
+        assert_eq!(BdiEncoding::B8D4.compressed_bytes(), 8 + 64 + 2);
+        assert_eq!(BdiEncoding::B4D1.compressed_bytes(), 4 + 32 + 4);
+        assert_eq!(BdiEncoding::B4D2.compressed_bytes(), 4 + 64 + 4);
+        assert_eq!(BdiEncoding::B2D1.compressed_bytes(), 2 + 64 + 8);
+        assert_eq!(BdiEncoding::Rep8.compressed_bytes(), 8);
+    }
+
+    #[test]
+    fn compressor_trait_reports_table_i_numbers() {
+        let bdi = Bdi::new();
+        assert_eq!(bdi.decompression_latency(), 2);
+        assert_eq!(bdi.compression_latency(), 2);
+        assert!((bdi.compression_energy_nj() - 0.192).abs() < 1e-12);
+        assert!((bdi.decompression_energy_nj() - 0.056).abs() < 1e-12);
+        assert_eq!(bdi.name(), "BDI");
+    }
+
+    #[test]
+    fn compress_picks_minimum_size() {
+        // A line compressible as both B8D4 and B4D2 must report the smaller.
+        let words: Vec<u32> = (0..32).map(|i| 0x0100_0000 + i * 3).collect();
+        let line = CacheLine::from_u32_words(&words);
+        let c = Bdi::new().encode(&line);
+        for &enc in &BdiEncoding::CANDIDATES {
+            if let Some(alt) = try_encode(&line, enc) {
+                assert!(c.size_bytes() <= alt.size_bytes());
+            }
+        }
+    }
+}

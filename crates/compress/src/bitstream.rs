@@ -1,0 +1,181 @@
+//! Minimal MSB-first bit-level I/O used by the variable-length encoders
+//! (FPC, C-PACK, BPC, SC) to produce bit-accurate compressed sizes and to
+//! support round-trip decoding in tests.
+
+/// An append-only bit buffer (MSB-first within each byte).
+///
+/// # Example
+///
+/// ```
+/// use latte_compress::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0xffff, 16);
+/// let mut r = BitReader::new(w.as_slice(), w.bit_len());
+/// assert_eq!(r.read_bits(3), 0b101);
+/// assert_eq!(r.read_bits(16), 0xffff);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty bit buffer.
+    #[must_use]
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends the `n` least-significant bits of `value`, most significant
+    /// of those bits first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64, "cannot write more than 64 bits at once");
+        for i in (0..n).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = self.bit_len / 8;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                self.bytes[byte_idx] |= 1 << (7 - (self.bit_len % 8));
+            }
+            self.bit_len += 1;
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Total number of bits written.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Number of whole bytes needed to store the written bits.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bit_len.div_ceil(8)
+    }
+
+    /// The underlying bytes (last byte zero-padded).
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits back out of a buffer produced by [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    bit_len: usize,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`, of which only the first `bit_len`
+    /// bits are valid.
+    #[must_use]
+    pub fn new(bytes: &'a [u8], bit_len: usize) -> BitReader<'a> {
+        BitReader {
+            bytes,
+            bit_len,
+            pos: 0,
+        }
+    }
+
+    /// Reads `n` bits (MSB-first), returning them in the low bits of the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bits remain or `n > 64`.
+    pub fn read_bits(&mut self, n: u32) -> u64 {
+        assert!(n <= 64, "cannot read more than 64 bits at once");
+        assert!(
+            self.pos + n as usize <= self.bit_len,
+            "bit reader exhausted: need {n} bits at position {} of {}",
+            self.pos,
+            self.bit_len
+        );
+        let mut out = 0u64;
+        for _ in 0..n {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u64::from(bit);
+            self.pos += 1;
+        }
+        out
+    }
+
+    /// Reads a single bit.
+    pub fn read_bit(&mut self) -> bool {
+        self.read_bits(1) == 1
+    }
+
+    /// Number of unread bits.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bit_len - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1, 1);
+        w.write_bits(0b0, 1);
+        w.write_bits(0xdeadbeef, 32);
+        w.write_bits(0x3f, 6);
+        w.write_bits(u64::MAX, 64);
+        let mut r = BitReader::new(w.as_slice(), w.bit_len());
+        assert_eq!(r.read_bits(1), 1);
+        assert_eq!(r.read_bits(1), 0);
+        assert_eq!(r.read_bits(32), 0xdeadbeef);
+        assert_eq!(r.read_bits(6), 0x3f);
+        assert_eq!(r.read_bits(64), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bit_and_byte_lengths() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.byte_len(), 0);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 3);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bits(0, 5);
+        assert_eq!(w.byte_len(), 1);
+        w.write_bit(true);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    fn zero_width_write_is_noop() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xff, 0);
+        assert_eq!(w.bit_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn over_read_panics() {
+        let w = BitWriter::new();
+        let mut r = BitReader::new(w.as_slice(), w.bit_len());
+        let _ = r.read_bits(1);
+    }
+}

@@ -1,0 +1,350 @@
+//! Bit-Plane Compression (BPC) — Kim et al., ISCA 2016.
+//!
+//! BPC targets homogeneously-typed data arrays (the common case for GPU
+//! memory). A line is viewed as 32 32-bit words; consecutive words are
+//! delta-encoded (31 deltas of 33 bits), the delta array is transposed into
+//! 33 bit-planes of 31 bits (Delta-BitPlane, DBP), and adjacent planes are
+//! XORed (DBX). For regular data (constant strides, shared exponents, low
+//! bit variance) almost every DBX plane collapses to zero or near-zero and
+//! is coded in a handful of bits.
+//!
+//! The paper's Table I lists BPC with an 11-cycle decompression latency and
+//! compression ratios comparable to SC, making it the alternative
+//! high-capacity mode studied in §V-E (Fig 18).
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::line::CacheLine;
+use crate::{Compression, Compressor, Cycles};
+
+const NUM_DELTAS: usize = CacheLine::NUM_U32_WORDS - 1; // 31
+const NUM_PLANES: usize = 33; // 33-bit signed deltas
+const PLANE_MASK: u32 = (1 << NUM_DELTAS) - 1;
+
+/// The BPC compressor.
+///
+/// # Example
+///
+/// ```
+/// use latte_compress::{Bpc, CacheLine, Compressor};
+///
+/// // A constant-stride index array: all deltas equal, DBX almost all zero.
+/// let words: Vec<u32> = (0..32).map(|i| 0x4000_0000 + i * 4).collect();
+/// let line = CacheLine::from_u32_words(&words);
+/// assert!(Bpc::new().compress(&line).size_bytes() <= 16);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bpc {
+    _private: (),
+}
+
+impl Bpc {
+    /// Creates a BPC compressor.
+    #[must_use]
+    pub fn new() -> Bpc {
+        Bpc::default()
+    }
+
+    /// Encodes a line into a BPC bitstream.
+    #[must_use]
+    pub fn encode(&self, line: &CacheLine) -> BitWriter {
+        let mut w = BitWriter::new();
+        let words: Vec<u32> = line.u32_words().collect();
+        encode_base(&mut w, words[0]);
+
+        let dbp = to_bit_planes(&words);
+        // DBX planes, iterated from the sign plane (32) down to plane 0.
+        // dbx[b] = dbp[b] ^ dbp[b+1]; the topmost plane is sent as-is.
+        let mut b = NUM_PLANES as isize - 1;
+        while b >= 0 {
+            let (dbx, cur_dbp) = dbx_at(&dbp, b as usize);
+            if dbx == 0 {
+                // Count the zero run (including this plane).
+                let mut run = 1usize;
+                while b - (run as isize) >= 0 {
+                    let (next_dbx, _) = dbx_at(&dbp, (b - run as isize) as usize);
+                    if next_dbx != 0 || run == NUM_PLANES {
+                        break;
+                    }
+                    run += 1;
+                }
+                if run >= 2 {
+                    w.write_bits(0b01, 2);
+                    w.write_bits((run - 2) as u64, 6);
+                } else {
+                    w.write_bits(0b001, 3);
+                }
+                b -= run as isize;
+                continue;
+            }
+            if dbx == PLANE_MASK {
+                w.write_bits(0b00000, 5);
+            } else if cur_dbp == 0 {
+                w.write_bits(0b00001, 5);
+            } else if let Some(pos) = two_consecutive_ones(dbx) {
+                w.write_bits(0b00010, 5);
+                w.write_bits(pos as u64, 5);
+            } else if dbx.count_ones() == 1 {
+                w.write_bits(0b00011, 5);
+                w.write_bits(u64::from(dbx.trailing_zeros()), 5);
+            } else {
+                w.write_bit(true);
+                w.write_bits(u64::from(dbx), NUM_DELTAS as u32);
+            }
+            b -= 1;
+        }
+        w
+    }
+
+    /// Decodes a bitstream produced by [`Bpc::encode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bitstream is malformed.
+    #[must_use]
+    pub fn decode(&self, w: &BitWriter) -> CacheLine {
+        let mut r = BitReader::new(w.as_slice(), w.bit_len());
+        let base = decode_base(&mut r);
+
+        let mut dbp = [0u32; NUM_PLANES];
+        let mut b = NUM_PLANES as isize - 1;
+        let mut prev_dbp = 0u32; // dbp[b + 1]; zero above the top plane
+        while b >= 0 {
+            if r.read_bit() {
+                // '1': raw DBX plane.
+                let dbx = r.read_bits(NUM_DELTAS as u32) as u32;
+                prev_dbp ^= dbx;
+                dbp[b as usize] = prev_dbp;
+                b -= 1;
+                continue;
+            }
+            if r.read_bit() {
+                // '01': zero-DBX run.
+                let run = r.read_bits(6) as isize + 2;
+                for i in 0..run {
+                    // dbx == 0 means dbp[b] == dbp[b+1].
+                    dbp[(b - i) as usize] = prev_dbp;
+                }
+                b -= run;
+                continue;
+            }
+            if r.read_bit() {
+                // '001': single zero-DBX plane.
+                dbp[b as usize] = prev_dbp;
+                b -= 1;
+                continue;
+            }
+            // '000xx': one of the four 5-bit codes.
+            let dbx = match r.read_bits(2) {
+                0b00 => PLANE_MASK,
+                0b01 => {
+                    // DBP == 0: dbx must equal prev_dbp.
+                    let dbx = prev_dbp;
+                    debug_assert_ne!(dbx, 0);
+                    dbx
+                }
+                0b10 => {
+                    let pos = r.read_bits(5) as u32;
+                    0b11 << pos
+                }
+                0b11 => 1 << (r.read_bits(5) as u32),
+                _ => unreachable!("2-bit code"),
+            };
+            prev_dbp ^= dbx;
+            dbp[b as usize] = prev_dbp;
+            b -= 1;
+        }
+
+        let words = from_bit_planes(base, &dbp);
+        CacheLine::from_u32_words(&words)
+    }
+}
+
+/// Transposes the 31 word-deltas into 33 bit-planes of 31 bits each.
+fn to_bit_planes(words: &[u32]) -> [u32; NUM_PLANES] {
+    let mut dbp = [0u32; NUM_PLANES];
+    for j in 0..NUM_DELTAS {
+        let delta = i64::from(words[j + 1]) - i64::from(words[j]);
+        let delta33 = (delta as u64) & 0x1_ffff_ffff;
+        for (b, plane) in dbp.iter_mut().enumerate() {
+            if (delta33 >> b) & 1 == 1 {
+                *plane |= 1 << j;
+            }
+        }
+    }
+    dbp
+}
+
+/// Inverse of [`to_bit_planes`], rebuilding the words from base + planes.
+fn from_bit_planes(base: u32, dbp: &[u32; NUM_PLANES]) -> Vec<u32> {
+    let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
+    words.push(base);
+    for j in 0..NUM_DELTAS {
+        let mut delta33 = 0u64;
+        for (b, plane) in dbp.iter().enumerate() {
+            if (plane >> j) & 1 == 1 {
+                delta33 |= 1 << b;
+            }
+        }
+        // Sign-extend from 33 bits.
+        let delta = ((delta33 << 31) as i64) >> 31;
+        let prev = i64::from(words[j]);
+        words.push((prev + delta) as u32);
+    }
+    words
+}
+
+/// Returns `(dbx, dbp)` at plane `b`, where `dbx = dbp[b] ^ dbp[b+1]` and
+/// the plane above the sign plane is implicitly zero.
+fn dbx_at(dbp: &[u32; NUM_PLANES], b: usize) -> (u32, u32) {
+    let above = if b + 1 < NUM_PLANES { dbp[b + 1] } else { 0 };
+    (dbp[b] ^ above, dbp[b])
+}
+
+/// If `plane` has exactly two set bits and they are adjacent, returns the
+/// position of the lower one.
+fn two_consecutive_ones(plane: u32) -> Option<u32> {
+    if plane.count_ones() == 2 {
+        let pos = plane.trailing_zeros();
+        if plane == 0b11 << pos {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+fn encode_base(w: &mut BitWriter, base: u32) {
+    let signed = base as i32;
+    if base == 0 {
+        w.write_bits(0b000, 3);
+    } else if (-8..8).contains(&signed) {
+        w.write_bits(0b001, 3);
+        w.write_bits(u64::from(base & 0xf), 4);
+    } else if (-128..128).contains(&signed) {
+        w.write_bits(0b010, 3);
+        w.write_bits(u64::from(base & 0xff), 8);
+    } else if (-32768..32768).contains(&signed) {
+        w.write_bits(0b011, 3);
+        w.write_bits(u64::from(base & 0xffff), 16);
+    } else {
+        w.write_bits(0b111, 3);
+        w.write_bits(u64::from(base), 32);
+    }
+}
+
+fn decode_base(r: &mut BitReader<'_>) -> u32 {
+    match r.read_bits(3) {
+        0b000 => 0,
+        0b001 => sign_extend32(r.read_bits(4) as u32, 4),
+        0b010 => sign_extend32(r.read_bits(8) as u32, 8),
+        0b011 => sign_extend32(r.read_bits(16) as u32, 16),
+        0b111 => r.read_bits(32) as u32,
+        other => panic!("malformed BPC base prefix {other:#b}"),
+    }
+}
+
+fn sign_extend32(v: u32, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32 >> shift) as u32
+}
+
+impl Compressor for Bpc {
+    fn name(&self) -> &'static str {
+        "BPC"
+    }
+
+    fn compress(&self, line: &CacheLine) -> Compression {
+        Compression::new(self.encode(line).byte_len())
+    }
+
+    fn decompression_latency(&self) -> Cycles {
+        11
+    }
+
+    fn compression_latency(&self) -> Cycles {
+        11
+    }
+
+    fn compression_energy_nj(&self) -> f64 {
+        0.36
+    }
+
+    fn decompression_energy_nj(&self) -> f64 {
+        0.27
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(line: &CacheLine) -> usize {
+        let bpc = Bpc::new();
+        let w = bpc.encode(line);
+        assert_eq!(&bpc.decode(&w), line);
+        w.byte_len()
+    }
+
+    #[test]
+    fn zero_line() {
+        // Base 3 bits + one full zero-DBX run (2 + 6 bits) = 11 bits.
+        assert_eq!(round_trip(&CacheLine::zeroed()), 2);
+    }
+
+    #[test]
+    fn constant_stride_indices() {
+        let words: Vec<u32> = (0..32).map(|i| 0x4000_0000 + i * 4).collect();
+        let size = round_trip(&CacheLine::from_u32_words(&words));
+        assert!(size <= 16, "constant stride should be tiny, got {size}");
+    }
+
+    #[test]
+    fn repeated_word() {
+        let words = vec![0xdead_beefu32; 32];
+        let size = round_trip(&CacheLine::from_u32_words(&words));
+        assert!(size <= 8, "zero deltas, got {size}");
+    }
+
+    #[test]
+    fn low_variance_integers() {
+        let words: Vec<u32> = (0..32u32)
+            .map(|i| 5000 + (i.wrapping_mul(2654435761u32.wrapping_mul(i)) >> 27))
+            .collect();
+        let size = round_trip(&CacheLine::from_u32_words(&words));
+        assert!(size < 64, "small noisy ints compress, got {size}");
+    }
+
+    #[test]
+    fn shared_exponent_floats() {
+        // Floats in [1, 2): same sign+exponent, noisy mantissa. BPC strips
+        // the shared top bits; mantissa planes stay raw.
+        let words: Vec<u32> = (0..32u32)
+            .map(|i| f32::to_bits(1.0 + (i as f32) * 0.013))
+            .collect();
+        let size = round_trip(&CacheLine::from_u32_words(&words));
+        assert!(size < CacheLine::SIZE_BYTES, "got {size}");
+    }
+
+    #[test]
+    fn random_line_round_trips() {
+        let words: Vec<u32> = (0..32u32)
+            .map(|i| 0x9e37_79b9u32.wrapping_mul(i ^ 0xabcd_1234).rotate_left(i))
+            .collect();
+        round_trip(&CacheLine::from_u32_words(&words));
+    }
+
+    #[test]
+    fn negative_deltas() {
+        let words: Vec<u32> = (0..32).map(|i| 0x8000_0000u32 - i * 128).collect();
+        let size = round_trip(&CacheLine::from_u32_words(&words));
+        assert!(size < 32, "got {size}");
+    }
+
+    #[test]
+    fn base_encodings_round_trip() {
+        for base in [0u32, 5, 0xffff_fffb, 100, 0xffff_ff00, 30000, 0xdead_beef] {
+            let mut words = vec![base; 32];
+            words[1] = base.wrapping_add(1);
+            round_trip(&CacheLine::from_u32_words(&words));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! The fixed-size cache line that all compression algorithms operate on.
+
+use std::fmt;
+
+/// A 128-byte cache line — the line size of the simulated GPU's L1 and L2
+/// caches (Table II of the paper).
+///
+/// Lines can be viewed as byte, 16-bit, 32-bit or 64-bit little-endian word
+/// arrays; the compression algorithms pick the granularity they need.
+///
+/// # Example
+///
+/// ```
+/// use latte_compress::CacheLine;
+///
+/// let line = CacheLine::from_u64_words(&[7; CacheLine::NUM_U64_WORDS]);
+/// assert_eq!(line.u64_word(3), 7);
+/// assert_eq!(line.as_bytes()[0], 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheLine {
+    bytes: [u8; CacheLine::SIZE_BYTES],
+}
+
+impl CacheLine {
+    /// Line size in bytes.
+    pub const SIZE_BYTES: usize = 128;
+    /// Number of 16-bit words in a line.
+    pub const NUM_U16_WORDS: usize = Self::SIZE_BYTES / 2;
+    /// Number of 32-bit words in a line.
+    pub const NUM_U32_WORDS: usize = Self::SIZE_BYTES / 4;
+    /// Number of 64-bit words in a line.
+    pub const NUM_U64_WORDS: usize = Self::SIZE_BYTES / 8;
+
+    /// An all-zero line.
+    #[must_use]
+    pub fn zeroed() -> CacheLine {
+        CacheLine {
+            bytes: [0; Self::SIZE_BYTES],
+        }
+    }
+
+    /// Builds a line from raw bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; Self::SIZE_BYTES]) -> CacheLine {
+        CacheLine { bytes }
+    }
+
+    /// Builds a line from a slice of exactly [`CacheLine::NUM_U32_WORDS`]
+    /// 32-bit words (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != 32`.
+    #[must_use]
+    pub fn from_u32_words(words: &[u32]) -> CacheLine {
+        assert_eq!(
+            words.len(),
+            Self::NUM_U32_WORDS,
+            "a cache line holds exactly {} u32 words",
+            Self::NUM_U32_WORDS
+        );
+        let mut bytes = [0u8; Self::SIZE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        CacheLine { bytes }
+    }
+
+    /// Builds a line from a slice of exactly [`CacheLine::NUM_U64_WORDS`]
+    /// 64-bit words (little-endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words.len() != 16`.
+    #[must_use]
+    pub fn from_u64_words(words: &[u64]) -> CacheLine {
+        assert_eq!(
+            words.len(),
+            Self::NUM_U64_WORDS,
+            "a cache line holds exactly {} u64 words",
+            Self::NUM_U64_WORDS
+        );
+        let mut bytes = [0u8; Self::SIZE_BYTES];
+        for (i, w) in words.iter().enumerate() {
+            bytes[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        CacheLine { bytes }
+    }
+
+    /// Raw byte view.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; Self::SIZE_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; Self::SIZE_BYTES] {
+        &mut self.bytes
+    }
+
+    /// The `i`-th little-endian 16-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[must_use]
+    pub fn u16_word(&self, i: usize) -> u16 {
+        u16::from_le_bytes([self.bytes[i * 2], self.bytes[i * 2 + 1]])
+    }
+
+    /// The `i`-th little-endian 32-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[must_use]
+    pub fn u32_word(&self, i: usize) -> u32 {
+        u32::from_le_bytes([
+            self.bytes[i * 4],
+            self.bytes[i * 4 + 1],
+            self.bytes[i * 4 + 2],
+            self.bytes[i * 4 + 3],
+        ])
+    }
+
+    /// The `i`-th little-endian 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 16`.
+    #[must_use]
+    pub fn u64_word(&self, i: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.bytes[i * 8..i * 8 + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Iterator over the 32 little-endian u32 words.
+    pub fn u32_words(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..Self::NUM_U32_WORDS).map(move |i| self.u32_word(i))
+    }
+
+    /// Iterator over the 16 little-endian u64 words.
+    pub fn u64_words(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..Self::NUM_U64_WORDS).map(move |i| self.u64_word(i))
+    }
+
+    /// `true` if every byte of the line is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl Default for CacheLine {
+    fn default() -> CacheLine {
+        CacheLine::zeroed()
+    }
+}
+
+impl fmt::Debug for CacheLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Full 128-byte dumps drown test output; show the first words.
+        write!(
+            f,
+            "CacheLine({:#010x} {:#010x} {:#010x} {:#010x} …)",
+            self.u32_word(0),
+            self.u32_word(1),
+            self.u32_word(2),
+            self.u32_word(3)
+        )
+    }
+}
+
+impl From<[u8; CacheLine::SIZE_BYTES]> for CacheLine {
+    fn from(bytes: [u8; CacheLine::SIZE_BYTES]) -> CacheLine {
+        CacheLine::from_bytes(bytes)
+    }
+}
+
+impl AsRef<[u8]> for CacheLine {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_views_agree() {
+        let mut bytes = [0u8; CacheLine::SIZE_BYTES];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let line = CacheLine::from_bytes(bytes);
+        assert_eq!(line.u32_word(0), u32::from_le_bytes([0, 1, 2, 3]));
+        assert_eq!(
+            line.u64_word(1),
+            u64::from_le_bytes([8, 9, 10, 11, 12, 13, 14, 15])
+        );
+        assert_eq!(line.u16_word(2), u16::from_le_bytes([4, 5]));
+    }
+
+    #[test]
+    fn from_words_round_trip() {
+        let words: Vec<u32> = (0..32).map(|i| i * 0x01010101).collect();
+        let line = CacheLine::from_u32_words(&words);
+        let back: Vec<u32> = line.u32_words().collect();
+        assert_eq!(words, back);
+
+        let words64: Vec<u64> = (0..16).map(|i| (i as u64) << 32 | 0xdead).collect();
+        let line = CacheLine::from_u64_words(&words64);
+        let back64: Vec<u64> = line.u64_words().collect();
+        assert_eq!(words64, back64);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(CacheLine::zeroed().is_zero());
+        let mut line = CacheLine::zeroed();
+        line.as_bytes_mut()[127] = 1;
+        assert!(!line.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 32")]
+    fn from_u32_words_wrong_len_panics() {
+        let _ = CacheLine::from_u32_words(&[0; 8]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", CacheLine::zeroed()).is_empty());
+    }
+}

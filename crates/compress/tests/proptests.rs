@@ -1,0 +1,167 @@
+//! Property-based tests over the compression algorithms: round-trip
+//! fidelity, size bounds, and determinism, for arbitrary line contents and
+//! for structured (low-entropy) contents that exercise the interesting
+//! encodings.
+
+use latte_compress::{
+    Bdi, BdiEncoding, Bpc, CacheLine, Compression, Compressor, CpackZ, Fpc, Sc, VftBuilder,
+};
+use proptest::prelude::*;
+
+/// Arbitrary raw lines: mostly incompressible.
+fn any_line() -> impl Strategy<Value = CacheLine> {
+    prop::collection::vec(any::<u8>(), CacheLine::SIZE_BYTES).prop_map(|v| {
+        let mut bytes = [0u8; CacheLine::SIZE_BYTES];
+        bytes.copy_from_slice(&v);
+        CacheLine::from_bytes(bytes)
+    })
+}
+
+/// Structured lines: a base value plus bounded per-word noise, switching
+/// between u32 and u64 granularity — the BDI/BPC sweet spot.
+fn structured_line() -> impl Strategy<Value = CacheLine> {
+    (
+        any::<u64>(),
+        prop::collection::vec(-512i64..512, CacheLine::NUM_U64_WORDS),
+        any::<bool>(),
+    )
+        .prop_map(|(base, noise, wide)| {
+            if wide {
+                let words: Vec<u64> = noise
+                    .iter()
+                    .map(|&n| base.wrapping_add(n as u64))
+                    .collect();
+                CacheLine::from_u64_words(&words)
+            } else {
+                let words: Vec<u32> = noise
+                    .iter()
+                    .flat_map(|&n| {
+                        let w = (base as u32).wrapping_add(n as u32);
+                        [w, w.wrapping_add(1)]
+                    })
+                    .collect();
+                CacheLine::from_u32_words(&words)
+            }
+        })
+}
+
+/// Lines drawn from a small value alphabet — the SC sweet spot.
+fn temporal_line() -> impl Strategy<Value = CacheLine> {
+    (
+        prop::collection::vec(any::<u32>(), 4),
+        prop::collection::vec(0usize..4, CacheLine::NUM_U32_WORDS),
+    )
+        .prop_map(|(alphabet, picks)| {
+            let words: Vec<u32> = picks.iter().map(|&p| alphabet[p]).collect();
+            CacheLine::from_u32_words(&words)
+        })
+}
+
+fn check_size_invariants(c: Compression) {
+    assert!(c.size_bytes() >= 1);
+    assert!(c.size_bytes() <= CacheLine::SIZE_BYTES);
+    if !c.is_compressed() {
+        assert_eq!(c.size_bytes(), CacheLine::SIZE_BYTES);
+    }
+}
+
+proptest! {
+    #[test]
+    fn bdi_round_trips(line in any_line()) {
+        let bdi = Bdi::new();
+        let c = bdi.encode(&line);
+        prop_assert_eq!(bdi.decode(&c), line);
+        check_size_invariants(bdi.compress(&line));
+    }
+
+    #[test]
+    fn bdi_round_trips_structured(line in structured_line()) {
+        let bdi = Bdi::new();
+        let c = bdi.encode(&line);
+        prop_assert_eq!(bdi.decode(&c), line);
+        // Structured lines must actually compress (they are BDI's target).
+        prop_assert_ne!(c.encoding(), BdiEncoding::Uncompressed);
+    }
+
+    #[test]
+    fn fpc_round_trips(line in any_line()) {
+        let fpc = Fpc::new();
+        prop_assert_eq!(fpc.decode(&fpc.encode(&line)), line);
+        check_size_invariants(fpc.compress(&line));
+    }
+
+    #[test]
+    fn fpc_round_trips_structured(line in structured_line()) {
+        let fpc = Fpc::new();
+        prop_assert_eq!(fpc.decode(&fpc.encode(&line)), line);
+    }
+
+    #[test]
+    fn cpack_round_trips(line in any_line()) {
+        let cp = CpackZ::new();
+        prop_assert_eq!(cp.decode(&cp.encode(&line)), line);
+        check_size_invariants(cp.compress(&line));
+    }
+
+    #[test]
+    fn cpack_round_trips_temporal(line in temporal_line()) {
+        let cp = CpackZ::new();
+        prop_assert_eq!(cp.decode(&cp.encode(&line)), line);
+        // A 4-value alphabet saturates the dictionary: must compress.
+        prop_assert!(cp.compress(&line).is_compressed());
+    }
+
+    #[test]
+    fn bpc_round_trips(line in any_line()) {
+        let bpc = Bpc::new();
+        prop_assert_eq!(bpc.decode(&bpc.encode(&line)), line);
+        check_size_invariants(bpc.compress(&line));
+    }
+
+    #[test]
+    fn bpc_round_trips_structured(line in structured_line()) {
+        let bpc = Bpc::new();
+        prop_assert_eq!(bpc.decode(&bpc.encode(&line)), line);
+    }
+
+    #[test]
+    fn sc_round_trips_with_any_codebook(
+        training in prop::collection::vec(temporal_line(), 1..4),
+        line in any_line(),
+    ) {
+        let mut vft = VftBuilder::new();
+        for l in &training {
+            vft.observe_line(l);
+        }
+        let cb = vft.build();
+        prop_assert_eq!(cb.decode_line(&cb.encode_line(&line)), line);
+    }
+
+    #[test]
+    fn sc_compresses_trained_temporal_lines(line in temporal_line()) {
+        let mut vft = VftBuilder::new();
+        for _ in 0..8 {
+            vft.observe_line(&line);
+        }
+        let sc = Sc::new(vft.build());
+        let c = sc.compress(&line);
+        check_size_invariants(c);
+        prop_assert!(c.is_compressed(), "4-symbol alphabet must compress, got {:?}", c);
+    }
+
+    #[test]
+    fn compression_is_deterministic(line in any_line()) {
+        for algo in [&Bdi::new() as &dyn Compressor, &Fpc::new(), &CpackZ::new(), &Bpc::new()] {
+            prop_assert_eq!(algo.compress(&line), algo.compress(&line));
+        }
+    }
+
+    #[test]
+    fn zero_line_is_best_case(line in any_line()) {
+        // No line may compress better than the all-zero line.
+        let zero = CacheLine::zeroed();
+        for algo in [&Bdi::new() as &dyn Compressor, &Fpc::new(), &CpackZ::new(), &Bpc::new()] {
+            prop_assert!(algo.compress(&zero).size_bytes() <= algo.compress(&line).size_bytes());
+        }
+    }
+}

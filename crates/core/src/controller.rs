@@ -1,0 +1,718 @@
+//! The LATTE-CC controller (§III) and the two adaptive baselines of §V-D.
+//!
+//! All three share the set-sampling learning machinery of §III-B1
+//! ([`SamplingController`]); they differ in the decision function:
+//!
+//! * **LATTE-CC** — argmin AMAT_GPU (Eq. 2) re-evaluated at *every*
+//!   adaptive-phase EP with the current latency tolerance (Eq. 4),
+//! * **Adaptive-Hit-Count** — argmax hit count, latency-blind,
+//! * **Adaptive-CMP** — argmin conventional AMAT (Eq. 1): decompression
+//!   latency accounted, latency tolerance not.
+
+use crate::amat::{amat_cmp, amat_gpu, ModeSample};
+use crate::mode::{CompressionMode, HighCapacityAlgo};
+use crate::sc_manager::ScManager;
+use latte_cache::{SetRole, SetSampler};
+use latte_compress::{Bdi, Bpc, CacheLine, Compression, CompressionAlgo, Compressor};
+use latte_gpusim::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport};
+
+/// Tunables of the LATTE-CC controller (§IV-C3 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatteConfig {
+    /// EPs per period: 1 learning + (N−1) adaptive (paper: 10).
+    pub eps_per_period: u64,
+    /// Number of L1 sets (32 for the paper's 16 KB L1).
+    pub num_l1_sets: usize,
+    /// Dedicated sets per compression mode (paper: 4).
+    pub dedicated_sets_per_mode: usize,
+    /// Base L1 hit latency in cycles; must match the GPU config.
+    pub l1_base_hit_latency: f64,
+    /// Average L1 miss service latency in cycles, used in the AMAT
+    /// estimate (between the 120-cycle L2 and 230-cycle DRAM latencies).
+    pub miss_latency: f64,
+    /// Scale applied to the Eq. (4) tolerance estimate (calibration knob).
+    pub tolerance_scale: f64,
+    /// Which algorithm backs the high-capacity mode.
+    pub high_capacity: HighCapacityAlgo,
+}
+
+impl LatteConfig {
+    /// The paper's configuration for the 16 KB L1.
+    #[must_use]
+    pub fn paper() -> LatteConfig {
+        let miss_latency = std::env::var("LATTE_MISS_LATENCY")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(150.0);
+        let tolerance_scale = std::env::var("LATTE_TOLERANCE_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2.0);
+        LatteConfig {
+            eps_per_period: 10,
+            num_l1_sets: 32,
+            dedicated_sets_per_mode: 2,
+            l1_base_hit_latency: 4.0,
+            // The *effective* cost of an L1 miss as the pipeline sees it:
+            // below the raw 120-cycle L2 round trip because concurrent
+            // misses overlap across (and within) warps.
+            miss_latency,
+            tolerance_scale,
+            high_capacity: HighCapacityAlgo::Sc,
+        }
+    }
+
+    /// Effective hit latency the AMAT model charges for `mode` (base +
+    /// decompression pipeline + one decompressor service slot, Eq. 3 with
+    /// an idle queue).
+    #[must_use]
+    pub fn hit_latency(&self, mode: CompressionMode) -> f64 {
+        match mode {
+            CompressionMode::None => self.l1_base_hit_latency,
+            CompressionMode::LowLatency => {
+                self.l1_base_hit_latency + CompressionAlgo::Bdi.decompression_latency() as f64 + 1.0
+            }
+            CompressionMode::HighCapacity => {
+                self.l1_base_hit_latency
+                    + self.high_capacity.algo().decompression_latency() as f64
+                    + 1.0
+            }
+        }
+    }
+}
+
+impl Default for LatteConfig {
+    fn default() -> LatteConfig {
+        LatteConfig::paper()
+    }
+}
+
+/// The set-sampling learning machinery (§III-B1), shared by every adaptive
+/// policy here.
+///
+/// A period of `eps_per_period` EPs runs: EP 0 is the **learning phase**
+/// (dedicated sets fill under their own modes; insertions are counted),
+/// hits on dedicated sets keep counting through EP 1 (reuse manifests
+/// after insertion), and the counters freeze at the end of EP 1 for the
+/// decision function to consume.
+#[derive(Debug, Clone)]
+pub struct SamplingController {
+    sampler: SetSampler,
+    eps_per_period: u64,
+    /// Completed EPs in the current period; the in-flight EP has this
+    /// index.
+    ep_in_period: u64,
+    live: [ModeSample; 3],
+    frozen: [ModeSample; 3],
+}
+
+impl SamplingController {
+    /// Creates the controller.
+    #[must_use]
+    pub fn new(num_sets: usize, dedicated_per_mode: usize, eps_per_period: u64) -> SamplingController {
+        SamplingController {
+            sampler: SetSampler::new(num_sets, dedicated_per_mode),
+            eps_per_period,
+            ep_in_period: 0,
+            live: Default::default(),
+            frozen: Default::default(),
+        }
+    }
+
+    fn dedicated_mode(&self, set: usize) -> Option<CompressionMode> {
+        match self.sampler.role_of(set) {
+            SetRole::DedicatedNone => Some(CompressionMode::None),
+            SetRole::DedicatedLowLatency => Some(CompressionMode::LowLatency),
+            SetRole::DedicatedHighCapacity => Some(CompressionMode::HighCapacity),
+            SetRole::Follower => None,
+        }
+    }
+
+    /// Which mode a fill into `set` must use, or `None` if the set follows
+    /// the selected mode. Counts the insertion during the learning window.
+    ///
+    /// Deviation from the paper (recorded in DESIGN.md): dedicated sets
+    /// stay dedicated through the whole period rather than reverting to
+    /// followers after the learning EP. Refills land one L2/DRAM round
+    /// trip (often a whole EP) after the triggering miss, so
+    /// follower-reversion would fill dedicated sets with follower-mode
+    /// lines and corrupt the per-mode samples.
+    pub fn fill_mode(&mut self, set: usize) -> Option<CompressionMode> {
+        let mode = self.dedicated_mode(set)?;
+        if self.ep_in_period <= 1 {
+            self.live[mode.index()].insertions += 1;
+        }
+        Some(mode)
+    }
+
+    /// Counts a hit in `set` towards its dedicated mode (during the
+    /// learning EP and the one after it).
+    pub fn on_hit(&mut self, set: usize) {
+        if self.ep_in_period > 1 {
+            return;
+        }
+        if let Some(mode) = self.dedicated_mode(set) {
+            self.live[mode.index()].hits += 1;
+        }
+    }
+
+    /// Advances the EP clock. Returns `true` when fresh frozen samples
+    /// just became available (end of the hit-counting window).
+    pub fn on_ep_end(&mut self) -> bool {
+        self.ep_in_period += 1;
+        if self.ep_in_period == 2 {
+            // Blend the new window into the running estimate (EWMA with
+            // α = ½): a few dozen sampled accesses per mode per period is
+            // noisy enough to flip decisions period-to-period otherwise.
+            for (frozen, live) in self.frozen.iter_mut().zip(self.live) {
+                frozen.hits = (frozen.hits + live.hits).div_ceil(2);
+                frozen.insertions = (frozen.insertions + live.insertions).div_ceil(2);
+            }
+            return true;
+        }
+        if self.ep_in_period >= self.eps_per_period {
+            self.ep_in_period = 0;
+            self.live = Default::default();
+        }
+        false
+    }
+
+    /// Restarts the period (kernel boundary).
+    pub fn on_kernel_start(&mut self) {
+        self.ep_in_period = 0;
+        self.live = Default::default();
+    }
+
+    /// The frozen per-mode samples of the last completed learning window.
+    #[must_use]
+    pub fn frozen(&self) -> &[ModeSample; 3] {
+        &self.frozen
+    }
+
+    /// `true` while the in-flight EP is the learning phase.
+    #[must_use]
+    pub fn in_learning_phase(&self) -> bool {
+        self.ep_in_period == 0
+    }
+}
+
+/// The LATTE-CC policy: latency tolerance aware adaptive compression
+/// management (the paper's contribution).
+///
+/// # Example
+///
+/// ```
+/// use latte_core::{LatteCc, LatteConfig};
+/// use latte_gpusim::{Gpu, GpuConfig};
+/// use latte_gpusim::testing::StridedKernel;
+///
+/// let gpu_config = GpuConfig::small();
+/// let mut gpu = Gpu::new(gpu_config, |_| Box::new(LatteCc::new(LatteConfig::paper())));
+/// let stats = gpu.run_kernel(&StridedKernel::new(8, 512, 200));
+/// assert!(stats.instructions > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatteCc {
+    cfg: LatteConfig,
+    sampling: SamplingController,
+    bdi: Bdi,
+    bpc: Bpc,
+    sc: ScManager,
+    tolerance: f64,
+    selected: CompressionMode,
+    eps_in_mode: [u64; 3],
+}
+
+impl LatteCc {
+    /// Creates a LATTE-CC controller (one per SM).
+    #[must_use]
+    pub fn new(cfg: LatteConfig) -> LatteCc {
+        let sampling = SamplingController::new(
+            cfg.num_l1_sets,
+            cfg.dedicated_sets_per_mode,
+            cfg.eps_per_period,
+        );
+        let sc = ScManager::new(cfg.eps_per_period);
+        LatteCc {
+            cfg,
+            sampling,
+            bdi: Bdi::new(),
+            bpc: Bpc::new(),
+            sc,
+            tolerance: 0.0,
+            selected: CompressionMode::None,
+            eps_in_mode: [0; 3],
+        }
+    }
+
+    /// The currently selected operating mode.
+    #[must_use]
+    pub fn selected_mode(&self) -> CompressionMode {
+        self.selected
+    }
+
+    /// The latest latency-tolerance estimate, in cycles.
+    #[must_use]
+    pub fn latency_tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    fn compress_with(&mut self, mode: CompressionMode, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        match mode {
+            CompressionMode::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
+            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.compress(line)),
+            CompressionMode::HighCapacity => match self.cfg.high_capacity {
+                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
+                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
+            },
+        }
+    }
+
+    fn decide(&mut self) {
+        let frozen = *self.sampling.frozen();
+        let mut best = CompressionMode::None;
+        let mut best_amat = f64::INFINITY;
+        for mode in CompressionMode::ALL {
+            let amat = amat_gpu(
+                frozen[mode.index()],
+                self.cfg.hit_latency(mode),
+                self.cfg.miss_latency,
+                self.tolerance,
+            );
+            if amat < best_amat {
+                best_amat = amat;
+                best = mode;
+            }
+        }
+        if std::env::var_os("LATTE_DEBUG_DECIDE").is_some() {
+            eprintln!(
+                "decide: tol={:.2} none={:?} low={:?} high={:?} -> {best}",
+                self.tolerance, frozen[0], frozen[1], frozen[2]
+            );
+        }
+        // Calibration hook: pin the selected mode (bypasses the AMAT
+        // decision but keeps all sampling machinery running).
+        match std::env::var("LATTE_FORCE_MODE").as_deref() {
+            Ok("none") => best = CompressionMode::None,
+            Ok("low") => best = CompressionMode::LowLatency,
+            Ok("high") => best = CompressionMode::HighCapacity,
+            _ => {}
+        }
+        self.selected = best;
+    }
+}
+
+impl L1CompressionPolicy for LatteCc {
+    fn name(&self) -> &'static str {
+        "LATTE-CC"
+    }
+
+    fn compress_fill(&mut self, set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        // SC trains on inserted lines whenever its window is open.
+        self.sc.observe_fill(line);
+        let mode = self.sampling.fill_mode(set).unwrap_or(self.selected);
+        self.compress_with(mode, line)
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent) {
+        if ev.hit {
+            self.sampling.on_hit(ev.set);
+        }
+    }
+
+    fn on_ep(&mut self, probe: &EpProbe) {
+        self.tolerance = probe.latency_tolerance() * self.cfg.tolerance_scale;
+        self.sampling.on_ep_end();
+        self.sc.on_ep_end();
+        // §III-C: the optimal mode is re-chosen for *every* EP of the
+        // adaptive phase, with the freshest tolerance estimate.
+        self.decide();
+        self.eps_in_mode[self.selected.index()] += 1;
+    }
+
+    fn on_kernel_start(&mut self) {
+        self.sampling.on_kernel_start();
+        self.sc.on_kernel_start();
+        self.eps_in_mode = [0; 3];
+    }
+
+    fn pending_invalidation(&mut self) -> Option<CompressionAlgo> {
+        self.sc.take_invalidation().then_some(CompressionAlgo::Sc)
+    }
+
+    fn report(&self) -> PolicyReport {
+        PolicyReport {
+            eps_in_mode: self.eps_in_mode,
+        }
+    }
+
+    fn current_mode_index(&self) -> Option<usize> {
+        Some(self.selected.index())
+    }
+}
+
+/// Adaptive-Hit-Count (§V-D): set sampling like LATTE-CC, but the decision
+/// maximises hit count and ignores decompression latency entirely.
+#[derive(Debug, Clone)]
+pub struct AdaptiveHitCount {
+    cfg: LatteConfig,
+    sampling: SamplingController,
+    bdi: Bdi,
+    bpc: Bpc,
+    sc: ScManager,
+    selected: CompressionMode,
+    eps_in_mode: [u64; 3],
+}
+
+impl AdaptiveHitCount {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new(cfg: LatteConfig) -> AdaptiveHitCount {
+        let sampling = SamplingController::new(
+            cfg.num_l1_sets,
+            cfg.dedicated_sets_per_mode,
+            cfg.eps_per_period,
+        );
+        let sc = ScManager::new(cfg.eps_per_period);
+        AdaptiveHitCount {
+            cfg,
+            sampling,
+            bdi: Bdi::new(),
+            bpc: Bpc::new(),
+            sc,
+            selected: CompressionMode::None,
+            eps_in_mode: [0; 3],
+        }
+    }
+
+    fn compress_with(&mut self, mode: CompressionMode, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        match mode {
+            CompressionMode::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
+            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.compress(line)),
+            CompressionMode::HighCapacity => match self.cfg.high_capacity {
+                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
+                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
+            },
+        }
+    }
+}
+
+impl L1CompressionPolicy for AdaptiveHitCount {
+    fn name(&self) -> &'static str {
+        "Adaptive-Hit-Count"
+    }
+
+    fn compress_fill(&mut self, set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        self.sc.observe_fill(line);
+        let mode = self.sampling.fill_mode(set).unwrap_or(self.selected);
+        self.compress_with(mode, line)
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent) {
+        if ev.hit {
+            self.sampling.on_hit(ev.set);
+        }
+    }
+
+    fn on_ep(&mut self, probe: &EpProbe) {
+        let _ = probe; // latency tolerance deliberately ignored
+        let fresh = self.sampling.on_ep_end();
+        self.sc.on_ep_end();
+        if fresh {
+            // Pick once per period: the mode with the most sampled hits.
+            let frozen = self.sampling.frozen();
+            self.selected = CompressionMode::ALL
+                .into_iter()
+                .max_by_key(|m| frozen[m.index()].hits)
+                .expect("three modes");
+        }
+        self.eps_in_mode[self.selected.index()] += 1;
+    }
+
+    fn on_kernel_start(&mut self) {
+        self.sampling.on_kernel_start();
+        self.sc.on_kernel_start();
+        self.eps_in_mode = [0; 3];
+    }
+
+    fn pending_invalidation(&mut self) -> Option<CompressionAlgo> {
+        self.sc.take_invalidation().then_some(CompressionAlgo::Sc)
+    }
+
+    fn report(&self) -> PolicyReport {
+        PolicyReport {
+            eps_in_mode: self.eps_in_mode,
+        }
+    }
+}
+
+/// Adaptive-CMP (§V-D; after Alameldeen & Wood): accounts for the
+/// decompression latency penalty via conventional AMAT (Eq. 1) but is
+/// blind to GPU latency tolerance.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCmp {
+    cfg: LatteConfig,
+    sampling: SamplingController,
+    bdi: Bdi,
+    bpc: Bpc,
+    sc: ScManager,
+    selected: CompressionMode,
+    eps_in_mode: [u64; 3],
+}
+
+impl AdaptiveCmp {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new(cfg: LatteConfig) -> AdaptiveCmp {
+        let sampling = SamplingController::new(
+            cfg.num_l1_sets,
+            cfg.dedicated_sets_per_mode,
+            cfg.eps_per_period,
+        );
+        let sc = ScManager::new(cfg.eps_per_period);
+        AdaptiveCmp {
+            cfg,
+            sampling,
+            bdi: Bdi::new(),
+            bpc: Bpc::new(),
+            sc,
+            selected: CompressionMode::None,
+            eps_in_mode: [0; 3],
+        }
+    }
+
+    fn compress_with(&mut self, mode: CompressionMode, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        match mode {
+            CompressionMode::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
+            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.compress(line)),
+            CompressionMode::HighCapacity => match self.cfg.high_capacity {
+                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
+                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
+            },
+        }
+    }
+}
+
+impl L1CompressionPolicy for AdaptiveCmp {
+    fn name(&self) -> &'static str {
+        "Adaptive-CMP"
+    }
+
+    fn compress_fill(&mut self, set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        self.sc.observe_fill(line);
+        let mode = self.sampling.fill_mode(set).unwrap_or(self.selected);
+        self.compress_with(mode, line)
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent) {
+        if ev.hit {
+            self.sampling.on_hit(ev.set);
+        }
+    }
+
+    fn on_ep(&mut self, _probe: &EpProbe) {
+        let fresh = self.sampling.on_ep_end();
+        self.sc.on_ep_end();
+        if fresh {
+            let frozen = *self.sampling.frozen();
+            let mut best = CompressionMode::None;
+            let mut best_amat = f64::INFINITY;
+            for mode in CompressionMode::ALL {
+                let amat = amat_cmp(
+                    frozen[mode.index()],
+                    self.cfg.hit_latency(mode),
+                    self.cfg.miss_latency,
+                );
+                if amat < best_amat {
+                    best_amat = amat;
+                    best = mode;
+                }
+            }
+            self.selected = best;
+        }
+        self.eps_in_mode[self.selected.index()] += 1;
+    }
+
+    fn on_kernel_start(&mut self) {
+        self.sampling.on_kernel_start();
+        self.sc.on_kernel_start();
+        self.eps_in_mode = [0; 3];
+    }
+
+    fn pending_invalidation(&mut self) -> Option<CompressionAlgo> {
+        self.sc.take_invalidation().then_some(CompressionAlgo::Sc)
+    }
+
+    fn report(&self) -> PolicyReport {
+        PolicyReport {
+            eps_in_mode: self.eps_in_mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> LatteConfig {
+        LatteConfig::paper()
+    }
+
+    #[test]
+    fn sampling_roles_drive_learning_fills() {
+        let mut s = SamplingController::new(32, 4, 10);
+        assert!(s.in_learning_phase());
+        assert_eq!(s.fill_mode(0), Some(CompressionMode::None));
+        assert_eq!(s.fill_mode(1), Some(CompressionMode::LowLatency));
+        assert_eq!(s.fill_mode(2), Some(CompressionMode::HighCapacity));
+        assert_eq!(s.fill_mode(3), None, "follower set");
+        // Dedicated sets stay dedicated after the learning EP (see the
+        // fill_mode docs for why this deviates from the paper).
+        s.on_ep_end();
+        assert!(!s.in_learning_phase());
+        assert_eq!(s.fill_mode(0), Some(CompressionMode::None));
+    }
+
+    #[test]
+    fn insertion_counts_only_in_learning_window() {
+        let mut s = SamplingController::new(32, 4, 10);
+        let _ = s.fill_mode(1);
+        let _ = s.fill_mode(1);
+        s.on_ep_end();
+        let _ = s.fill_mode(1); // EP1: still counted (refill-delay window)
+        let fresh = s.on_ep_end();
+        assert!(fresh);
+        let _ = s.fill_mode(1); // EP2: not counted
+        // 3 insertions blended into an empty estimate: ceil(3/2) = 2.
+        assert_eq!(s.frozen()[CompressionMode::LowLatency.index()].insertions, 2);
+    }
+
+    #[test]
+    fn hits_count_through_one_extra_ep() {
+        let mut s = SamplingController::new(32, 4, 10);
+        s.on_hit(2); // EP0: counted
+        s.on_ep_end();
+        s.on_hit(2); // EP1: still counted (§III-B1)
+        s.on_ep_end();
+        s.on_hit(2); // EP2: not counted
+        // 2 hits blended into an empty estimate: ceil(2/2) = 1.
+        assert_eq!(s.frozen()[CompressionMode::HighCapacity.index()].hits, 1);
+    }
+
+    #[test]
+    fn period_wraps_and_counters_clear() {
+        let mut s = SamplingController::new(32, 4, 4);
+        let _ = s.fill_mode(0);
+        for _ in 0..4 {
+            s.on_ep_end();
+        }
+        assert!(s.in_learning_phase(), "period wrapped");
+        let _ = s.fill_mode(0);
+        s.on_ep_end();
+        s.on_ep_end();
+        // Fresh window has exactly the new insertion.
+        assert_eq!(s.frozen()[0].insertions, 1);
+    }
+
+    #[test]
+    fn latte_decides_by_tolerance() {
+        let mut latte = LatteCc::new(cfg());
+        // Fabricate a frozen sample where high-capacity has many more hits
+        // but a long latency.
+        latte.sampling.frozen = [
+            ModeSample { hits: 50, insertions: 50 },
+            ModeSample { hits: 60, insertions: 40 },
+            ModeSample { hits: 90, insertions: 10 },
+        ];
+        // Low tolerance: HC's 19-cycle hits are exposed, but its miss
+        // saving (40 fewer misses x 180 cycles) still dominates here.
+        latte.tolerance = 0.0;
+        latte.decide();
+        assert_eq!(latte.selected_mode(), CompressionMode::HighCapacity);
+
+        // Make the capacity benefit marginal: now exposure matters.
+        latte.sampling.frozen = [
+            ModeSample { hits: 85, insertions: 15 },
+            ModeSample { hits: 86, insertions: 14 },
+            ModeSample { hits: 88, insertions: 12 },
+        ];
+        latte.tolerance = 0.0;
+        latte.decide();
+        assert_eq!(latte.selected_mode(), CompressionMode::None);
+        // With enough tolerance the decompression latency is free and the
+        // extra hits win.
+        latte.tolerance = 30.0;
+        latte.decide();
+        assert_eq!(latte.selected_mode(), CompressionMode::HighCapacity);
+    }
+
+    #[test]
+    fn latte_tracks_mode_histogram() {
+        let mut latte = LatteCc::new(cfg());
+        latte.on_ep(&EpProbe::default());
+        latte.on_ep(&EpProbe::default());
+        assert_eq!(latte.report().total_eps(), 2);
+        latte.on_kernel_start();
+        assert_eq!(latte.report().total_eps(), 0);
+    }
+
+    #[test]
+    fn hit_count_policy_ignores_latency() {
+        let mut p = AdaptiveHitCount::new(cfg());
+        p.sampling.live = [
+            ModeSample { hits: 85, insertions: 15 },
+            ModeSample { hits: 86, insertions: 14 },
+            ModeSample { hits: 88, insertions: 12 },
+        ];
+        p.on_ep(&EpProbe::default());
+        p.on_ep(&EpProbe::default()); // freeze + decide
+        // Marginal capacity benefit, zero tolerance: LATTE-CC would pick
+        // None (see latte_decides_by_tolerance) but hit-count picks HC.
+        assert_eq!(p.selected, CompressionMode::HighCapacity);
+    }
+
+    #[test]
+    fn cmp_policy_accounts_latency_but_not_tolerance() {
+        let mut p = AdaptiveCmp::new(cfg());
+        // Large counts so the EWMA halving keeps the ratios exact.
+        p.sampling.live = [
+            ModeSample { hits: 850, insertions: 150 },
+            ModeSample { hits: 860, insertions: 140 },
+            ModeSample { hits: 880, insertions: 120 },
+        ];
+        // Give it a probe with huge tolerance: must make no difference.
+        let probe = EpProbe {
+            avg_warps_available: 100.0,
+            avg_exec_cycles_per_schedule: 1.0,
+            ..EpProbe::default()
+        };
+        p.on_ep(&probe);
+        p.on_ep(&probe);
+        assert_eq!(p.selected, CompressionMode::None);
+    }
+
+    #[test]
+    fn latte_learning_fills_use_dedicated_modes() {
+        let mut latte = LatteCc::new(cfg());
+        let line = CacheLine::from_u32_words(&(0..32).map(|i| 0x40 + i).collect::<Vec<_>>());
+        let (algo, _) = latte.compress_fill(0, &line);
+        assert_eq!(algo, CompressionAlgo::None);
+        let (algo, c) = latte.compress_fill(1, &line);
+        assert_eq!(algo, CompressionAlgo::Bdi);
+        assert!(c.is_compressed());
+        let (algo, _) = latte.compress_fill(2, &line);
+        assert_eq!(algo, CompressionAlgo::Sc);
+    }
+
+    #[test]
+    fn latte_bpc_variant_uses_bpc() {
+        let mut latte = LatteCc::new(LatteConfig {
+            high_capacity: HighCapacityAlgo::Bpc,
+            ..cfg()
+        });
+        let line = CacheLine::from_u32_words(&(0..32).map(|i| 0x40 + i * 2).collect::<Vec<_>>());
+        let (algo, c) = latte.compress_fill(2, &line);
+        assert_eq!(algo, CompressionAlgo::Bpc);
+        assert!(c.is_compressed());
+    }
+}

@@ -1,0 +1,117 @@
+//! LATTE-CC's three compression operating modes (§III).
+
+use latte_compress::CompressionAlgo;
+use std::fmt;
+
+/// The high-capacity component algorithm (§V-E: LATTE-CC is agnostic to
+/// the underlying compressor; the paper evaluates both SC and BPC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HighCapacityAlgo {
+    /// Huffman-based statistical compression (the paper's default).
+    #[default]
+    Sc,
+    /// Bit-plane compression (the Fig 18 variant).
+    Bpc,
+}
+
+impl HighCapacityAlgo {
+    /// The corresponding [`CompressionAlgo`] tag.
+    #[must_use]
+    pub fn algo(self) -> CompressionAlgo {
+        match self {
+            HighCapacityAlgo::Sc => CompressionAlgo::Sc,
+            HighCapacityAlgo::Bpc => CompressionAlgo::Bpc,
+        }
+    }
+}
+
+/// One of LATTE-CC's three operating modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompressionMode {
+    /// Baseline: store lines raw.
+    #[default]
+    None,
+    /// Low-latency compression (BDI: 2-cycle decompression).
+    LowLatency,
+    /// High-capacity compression (SC: 14-cycle, or BPC: 11-cycle).
+    HighCapacity,
+}
+
+impl CompressionMode {
+    /// All three modes, in learning-phase order.
+    pub const ALL: [CompressionMode; 3] = [
+        CompressionMode::None,
+        CompressionMode::LowLatency,
+        CompressionMode::HighCapacity,
+    ];
+
+    /// The algorithm tag this mode stores lines with.
+    #[must_use]
+    pub fn algo(self, high: HighCapacityAlgo) -> CompressionAlgo {
+        match self {
+            CompressionMode::None => CompressionAlgo::None,
+            CompressionMode::LowLatency => CompressionAlgo::Bdi,
+            CompressionMode::HighCapacity => high.algo(),
+        }
+    }
+
+    /// A small dense index (for per-mode counter arrays).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            CompressionMode::None => 0,
+            CompressionMode::LowLatency => 1,
+            CompressionMode::HighCapacity => 2,
+        }
+    }
+}
+
+impl fmt::Display for CompressionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompressionMode::None => "no-compression",
+            CompressionMode::LowLatency => "low-latency",
+            CompressionMode::HighCapacity => "high-capacity",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_algo_mapping() {
+        assert_eq!(
+            CompressionMode::None.algo(HighCapacityAlgo::Sc),
+            CompressionAlgo::None
+        );
+        assert_eq!(
+            CompressionMode::LowLatency.algo(HighCapacityAlgo::Sc),
+            CompressionAlgo::Bdi
+        );
+        assert_eq!(
+            CompressionMode::HighCapacity.algo(HighCapacityAlgo::Sc),
+            CompressionAlgo::Sc
+        );
+        assert_eq!(
+            CompressionMode::HighCapacity.algo(HighCapacityAlgo::Bpc),
+            CompressionAlgo::Bpc
+        );
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        let mut seen = [false; 3];
+        for m in CompressionMode::ALL {
+            seen[m.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CompressionMode::LowLatency.to_string(), "low-latency");
+    }
+}

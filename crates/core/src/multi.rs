@@ -1,0 +1,361 @@
+//! A generalised, N-mode LATTE-CC — the extension §V-E gestures at:
+//! "LATTE-CC is agnostic to the underlying compression algorithms and can
+//! be augmented with other compression hardware as well."
+//!
+//! [`LatteCcMulti`] arbitrates between an arbitrary list of compression
+//! options (e.g. no-compression, BDI, BPC *and* SC simultaneously), using
+//! the same learning machinery as the 3-mode controller: dedicated
+//! sampling sets per option, per-period hit/insertion counters, and
+//! AMAT_GPU decisions under the measured latency tolerance.
+
+use crate::amat::{amat_gpu, ModeSample};
+use crate::sc_manager::ScManager;
+use latte_compress::{Bdi, Bpc, CacheLine, Compression, CompressionAlgo, Compressor};
+use latte_gpusim::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport};
+
+/// One compression option the multi-mode controller can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModeOption {
+    /// Store lines raw.
+    None,
+    /// Base-Delta-Immediate (2-cycle decompression).
+    Bdi,
+    /// Bit-plane compression (11-cycle decompression).
+    Bpc,
+    /// Statistical compression (14-cycle decompression, trained VFT).
+    Sc,
+}
+
+impl ModeOption {
+    /// The algorithm tag lines carry under this option.
+    #[must_use]
+    pub fn algo(self) -> CompressionAlgo {
+        match self {
+            ModeOption::None => CompressionAlgo::None,
+            ModeOption::Bdi => CompressionAlgo::Bdi,
+            ModeOption::Bpc => CompressionAlgo::Bpc,
+            ModeOption::Sc => CompressionAlgo::Sc,
+        }
+    }
+}
+
+/// Configuration for [`LatteCcMulti`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiConfig {
+    /// The options to arbitrate between. Must contain at least two and at
+    /// most `num_l1_sets / (2 * dedicated_sets_per_mode)` options.
+    pub options: Vec<ModeOption>,
+    /// EPs per period (paper: 10).
+    pub eps_per_period: u64,
+    /// Number of L1 sets.
+    pub num_l1_sets: usize,
+    /// Dedicated sets per option.
+    pub dedicated_sets_per_mode: usize,
+    /// Base L1 hit latency (must match the GPU config).
+    pub l1_base_hit_latency: f64,
+    /// Effective miss latency for the AMAT estimate.
+    pub miss_latency: f64,
+    /// Tolerance calibration scale.
+    pub tolerance_scale: f64,
+}
+
+impl MultiConfig {
+    /// The four-mode configuration: None / BDI / BPC / SC.
+    #[must_use]
+    pub fn four_mode() -> MultiConfig {
+        let base = crate::LatteConfig::paper();
+        MultiConfig {
+            options: vec![
+                ModeOption::None,
+                ModeOption::Bdi,
+                ModeOption::Bpc,
+                ModeOption::Sc,
+            ],
+            eps_per_period: base.eps_per_period,
+            num_l1_sets: base.num_l1_sets,
+            dedicated_sets_per_mode: base.dedicated_sets_per_mode,
+            l1_base_hit_latency: base.l1_base_hit_latency,
+            miss_latency: base.miss_latency,
+            tolerance_scale: base.tolerance_scale,
+        }
+    }
+}
+
+/// The generalised multi-mode LATTE-CC controller.
+///
+/// # Example
+///
+/// ```
+/// use latte_core::{LatteCcMulti, MultiConfig};
+/// use latte_gpusim::{Gpu, GpuConfig};
+/// use latte_gpusim::testing::StridedKernel;
+///
+/// let mut gpu = Gpu::new(GpuConfig::small(), |_| {
+///     Box::new(LatteCcMulti::new(MultiConfig::four_mode()))
+/// });
+/// let stats = gpu.run_kernel(&StridedKernel::new(8, 256, 200));
+/// assert!(stats.instructions > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatteCcMulti {
+    cfg: MultiConfig,
+    stride: usize,
+    bdi: Bdi,
+    bpc: Bpc,
+    sc: ScManager,
+    live: Vec<ModeSample>,
+    frozen: Vec<ModeSample>,
+    ep_in_period: u64,
+    tolerance: f64,
+    selected: usize,
+    eps_in_option: Vec<u64>,
+}
+
+impl LatteCcMulti {
+    /// Creates the controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two options are configured or the cache has
+    /// too few sets to dedicate samples to every option.
+    #[must_use]
+    pub fn new(cfg: MultiConfig) -> LatteCcMulti {
+        assert!(cfg.options.len() >= 2, "arbitration needs at least two options");
+        assert!(cfg.dedicated_sets_per_mode >= 1);
+        let needed = cfg.options.len() * cfg.dedicated_sets_per_mode;
+        assert!(
+            cfg.num_l1_sets >= 2 * needed,
+            "{} sets cannot host {} dedicated sets",
+            cfg.num_l1_sets,
+            needed
+        );
+        let stride = cfg.num_l1_sets / cfg.dedicated_sets_per_mode;
+        let n = cfg.options.len();
+        let sc = ScManager::new(cfg.eps_per_period);
+        LatteCcMulti {
+            cfg,
+            stride,
+            bdi: Bdi::new(),
+            bpc: Bpc::new(),
+            sc,
+            live: vec![ModeSample::default(); n],
+            frozen: vec![ModeSample::default(); n],
+            ep_in_period: 0,
+            tolerance: 0.0,
+            selected: 0,
+            eps_in_option: vec![0; n],
+        }
+    }
+
+    /// The option currently selected for follower sets.
+    #[must_use]
+    pub fn selected_option(&self) -> ModeOption {
+        self.cfg.options[self.selected]
+    }
+
+    /// EPs spent in each option since the last kernel start.
+    #[must_use]
+    pub fn eps_in_option(&self) -> &[u64] {
+        &self.eps_in_option
+    }
+
+    fn dedicated_option(&self, set: usize) -> Option<usize> {
+        let slot = set % self.stride;
+        (slot < self.cfg.options.len()).then_some(slot)
+    }
+
+    fn hit_latency(&self, idx: usize) -> f64 {
+        let algo = self.cfg.options[idx].algo();
+        if algo == CompressionAlgo::None {
+            self.cfg.l1_base_hit_latency
+        } else {
+            self.cfg.l1_base_hit_latency + algo.decompression_latency() as f64 + 1.0
+        }
+    }
+
+    fn compress_with(&mut self, idx: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        match self.cfg.options[idx] {
+            ModeOption::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
+            ModeOption::Bdi => (CompressionAlgo::Bdi, self.bdi.compress(line)),
+            ModeOption::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
+            ModeOption::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
+        }
+    }
+
+    fn decide(&mut self) {
+        let mut best = 0;
+        let mut best_amat = f64::INFINITY;
+        for idx in 0..self.cfg.options.len() {
+            let amat = amat_gpu(
+                self.frozen[idx],
+                self.hit_latency(idx),
+                self.cfg.miss_latency,
+                self.tolerance,
+            );
+            if amat < best_amat {
+                best_amat = amat;
+                best = idx;
+            }
+        }
+        self.selected = best;
+    }
+}
+
+impl L1CompressionPolicy for LatteCcMulti {
+    fn name(&self) -> &'static str {
+        "LATTE-CC-Multi"
+    }
+
+    fn compress_fill(&mut self, set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        self.sc.observe_fill(line);
+        match self.dedicated_option(set) {
+            Some(idx) => {
+                if self.ep_in_period <= 1 {
+                    self.live[idx].insertions += 1;
+                }
+                self.compress_with(idx, line)
+            }
+            None => self.compress_with(self.selected, line),
+        }
+    }
+
+    fn on_access(&mut self, ev: &AccessEvent) {
+        if ev.hit && self.ep_in_period <= 1 {
+            if let Some(idx) = self.dedicated_option(ev.set) {
+                self.live[idx].hits += 1;
+            }
+        }
+    }
+
+    fn on_ep(&mut self, probe: &EpProbe) {
+        self.tolerance = probe.latency_tolerance() * self.cfg.tolerance_scale;
+        self.ep_in_period += 1;
+        if self.ep_in_period == 2 {
+            for (frozen, live) in self.frozen.iter_mut().zip(&self.live) {
+                frozen.hits = (frozen.hits + live.hits).div_ceil(2);
+                frozen.insertions = (frozen.insertions + live.insertions).div_ceil(2);
+            }
+        } else if self.ep_in_period >= self.cfg.eps_per_period {
+            self.ep_in_period = 0;
+            self.live.iter_mut().for_each(|m| *m = ModeSample::default());
+        }
+        self.sc.on_ep_end();
+        self.decide();
+        self.eps_in_option[self.selected] += 1;
+    }
+
+    fn on_kernel_start(&mut self) {
+        self.ep_in_period = 0;
+        self.live.iter_mut().for_each(|m| *m = ModeSample::default());
+        self.eps_in_option.iter_mut().for_each(|e| *e = 0);
+        self.sc.on_kernel_start();
+    }
+
+    fn pending_invalidation(&mut self) -> Option<CompressionAlgo> {
+        self.sc.take_invalidation().then_some(CompressionAlgo::Sc)
+    }
+
+    fn report(&self) -> PolicyReport {
+        // Fold the option histogram into the 3-bucket report: None, the
+        // low-latency option (BDI), and everything else as high-capacity.
+        let mut eps_in_mode = [0u64; 3];
+        for (idx, &eps) in self.eps_in_option.iter().enumerate() {
+            let bucket = match self.cfg.options[idx] {
+                ModeOption::None => 0,
+                ModeOption::Bdi => 1,
+                ModeOption::Bpc | ModeOption::Sc => 2,
+            };
+            eps_in_mode[bucket] += eps;
+        }
+        PolicyReport { eps_in_mode }
+    }
+
+    fn current_mode_index(&self) -> Option<usize> {
+        Some(match self.cfg.options[self.selected] {
+            ModeOption::None => 0,
+            ModeOption::Bdi => 1,
+            ModeOption::Bpc | ModeOption::Sc => 2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MultiConfig {
+        MultiConfig::four_mode()
+    }
+
+    #[test]
+    fn four_mode_roles_cover_all_options() {
+        let m = LatteCcMulti::new(cfg());
+        // Sets 0..3 of each 16-set stride are dedicated (2 dedicated/mode
+        // over 32 sets -> stride 16).
+        assert_eq!(m.dedicated_option(0), Some(0));
+        assert_eq!(m.dedicated_option(1), Some(1));
+        assert_eq!(m.dedicated_option(2), Some(2));
+        assert_eq!(m.dedicated_option(3), Some(3));
+        assert_eq!(m.dedicated_option(4), None);
+        assert_eq!(m.dedicated_option(16), Some(0));
+    }
+
+    #[test]
+    fn learning_fills_use_each_algorithm() {
+        let mut m = LatteCcMulti::new(cfg());
+        let line = CacheLine::from_u32_words(&(0..32).map(|i| 0x40 + i * 2).collect::<Vec<_>>());
+        assert_eq!(m.compress_fill(0, &line).0, CompressionAlgo::None);
+        assert_eq!(m.compress_fill(1, &line).0, CompressionAlgo::Bdi);
+        assert_eq!(m.compress_fill(2, &line).0, CompressionAlgo::Bpc);
+        assert_eq!(m.compress_fill(3, &line).0, CompressionAlgo::Sc);
+    }
+
+    #[test]
+    fn decision_prefers_cheap_modes_without_capacity_evidence() {
+        let mut m = LatteCcMulti::new(cfg());
+        // Identical samples for every option: the no-compression option
+        // (lowest hit latency) must win.
+        m.frozen = vec![ModeSample { hits: 50, insertions: 10 }; 4];
+        m.tolerance = 0.0;
+        m.decide();
+        assert_eq!(m.selected_option(), ModeOption::None);
+    }
+
+    #[test]
+    fn decision_takes_capacity_when_tolerant() {
+        let mut m = LatteCcMulti::new(cfg());
+        m.frozen = vec![
+            ModeSample { hits: 500, insertions: 500 },
+            ModeSample { hits: 550, insertions: 450 },
+            ModeSample { hits: 700, insertions: 300 },
+            ModeSample { hits: 900, insertions: 100 },
+        ];
+        m.tolerance = 30.0; // everything hidden
+        m.decide();
+        assert_eq!(m.selected_option(), ModeOption::Sc);
+        // Intolerant pipeline with SC's capacity edge shrunk: BPC or
+        // cheaper should win over SC.
+        m.frozen[3] = ModeSample { hits: 710, insertions: 290 };
+        m.tolerance = 0.0;
+        m.decide();
+        assert_ne!(m.selected_option(), ModeOption::Sc);
+    }
+
+    #[test]
+    fn report_folds_into_three_buckets() {
+        let mut m = LatteCcMulti::new(cfg());
+        let probe = EpProbe::default();
+        for _ in 0..6 {
+            m.on_ep(&probe);
+        }
+        assert_eq!(m.report().total_eps(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two options")]
+    fn single_option_panics() {
+        let mut c = cfg();
+        c.options = vec![ModeOption::Bdi];
+        let _ = LatteCcMulti::new(c);
+    }
+}

@@ -1,0 +1,172 @@
+//! Simulated GPU configuration (Table II of the paper).
+
+use latte_cache::CacheGeometry;
+
+/// Which warp scheduler the SMs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// Greedy-Then-Oldest (Rogers et al., MICRO'12) — the paper's default.
+    #[default]
+    Gto,
+    /// Loose round-robin: rotate over ready warps each cycle.
+    Lrr,
+}
+
+/// Full configuration of the simulated GPU.
+///
+/// [`GpuConfig::paper`] reproduces Table II; experiments that need a
+/// lighter machine (for wall-clock reasons) scale `num_sms` down, which
+/// preserves per-SM behaviour because SMs interact only through the shared
+/// L2 (whose capacity is scaled along).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum warps resident per SM.
+    pub max_warps_per_sm: usize,
+    /// Warps per thread block (barriers synchronise within a block).
+    pub warps_per_block: usize,
+    /// Warp schedulers per SM; warps are split round-robin between them.
+    pub schedulers_per_sm: usize,
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// L1 data cache geometry (per SM).
+    pub l1_geometry: CacheGeometry,
+    /// Unified L2 geometry (shared).
+    pub l2_geometry: CacheGeometry,
+    /// Base L1 hit latency in cycles (before any decompression penalty).
+    pub l1_hit_latency: u64,
+    /// Extra L1 hit latency added to *every* hit (the Fig 1 sweep knob).
+    pub extra_hit_latency: u64,
+    /// Minimum L2 access latency in cycles (Table II: 120).
+    pub l2_latency: u64,
+    /// Minimum DRAM access latency in cycles (Table II: 230).
+    pub dram_latency: u64,
+    /// L1 MSHR entries per SM.
+    pub mshr_entries: usize,
+    /// Maximum merged misses per MSHR entry.
+    pub mshr_merges: u32,
+    /// Experimental-phase length in L1 accesses (§IV-C3: 256).
+    pub ep_accesses: u64,
+    /// Hard cycle limit per kernel (safety net against livelock).
+    pub max_cycles_per_kernel: u64,
+    /// Charge zero cycles for decompression (the Fig 3 upper-bound study).
+    pub zero_decompression_latency: bool,
+    /// Store compressed lines at full size — latency penalty without the
+    /// capacity benefit (the Fig 4 study).
+    pub ignore_capacity_benefit: bool,
+    /// Record per-EP traces (latency tolerance, effective capacity) on
+    /// SM 0 for the Fig 5 / Fig 16 time-series plots.
+    pub record_traces: bool,
+    /// Flush caches and in-flight state at kernel boundaries.
+    pub flush_at_kernel_boundary: bool,
+    /// Allocate lines in the L1 on store misses (write-allocate) instead
+    /// of the paper's write-avoid policy (§IV-C3). The paper reports the
+    /// choice has negligible performance impact; `latte-bench sens-write`
+    /// reproduces that claim.
+    pub write_allocate: bool,
+}
+
+impl GpuConfig {
+    /// Table II: 15 SMs, 48 warps/SM, 2 schedulers, GTO, 16 KB L1 / 768 KB
+    /// L2, 120/230-cycle L2/DRAM latencies.
+    #[must_use]
+    pub fn paper() -> GpuConfig {
+        GpuConfig {
+            num_sms: 15,
+            max_warps_per_sm: 48,
+            warps_per_block: 6, // 8 blocks per SM (Table II) at max occupancy
+            schedulers_per_sm: 2,
+            scheduler: SchedulerKind::Gto,
+            l1_geometry: CacheGeometry::paper_l1(),
+            l2_geometry: CacheGeometry::paper_l2(),
+            l1_hit_latency: 4,
+            extra_hit_latency: 0,
+            l2_latency: 120,
+            dram_latency: 230,
+            mshr_entries: 64,
+            mshr_merges: 16,
+            ep_accesses: 256,
+            max_cycles_per_kernel: 50_000_000,
+            zero_decompression_latency: false,
+            ignore_capacity_benefit: false,
+            record_traces: false,
+            flush_at_kernel_boundary: true,
+            write_allocate: false,
+        }
+    }
+
+    /// A scaled-down machine for fast experimentation: 4 SMs with a
+    /// proportionally scaled L2. Per-SM behaviour (the object of study) is
+    /// unchanged; only the amount of replicated hardware shrinks.
+    #[must_use]
+    pub fn small() -> GpuConfig {
+        GpuConfig {
+            num_sms: 4,
+            l2_geometry: CacheGeometry {
+                size_bytes: 768 * 1024 * 4 / 15 / 1024 * 1024, // ≈ 200 KB, whole KB
+                ways: 8,
+                tag_factor: 1,
+            },
+            ..GpuConfig::paper()
+        }
+    }
+
+    /// The §V-E sensitivity configuration: 48 KB L1 per SM.
+    #[must_use]
+    pub fn with_large_l1(mut self) -> GpuConfig {
+        self.l1_geometry = CacheGeometry::large_l1();
+        self
+    }
+
+    /// Warps each scheduler of an SM owns (the warp pool is split evenly).
+    #[must_use]
+    pub fn warps_per_scheduler(&self) -> usize {
+        self.max_warps_per_sm.div_ceil(self.schedulers_per_sm)
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> GpuConfig {
+        GpuConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_ii() {
+        let c = GpuConfig::paper();
+        assert_eq!(c.num_sms, 15);
+        assert_eq!(c.max_warps_per_sm, 48);
+        assert_eq!(c.schedulers_per_sm, 2);
+        assert_eq!(c.l1_geometry.size_bytes, 16 * 1024);
+        assert_eq!(c.l2_geometry.size_bytes, 768 * 1024);
+        assert_eq!(c.l2_latency, 120);
+        assert_eq!(c.dram_latency, 230);
+        assert_eq!(c.scheduler, SchedulerKind::Gto);
+    }
+
+    #[test]
+    fn small_config_scales_l2() {
+        let c = GpuConfig::small();
+        assert_eq!(c.num_sms, 4);
+        assert!(c.l2_geometry.size_bytes < 768 * 1024);
+        // L2 geometry must still divide into whole sets.
+        let _ = c.l2_geometry.num_sets();
+    }
+
+    #[test]
+    fn warps_split_across_schedulers() {
+        let c = GpuConfig::paper();
+        assert_eq!(c.warps_per_scheduler(), 24);
+    }
+
+    #[test]
+    fn large_l1_sensitivity() {
+        let c = GpuConfig::paper().with_large_l1();
+        assert_eq!(c.l1_geometry.size_bytes, 48 * 1024);
+    }
+}

@@ -1,0 +1,210 @@
+//! The top-level GPU: SMs, shared L2, memory event queue and the
+//! cycle-stepping loop.
+
+use crate::config::GpuConfig;
+use crate::ops::Kernel;
+use crate::policy::L1CompressionPolicy;
+use crate::sm::{MemCtx, MemEvent, Sm};
+use crate::stats::KernelStats;
+use latte_cache::SimpleCache;
+use latte_compress::Cycles;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The simulated GPU.
+///
+/// Construct it with one policy instance per SM (LATTE-CC runs a private
+/// controller per SM; static policies are stateless so replication is
+/// harmless), then run kernels against it. Policies persist across kernels
+/// so training state carries over; caches flush at kernel boundaries when
+/// the config says so.
+///
+/// # Example
+///
+/// ```
+/// use latte_gpusim::{Gpu, GpuConfig, UncompressedPolicy};
+/// use latte_gpusim::testing::StridedKernel;
+///
+/// let config = GpuConfig::small();
+/// let mut gpu = Gpu::new(config.clone(), |_| Box::new(UncompressedPolicy));
+/// let kernel = StridedKernel::new(4, 64, 1024);
+/// let stats = gpu.run_kernel(&kernel);
+/// assert!(stats.instructions > 0);
+/// assert!(stats.cycles > 0);
+/// ```
+pub struct Gpu {
+    config: GpuConfig,
+    sms: Vec<Sm>,
+    l2: SimpleCache,
+    policies: Vec<Box<dyn L1CompressionPolicy>>,
+    events: BinaryHeap<Reverse<MemEvent>>,
+}
+
+impl Gpu {
+    /// Creates a GPU, building one policy per SM via `make_policy(sm_id)`.
+    pub fn new(
+        config: GpuConfig,
+        mut make_policy: impl FnMut(usize) -> Box<dyn L1CompressionPolicy>,
+    ) -> Gpu {
+        let sms = (0..config.num_sms).map(|i| Sm::new(i, &config)).collect();
+        let policies = (0..config.num_sms).map(&mut make_policy).collect();
+        let l2 = SimpleCache::new(config.l2_geometry);
+        Gpu {
+            config,
+            sms,
+            l2,
+            policies,
+            events: BinaryHeap::new(),
+        }
+    }
+
+    /// The configuration this GPU runs.
+    #[must_use]
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs `kernel` to completion (or the cycle limit) and returns its
+    /// statistics.
+    pub fn run_kernel(&mut self, kernel: &dyn Kernel) -> KernelStats {
+        let mut stats = KernelStats::default();
+        self.events.clear();
+        if self.config.flush_at_kernel_boundary {
+            self.l2.invalidate_all();
+        }
+        self.l2.reset_stats();
+        for (sm, policy) in self.sms.iter_mut().zip(&mut self.policies) {
+            sm.launch(kernel, &self.config);
+            policy.on_kernel_start();
+        }
+
+        let mut cycle: Cycles = 0;
+        loop {
+            // Deliver memory completions due by now.
+            while let Some(&Reverse(ev)) = self.events.peek() {
+                if ev.cycle > cycle {
+                    break;
+                }
+                self.events.pop();
+                let sm = &mut self.sms[ev.sm];
+                let mut ctx = MemCtx {
+                    l2: &mut self.l2,
+                    events: &mut self.events,
+                    policy: self.policies[ev.sm].as_mut(),
+                    kernel,
+                    config: &self.config,
+                    stats: &mut stats,
+                };
+                sm.handle_fill(ev.addr, ev.cycle.max(cycle), &mut ctx);
+            }
+
+            // Issue.
+            let mut issued = 0;
+            for (sm, policy) in self.sms.iter_mut().zip(&mut self.policies) {
+                let mut ctx = MemCtx {
+                    l2: &mut self.l2,
+                    events: &mut self.events,
+                    policy: policy.as_mut(),
+                    kernel,
+                    config: &self.config,
+                    stats: &mut stats,
+                };
+                issued += sm.issue_cycle(cycle, &mut ctx);
+            }
+            stats.instructions += issued;
+
+            let done = self.sms.iter().all(Sm::all_finished) && self.events.is_empty();
+            if done {
+                break;
+            }
+            if cycle >= self.config.max_cycles_per_kernel {
+                stats.timed_out = true;
+                break;
+            }
+
+            if issued > 0 {
+                cycle += 1;
+                continue;
+            }
+            // Nothing issued: fast-forward to the next interesting cycle.
+            let next_event = self.events.peek().map(|&Reverse(e)| e.cycle);
+            let next_wake = self
+                .sms
+                .iter()
+                .filter_map(Sm::next_wake)
+                .map(|w| w.max(cycle + 1))
+                .min();
+            let target = match (next_event, next_wake) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => {
+                    // No pending work but not all finished: a barrier
+                    // deadlock in the workload. Bail out.
+                    stats.timed_out = true;
+                    break;
+                }
+            };
+            let target = target.max(cycle + 1);
+            let skipped = target - cycle - 1;
+            if skipped > 0 {
+                for sm in &mut self.sms {
+                    sm.account_idle(skipped);
+                }
+            }
+            cycle = target;
+        }
+
+        stats.cycles = cycle.max(1);
+        // Instruction counts accumulate in warps as well; cross-check.
+        debug_assert_eq!(
+            stats.instructions,
+            self.sms
+                .iter()
+                .flat_map(|s| s.warps.iter())
+                .map(|w| w.instructions)
+                .sum::<u64>()
+        );
+        stats.barrier_wait_cycles = self.sms.iter().map(|s| s.barrier_wait).sum();
+        stats.l1 = self.sms.iter().map(|s| *s.l1.stats()).sum();
+        stats.l2 = *self.l2.stats();
+        stats
+    }
+
+    /// Runs a sequence of kernels, returning per-kernel statistics.
+    pub fn run_kernels<'k>(
+        &mut self,
+        kernels: impl IntoIterator<Item = &'k dyn Kernel>,
+    ) -> Vec<KernelStats> {
+        kernels.into_iter().map(|k| self.run_kernel(k)).collect()
+    }
+
+    /// Decision reports from every SM's policy (see
+    /// [`crate::policy::PolicyReport`]).
+    #[must_use]
+    pub fn policy_reports(&self) -> Vec<crate::policy::PolicyReport> {
+        self.policies.iter().map(|p| p.report()).collect()
+    }
+
+    /// Sum of the effective capacities of all L1s, relative to the
+    /// baseline total (instrumentation for Fig 16).
+    #[must_use]
+    pub fn l1_effective_capacity_ratio(&self) -> f64 {
+        let total: usize = self.sms.iter().map(|s| s.l1.effective_capacity_bytes()).sum();
+        let baseline: usize = self.sms.iter().map(|s| s.l1.geometry().size_bytes).sum();
+        if baseline == 0 {
+            0.0
+        } else {
+            total as f64 / baseline as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("num_sms", &self.sms.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}

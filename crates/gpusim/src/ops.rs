@@ -1,0 +1,130 @@
+//! The simulator's warp-level "instruction set" and the kernel abstraction
+//! that workloads implement.
+//!
+//! The simulator is trace-driven: each warp executes a stream of [`Op`]s
+//! produced on demand by an [`OpStream`]. This captures exactly the
+//! dynamics LATTE-CC depends on — which warps are ready, which are waiting
+//! on memory, and what data the caches hold — without modelling PTX.
+
+use latte_cache::LineAddr;
+use latte_compress::CacheLine;
+
+/// One warp-level operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Execute `cycles` of non-memory work (ALU/SFU); the warp is busy and
+    /// cannot issue again until the work retires.
+    Compute {
+        /// Busy time in cycles (0 is treated as 1).
+        cycles: u32,
+    },
+    /// A warp-level load of the line containing `addr`. The warp blocks
+    /// until this load *and every earlier [`Op::LoadAsync`]* complete.
+    Load {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// An independent warp-level load: the access is issued but the warp
+    /// keeps executing (intra-warp memory-level parallelism). The next
+    /// blocking [`Op::Load`] acts as the join point for all outstanding
+    /// async loads.
+    LoadAsync {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// A warp-level store to the line containing `addr`. Write-through,
+    /// no-allocate (the paper's write-avoid L1, §IV-C3); the warp does not
+    /// block on completion.
+    Store {
+        /// Byte address accessed.
+        addr: u64,
+    },
+    /// Block-wide barrier: the warp waits until every warp of its block
+    /// arrives.
+    Barrier,
+    /// The warp is finished.
+    Exit,
+}
+
+/// A per-warp instruction stream. Streams are generated lazily so that
+/// billion-instruction workloads need no trace storage.
+pub trait OpStream {
+    /// Produces the next operation. Must return [`Op::Exit`] forever once
+    /// the stream ends.
+    fn next_op(&mut self) -> Op;
+}
+
+/// A boxed stream is itself a stream.
+impl OpStream for Box<dyn OpStream> {
+    fn next_op(&mut self) -> Op {
+        (**self).next_op()
+    }
+}
+
+/// An [`OpStream`] over a fixed vector — convenient for tests.
+#[derive(Debug, Clone)]
+pub struct VecStream {
+    ops: Vec<Op>,
+    pos: usize,
+}
+
+impl VecStream {
+    /// Creates a stream that yields `ops` then [`Op::Exit`] forever.
+    #[must_use]
+    pub fn new(ops: Vec<Op>) -> VecStream {
+        VecStream { ops, pos: 0 }
+    }
+}
+
+impl OpStream for VecStream {
+    fn next_op(&mut self) -> Op {
+        let op = self.ops.get(self.pos).copied().unwrap_or(Op::Exit);
+        self.pos += 1;
+        op
+    }
+}
+
+/// A kernel: the unit of GPU work (§V-B: "a kernel is the block of parallel
+/// execution running on the GPU"). Workloads implement this; the simulator
+/// launches one kernel at a time and [`crate::Gpu::run_kernel`] returns its
+/// statistics.
+///
+/// Kernels must be **replayable**: `warp_program` takes `&self` so oracle
+/// policies (Kernel-OPT) can re-run a kernel under different compression
+/// modes.
+pub trait Kernel {
+    /// Kernel name for reports.
+    fn name(&self) -> &str;
+
+    /// Number of warps this kernel puts on SM `sm` (≤ the config's
+    /// `max_warps_per_sm`).
+    fn warps_on_sm(&self, sm: usize) -> usize;
+
+    /// The instruction stream for warp `warp` of SM `sm`.
+    fn warp_program(&self, sm: usize, warp: usize) -> Box<dyn OpStream>;
+
+    /// The memory contents of `addr` — a pure function of the address, so
+    /// cache refills are deterministic and repeatable.
+    fn line_data(&self, addr: LineAddr) -> CacheLine;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_stream_yields_then_exits() {
+        let mut s = VecStream::new(vec![Op::Compute { cycles: 3 }, Op::Load { addr: 128 }]);
+        assert_eq!(s.next_op(), Op::Compute { cycles: 3 });
+        assert_eq!(s.next_op(), Op::Load { addr: 128 });
+        assert_eq!(s.next_op(), Op::Exit);
+        assert_eq!(s.next_op(), Op::Exit);
+    }
+
+    #[test]
+    fn boxed_stream_is_a_stream() {
+        let mut s: Box<dyn OpStream> = Box::new(VecStream::new(vec![Op::Barrier]));
+        assert_eq!(s.next_op(), Op::Barrier);
+        assert_eq!(s.next_op(), Op::Exit);
+    }
+}

@@ -1,0 +1,170 @@
+//! The hook through which a compression management policy (LATTE-CC or a
+//! baseline) plugs into the simulator.
+//!
+//! The simulator owns the caches and the pipeline; the policy owns the
+//! compressors and the decision logic. On every L1 fill the simulator asks
+//! the policy how to compress the incoming line; on every L1 access and at
+//! every experimental-phase (EP) boundary it feeds the policy the
+//! measurements LATTE-CC's controller needs (per-set hit/miss events and
+//! the latency-tolerance probe of Eq. 4).
+
+use latte_compress::{CacheLine, Compression, CompressionAlgo, Cycles};
+
+/// One L1 access, as seen by the policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessEvent {
+    /// Cache set accessed.
+    pub set: usize,
+    /// `true` on a hit.
+    pub hit: bool,
+    /// Algorithm of the resident line (hits only; `None` otherwise).
+    pub algo: CompressionAlgo,
+    /// Cycle of the access.
+    pub cycle: Cycles,
+}
+
+/// Scheduler measurements over one experimental phase, from which the
+/// latency tolerance of Eq. (4) is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpProbe {
+    /// Index of the EP that just ended (monotonic within a kernel).
+    pub ep_index: u64,
+    /// Mean number of ready warps per scheduler cycle.
+    pub avg_warps_available: f64,
+    /// Mean number of consecutive issues a warp enjoyed before the
+    /// scheduler switched away (GTO greed run length).
+    pub avg_exec_cycles_per_schedule: f64,
+    /// L1 accesses in the EP (== the configured EP length, except for the
+    /// final truncated EP of a kernel).
+    pub l1_accesses: u64,
+    /// Cycles the EP spanned.
+    pub cycles: Cycles,
+    /// Cycle at which the EP ended.
+    pub end_cycle: Cycles,
+}
+
+impl EpProbe {
+    /// The latency tolerance estimate of Eq. (4):
+    /// `average_warps_available / average_execution_cycles_per_schedule`.
+    #[must_use]
+    pub fn latency_tolerance(&self) -> f64 {
+        if self.avg_exec_cycles_per_schedule <= 0.0 {
+            0.0
+        } else {
+            self.avg_warps_available / self.avg_exec_cycles_per_schedule
+        }
+    }
+}
+
+/// Summary of a policy's recent decisions, for experiment reporting
+/// (e.g. the Fig 15 agreement analysis). Counters reset at kernel start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyReport {
+    /// EPs spent in [no-compression, low-latency, high-capacity] mode
+    /// since the last kernel start (all zero for non-adaptive policies).
+    pub eps_in_mode: [u64; 3],
+}
+
+impl PolicyReport {
+    /// Total EPs recorded.
+    #[must_use]
+    pub fn total_eps(&self) -> u64 {
+        self.eps_in_mode.iter().sum()
+    }
+}
+
+/// A per-SM compression management policy.
+///
+/// The default method bodies make a minimal policy trivial to write: only
+/// [`L1CompressionPolicy::compress_fill`] is required.
+pub trait L1CompressionPolicy {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Decides how to store a line being filled into `set`. Returns the
+    /// algorithm tag to record and the achieved compression. Returning
+    /// `(CompressionAlgo::None, Compression::UNCOMPRESSED)` stores raw.
+    fn compress_fill(&mut self, set: usize, line: &CacheLine) -> (CompressionAlgo, Compression);
+
+    /// Decompression latency charged for a hit on a line stored with
+    /// `algo`. Defaults to the Table I latencies.
+    fn decompression_latency(&self, algo: CompressionAlgo) -> Cycles {
+        algo.decompression_latency()
+    }
+
+    /// Called on every L1 data access.
+    fn on_access(&mut self, _ev: &AccessEvent) {}
+
+    /// Called at every EP boundary with the latency-tolerance probe.
+    fn on_ep(&mut self, _probe: &EpProbe) {}
+
+    /// Called when a kernel starts.
+    fn on_kernel_start(&mut self) {}
+
+    /// Called when a kernel ends.
+    fn on_kernel_end(&mut self) {}
+
+    /// Polled after EP boundaries: a policy may request invalidation of
+    /// all lines stored with a given algorithm (SC does this when its
+    /// codebook is rebuilt at a period boundary, §IV-C2).
+    fn pending_invalidation(&mut self) -> Option<CompressionAlgo> {
+        None
+    }
+
+    /// Decision summary since the last kernel start (adaptive policies
+    /// override this for the Fig 15 analysis).
+    fn report(&self) -> PolicyReport {
+        PolicyReport::default()
+    }
+
+    /// The mode index ([no-compression, low-latency, high-capacity])
+    /// currently selected, if the policy is adaptive. Used by the
+    /// decision-trace instrumentation.
+    fn current_mode_index(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// The baseline policy: never compress.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UncompressedPolicy;
+
+impl L1CompressionPolicy for UncompressedPolicy {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn compress_fill(&mut self, _set: usize, _line: &CacheLine) -> (CompressionAlgo, Compression) {
+        (CompressionAlgo::None, Compression::UNCOMPRESSED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_latency_tolerance() {
+        let probe = EpProbe {
+            avg_warps_available: 12.0,
+            avg_exec_cycles_per_schedule: 3.0,
+            ..EpProbe::default()
+        };
+        assert!((probe.latency_tolerance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_tolerance_handles_zero_denominator() {
+        let probe = EpProbe::default();
+        assert_eq!(probe.latency_tolerance(), 0.0);
+    }
+
+    #[test]
+    fn uncompressed_policy_stores_raw() {
+        let mut p = UncompressedPolicy;
+        let (algo, c) = p.compress_fill(0, &CacheLine::zeroed());
+        assert_eq!(algo, CompressionAlgo::None);
+        assert!(!c.is_compressed());
+        assert_eq!(p.decompression_latency(CompressionAlgo::Sc), 14);
+    }
+}

@@ -1,0 +1,255 @@
+//! Warp schedulers: Greedy-Then-Oldest (GTO) and loose round-robin (LRR).
+//!
+//! Each SM has two schedulers (Table II); the warp pool is split evenly
+//! between them. The scheduler also measures the two quantities LATTE-CC's
+//! latency-tolerance estimator needs (Eq. 4): the mean number of ready
+//! warps per cycle and the mean greedy run length per schedule.
+
+use crate::config::SchedulerKind;
+use crate::warp::Warp;
+use latte_compress::Cycles;
+
+/// One warp scheduler: owns a fixed slice of the SM's warps (by index) and
+/// picks at most one to issue per cycle.
+#[derive(Debug, Clone)]
+pub struct WarpScheduler {
+    kind: SchedulerKind,
+    /// Indices (into the SM's warp vector) this scheduler arbitrates.
+    warp_ids: Vec<usize>,
+    /// The warp currently favoured by GTO greed (or the LRR rotor).
+    current: Option<usize>,
+    /// Length of the current greedy run, in issues.
+    run_length: u64,
+    /// Probe accumulators (reset each EP).
+    ready_samples: u64,
+    ready_sum: u64,
+    runs_completed: u64,
+    run_length_sum: u64,
+}
+
+/// Probe counters extracted at an EP boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerProbe {
+    /// Number of cycles sampled.
+    pub samples: u64,
+    /// Sum of ready-warp counts over those cycles.
+    pub ready_sum: u64,
+    /// Number of completed greedy runs.
+    pub runs: u64,
+    /// Sum of greedy run lengths.
+    pub run_length_sum: u64,
+}
+
+impl WarpScheduler {
+    /// Creates a scheduler arbitrating `warp_ids`.
+    #[must_use]
+    pub fn new(kind: SchedulerKind, warp_ids: Vec<usize>) -> WarpScheduler {
+        WarpScheduler {
+            kind,
+            warp_ids,
+            current: None,
+            run_length: 0,
+            ready_samples: 0,
+            ready_sum: 0,
+            runs_completed: 0,
+            run_length_sum: 0,
+        }
+    }
+
+    /// The warp indices this scheduler owns.
+    #[must_use]
+    pub fn warp_ids(&self) -> &[usize] {
+        &self.warp_ids
+    }
+
+    /// Picks the warp to issue at `cycle`, or `None` if no owned warp is
+    /// ready. Also samples the ready count for the tolerance probe.
+    pub fn pick(&mut self, warps: &[Warp], cycle: Cycles) -> Option<usize> {
+        // The tolerance probe counts *available* warps — those holding
+        // execution work (ready or computing) rather than stalled on
+        // memory — since those are the warps whose work can hide a
+        // decompression stall.
+        let available = self
+            .warp_ids
+            .iter()
+            .filter(|&&w| warps[w].is_available())
+            .count() as u64;
+        self.ready_samples += 1;
+        self.ready_sum += available;
+        let ready = self
+            .warp_ids
+            .iter()
+            .filter(|&&w| warps[w].is_ready(cycle))
+            .count() as u64;
+        if ready == 0 {
+            // An unready current warp ends its greedy run.
+            self.end_run();
+            return None;
+        }
+        match self.kind {
+            SchedulerKind::Gto => {
+                if let Some(cur) = self.current {
+                    if warps[cur].is_ready(cycle) {
+                        self.run_length += 1;
+                        return Some(cur);
+                    }
+                    self.end_run();
+                }
+                // Oldest = lowest warp id (warps are launched in id order).
+                let oldest = self
+                    .warp_ids
+                    .iter()
+                    .copied()
+                    .filter(|&w| warps[w].is_ready(cycle))
+                    .min()
+                    .expect("ready > 0");
+                self.current = Some(oldest);
+                self.run_length = 1;
+                Some(oldest)
+            }
+            SchedulerKind::Lrr => {
+                // Rotate: next ready warp after the last issued one.
+                let start = self
+                    .current
+                    .and_then(|c| self.warp_ids.iter().position(|&w| w == c))
+                    .map(|p| p + 1)
+                    .unwrap_or(0);
+                let n = self.warp_ids.len();
+                let next = (0..n)
+                    .map(|i| self.warp_ids[(start + i) % n])
+                    .find(|&w| warps[w].is_ready(cycle))
+                    .expect("ready > 0");
+                self.current = Some(next);
+                self.runs_completed += 1;
+                self.run_length_sum += 1;
+                Some(next)
+            }
+        }
+    }
+
+    /// Accounts `n` skipped (no-issue) cycles into the probe. Warps may
+    /// still hold compute work during skipped cycles, so availability is
+    /// sampled rather than assumed zero.
+    pub fn account_idle_cycles(&mut self, n: u64, warps: &[Warp]) {
+        let available = self
+            .warp_ids
+            .iter()
+            .filter(|&&w| warps[w].is_available())
+            .count() as u64;
+        self.ready_samples += n;
+        self.ready_sum += available * n;
+        self.end_run();
+    }
+
+    /// Reads and resets the probe accumulators.
+    pub fn take_probe(&mut self) -> SchedulerProbe {
+        // Count the in-flight greedy run so long runs are not invisible.
+        let probe = SchedulerProbe {
+            samples: self.ready_samples,
+            ready_sum: self.ready_sum,
+            runs: self.runs_completed + u64::from(self.run_length > 0),
+            run_length_sum: self.run_length_sum + self.run_length,
+        };
+        self.ready_samples = 0;
+        self.ready_sum = 0;
+        self.runs_completed = 0;
+        self.run_length_sum = 0;
+        // The greedy run itself continues (the current warp stays
+        // favoured), but the issues seen so far were attributed to this
+        // probe window; start counting afresh for the next one.
+        self.run_length = 0;
+        probe
+    }
+
+    fn end_run(&mut self) {
+        if self.run_length > 0 {
+            self.runs_completed += 1;
+            self.run_length_sum += self.run_length;
+            self.run_length = 0;
+        }
+        if self.kind == SchedulerKind::Gto {
+            self.current = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Op, VecStream};
+    use crate::warp::{Warp, WarpState};
+
+    fn warps(n: usize) -> Vec<Warp> {
+        (0..n)
+            .map(|i| Warp::new(i, 0, Box::new(VecStream::new(vec![Op::Exit])) as Box<_>))
+            .collect()
+    }
+
+    #[test]
+    fn gto_sticks_with_current_warp() {
+        let ws = warps(4);
+        let mut s = WarpScheduler::new(SchedulerKind::Gto, vec![0, 1, 2, 3]);
+        assert_eq!(s.pick(&ws, 0), Some(0));
+        assert_eq!(s.pick(&ws, 1), Some(0));
+        assert_eq!(s.pick(&ws, 2), Some(0));
+    }
+
+    #[test]
+    fn gto_switches_to_oldest_on_stall() {
+        let mut ws = warps(4);
+        let mut s = WarpScheduler::new(SchedulerKind::Gto, vec![0, 1, 2, 3]);
+        assert_eq!(s.pick(&ws, 0), Some(0));
+        ws[0].state = WarpState::BusyUntil(100);
+        ws[1].state = WarpState::BusyUntil(100);
+        assert_eq!(s.pick(&ws, 1), Some(2), "oldest ready warp");
+        // Warp 0 becoming ready again does not preempt the greedy run.
+        ws[0].state = WarpState::Ready;
+        assert_eq!(s.pick(&ws, 2), Some(2));
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let ws = warps(3);
+        let mut s = WarpScheduler::new(SchedulerKind::Lrr, vec![0, 1, 2]);
+        assert_eq!(s.pick(&ws, 0), Some(0));
+        assert_eq!(s.pick(&ws, 1), Some(1));
+        assert_eq!(s.pick(&ws, 2), Some(2));
+        assert_eq!(s.pick(&ws, 3), Some(0));
+    }
+
+    #[test]
+    fn probe_measures_runs_and_ready_counts() {
+        let mut ws = warps(2);
+        let mut s = WarpScheduler::new(SchedulerKind::Gto, vec![0, 1]);
+        s.pick(&ws, 0);
+        s.pick(&ws, 1);
+        ws[0].state = WarpState::WaitingData { until: 0, pending_misses: 1 };
+        s.pick(&ws, 2); // switches to warp 1, ending a run of 2
+        let probe = s.take_probe();
+        assert_eq!(probe.samples, 3);
+        assert_eq!(probe.ready_sum, 2 + 2 + 1);
+        assert_eq!(probe.runs, 2); // completed run of 2 + in-flight run of 1
+        assert_eq!(probe.run_length_sum, 3);
+    }
+
+    #[test]
+    fn no_ready_warps_returns_none() {
+        let mut ws = warps(1);
+        ws[0].state = WarpState::Finished;
+        let mut s = WarpScheduler::new(SchedulerKind::Gto, vec![0]);
+        assert_eq!(s.pick(&ws, 0), None);
+        let probe = s.take_probe();
+        assert_eq!(probe.ready_sum, 0);
+        assert_eq!(probe.samples, 1);
+    }
+
+    #[test]
+    fn probe_resets_after_take() {
+        let ws = warps(2);
+        let mut s = WarpScheduler::new(SchedulerKind::Gto, vec![0, 1]);
+        s.pick(&ws, 0);
+        let _ = s.take_probe();
+        let probe = s.take_probe();
+        assert_eq!(probe, SchedulerProbe::default());
+    }
+}

@@ -1,0 +1,460 @@
+//! One streaming multiprocessor: warps, schedulers, L1, decompression
+//! queue, MSHRs and the experimental-phase (EP) bookkeeping.
+
+use crate::config::GpuConfig;
+use crate::ops::{Kernel, Op};
+use crate::policy::{AccessEvent, EpProbe, L1CompressionPolicy};
+use crate::scheduler::WarpScheduler;
+use crate::stats::{EpTraceEntry, KernelStats};
+use crate::warp::{Warp, WarpState};
+use latte_cache::{
+    CompressedCache, DecompressionQueue, LineAddr, LookupOutcome, Mshr, MshrOutcome,
+};
+use latte_compress::{Compression, Cycles};
+use std::collections::HashMap;
+
+/// A memory request completing at `cycle` for `sm`'s line `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MemEvent {
+    pub cycle: Cycles,
+    pub sm: usize,
+    pub addr: LineAddr,
+}
+
+/// Shared resources an SM needs while stepping (split off `Gpu` to keep
+/// borrows disjoint).
+pub(crate) struct MemCtx<'a> {
+    pub l2: &'a mut latte_cache::SimpleCache,
+    pub events: &'a mut std::collections::BinaryHeap<std::cmp::Reverse<MemEvent>>,
+    pub policy: &'a mut dyn L1CompressionPolicy,
+    pub kernel: &'a dyn Kernel,
+    pub config: &'a GpuConfig,
+    pub stats: &'a mut KernelStats,
+}
+
+pub(crate) struct Sm {
+    pub id: usize,
+    pub warps: Vec<Warp>,
+    schedulers: Vec<WarpScheduler>,
+    pub l1: CompressedCache,
+    mshr: Mshr,
+    dq: DecompressionQueue,
+    /// Warps blocked on each outstanding line.
+    waiters: HashMap<LineAddr, Vec<(usize, Cycles)>>,
+    /// Warp ids per thread block (barrier scope).
+    blocks: Vec<Vec<usize>>,
+    // EP bookkeeping.
+    ep_access_count: u64,
+    ep_hits: u64,
+    ep_index: u64,
+    ep_start_cycle: Cycles,
+    pub barrier_wait: Cycles,
+}
+
+impl Sm {
+    pub(crate) fn new(id: usize, config: &GpuConfig) -> Sm {
+        Sm {
+            id,
+            warps: Vec::new(),
+            schedulers: Vec::new(),
+            l1: CompressedCache::new(config.l1_geometry),
+            mshr: Mshr::new(config.mshr_entries, config.mshr_merges),
+            dq: DecompressionQueue::new(),
+            waiters: HashMap::new(),
+            blocks: Vec::new(),
+            ep_access_count: 0,
+            ep_hits: 0,
+            ep_index: 0,
+            ep_start_cycle: 0,
+            barrier_wait: 0,
+        }
+    }
+
+    /// Launches a kernel's warps onto this SM.
+    pub(crate) fn launch(&mut self, kernel: &dyn Kernel, config: &GpuConfig) {
+        let n = kernel.warps_on_sm(self.id).min(config.max_warps_per_sm);
+        self.warps = (0..n)
+            .map(|w| {
+                Warp::new(
+                    w,
+                    w / config.warps_per_block,
+                    kernel.warp_program(self.id, w),
+                )
+            })
+            .collect();
+        let num_blocks = n.div_ceil(config.warps_per_block.max(1));
+        self.blocks = (0..num_blocks)
+            .map(|b| {
+                (0..n)
+                    .filter(|w| w / config.warps_per_block == b)
+                    .collect()
+            })
+            .collect();
+        // Split warps round-robin across schedulers.
+        self.schedulers = (0..config.schedulers_per_sm)
+            .map(|s| {
+                WarpScheduler::new(
+                    config.scheduler,
+                    (0..n).filter(|w| w % config.schedulers_per_sm == s).collect(),
+                )
+            })
+            .collect();
+        if config.flush_at_kernel_boundary {
+            self.l1.invalidate_all();
+            self.mshr.flush();
+            self.dq.flush();
+            self.waiters.clear();
+        }
+        self.l1.reset_stats();
+        self.ep_access_count = 0;
+        self.ep_hits = 0;
+        self.ep_index = 0;
+        self.ep_start_cycle = 0;
+        self.barrier_wait = 0;
+    }
+
+    pub(crate) fn all_finished(&self) -> bool {
+        self.warps.iter().all(Warp::is_finished) && self.waiters.is_empty()
+    }
+
+    /// Earliest cycle at which a busy warp becomes ready, if any.
+    pub(crate) fn next_wake(&self) -> Option<Cycles> {
+        self.warps
+            .iter()
+            .filter_map(|w| match w.state {
+                WarpState::BusyUntil(u) => Some(u),
+                WarpState::Ready => Some(0),
+                WarpState::WaitingData {
+                    until,
+                    pending_misses: 0,
+                } => Some(until),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Adds `n` skipped cycles to every scheduler's probe window.
+    pub(crate) fn account_idle(&mut self, n: u64) {
+        for s in &mut self.schedulers {
+            s.account_idle_cycles(n, &self.warps);
+        }
+    }
+
+    /// Runs one issue cycle: each scheduler issues at most one op, and the
+    /// SM's single LD/ST port accepts at most one memory op per cycle
+    /// (the structural hazard that bounds L1 bandwidth — and hence
+    /// decompressor demand — to one access per cycle).
+    /// Returns the number of instructions issued.
+    pub(crate) fn issue_cycle(&mut self, cycle: Cycles, ctx: &mut MemCtx<'_>) -> u64 {
+        let mut issued = 0;
+        let mut ldst_free = true;
+        let n = self.schedulers.len();
+        // Rotate LD/ST port priority between schedulers.
+        for i in 0..n {
+            let s = (i + cycle as usize) % n;
+            let Some(wid) = self.schedulers[s].pick(&self.warps, cycle) else {
+                continue;
+            };
+            let op = self.warps[wid].fetch_op();
+            let is_mem = matches!(
+                op,
+                Op::Load { .. } | Op::LoadAsync { .. } | Op::Store { .. }
+            );
+            if is_mem && !ldst_free {
+                // Port conflict: roll back; the warp retries next cycle.
+                self.warps[wid].unfetch(op);
+                continue;
+            }
+            if self.execute(wid, op, cycle, ctx) {
+                issued += 1;
+                if is_mem {
+                    ldst_free = false;
+                }
+            }
+        }
+        issued
+    }
+
+    /// Returns `false` when the op could not issue (structural stall) and
+    /// was rolled back.
+    fn execute(&mut self, wid: usize, op: Op, cycle: Cycles, ctx: &mut MemCtx<'_>) -> bool {
+        match op {
+            Op::Compute { cycles } => {
+                self.warps[wid].state = WarpState::BusyUntil(cycle + Cycles::from(cycles.max(1)));
+                true
+            }
+            Op::Load { addr } => self.execute_load(wid, addr, cycle, true, ctx),
+            Op::LoadAsync { addr } => self.execute_load(wid, addr, cycle, false, ctx),
+            Op::Store { addr } => {
+                // Write-through; the warp does not wait for completion.
+                // Default is the paper's write-avoid L1 (§IV-C3: no
+                // allocation pressure from writes); with `write_allocate`
+                // a store miss also fetches the line into the L1.
+                ctx.stats.stores += 1;
+                let line = LineAddr::from_byte_addr(addr);
+                if !ctx.l2.access_and_fill(line) {
+                    ctx.stats.dram_accesses += 1;
+                }
+                if ctx.config.write_allocate
+                    && !self.l1.contains(line)
+                    && self.mshr.would_accept(line)
+                    && self.mshr.allocate(line) == MshrOutcome::Primary
+                {
+                    // Fetch in the background; no warp waits on it.
+                    ctx.events.push(std::cmp::Reverse(MemEvent {
+                        cycle: cycle + ctx.config.l2_latency,
+                        sm: self.id,
+                        addr: line,
+                    }));
+                }
+                self.warps[wid].state = WarpState::BusyUntil(cycle + 1);
+                true
+            }
+            Op::Barrier => {
+                self.warps[wid].state = WarpState::AtBarrier(cycle);
+                self.check_barrier(self.warps[wid].block, cycle);
+                true
+            }
+            Op::Exit => {
+                self.warps[wid].state = WarpState::Finished;
+                // A warp exiting may release a barrier its block-mates wait on.
+                self.check_barrier(self.warps[wid].block, cycle);
+                true
+            }
+        }
+    }
+
+    fn execute_load(
+        &mut self,
+        wid: usize,
+        addr: u64,
+        cycle: Cycles,
+        blocking: bool,
+        ctx: &mut MemCtx<'_>,
+    ) -> bool {
+        let line = LineAddr::from_byte_addr(addr);
+
+        // If this would be a miss the MSHR cannot take, stall before any
+        // statistics are recorded and retry shortly.
+        if !self.l1.contains(line) && !self.mshr.would_accept(line) {
+            ctx.stats.mshr_stalls += 1;
+            let op = if blocking {
+                Op::Load { addr }
+            } else {
+                Op::LoadAsync { addr }
+            };
+            self.warps[wid].unfetch(op);
+            // Back off before replaying so the stalled warp does not hog
+            // its scheduler's issue slot every cycle (hardware parks the
+            // replay in the instruction buffer).
+            self.warps[wid].state = WarpState::BusyUntil(cycle + 8);
+            return false;
+        }
+
+        ctx.stats.loads += 1;
+        let outcome = self.l1.lookup(line, cycle);
+        let set = self.l1.set_of(line);
+        let (hit, algo) = match outcome {
+            LookupOutcome::Hit { algo, .. } => (true, algo),
+            LookupOutcome::Miss => (false, latte_compress::CompressionAlgo::None),
+        };
+        ctx.policy.on_access(&AccessEvent {
+            set,
+            hit,
+            algo,
+            cycle,
+        });
+        self.note_ep_access(hit, cycle, ctx);
+
+        match outcome {
+            LookupOutcome::Hit { algo, compressed } => {
+                let mut latency = ctx.config.l1_hit_latency + ctx.config.extra_hit_latency;
+                if compressed {
+                    ctx.stats.decompressions.bump(algo);
+                    if !ctx.config.zero_decompression_latency {
+                        let pipeline = ctx.policy.decompression_latency(algo);
+                        let effective = self.dq.enqueue(cycle, pipeline);
+                        ctx.stats.decompression_queue_wait += effective - pipeline;
+                        latency += effective;
+                    }
+                }
+                ctx.stats.hit_wait_cycles += latency;
+                let ready_at = cycle + latency;
+                let warp = &mut self.warps[wid];
+                warp.data_ready_at = warp.data_ready_at.max(ready_at);
+                if blocking {
+                    warp.state = WarpState::WaitingData {
+                        until: warp.data_ready_at,
+                        pending_misses: warp.outstanding_misses,
+                    };
+                    warp.data_ready_at = 0;
+                    warp.outstanding_misses = 0;
+                } else {
+                    // One cycle of issue occupancy; the data arrives in
+                    // the background.
+                    warp.state = WarpState::BusyUntil(cycle + 1);
+                }
+            }
+            LookupOutcome::Miss => {
+                match self.mshr.allocate(line) {
+                    MshrOutcome::Primary => {
+                        let l2_hit = ctx.l2.access_and_fill(line);
+                        let latency = if l2_hit {
+                            ctx.config.l2_latency
+                        } else {
+                            ctx.stats.dram_accesses += 1;
+                            ctx.config.dram_latency
+                        };
+                        ctx.events.push(std::cmp::Reverse(MemEvent {
+                            cycle: cycle + latency,
+                            sm: self.id,
+                            addr: line,
+                        }));
+                    }
+                    MshrOutcome::Merged => {}
+                    MshrOutcome::Full => unreachable!("would_accept checked above"),
+                }
+                self.waiters.entry(line).or_default().push((wid, cycle));
+                let warp = &mut self.warps[wid];
+                if blocking {
+                    warp.state = WarpState::WaitingData {
+                        until: warp.data_ready_at,
+                        pending_misses: warp.outstanding_misses + 1,
+                    };
+                    warp.data_ready_at = 0;
+                    warp.outstanding_misses = 0;
+                } else {
+                    warp.outstanding_misses += 1;
+                    warp.state = WarpState::BusyUntil(cycle + 1);
+                }
+            }
+        }
+        true
+    }
+
+    /// Handles a refill arriving from the memory system.
+    pub(crate) fn handle_fill(&mut self, addr: LineAddr, cycle: Cycles, ctx: &mut MemCtx<'_>) {
+        let data = ctx.kernel.line_data(addr);
+        let set = self.l1.set_of(addr);
+        let (algo, mut compression) = ctx.policy.compress_fill(set, &data);
+        if algo != latte_compress::CompressionAlgo::None {
+            // The compressor ran regardless of whether it succeeded.
+            ctx.stats.compressions.bump(algo);
+        }
+        if ctx.config.ignore_capacity_benefit && compression.is_compressed() {
+            // Fig 4 study: charge the hit-latency penalty but store at full
+            // size (127 B quantises to the full four sub-blocks).
+            compression = Compression::new(latte_compress::CacheLine::SIZE_BYTES - 1);
+        }
+        self.l1.fill(addr, algo, compression, cycle);
+        self.mshr.release(addr);
+        if let Some(waiters) = self.waiters.remove(&addr) {
+            for (wid, issued_at) in waiters {
+                ctx.stats.miss_wait_cycles += cycle.saturating_sub(issued_at);
+                let warp = &mut self.warps[wid];
+                match warp.state {
+                    WarpState::WaitingData {
+                        until,
+                        pending_misses,
+                    } => {
+                        let pending = pending_misses.saturating_sub(1);
+                        warp.state = if pending == 0 {
+                            WarpState::BusyUntil(until.max(cycle))
+                        } else {
+                            WarpState::WaitingData {
+                                until,
+                                pending_misses: pending,
+                            }
+                        };
+                    }
+                    // The warp is still running past an async miss (or
+                    // already exited/hit a barrier): just retire the
+                    // outstanding count.
+                    _ => {
+                        warp.outstanding_misses = warp.outstanding_misses.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_barrier(&mut self, block: usize, cycle: Cycles) {
+        let Some(members) = self.blocks.get(block) else {
+            return;
+        };
+        let all_arrived = members.iter().all(|&w| {
+            matches!(
+                self.warps[w].state,
+                WarpState::AtBarrier(_) | WarpState::Finished
+            )
+        });
+        if all_arrived {
+            for &w in members {
+                if let WarpState::AtBarrier(since) = self.warps[w].state {
+                    self.barrier_wait += cycle - since;
+                    self.warps[w].state = WarpState::BusyUntil(cycle + 1);
+                }
+            }
+        }
+    }
+
+    fn note_ep_access(&mut self, hit: bool, cycle: Cycles, ctx: &mut MemCtx<'_>) {
+        self.ep_access_count += 1;
+        self.ep_hits += u64::from(hit);
+        if self.ep_access_count >= ctx.config.ep_accesses {
+            self.finish_ep(cycle, ctx);
+        }
+    }
+
+    fn finish_ep(&mut self, cycle: Cycles, ctx: &mut MemCtx<'_>) {
+        let mut samples = 0;
+        let mut ready_sum = 0;
+        let mut runs = 0;
+        let mut run_length_sum = 0;
+        for s in &mut self.schedulers {
+            let p = s.take_probe();
+            samples += p.samples;
+            ready_sum += p.ready_sum;
+            runs += p.runs;
+            run_length_sum += p.run_length_sum;
+        }
+        let probe = EpProbe {
+            ep_index: self.ep_index,
+            avg_warps_available: if samples == 0 {
+                0.0
+            } else {
+                // Average over per-scheduler samples; scale by scheduler
+                // count to express "warps available in the SM".
+                ready_sum as f64 / samples as f64 * self.schedulers.len() as f64
+            },
+            avg_exec_cycles_per_schedule: if runs == 0 {
+                0.0
+            } else {
+                run_length_sum as f64 / runs as f64
+            },
+            l1_accesses: self.ep_access_count,
+            cycles: cycle.saturating_sub(self.ep_start_cycle),
+            end_cycle: cycle,
+        };
+        ctx.policy.on_ep(&probe);
+        if let Some(algo) = ctx.policy.pending_invalidation() {
+            self.l1.invalidate_algo(algo);
+        }
+        ctx.stats.eps_completed += 1;
+        if ctx.config.record_traces && self.id == 0 {
+            ctx.stats.traces.push(EpTraceEntry {
+                ep_index: self.ep_index,
+                end_cycle: cycle,
+                latency_tolerance: probe.latency_tolerance(),
+                effective_capacity: self.l1.effective_capacity_bytes() as f64
+                    / self.l1.geometry().size_bytes as f64,
+                l1_hit_rate: self.ep_hits as f64 / self.ep_access_count as f64,
+                selected_mode: ctx.policy.current_mode_index(),
+            });
+        }
+        self.ep_access_count = 0;
+        self.ep_hits = 0;
+        self.ep_index += 1;
+        self.ep_start_cycle = cycle;
+    }
+}

@@ -1,0 +1,189 @@
+//! Simulation statistics: per-kernel and aggregated.
+
+use latte_cache::CacheStats;
+use latte_compress::{CompressionAlgo, Cycles};
+
+/// Per-algorithm event counts (compressions or decompressions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AlgoCounts {
+    counts: [u64; 6],
+}
+
+impl AlgoCounts {
+    fn index(algo: CompressionAlgo) -> usize {
+        match algo {
+            CompressionAlgo::None => 0,
+            CompressionAlgo::Bdi => 1,
+            CompressionAlgo::Fpc => 2,
+            CompressionAlgo::CpackZ => 3,
+            CompressionAlgo::Bpc => 4,
+            CompressionAlgo::Sc => 5,
+        }
+    }
+
+    /// Increments the counter for `algo`.
+    pub fn bump(&mut self, algo: CompressionAlgo) {
+        self.counts[Self::index(algo)] += 1;
+    }
+
+    /// The count for `algo`.
+    #[must_use]
+    pub fn get(&self, algo: CompressionAlgo) -> u64 {
+        self.counts[Self::index(algo)]
+    }
+
+    /// Total across all real algorithms (excludes `None`).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts[1..].iter().sum()
+    }
+
+    /// Iterates `(algo, count)` over the real algorithms.
+    pub fn iter(&self) -> impl Iterator<Item = (CompressionAlgo, u64)> + '_ {
+        CompressionAlgo::ALL.iter().map(|&a| (a, self.get(a)))
+    }
+}
+
+impl std::ops::AddAssign for AlgoCounts {
+    fn add_assign(&mut self, rhs: AlgoCounts) {
+        for (a, b) in self.counts.iter_mut().zip(rhs.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// One experimental phase's trace record (for the Fig 5 / Fig 16
+/// time-series plots; recorded on SM 0 when tracing is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpTraceEntry {
+    /// EP index within the simulation.
+    pub ep_index: u64,
+    /// Cycle at which the EP ended.
+    pub end_cycle: Cycles,
+    /// Latency tolerance estimate (Eq. 4) over the EP.
+    pub latency_tolerance: f64,
+    /// Effective L1 capacity at the EP boundary, relative to the baseline
+    /// capacity (1.0 = uncompressed full cache).
+    pub effective_capacity: f64,
+    /// L1 hit rate within the EP window (cumulative approximation).
+    pub l1_hit_rate: f64,
+    /// Mode index selected by an adaptive policy for the next EP
+    /// (None for static policies).
+    pub selected_mode: Option<usize>,
+}
+
+/// Statistics from running one kernel (or a whole benchmark when summed).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelStats {
+    /// Cycles the kernel took.
+    pub cycles: Cycles,
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Aggregated L1 statistics across SMs.
+    pub l1: CacheStats,
+    /// Shared L2 statistics.
+    pub l2: CacheStats,
+    /// DRAM accesses (L2 misses).
+    pub dram_accesses: u64,
+    /// Warp-level loads issued.
+    pub loads: u64,
+    /// Warp-level stores issued.
+    pub stores: u64,
+    /// Compression operations per algorithm.
+    pub compressions: AlgoCounts,
+    /// Decompression operations per algorithm.
+    pub decompressions: AlgoCounts,
+    /// Cycles a load stalled because the MSHR file was full.
+    pub mshr_stalls: u64,
+    /// Total cycles warps spent blocked on L1 hits (incl. decompression).
+    pub hit_wait_cycles: u64,
+    /// Total cycles warps spent blocked waiting for refills.
+    pub miss_wait_cycles: u64,
+    /// Total cycles warps spent parked at barriers.
+    pub barrier_wait_cycles: u64,
+    /// Number of completed experimental phases (all SMs).
+    pub eps_completed: u64,
+    /// Sum over decompressions of the queueing component of the effective
+    /// hit latency (Eq. 3), for contention statistics.
+    pub decompression_queue_wait: u64,
+    /// Per-EP traces from SM 0 (empty unless tracing is enabled).
+    pub traces: Vec<EpTraceEntry>,
+    /// True if the kernel hit the cycle limit before completing.
+    pub timed_out: bool,
+}
+
+impl KernelStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Accumulates another kernel's stats (traces are appended).
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        self.l1 = self.l1 + other.l1;
+        self.l2 = self.l2 + other.l2;
+        self.dram_accesses += other.dram_accesses;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.compressions += other.compressions;
+        self.decompressions += other.decompressions;
+        self.mshr_stalls += other.mshr_stalls;
+        self.hit_wait_cycles += other.hit_wait_cycles;
+        self.miss_wait_cycles += other.miss_wait_cycles;
+        self.barrier_wait_cycles += other.barrier_wait_cycles;
+        self.eps_completed += other.eps_completed;
+        self.decompression_queue_wait += other.decompression_queue_wait;
+        self.traces.extend(other.traces.iter().copied());
+        self.timed_out |= other.timed_out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_counts() {
+        let mut c = AlgoCounts::default();
+        c.bump(CompressionAlgo::Bdi);
+        c.bump(CompressionAlgo::Bdi);
+        c.bump(CompressionAlgo::Sc);
+        c.bump(CompressionAlgo::None);
+        assert_eq!(c.get(CompressionAlgo::Bdi), 2);
+        assert_eq!(c.get(CompressionAlgo::Sc), 1);
+        assert_eq!(c.total(), 3, "None excluded from total");
+    }
+
+    #[test]
+    fn ipc() {
+        let s = KernelStats {
+            cycles: 100,
+            instructions: 250,
+            ..KernelStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(KernelStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = KernelStats {
+            cycles: 10,
+            instructions: 20,
+            dram_accesses: 3,
+            ..KernelStats::default()
+        };
+        let b = a.clone();
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 20);
+        assert_eq!(a.instructions, 40);
+        assert_eq!(a.dram_accesses, 6);
+    }
+}

@@ -1,0 +1,38 @@
+//! Run every compression management policy on one benchmark (default SS)
+//! and print the full comparison — speedup, miss reduction and energy.
+//!
+//! ```text
+//! cargo run --release --example policy_shootout -- [BENCH]
+//! cargo run --release --example policy_shootout -- KM
+//! ```
+
+use latte_bench::{run_benchmark, PolicyKind, ALL_POLICIES};
+use latte_workloads::{benchmark, suite};
+
+fn main() {
+    let abbr = std::env::args().nth(1).unwrap_or_else(|| "SS".to_owned());
+    let Some(bench) = benchmark(&abbr) else {
+        eprintln!("unknown benchmark '{abbr}'. available:");
+        for b in suite() {
+            eprintln!("  {:5} {} ({})", b.abbr, b.name, b.category);
+        }
+        std::process::exit(2);
+    };
+    println!("{} ({}) — {}\n", bench.name, bench.abbr, bench.category);
+    let base = run_benchmark(PolicyKind::Baseline, &bench);
+    println!(
+        "{:20} {:>9} {:>10} {:>10} {:>9}",
+        "policy", "speedup", "miss-redn", "energy", "hit%"
+    );
+    for policy in ALL_POLICIES {
+        let r = run_benchmark(policy, &bench);
+        println!(
+            "{:20} {:>8.3}x {:>9.1}% {:>9.3}x {:>8.1}%",
+            policy.name(),
+            r.speedup_over(&base),
+            r.miss_reduction_over(&base) * 100.0,
+            r.energy_ratio_over(&base),
+            r.stats.l1.hit_rate() * 100.0
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: run one GPGPU benchmark under the uncompressed baseline and
+//! under LATTE-CC, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use latte_core::{LatteCc, LatteConfig};
+use latte_energy::EnergyModel;
+use latte_gpusim::{Gpu, GpuConfig, Kernel, KernelStats, UncompressedPolicy};
+use latte_workloads::benchmark;
+
+fn run(gpu: &mut Gpu, bench: &latte_workloads::BenchmarkSpec) -> KernelStats {
+    let mut total = KernelStats::default();
+    for kernel in bench.build_kernels() {
+        total.accumulate(&gpu.run_kernel(&kernel as &dyn Kernel));
+    }
+    total
+}
+
+fn main() {
+    // The Similarity Score benchmark: the paper's showcase for
+    // fine-grained adaptive compression (Figs 5 and 16).
+    let bench = benchmark("SS").expect("SS is part of the suite");
+    let config = GpuConfig::small();
+
+    let mut baseline_gpu = Gpu::new(config.clone(), |_| Box::new(UncompressedPolicy));
+    let baseline = run(&mut baseline_gpu, &bench);
+
+    let latte_config = LatteConfig {
+        num_l1_sets: config.l1_geometry.num_sets(),
+        l1_base_hit_latency: config.l1_hit_latency as f64,
+        ..LatteConfig::paper()
+    };
+    let mut latte_gpu = Gpu::new(config, move |_| Box::new(LatteCc::new(latte_config.clone())));
+    let latte = run(&mut latte_gpu, &bench);
+
+    let energy = EnergyModel::paper();
+    println!("benchmark: {} ({})", bench.name, bench.abbr);
+    println!(
+        "baseline : {:>9} cycles, IPC {:.2}, L1 hit rate {:.1}%",
+        baseline.cycles,
+        baseline.ipc(),
+        baseline.l1.hit_rate() * 100.0
+    );
+    println!(
+        "LATTE-CC : {:>9} cycles, IPC {:.2}, L1 hit rate {:.1}%",
+        latte.cycles,
+        latte.ipc(),
+        latte.l1.hit_rate() * 100.0
+    );
+    println!(
+        "speedup  : {:.3}x   misses {:+.1}%   energy {:.3}x",
+        baseline.cycles as f64 / latte.cycles as f64,
+        (latte.l1.misses as f64 - baseline.l1.misses as f64) / baseline.l1.misses as f64 * 100.0,
+        energy.account(&latte).total_nj() / energy.account(&baseline).total_nj()
+    );
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: full simulations spanning the
+//! workload, simulator, cache, compression, policy and energy crates.
+
+use latte_bench::{run_benchmark, run_benchmark_with_config, PolicyKind, ALL_POLICIES};
+use latte_energy::EnergyModel;
+use latte_gpusim::GpuConfig;
+use latte_workloads::{benchmark, suite};
+
+/// The whole pipeline is deterministic end to end.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let bench = benchmark("SS").expect("SS exists");
+    let a = run_benchmark(PolicyKind::LatteCc, &bench);
+    let b = run_benchmark(PolicyKind::LatteCc, &bench);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.energy, b.energy);
+}
+
+/// Every policy runs every benchmark to completion without timeouts, with
+/// consistent accounting. (Debug builds cover a representative subset to
+/// keep `cargo test` fast; release builds sweep the whole suite.)
+#[test]
+fn every_policy_completes_every_benchmark() {
+    let benches: Vec<_> = if cfg!(debug_assertions) {
+        ["SS", "BC", "HW", "PRK"]
+            .iter()
+            .map(|a| benchmark(a).expect("exists"))
+            .collect()
+    } else {
+        suite()
+    };
+    for bench in benches {
+        let base = run_benchmark(PolicyKind::Baseline, &bench);
+        for policy in ALL_POLICIES {
+            let r = run_benchmark(policy, &bench);
+            let s = &r.stats;
+            assert!(!s.timed_out, "{}/{} timed out", bench.abbr, policy.name());
+            // Instruction counts are policy-invariant (same program).
+            assert_eq!(
+                s.instructions,
+                base.stats.instructions,
+                "{}/{}: instruction count drifted",
+                bench.abbr,
+                policy.name()
+            );
+            // Accounting identities.
+            assert_eq!(s.l1.accesses(), s.l1.hits + s.l1.misses);
+            assert!(s.l1.compressed_hits <= s.l1.hits);
+            assert!(s.decompressions.total() <= s.l1.hits);
+            assert!(s.dram_accesses <= s.l2.accesses());
+            // A policy must never be catastrophically wrong.
+            assert!(
+                r.speedup_over(&base) > 0.40,
+                "{}/{}: speedup {:.3}",
+                bench.abbr,
+                policy.name(),
+                r.speedup_over(&base)
+            );
+        }
+    }
+}
+
+/// The baseline policy never compresses, never decompresses and uses no
+/// compression energy.
+#[test]
+fn baseline_never_compresses() {
+    for abbr in ["SS", "BC", "HW"] {
+        let bench = benchmark(abbr).expect("exists");
+        let r = run_benchmark(PolicyKind::Baseline, &bench);
+        assert_eq!(r.stats.compressions.total(), 0);
+        assert_eq!(r.stats.decompressions.total(), 0);
+        assert_eq!(r.energy.compression_overhead_nj(), 0.0);
+    }
+}
+
+/// Energy reports decompose consistently and track runtime.
+#[test]
+fn energy_accounting_is_consistent() {
+    let bench = benchmark("KM").expect("exists");
+    let model = EnergyModel::paper();
+    for policy in [PolicyKind::Baseline, PolicyKind::LatteCc] {
+        let r = run_benchmark(policy, &bench);
+        let e = model.account(&r.stats);
+        assert!(e.total_nj() > 0.0);
+        let sum = e.core_nj
+            + e.l1_nj
+            + e.l2_nj
+            + e.dram_nj
+            + e.noc_nj
+            + e.compression_nj
+            + e.decompression_nj
+            + e.static_nj;
+        assert!((e.total_nj() - sum).abs() < 1e-6);
+        // Static energy is proportional to cycles at fixed power.
+        let expected_static = 42.0 * (r.stats.cycles as f64 / 1.4);
+        assert!((e.static_nj - expected_static).abs() / expected_static < 1e-9);
+    }
+}
+
+/// The zero-decompression-latency switch can only help.
+#[test]
+fn zero_latency_bound_dominates() {
+    let bench = benchmark("SS").expect("exists");
+    let real = run_benchmark(PolicyKind::StaticSc, &bench);
+    let free = run_benchmark_with_config(
+        PolicyKind::StaticSc,
+        &bench,
+        &GpuConfig {
+            zero_decompression_latency: true,
+            ..latte_bench::runner::experiment_config()
+        },
+    );
+    assert!(
+        free.stats.cycles <= real.stats.cycles,
+        "removing decompression latency must not slow anything down"
+    );
+}
+
+/// The latency-only mode (Fig 4) keeps miss behaviour identical to the
+/// baseline while charging decompression.
+#[test]
+fn latency_only_mode_pins_misses() {
+    let config = GpuConfig {
+        ignore_capacity_benefit: true,
+        ..latte_bench::runner::experiment_config()
+    };
+    let bench = benchmark("HW").expect("exists");
+    let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
+    let sc = run_benchmark_with_config(PolicyKind::StaticSc, &bench, &config);
+    // Lookup-miss counts include MSHR merges, which shift slightly with
+    // issue timing; the capacity (refill) behaviour must stay pinned.
+    let (b, s) = (base.stats.l1.fills as f64, sc.stats.l1.fills as f64);
+    assert!(
+        (b - s).abs() / b < 0.05,
+        "latency-only mode must not change refill behaviour: {b} vs {s}"
+    );
+    assert!(sc.stats.cycles >= base.stats.cycles);
+}
+
+/// A 4x larger L1 never hurts, and helps the cache-sensitive workloads.
+#[test]
+fn bigger_cache_helps_sensitively() {
+    let base_config = latte_bench::runner::experiment_config();
+    let big_config = GpuConfig {
+        l1_geometry: latte_cache::CacheGeometry {
+            size_bytes: base_config.l1_geometry.size_bytes * 4,
+            ..base_config.l1_geometry
+        },
+        ..base_config.clone()
+    };
+    for abbr in ["BC", "SS", "PTH"] {
+        let bench = benchmark(abbr).expect("exists");
+        let small = run_benchmark_with_config(PolicyKind::Baseline, &bench, &base_config);
+        let big = run_benchmark_with_config(PolicyKind::Baseline, &bench, &big_config);
+        assert!(
+            big.stats.cycles <= small.stats.cycles * 101 / 100,
+            "{abbr}: bigger cache must not hurt"
+        );
+        assert!(big.stats.l1.misses <= small.stats.l1.misses);
+    }
+}
+
+/// Policy decision reports are well-formed for adaptive policies and empty
+/// for static ones.
+#[test]
+fn policy_reports_reflect_adaptivity() {
+    let bench = benchmark("SS").expect("exists");
+    let latte = run_benchmark(PolicyKind::LatteCc, &bench);
+    assert!(
+        latte.reports.iter().any(|r| r.total_eps() > 0),
+        "LATTE-CC must record mode decisions"
+    );
+    let bdi = run_benchmark(PolicyKind::StaticBdi, &bench);
+    assert!(bdi.reports.iter().all(|r| r.total_eps() == 0));
+}
