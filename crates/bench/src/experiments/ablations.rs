@@ -59,7 +59,7 @@ fn subset_geomean(config: &GpuConfig, latte: &LatteConfig) -> f64 {
 
 /// Tolerance-awareness ablation: scale the Eq. (4) estimate from 0
 /// (tolerance-blind, i.e. conventional AMAT) upwards.
-pub fn tolerance() {
+pub fn tolerance() -> std::io::Result<()> {
     println!("Ablation: latency-tolerance scale (0 = tolerance-blind)\n");
     let config = experiment_config();
     let mut rows = vec![vec!["tolerance_scale".to_owned(), "csens_subset_geomean".to_owned()]];
@@ -72,12 +72,12 @@ pub fn tolerance() {
         println!("scale {scale:>4.1}: {g:.4}");
         rows.push(vec![format!("{scale}"), format!("{g:.4}")]);
     }
-    write_csv("ablation_tolerance_scale", &rows);
+    write_csv("ablation_tolerance_scale", &rows)
 }
 
 /// Miss-latency constant ablation: how sensitive are the AMAT decisions
 /// to the assumed effective miss cost?
-pub fn miss_latency() {
+pub fn miss_latency() -> std::io::Result<()> {
     println!("Ablation: AMAT effective miss-latency constant\n");
     let config = experiment_config();
     let mut rows = vec![vec!["miss_latency".to_owned(), "csens_subset_geomean".to_owned()]];
@@ -90,12 +90,12 @@ pub fn miss_latency() {
         println!("miss_latency {ml:>5.0}: {g:.4}");
         rows.push(vec![format!("{ml}"), format!("{g:.4}")]);
     }
-    write_csv("ablation_miss_latency", &rows);
+    write_csv("ablation_miss_latency", &rows)
 }
 
 /// EP-length ablation (the paper empirically picked 256 accesses/EP):
 /// shorter EPs adapt faster but sample less; longer EPs the reverse.
-pub fn ep_length() {
+pub fn ep_length() -> std::io::Result<()> {
     println!("Ablation: experimental-phase length (L1 accesses per EP)\n");
     let base = experiment_config();
     let mut rows = vec![vec!["ep_accesses".to_owned(), "csens_subset_geomean".to_owned()]];
@@ -109,11 +109,11 @@ pub fn ep_length() {
         println!("EP {ep:>5}: {g:.4}");
         rows.push(vec![ep.to_string(), format!("{g:.4}")]);
     }
-    write_csv("ablation_ep_length", &rows);
+    write_csv("ablation_ep_length", &rows)
 }
 
 /// Dedicated-set count ablation: sampling fidelity vs sampling overhead.
-pub fn dedicated_sets() {
+pub fn dedicated_sets() -> std::io::Result<()> {
     println!("Ablation: dedicated sets per compression mode\n");
     let config = experiment_config();
     let mut rows = vec![vec![
@@ -129,11 +129,11 @@ pub fn dedicated_sets() {
         println!("dedicated {d}: {g:.4}  (overhead {:.0}% of sets)", 3.0 * d as f64 / 32.0 * 100.0);
         rows.push(vec![d.to_string(), format!("{g:.4}")]);
     }
-    write_csv("ablation_dedicated_sets", &rows);
+    write_csv("ablation_dedicated_sets", &rows)
 }
 
 /// Scheduler ablation: the paper's GTO vs loose round-robin.
-pub fn scheduler() {
+pub fn scheduler() -> std::io::Result<()> {
     println!("Ablation: warp scheduler (GTO vs LRR)\n");
     let base = experiment_config();
     let mut rows = vec![vec![
@@ -150,18 +150,18 @@ pub fn scheduler() {
         println!("{name}: {g:.4}");
         rows.push(vec![name.to_owned(), format!("{g:.4}")]);
     }
-    write_csv("ablation_scheduler", &rows);
+    write_csv("ablation_scheduler", &rows)
 }
 
 /// Runs every ablation.
-pub fn run() {
-    tolerance();
+pub fn run() -> std::io::Result<()> {
+    tolerance()?;
     println!();
-    miss_latency();
+    miss_latency()?;
     println!();
-    ep_length();
+    ep_length()?;
     println!();
-    dedicated_sets();
+    dedicated_sets()?;
     println!();
-    scheduler();
+    scheduler()
 }

@@ -12,7 +12,7 @@ const BENCHES: [&str; 5] = ["PRK", "CLR", "MIS", "BC", "FW"];
 const LATENCIES: [u64; 6] = [0, 3, 6, 9, 12, 14];
 
 /// Runs the Fig 1 sweep.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 1: IPC (normalised to +0) vs added L1 hit latency\n");
     let mut rows = vec![{
         let mut h = vec!["benchmark".to_owned()];
@@ -52,5 +52,5 @@ pub fn run() {
         row.extend(normalised.iter().map(|n| format!("{n:.4}")));
         rows.push(row);
     }
-    write_csv("fig01_hit_latency_sensitivity", &rows);
+    write_csv("fig01_hit_latency_sensitivity", &rows)
 }

@@ -63,7 +63,7 @@ pub fn ratios_for(bench: &BenchmarkSpec) -> [f64; 5] {
 }
 
 /// Runs the Fig 2 characterisation.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 2: compression ratio per algorithm (L1 insertion stream)\n");
     println!(
         "{:6} {:>7} {:>7} {:>7} {:>7} {:>7}",
@@ -101,5 +101,5 @@ pub fn run() {
     let mut mean_row = vec!["GEOMEAN".to_owned()];
     mean_row.extend(gm.iter().map(|v| format!("{v:.3}")));
     rows.push(mean_row);
-    write_csv("fig02_compression_ratios", &rows);
+    write_csv("fig02_compression_ratios", &rows)
 }

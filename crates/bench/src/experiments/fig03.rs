@@ -7,7 +7,7 @@ use latte_gpusim::GpuConfig;
 use latte_workloads::{suite, Category};
 
 /// Runs the Fig 3 upper-bound study.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 3: speedup upper bound (zero decompression latency)\n");
     let config = GpuConfig {
         zero_decompression_latency: true,
@@ -47,5 +47,5 @@ pub fn run() {
         format!("{:.4}", geomean(&sens.0)),
         format!("{:.4}", geomean(&sens.1)),
     ]);
-    write_csv("fig03_zero_latency_upper_bound", &rows);
+    write_csv("fig03_zero_latency_upper_bound", &rows)
 }

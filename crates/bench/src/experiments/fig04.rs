@@ -9,7 +9,7 @@ use latte_gpusim::GpuConfig;
 use latte_workloads::suite;
 
 /// Runs the Fig 4 latency-only study.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 4: slowdown from decompression latency only (no capacity benefit)\n");
     let config = GpuConfig {
         ignore_capacity_benefit: true,
@@ -33,5 +33,5 @@ pub fn run() {
             format!("{s_sc:.4}"),
         ]);
     }
-    write_csv("fig04_latency_only_degradation", &rows);
+    write_csv("fig04_latency_only_degradation", &rows)
 }

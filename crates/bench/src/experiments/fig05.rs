@@ -9,7 +9,7 @@ use latte_gpusim::{Gpu, GpuConfig, Kernel, UncompressedPolicy};
 use latte_workloads::benchmark;
 
 /// Runs the Fig 5 tolerance trace.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 5: latency tolerance over time (SS, SM 0)\n");
     let bench = benchmark("SS").expect("SS exists");
     let config = GpuConfig {
@@ -52,5 +52,5 @@ pub fn run() {
             format!("{:.4}", t.l1_hit_rate),
         ]);
     }
-    write_csv("fig05_ss_latency_tolerance", &rows);
+    write_csv("fig05_ss_latency_tolerance", &rows)
 }

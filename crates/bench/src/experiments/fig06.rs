@@ -9,7 +9,7 @@ use crate::runner::{run_benchmark, PolicyKind};
 use latte_workloads::suite;
 
 /// Runs the Fig 6 motivation study.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 6: static vs adaptive — (a) speedup, (b) normalised energy\n");
     println!(
         "{:6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
@@ -62,5 +62,5 @@ pub fn run() {
         "\nstatic-policy speedup spread: {:.3} .. {:.3} (paper: 0.48 .. 1.48)",
         spread.0, spread.1
     );
-    write_csv("fig06_static_vs_adaptive", &csv);
+    write_csv("fig06_static_vs_adaptive", &csv)
 }

@@ -73,7 +73,7 @@ fn print_means(rows: &[Fig11Row], category: Category, csv: &mut Vec<Vec<String>>
 }
 
 /// Runs the Fig 11 experiment.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 11: speedup over uncompressed baseline\n");
     println!(
         "{:6} {:>9} {:>9} {:>9} {:>9}",
@@ -104,5 +104,5 @@ pub fn run() {
         print_means(&rows, cat, &mut csv);
         println!();
     }
-    write_csv("fig11_speedups", &csv);
+    write_csv("fig11_speedups", &csv)
 }

@@ -8,7 +8,7 @@ use crate::runner::{run_benchmark, PolicyKind};
 use latte_workloads::{suite, Category};
 
 /// Runs the Fig 12 experiment.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 12: L1 miss reduction over baseline (%)\n");
     println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
     let mut csv = vec![vec![
@@ -51,5 +51,5 @@ pub fn run() {
         format!("{:.2}", mean(&sens[1])),
         format!("{:.2}", mean(&sens[2])),
     ]);
-    write_csv("fig12_miss_reduction", &csv);
+    write_csv("fig12_miss_reduction", &csv)
 }

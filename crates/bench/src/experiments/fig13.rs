@@ -7,7 +7,7 @@ use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::{suite, Category};
 
 /// Runs the Fig 13 experiment.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 13: GPU energy normalised to baseline (lower is better)\n");
     println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
     let mut csv = vec![vec![
@@ -50,5 +50,5 @@ pub fn run() {
             format!("{:.4}", geomean(&by_cat[cat][2])),
         ]);
     }
-    write_csv("fig13_energy", &csv);
+    write_csv("fig13_energy", &csv)
 }

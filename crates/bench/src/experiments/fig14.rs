@@ -8,7 +8,7 @@ use crate::runner::{run_benchmark, PolicyKind};
 use latte_workloads::c_sens;
 
 /// Runs the Fig 14 experiment.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 14: LATTE-CC energy saving breakdown, C-Sens (% of baseline GPU energy)\n");
     println!(
         "{:6} {:>10} {:>9} {:>9} {:>10} {:>9}",
@@ -71,5 +71,5 @@ pub fn run() {
         format!("{:.4}", sums[3] / n),
         format!("{:.3}", sums[4] / n),
     ]);
-    write_csv("fig14_energy_breakdown", &csv);
+    write_csv("fig14_energy_breakdown", &csv)
 }

@@ -11,7 +11,7 @@ use latte_gpusim::{Gpu, Kernel};
 use latte_workloads::c_sens;
 
 /// Runs the Fig 15 agreement analysis.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 15: LATTE-CC vs Kernel-OPT decision agreement (C-Sens)\n");
     println!(
         "{:6} {:>8} {:>11} {:>11} {:>9}",
@@ -68,5 +68,5 @@ pub fn run() {
         ]);
     }
     println!("\n(negative perfΔ: LATTE-CC beats the oracle via intra-kernel adaptation)");
-    write_csv("fig15_kernel_opt_agreement", &csv);
+    write_csv("fig15_kernel_opt_agreement", &csv)
 }

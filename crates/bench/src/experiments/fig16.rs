@@ -25,7 +25,7 @@ fn trace(policy: PolicyKind) -> Vec<f64> {
 }
 
 /// Runs the Fig 16 capacity trace.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 16: effective L1 capacity over time (SS, SM 0, 1.0 = baseline)\n");
     let policies = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc];
     let traces: Vec<Vec<f64>> = policies.iter().map(|&p| trace(p)).collect();
@@ -59,5 +59,5 @@ pub fn run() {
         mean(&traces[1][..len]),
         mean(&traces[2][..len])
     );
-    write_csv("fig16_ss_effective_capacity", &rows);
+    write_csv("fig16_ss_effective_capacity", &rows)
 }

@@ -9,7 +9,7 @@ use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::c_sens;
 
 /// Runs the Fig 17 comparison.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 17: adaptive policy comparison (C-Sens)\n");
     println!(
         "{:6} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
@@ -77,5 +77,5 @@ pub fn run() {
         format!("{:.2}", amean(&mrs[1])),
         format!("{:.2}", amean(&mrs[2])),
     ]);
-    write_csv("fig17_adaptive_comparison", &csv);
+    write_csv("fig17_adaptive_comparison", &csv)
 }

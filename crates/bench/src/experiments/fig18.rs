@@ -8,7 +8,7 @@ use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::{c_sens, Category};
 
 /// Runs the Fig 18 variant study.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Figure 18: LATTE-CC vs LATTE-CC-BDI-BPC (C-Sens)\n");
     println!("{:6} {:>11} {:>15}", "bench", "LATTE(SC)", "LATTE(BDI-BPC)");
     let mut csv = vec![vec![
@@ -49,5 +49,5 @@ pub fn run() {
         format!("{:.4}", geomean(&sc_spd)),
         format!("{:.4}", geomean(&bpc_spd)),
     ]);
-    write_csv("fig18_bdi_bpc_variant", &csv);
+    write_csv("fig18_bdi_bpc_variant", &csv)
 }

@@ -19,6 +19,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod multi_mode;
 pub mod paper_machine;
+pub mod resilience;
 pub mod sens_cache;
 pub mod sens_write;
 pub mod summary;
@@ -29,24 +30,28 @@ pub mod table3;
 
 use std::fmt::Display;
 use std::fs;
+use std::io;
 use std::path::PathBuf;
 
 /// Writes `rows` (first row = header) to `results/<name>.csv`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the results directory or file cannot be written.
-pub fn write_csv(name: &str, rows: &[Vec<String>]) {
+/// Returns any I/O error from creating the results directory or writing
+/// the file; the experiment driver reports it and moves on to the next
+/// experiment instead of aborting the whole run.
+pub fn write_csv(name: &str, rows: &[Vec<String>]) -> io::Result<()> {
     let dir = PathBuf::from("results");
-    fs::create_dir_all(&dir).expect("create results dir");
+    fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
     let body: String = rows
         .iter()
         .map(|r| r.join(","))
         .collect::<Vec<_>>()
         .join("\n");
-    fs::write(&path, body + "\n").expect("write csv");
+    fs::write(&path, body + "\n")?;
     println!("[wrote {}]", path.display());
+    Ok(())
 }
 
 /// Formats a row of cells with a fixed column width.

@@ -8,7 +8,7 @@ use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::c_sens;
 
 /// Runs the multi-mode comparison.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Multi-mode extension: 3-mode (BDI+SC), 3-mode (BDI+BPC), 4-mode (C-Sens)\n");
     println!(
         "{:6} {:>11} {:>12} {:>10}",
@@ -55,5 +55,5 @@ pub fn run() {
         format!("{:.4}", geomean(&means[1])),
         format!("{:.4}", geomean(&means[2])),
     ]);
-    write_csv("multi_mode_extension", &csv);
+    write_csv("multi_mode_extension", &csv)
 }

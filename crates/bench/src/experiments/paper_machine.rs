@@ -8,7 +8,7 @@ use latte_gpusim::GpuConfig;
 use latte_workloads::c_sens;
 
 /// Runs the C-Sens policy comparison on the full 15-SM machine.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Full Table II machine (15 SMs): C-Sens speedups\n");
     let config = GpuConfig::paper();
     println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
@@ -49,5 +49,5 @@ pub fn run() {
         format!("{:.4}", geomean(&means[1])),
         format!("{:.4}", geomean(&means[2])),
     ]);
-    write_csv("paper_machine_csens", &csv);
+    write_csv("paper_machine_csens", &csv)
 }

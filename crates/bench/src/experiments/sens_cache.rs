@@ -7,7 +7,7 @@ use crate::runner::{experiment_config, geomean, run_benchmark_with_config, Polic
 use latte_workloads::c_sens;
 
 /// Runs the 48 KB sensitivity study.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Cache-size sensitivity (48 KB L1, C-Sens)\n");
     let config = experiment_config().with_large_l1();
     println!("{:6} {:>9} {:>9}", "bench", "BDI", "LATTE");
@@ -43,5 +43,5 @@ pub fn run() {
         format!("{:.4}", geomean(&bdi_spd)),
         format!("{:.4}", geomean(&latte_spd)),
     ]);
-    write_csv("sens_cache_48k", &csv);
+    write_csv("sens_cache_48k", &csv)
 }

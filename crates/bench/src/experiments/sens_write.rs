@@ -9,7 +9,7 @@ use latte_gpusim::GpuConfig;
 use latte_workloads::suite;
 
 /// Runs the write-policy sensitivity check.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Write-policy sensitivity (write-avoid vs write-allocate L1)\n");
     let avoid = experiment_config();
     let allocate = GpuConfig {
@@ -49,5 +49,5 @@ pub fn run() {
         ]);
     }
     println!("\nlargest delta: {worst:+.2}% (paper: \"negligible impact\")");
-    write_csv("sens_write_policy", &csv);
+    write_csv("sens_write_policy", &csv)
 }

@@ -7,7 +7,7 @@ use crate::runner::{geomean, run_benchmark, PolicyKind, ALL_POLICIES};
 use latte_workloads::{suite, Category};
 
 /// Runs the summary aggregation.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Headline summary (C-Sens geomeans vs paper)\n");
     let benches = suite();
     let mut csv = vec![vec![
@@ -59,5 +59,5 @@ pub fn run() {
     }
     println!("\npaper (C-Sens): LATTE-CC +19.2% spd / 24.6% mr / 0.90 energy;");
     println!("               Static-BDI +13.7% / 19.2% / 0.95; Static-SC -8.2% / 28.7% / ~1.0");
-    write_csv("summary_headline", &csv);
+    write_csv("summary_headline", &csv)
 }

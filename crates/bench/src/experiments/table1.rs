@@ -42,7 +42,7 @@ fn mean_ratio(algo: CompressionAlgo) -> f64 {
 }
 
 /// Prints Table I.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Table I: compression algorithm comparison\n");
     println!(
         "{:10} {:>12} {:>10} {:>18} {:>12}",
@@ -79,5 +79,5 @@ pub fn run() {
             format!("{ratio:.3}"),
         ]);
     }
-    write_csv("table1_algorithms", &rows);
+    write_csv("table1_algorithms", &rows)
 }

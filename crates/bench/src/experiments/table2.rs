@@ -44,7 +44,7 @@ fn print_config(name: &str, c: &GpuConfig, csv: &mut Vec<Vec<String>>) {
 }
 
 /// Prints Table II.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Table II: simulated GPU configurations\n");
     let mut csv = vec![vec![
         "config".to_owned(),
@@ -53,5 +53,5 @@ pub fn run() {
     ]];
     print_config("paper (Table II)", &GpuConfig::paper(), &mut csv);
     print_config("experiment machine", &experiment_config(), &mut csv);
-    write_csv("table2_configuration", &csv);
+    write_csv("table2_configuration", &csv)
 }

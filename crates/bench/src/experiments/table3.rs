@@ -19,7 +19,7 @@ fn total_cycles(config: &GpuConfig, bench: &latte_workloads::BenchmarkSpec) -> u
 }
 
 /// Runs the Table III classification check.
-pub fn run() {
+pub fn run() -> std::io::Result<()> {
     println!("Table III: benchmarks and measured 4x-cache sensitivity\n");
     println!(
         "{:6} {:28} {:>9} {:>10} {:>10} {:>6}",
@@ -70,5 +70,5 @@ pub fn run() {
         ]);
     }
     println!("\n{mismatches} classification mismatches");
-    write_csv("table3_benchmarks", &csv);
+    write_csv("table3_benchmarks", &csv)
 }

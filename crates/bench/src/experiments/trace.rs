@@ -18,10 +18,10 @@ fn mode_glyph(m: Option<usize>) -> char {
 }
 
 /// Runs the decision trace for one benchmark (default SS).
-pub fn run_for(abbr: &str) {
+pub fn run_for(abbr: &str) -> std::io::Result<()> {
     let Some(bench) = benchmark(abbr) else {
         eprintln!("unknown benchmark: {abbr}");
-        return;
+        return Ok(());
     };
     println!(
         "LATTE-CC decision trace: {} ({}), SM 0\n",
@@ -77,10 +77,10 @@ pub fn run_for(abbr: &str) {
         .filter(|w| w[0].selected_mode != w[1].selected_mode)
         .count();
     println!("\n{} EPs, {} mode switches", traces.len(), switches);
-    write_csv(&format!("trace_{}", abbr.to_lowercase()), &rows);
+    write_csv(&format!("trace_{}", abbr.to_lowercase()), &rows)
 }
 
 /// Default entry: trace SS.
-pub fn run() {
-    run_for("SS");
+pub fn run() -> std::io::Result<()> {
+    run_for("SS")
 }

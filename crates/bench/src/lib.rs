@@ -9,5 +9,6 @@ pub mod experiments;
 pub mod runner;
 
 pub use runner::{
-    geomean, run_benchmark, run_benchmark_with_config, BenchResult, PolicyKind, ALL_POLICIES,
+    fault_injection, geomean, run_benchmark, run_benchmark_with_config, set_fault_injection,
+    BenchResult, PolicyKind, ALL_POLICIES,
 };

@@ -2,13 +2,24 @@
 //! figure of the LATTE-CC paper (HPCA 2018).
 //!
 //! ```text
-//! latte-bench <experiment> [<experiment> ...]
+//! latte-bench [--inject <rate> [--seed <n>]] <experiment> [<experiment> ...]
 //! latte-bench all
 //! ```
+//!
+//! `--inject <rate>` enables deterministic bit-flip fault injection into
+//! compressed L1 lines at the given per-hit probability for every
+//! experiment that follows (seeded by `--seed`, default 42), exercising
+//! the detect-and-refetch recovery path and LATTE-CC's integrity
+//! demotion.
 
 use latte_bench::experiments as exp;
+use latte_gpusim::FaultConfig;
+use std::io;
 
-const EXPERIMENTS: &[(&str, &str, fn())] = &[
+/// One registered experiment: name, description, entry point.
+type Experiment = (&'static str, &'static str, fn() -> io::Result<()>);
+
+const EXPERIMENTS: &[Experiment] = &[
     ("fig1", "L1 hit-latency sensitivity sweep", exp::fig01::run),
     ("table1", "compression algorithm comparison", exp::table1::run),
     ("fig2", "per-benchmark compression ratios", exp::fig02::run),
@@ -33,10 +44,13 @@ const EXPERIMENTS: &[(&str, &str, fn())] = &[
     ("trace", "LATTE-CC decision trace on SS (Fig 10-style)", exp::trace::run),
     ("paper-machine", "C-Sens comparison on the full 15-SM Table II machine", exp::paper_machine::run),
     ("multi-mode", "4-mode LATTE-CC extension (None/BDI/BPC/SC)", exp::multi_mode::run),
+    ("resilience", "fault-injection resilience sweep (bit-flip rates 1e-6..1e-3)", exp::resilience::run),
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: latte-bench <experiment> [<experiment> ...] | all\n");
+    eprintln!("usage: latte-bench [--inject <rate> [--seed <n>]] <experiment> [<experiment> ...] | all\n");
+    eprintln!("  --inject <rate>  flip one bit per compressed L1 hit with this probability");
+    eprintln!("  --seed <n>       fault-injection seed (default 42; same seed => same faults)\n");
     eprintln!("experiments:");
     for (name, desc, _) in EXPERIMENTS {
         eprintln!("  {name:12} {desc}");
@@ -44,12 +58,66 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Extracts `--inject <rate>` / `--seed <n>` from `args` (removing them),
+/// returning the fault configuration to install, if any.
+fn parse_fault_flags(args: &mut Vec<String>) -> Option<FaultConfig> {
+    let mut rate: Option<f64> = None;
+    let mut seed: u64 = 42;
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> String {
+            if i + 1 >= args.len() {
+                eprintln!("{flag} requires a value\n");
+                usage();
+            }
+            args.remove(i + 1)
+        };
+        match args[i].as_str() {
+            "--inject" => {
+                let v = take_value(args, i, "--inject");
+                match v.parse::<f64>() {
+                    Ok(r) if (0.0..=1.0).contains(&r) => rate = Some(r),
+                    _ => {
+                        eprintln!("--inject expects a probability in [0, 1], got {v}\n");
+                        usage();
+                    }
+                }
+                args.remove(i);
+            }
+            "--seed" => {
+                let v = take_value(args, i, "--seed");
+                match v.parse::<u64>() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("--seed expects an integer, got {v}\n");
+                        usage();
+                    }
+                }
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    rate.map(|bitflip_rate| FaultConfig {
+        seed,
+        bitflip_rate,
+        ..FaultConfig::default()
+    })
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(faults) = parse_fault_flags(&mut args) {
+        latte_bench::set_fault_injection(faults);
+        println!(
+            "[fault injection on: bit-flip rate {:e} per compressed hit, seed {}]",
+            faults.bitflip_rate, faults.seed
+        );
+    }
     if args.is_empty() {
         usage();
     }
-    let selected: Vec<&(&str, &str, fn())> = if args.iter().any(|a| a == "all") {
+    let selected: Vec<&Experiment> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS.iter().collect()
     } else {
         args.iter()
@@ -64,10 +132,23 @@ fn main() {
             })
             .collect()
     };
+    let mut failed = 0usize;
     for (name, _, run) in selected {
         println!("==================== {name} ====================");
         let start = std::time::Instant::now();
-        run();
-        println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+        match run() {
+            Ok(()) => println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64()),
+            Err(e) => {
+                failed += 1;
+                eprintln!(
+                    "[{name} FAILED after {:.1}s: {e}]\n",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+        }
+    }
+    if failed > 0 {
+        eprintln!("{failed} experiment(s) failed");
+        std::process::exit(1);
     }
 }

@@ -218,13 +218,18 @@ impl CompressedCache {
             if tags_free && space_free {
                 break;
             }
-            let victim_pos = set
+            // An empty set always has both a free tag and enough
+            // sub-blocks (needed ≤ subblocks_per_set), so a missing
+            // victim is unreachable; bail out instead of panicking.
+            let Some(victim_pos) = set
                 .tags
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, t)| t.lru)
                 .map(|(i, _)| i)
-                .expect("a full set has at least one victim");
+            else {
+                break;
+            };
             let victim = set.tags.remove(victim_pos);
             evicted.push(EvictedLine {
                 addr: victim.addr,
@@ -241,6 +246,26 @@ impl CompressedCache {
             lru: clock,
         });
         evicted
+    }
+
+    /// Reacts to a failed decompression of a line that just hit: the hit
+    /// is re-classified as a miss (the requester must re-fetch from the
+    /// next level), the corrupted line is invalidated, and
+    /// [`CacheStats::decode_failures`] is bumped. Returns whether the line
+    /// was resident.
+    ///
+    /// Call this immediately after the [`CompressedCache::lookup`] that
+    /// reported the hit, so the hit/compressed-hit counters being rolled
+    /// back are the ones that lookup just incremented.
+    pub fn on_decode_failure(&mut self, addr: LineAddr) -> bool {
+        let was_resident = self.invalidate(addr);
+        if was_resident {
+            self.stats.hits = self.stats.hits.saturating_sub(1);
+            self.stats.compressed_hits = self.stats.compressed_hits.saturating_sub(1);
+            self.stats.misses += 1;
+        }
+        self.stats.decode_failures += 1;
+        was_resident
     }
 
     /// Invalidates one line if resident; returns whether it was.
@@ -301,32 +326,55 @@ impl CompressedCache {
             .sum()
     }
 
+    /// Verifies the structural invariants of every set without panicking,
+    /// returning a description of the first violation found. Used by the
+    /// simulator's forward-progress watchdog to distinguish a workload
+    /// that is merely stalled from corrupted cache state.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if a set exceeds its tag or sub-block budget, holds
+    /// duplicate addresses, holds a line mapped to the wrong set, or holds
+    /// a tag with an out-of-range sub-block count.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, set) in self.sets.iter().enumerate() {
+            if set.tags.len() > self.geometry.tags_per_set() {
+                return Err(format!(
+                    "set {i} exceeds tag budget: {} > {}",
+                    set.tags.len(),
+                    self.geometry.tags_per_set()
+                ));
+            }
+            let used: u32 = set.tags.iter().map(|t| u32::from(t.subblocks)).sum();
+            if used > self.geometry.subblocks_per_set() as u32 {
+                return Err(format!("set {i} exceeds sub-block budget: {used}"));
+            }
+            for (j, t) in set.tags.iter().enumerate() {
+                if set.tags[j + 1..].iter().any(|u| u.addr == t.addr) {
+                    return Err(format!("set {i} holds duplicate address {}", t.addr));
+                }
+                if t.subblocks < 1 || t.subblocks > 4 {
+                    return Err(format!(
+                        "set {i} holds tag with {} sub-blocks",
+                        t.subblocks
+                    ));
+                }
+                if self.geometry.set_of(t.addr) != i {
+                    return Err(format!("line {} mapped to wrong set {i}", t.addr));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Verifies the structural invariants of every set. Intended for tests.
     ///
     /// # Panics
     ///
-    /// Panics if a set exceeds its tag or sub-block budget or holds
-    /// duplicate addresses.
+    /// Panics if [`CompressedCache::validate`] reports a violation.
     pub fn assert_invariants(&self) {
-        for (i, set) in self.sets.iter().enumerate() {
-            assert!(
-                set.tags.len() <= self.geometry.tags_per_set(),
-                "set {i} exceeds tag budget"
-            );
-            let used: u32 = set.tags.iter().map(|t| u32::from(t.subblocks)).sum();
-            assert!(
-                used <= self.geometry.subblocks_per_set() as u32,
-                "set {i} exceeds sub-block budget: {used}"
-            );
-            for (j, t) in set.tags.iter().enumerate() {
-                assert!(
-                    !set.tags[j + 1..].iter().any(|u| u.addr == t.addr),
-                    "set {i} holds duplicate address {}",
-                    t.addr
-                );
-                assert!(t.subblocks >= 1 && t.subblocks <= 4);
-                assert_eq!(self.geometry.set_of(t.addr), i, "line mapped to wrong set");
-            }
+        if let Err(violation) = self.validate() {
+            panic!("{violation}");
         }
     }
 }
@@ -475,6 +523,44 @@ mod tests {
         assert!(c.contains(a));
         assert!(!c.contains(LineAddr::new(8)));
         assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn decode_failure_reclassifies_hit_as_miss() {
+        let mut c = l1();
+        let a = set0_addr(0);
+        c.fill(a, CompressionAlgo::Bdi, Compression::new(40), 0);
+        assert!(c.lookup(a, 1).needs_decompression());
+        assert!(c.on_decode_failure(a));
+        // The hit above is rolled back into a miss, and the corrupted
+        // line is gone so the next access re-fetches.
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().compressed_hits, 0);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().decode_failures, 1);
+        assert!(!c.contains(a));
+        assert!(c.lookup(a, 2).is_miss());
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn decode_failure_on_absent_line_only_counts() {
+        let mut c = l1();
+        let before = *c.stats();
+        assert!(!c.on_decode_failure(set0_addr(3)));
+        assert_eq!(c.stats().hits, before.hits);
+        assert_eq!(c.stats().misses, before.misses);
+        assert_eq!(c.stats().decode_failures, 1);
+    }
+
+    #[test]
+    fn validate_accepts_live_state() {
+        let mut c = l1();
+        for i in 0..40 {
+            c.fill(LineAddr::new(i * 32), CompressionAlgo::Bdi, Compression::new(48), i);
+            c.lookup(LineAddr::new(i * 16), i);
+        }
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

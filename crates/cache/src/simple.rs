@@ -74,14 +74,17 @@ impl SimpleCache {
         self.stats.misses += 1;
         self.stats.fills += 1;
         if set.len() == ways {
-            let victim = set
+            // `ways` is nonzero, so a full set always yields a victim;
+            // the `if let` keeps the path panic-free regardless.
+            if let Some(victim) = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, w)| w.lru)
                 .map(|(i, _)| i)
-                .expect("full set has a victim");
-            set.remove(victim);
-            self.stats.evictions += 1;
+            {
+                set.remove(victim);
+                self.stats.evictions += 1;
+            }
         }
         set.push(Way { addr, lru: clock });
         false

@@ -21,6 +21,9 @@ pub struct CacheStats {
     /// Total stored (compressed, sub-block-quantised) bytes of all filled
     /// lines.
     pub filled_bytes_stored: u64,
+    /// Hits whose decompression failed (corrupted stored line); each is
+    /// re-classified as a miss and the line re-fetched.
+    pub decode_failures: u64,
 }
 
 impl CacheStats {
@@ -86,6 +89,7 @@ impl std::ops::Add for CacheStats {
             filled_bytes_uncompressed: self.filled_bytes_uncompressed
                 + rhs.filled_bytes_uncompressed,
             filled_bytes_stored: self.filled_bytes_stored + rhs.filled_bytes_stored,
+            decode_failures: self.decode_failures + rhs.decode_failures,
         }
     }
 }

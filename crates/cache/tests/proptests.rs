@@ -12,6 +12,7 @@ enum Op {
     Fill(u64, u8, usize), // addr, algo selector, size bytes
     Invalidate(u64),
     InvalidateAll,
+    DecodeFailure(u64),
 }
 
 fn op_strategy(addr_space: u64) -> impl Strategy<Value = Op> {
@@ -20,6 +21,7 @@ fn op_strategy(addr_space: u64) -> impl Strategy<Value = Op> {
         4 => (0..addr_space, 0u8..3, 1usize..=128).prop_map(|(a, g, s)| Op::Fill(a, g, s)),
         1 => (0..addr_space).prop_map(Op::Invalidate),
         1 => Just(Op::InvalidateAll),
+        1 => (0..addr_space).prop_map(Op::DecodeFailure),
     ]
 }
 
@@ -61,14 +63,25 @@ proptest! {
                     cache.invalidate_all();
                     prop_assert_eq!(cache.valid_lines(), 0);
                 }
+                Op::DecodeFailure(a) => {
+                    // Model a corrupted stored line discovered on a hit:
+                    // lookup, then report the decompression failure.
+                    let addr = LineAddr::new(a);
+                    if cache.lookup(addr, cycle).needs_decompression() {
+                        prop_assert!(cache.on_decode_failure(addr));
+                        prop_assert!(!cache.contains(addr));
+                    }
+                }
             }
             cache.assert_invariants();
         }
-        // Accounting identities.
+        // Accounting identities (decode failures shift hits to misses but
+        // never break them).
         let s = cache.stats();
         prop_assert_eq!(s.accesses(), s.hits + s.misses);
         prop_assert!(s.compressed_hits <= s.hits);
         prop_assert!(s.compressed_fills <= s.fills);
+        prop_assert!(s.decode_failures <= s.misses);
         prop_assert!(cache.stored_bytes() <= cache.geometry().size_bytes);
     }
 

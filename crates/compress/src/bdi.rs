@@ -12,6 +12,7 @@
 //! in a 4-bit `compression_enc` tag field, so it does not count towards the
 //! data footprint.
 
+use crate::error::DecodeError;
 use crate::line::CacheLine;
 use crate::{Compression, Compressor, Cycles};
 
@@ -84,11 +85,10 @@ impl BdiEncoding {
             BdiEncoding::Zeros => 1,
             BdiEncoding::Uncompressed => CacheLine::SIZE_BYTES,
             BdiEncoding::Rep8 => 8,
-            enc => {
-                let base = enc.base_bytes().expect("non-degenerate encoding has a base");
+            enc => enc.base_bytes().map_or(CacheLine::SIZE_BYTES, |base| {
                 let blocks = CacheLine::SIZE_BYTES / base;
                 base + blocks * enc.delta_bytes() + blocks.div_ceil(8)
-            }
+            }),
         }
     }
 }
@@ -120,6 +120,55 @@ impl BdiCompressed {
     #[must_use]
     pub fn size_bytes(&self) -> usize {
         self.encoding.compressed_bytes()
+    }
+
+    /// Flips one bit of the stored payload (base, then deltas, then the
+    /// zero-base mask; raw bytes for uncompressed lines), modelling
+    /// storage corruption for the fault-injection harness. `bit` is taken
+    /// modulo the payload width. Returns `false` when the encoding has no
+    /// mutable payload (all-zeros lines).
+    pub fn flip_bit(&mut self, bit: u64) -> bool {
+        match self.encoding {
+            BdiEncoding::Zeros => false,
+            BdiEncoding::Uncompressed => match self.raw.as_deref_mut() {
+                Some(raw) => {
+                    let mut bytes = [0u8; CacheLine::SIZE_BYTES];
+                    bytes.copy_from_slice(raw.as_bytes());
+                    let b = (bit as usize) % (CacheLine::SIZE_BYTES * 8);
+                    bytes[b / 8] ^= 1 << (b % 8);
+                    *raw = CacheLine::from_bytes(bytes);
+                    true
+                }
+                None => false,
+            },
+            enc => {
+                let base_w = enc.base_bytes().map_or(64, |b| b as u64 * 8);
+                let delta_w = enc.delta_bytes() as u64 * 8;
+                let delta_total = self.deltas.len() as u64 * delta_w;
+                let total = base_w + delta_total + self.zero_base_mask.len() as u64;
+                let mut b = bit % total;
+                if b < base_w {
+                    self.base ^= 1 << b;
+                    return true;
+                }
+                b -= base_w;
+                if b < delta_total {
+                    if let Some(d) = self.deltas.get_mut((b / delta_w) as usize) {
+                        *d ^= 1 << (b % delta_w);
+                        return true;
+                    }
+                    return false;
+                }
+                b -= delta_total;
+                match self.zero_base_mask.get_mut(b as usize) {
+                    Some(m) => {
+                        *m = !*m;
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
     }
 }
 
@@ -179,27 +228,47 @@ impl Bdi {
     }
 
     /// Reconstructs the original line from its compressed form.
-    #[must_use]
-    pub fn decode(&self, c: &BdiCompressed) -> CacheLine {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] when the stored metadata is inconsistent
+    /// (missing raw copy, missing base, or short delta/mask arrays) —
+    /// reachable only from corrupted state, never from [`Bdi::encode`].
+    pub fn decode(&self, c: &BdiCompressed) -> Result<CacheLine, DecodeError> {
         match c.encoding {
-            BdiEncoding::Zeros => CacheLine::zeroed(),
-            BdiEncoding::Uncompressed => {
-                **c.raw.as_ref().expect("uncompressed BDI line keeps its raw bytes")
-            }
-            BdiEncoding::Rep8 => CacheLine::from_u64_words(&[c.base; CacheLine::NUM_U64_WORDS]),
+            BdiEncoding::Zeros => Ok(CacheLine::zeroed()),
+            BdiEncoding::Uncompressed => c.raw.as_deref().copied().ok_or({
+                DecodeError::CorruptMetadata {
+                    algo: "BDI",
+                    detail: "uncompressed line lost its raw bytes",
+                }
+            }),
+            BdiEncoding::Rep8 => Ok(CacheLine::from_u64_words(&[c.base; CacheLine::NUM_U64_WORDS])),
             enc => {
-                let base_bytes = enc.base_bytes().expect("delta encoding has a base");
+                let base_bytes = enc.base_bytes().ok_or(DecodeError::CorruptMetadata {
+                    algo: "BDI",
+                    detail: "delta encoding without a base width",
+                })?;
                 let delta_bytes = enc.delta_bytes();
                 let blocks = CacheLine::SIZE_BYTES / base_bytes;
+                if c.zero_base_mask.len() < blocks || c.deltas.len() < blocks {
+                    return Err(DecodeError::LengthMismatch {
+                        algo: "BDI",
+                        expected: blocks,
+                        actual: c.deltas.len().min(c.zero_base_mask.len()),
+                    });
+                }
                 let mut out = [0u8; CacheLine::SIZE_BYTES];
-                for blk in 0..blocks {
-                    let base = if c.zero_base_mask[blk] { 0 } else { c.base };
-                    let delta = sign_extend(c.deltas[blk], delta_bytes * 8);
+                for (blk, (&zero_base, &raw_delta)) in
+                    c.zero_base_mask.iter().zip(&c.deltas).enumerate().take(blocks)
+                {
+                    let base = if zero_base { 0 } else { c.base };
+                    let delta = sign_extend(raw_delta, delta_bytes * 8);
                     let value = base.wrapping_add(delta) & mask_bytes(base_bytes);
                     out[blk * base_bytes..(blk + 1) * base_bytes]
                         .copy_from_slice(&value.to_le_bytes()[..base_bytes]);
                 }
-                CacheLine::from_bytes(out)
+                Ok(CacheLine::from_bytes(out))
             }
         }
     }
@@ -320,8 +389,26 @@ mod tests {
     fn round_trip(line: &CacheLine) -> BdiEncoding {
         let bdi = Bdi::new();
         let c = bdi.encode(line);
-        assert_eq!(&bdi.decode(&c), line, "round trip under {:?}", c.encoding());
+        assert_eq!(
+            bdi.decode(&c).as_ref(),
+            Ok(line),
+            "round trip under {:?}",
+            c.encoding()
+        );
         c.encoding()
+    }
+
+    #[test]
+    fn flipped_bit_changes_decode_and_restores() {
+        let bdi = Bdi::new();
+        let words: Vec<u64> = (0..16).map(|i| 0x7fff_0000_0000_0000u64 + i * 8).collect();
+        let line = CacheLine::from_u64_words(&words);
+        let mut c = bdi.encode(&line);
+        assert!(c.flip_bit(13));
+        let corrupted = bdi.decode(&c);
+        assert!(corrupted.is_err() || corrupted.as_ref() != Ok(&line));
+        assert!(c.flip_bit(13));
+        assert_eq!(bdi.decode(&c).as_ref(), Ok(&line));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //! (FPC, C-PACK, BPC, SC) to produce bit-accurate compressed sizes and to
 //! support round-trip decoding in tests.
 
+use crate::error::DecodeError;
+
 /// An append-only bit buffer (MSB-first within each byte).
 ///
 /// # Example
@@ -72,6 +74,17 @@ impl BitWriter {
     pub fn as_slice(&self) -> &[u8] {
         &self.bytes
     }
+
+    /// Flips the bit at `bit` (0-based from the stream start), modelling
+    /// storage corruption for the fault-injection harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= bit_len()`.
+    pub fn toggle_bit(&mut self, bit: usize) {
+        assert!(bit < self.bit_len, "bit index {bit} out of {}", self.bit_len);
+        self.bytes[bit / 8] ^= 1 << (7 - (bit % 8));
+    }
 }
 
 /// Reads bits back out of a buffer produced by [`BitWriter`].
@@ -95,19 +108,23 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `n` bits (MSB-first), returning them in the low bits of the
-    /// result.
+    /// result, or [`DecodeError::Truncated`] when fewer than `n` remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if the stream is exhausted.
     ///
     /// # Panics
     ///
-    /// Panics if fewer than `n` bits remain or `n > 64`.
-    pub fn read_bits(&mut self, n: u32) -> u64 {
+    /// Panics if `n > 64` (a caller bug, not a data-dependent condition).
+    pub fn try_read_bits(&mut self, n: u32) -> Result<u64, DecodeError> {
         assert!(n <= 64, "cannot read more than 64 bits at once");
-        assert!(
-            self.pos + n as usize <= self.bit_len,
-            "bit reader exhausted: need {n} bits at position {} of {}",
-            self.pos,
-            self.bit_len
-        );
+        if self.pos + n as usize > self.bit_len {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.bit_len - self.pos,
+            });
+        }
         let mut out = 0u64;
         for _ in 0..n {
             let byte = self.bytes[self.pos / 8];
@@ -115,7 +132,34 @@ impl<'a> BitReader<'a> {
             out = (out << 1) | u64::from(bit);
             self.pos += 1;
         }
-        out
+        Ok(out)
+    }
+
+    /// Reads a single bit, or [`DecodeError::Truncated`] at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if the stream is exhausted.
+    pub fn try_read_bit(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.try_read_bits(1)? == 1)
+    }
+
+    /// Reads `n` bits (MSB-first), returning them in the low bits of the
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bits remain or `n > 64`. The decode paths
+    /// use [`BitReader::try_read_bits`] instead; this panicking variant is
+    /// for tests and tooling where truncation is a programming error.
+    pub fn read_bits(&mut self, n: u32) -> u64 {
+        match self.try_read_bits(n) {
+            Ok(v) => v,
+            Err(DecodeError::Truncated { needed, remaining }) => panic!(
+                "bit reader exhausted: need {needed} bits, {remaining} remain"
+            ),
+            Err(e) => panic!("bit read failed: {e}"),
+        }
     }
 
     /// Reads a single bit.
@@ -177,5 +221,31 @@ mod tests {
         let w = BitWriter::new();
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
         let _ = r.read_bits(1);
+    }
+
+    #[test]
+    fn try_over_read_is_truncated_error() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let mut r = BitReader::new(w.as_slice(), w.bit_len());
+        assert_eq!(r.try_read_bits(3), Ok(0b101));
+        assert_eq!(
+            r.try_read_bits(8),
+            Err(DecodeError::Truncated {
+                needed: 8,
+                remaining: 0
+            })
+        );
+    }
+
+    #[test]
+    fn toggle_bit_flips_and_restores() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xdead, 16);
+        let before = w.clone();
+        w.toggle_bit(5);
+        assert_ne!(w, before);
+        w.toggle_bit(5);
+        assert_eq!(w, before);
     }
 }

@@ -13,6 +13,7 @@
 //! high-capacity mode studied in §V-E (Fig 18).
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::DecodeError;
 use crate::line::CacheLine;
 use crate::{Compression, Compressor, Cycles};
 
@@ -97,29 +98,36 @@ impl Bpc {
 
     /// Decodes a bitstream produced by [`Bpc::encode`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bitstream is malformed.
-    #[must_use]
-    pub fn decode(&self, w: &BitWriter) -> CacheLine {
+    /// Returns a [`DecodeError`] when the bitstream is truncated, a zero
+    /// run overshoots the plane count, or an unused code word appears.
+    pub fn decode(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
-        let base = decode_base(&mut r);
+        let base = decode_base(&mut r)?;
 
         let mut dbp = [0u32; NUM_PLANES];
         let mut b = NUM_PLANES as isize - 1;
         let mut prev_dbp = 0u32; // dbp[b + 1]; zero above the top plane
         while b >= 0 {
-            if r.read_bit() {
+            if r.try_read_bit()? {
                 // '1': raw DBX plane.
-                let dbx = r.read_bits(NUM_DELTAS as u32) as u32;
+                let dbx = r.try_read_bits(NUM_DELTAS as u32)? as u32;
                 prev_dbp ^= dbx;
                 dbp[b as usize] = prev_dbp;
                 b -= 1;
                 continue;
             }
-            if r.read_bit() {
+            if r.try_read_bit()? {
                 // '01': zero-DBX run.
-                let run = r.read_bits(6) as isize + 2;
+                let run = r.try_read_bits(6)? as isize + 2;
+                if run > b + 1 {
+                    return Err(DecodeError::LengthMismatch {
+                        algo: "BPC",
+                        expected: (b + 1) as usize,
+                        actual: run as usize,
+                    });
+                }
                 for i in 0..run {
                     // dbx == 0 means dbp[b] == dbp[b+1].
                     dbp[(b - i) as usize] = prev_dbp;
@@ -127,26 +135,31 @@ impl Bpc {
                 b -= run;
                 continue;
             }
-            if r.read_bit() {
+            if r.try_read_bit()? {
                 // '001': single zero-DBX plane.
                 dbp[b as usize] = prev_dbp;
                 b -= 1;
                 continue;
             }
             // '000xx': one of the four 5-bit codes.
-            let dbx = match r.read_bits(2) {
+            let dbx = match r.try_read_bits(2)? {
                 0b00 => PLANE_MASK,
                 0b01 => {
-                    // DBP == 0: dbx must equal prev_dbp.
-                    let dbx = prev_dbp;
-                    debug_assert_ne!(dbx, 0);
-                    dbx
+                    // DBP == 0: dbx must equal prev_dbp, and the encoder
+                    // never uses this code when the resulting DBX is zero.
+                    if prev_dbp == 0 {
+                        return Err(DecodeError::InvalidCode {
+                            algo: "BPC",
+                            detail: "DBP=0 code with zero previous plane",
+                        });
+                    }
+                    prev_dbp
                 }
                 0b10 => {
-                    let pos = r.read_bits(5) as u32;
+                    let pos = r.try_read_bits(5)? as u32;
                     0b11 << pos
                 }
-                0b11 => 1 << (r.read_bits(5) as u32),
+                0b11 => 1 << (r.try_read_bits(5)? as u32),
                 _ => unreachable!("2-bit code"),
             };
             prev_dbp ^= dbx;
@@ -155,7 +168,7 @@ impl Bpc {
         }
 
         let words = from_bit_planes(base, &dbp);
-        CacheLine::from_u32_words(&words)
+        Ok(CacheLine::from_u32_words(&words))
     }
 }
 
@@ -231,14 +244,17 @@ fn encode_base(w: &mut BitWriter, base: u32) {
     }
 }
 
-fn decode_base(r: &mut BitReader<'_>) -> u32 {
-    match r.read_bits(3) {
-        0b000 => 0,
-        0b001 => sign_extend32(r.read_bits(4) as u32, 4),
-        0b010 => sign_extend32(r.read_bits(8) as u32, 8),
-        0b011 => sign_extend32(r.read_bits(16) as u32, 16),
-        0b111 => r.read_bits(32) as u32,
-        other => panic!("malformed BPC base prefix {other:#b}"),
+fn decode_base(r: &mut BitReader<'_>) -> Result<u32, DecodeError> {
+    match r.try_read_bits(3)? {
+        0b000 => Ok(0),
+        0b001 => Ok(sign_extend32(r.try_read_bits(4)? as u32, 4)),
+        0b010 => Ok(sign_extend32(r.try_read_bits(8)? as u32, 8)),
+        0b011 => Ok(sign_extend32(r.try_read_bits(16)? as u32, 16)),
+        0b111 => Ok(r.try_read_bits(32)? as u32),
+        _ => Err(DecodeError::InvalidCode {
+            algo: "BPC",
+            detail: "unused base prefix",
+        }),
     }
 }
 
@@ -280,8 +296,50 @@ mod tests {
     fn round_trip(line: &CacheLine) -> usize {
         let bpc = Bpc::new();
         let w = bpc.encode(line);
-        assert_eq!(&bpc.decode(&w), line);
+        assert_eq!(bpc.decode(&w).as_ref(), Ok(line));
         w.byte_len()
+    }
+
+    #[test]
+    fn unused_base_prefix_is_an_error() {
+        for prefix in [0b100u64, 0b101, 0b110] {
+            let mut w = BitWriter::new();
+            w.write_bits(prefix, 3);
+            assert!(matches!(
+                Bpc::new().decode(&w),
+                Err(DecodeError::InvalidCode { algo: "BPC", .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn overshooting_zero_run_is_an_error() {
+        // A zero base, one single zero plane, then a 64-plane run: only
+        // 32 planes remain, so the run overshoots.
+        let mut w = BitWriter::new();
+        w.write_bits(0b000, 3);
+        w.write_bits(0b001, 3);
+        w.write_bits(0b01, 2);
+        w.write_bits(62, 6); // run = 64
+        assert!(matches!(
+            Bpc::new().decode(&w),
+            Err(DecodeError::LengthMismatch { algo: "BPC", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let bpc = Bpc::new();
+        let words: Vec<u32> = (0..32u32)
+            .map(|i| 0x9e37_79b9u32.wrapping_mul(i ^ 0x55aa))
+            .collect();
+        let w = bpc.encode(&CacheLine::from_u32_words(&words));
+        let mut cut = BitWriter::new();
+        let mut r = BitReader::new(w.as_slice(), w.bit_len());
+        for _ in 0..w.bit_len() / 3 {
+            cut.write_bit(r.read_bit());
+        }
+        assert!(bpc.decode(&cut).is_err());
     }
 
     #[test]

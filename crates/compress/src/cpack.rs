@@ -9,6 +9,7 @@
 //! value locality within and across words of the line.
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::DecodeError;
 use crate::line::CacheLine;
 use crate::{Compression, Compressor, Cycles};
 
@@ -75,8 +76,16 @@ impl Dictionary {
         self.entries.iter().position(|&e| e & mask == word & mask)
     }
 
-    fn get(&self, idx: usize) -> u32 {
-        self.entries[idx]
+    /// Looks up `idx`, failing on indexes past the entries inserted so
+    /// far — reachable only from corrupted streams.
+    fn get(&self, idx: usize) -> Result<u32, DecodeError> {
+        self.entries
+            .get(idx)
+            .copied()
+            .ok_or(DecodeError::CorruptMetadata {
+                algo: "C-PACK",
+                detail: "dictionary index beyond inserted entries",
+            })
     }
 }
 
@@ -129,57 +138,63 @@ impl CpackZ {
 
     /// Decodes a bitstream produced by [`CpackZ::encode`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bitstream is malformed.
-    #[must_use]
-    pub fn decode(&self, w: &BitWriter) -> CacheLine {
+    /// Returns a [`DecodeError`] when the bitstream is truncated, uses the
+    /// unassigned `1111` code, or references a dictionary entry that was
+    /// never inserted.
+    pub fn decode(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
-        if r.read_bit() {
-            return CacheLine::zeroed();
+        if r.try_read_bit()? {
+            return Ok(CacheLine::zeroed());
         }
         let mut dict = Dictionary::default();
         let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
         while words.len() < CacheLine::NUM_U32_WORDS {
-            let word = match r.read_bits(2) {
+            let word = match r.try_read_bits(2)? {
                 code::ZZZZ => 0,
                 code::XXXX => {
-                    let word = r.read_bits(32) as u32;
+                    let word = r.try_read_bits(32)? as u32;
                     dict.push(word);
                     word
                 }
-                code::MMMM => dict.get(r.read_bits(4) as usize),
+                code::MMMM => dict.get(r.try_read_bits(4)? as usize)?,
                 0b11 => {
                     // Extended 4-bit codes: read the remaining 2 bits.
-                    let full = 0b1100 | r.read_bits(2);
+                    let full = 0b1100 | r.try_read_bits(2)?;
                     match full {
                         code::MMXX => {
-                            let idx = r.read_bits(4) as usize;
-                            let low = r.read_bits(16) as u32;
-                            let word = (dict.get(idx) & 0xffff_0000) | low;
+                            let idx = r.try_read_bits(4)? as usize;
+                            let low = r.try_read_bits(16)? as u32;
+                            let word = (dict.get(idx)? & 0xffff_0000) | low;
                             dict.push(word);
                             word
                         }
                         code::ZZZX => {
-                            let word = r.read_bits(8) as u32;
+                            let word = r.try_read_bits(8)? as u32;
                             dict.push(word);
                             word
                         }
                         code::MMMX => {
-                            let idx = r.read_bits(4) as usize;
-                            let low = r.read_bits(8) as u32;
-                            let word = (dict.get(idx) & 0xffff_ff00) | low;
+                            let idx = r.try_read_bits(4)? as usize;
+                            let low = r.try_read_bits(8)? as u32;
+                            let word = (dict.get(idx)? & 0xffff_ff00) | low;
                             dict.push(word);
                             word
                         }
-                        _ => panic!("malformed C-PACK stream: code 1111"),
+                        _ => {
+                            return Err(DecodeError::InvalidCode {
+                                algo: "C-PACK",
+                                detail: "unassigned code 1111",
+                            })
+                        }
                     }
                 }
                 _ => unreachable!("2-bit code"),
             };
             words.push(word);
         }
-        CacheLine::from_u32_words(&words)
+        Ok(CacheLine::from_u32_words(&words))
     }
 }
 
@@ -216,8 +231,43 @@ mod tests {
     fn round_trip(line: &CacheLine) -> usize {
         let c = CpackZ::new();
         let w = c.encode(line);
-        assert_eq!(&c.decode(&w), line);
+        assert_eq!(c.decode(&w).as_ref(), Ok(line));
         w.byte_len()
+    }
+
+    #[test]
+    fn unassigned_code_1111_is_an_error() {
+        let mut w = BitWriter::new();
+        w.write_bit(false); // not the zero line
+        w.write_bits(0b1111, 4);
+        assert!(matches!(
+            CpackZ::new().decode(&w),
+            Err(DecodeError::InvalidCode { algo: "C-PACK", .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_dictionary_index_is_an_error() {
+        // A full-match code before anything was inserted.
+        let mut w = BitWriter::new();
+        w.write_bit(false);
+        w.write_bits(code::MMMM, 2);
+        w.write_bits(9, 4);
+        assert!(matches!(
+            CpackZ::new().decode(&w),
+            Err(DecodeError::CorruptMetadata { algo: "C-PACK", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut w = BitWriter::new();
+        w.write_bit(false);
+        w.write_bits(code::XXXX, 2); // promises 32 raw bits, delivers none
+        assert!(matches!(
+            CpackZ::new().decode(&w),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Typed errors for the decompression paths.
+//!
+//! Decoders must never panic on malformed input: a corrupted compressed
+//! line (bit rot, fault injection, or a simulator bug) surfaces as a
+//! [`DecodeError`] that the cache layer turns into a miss and re-fetch,
+//! mirroring LATTE-CC's "compression must never hurt the baseline"
+//! philosophy for integrity instead of latency.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why decoding a compressed cache line failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeError {
+    /// The bitstream ended before the decoder finished a line.
+    Truncated {
+        /// Bits the decoder tried to read.
+        needed: u32,
+        /// Bits actually remaining in the stream.
+        remaining: usize,
+    },
+    /// A code word appeared that the encoder can never produce.
+    InvalidCode {
+        /// Algorithm name, e.g. `"BPC"`.
+        algo: &'static str,
+        /// What was wrong with the code.
+        detail: &'static str,
+    },
+    /// The decoded payload disagrees with the fixed line size.
+    LengthMismatch {
+        /// Algorithm name.
+        algo: &'static str,
+        /// Words/blocks the line must contain.
+        expected: usize,
+        /// Words/blocks the stream produced.
+        actual: usize,
+    },
+    /// Stored compression metadata is internally inconsistent
+    /// (e.g. a dictionary index beyond the entries inserted so far).
+    CorruptMetadata {
+        /// Algorithm name.
+        algo: &'static str,
+        /// What was inconsistent.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => write!(
+                f,
+                "compressed stream truncated: needed {needed} bits, {remaining} remaining"
+            ),
+            DecodeError::InvalidCode { algo, detail } => {
+                write!(f, "invalid {algo} code word: {detail}")
+            }
+            DecodeError::LengthMismatch {
+                algo,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{algo} payload length mismatch: expected {expected} words, got {actual}"
+            ),
+            DecodeError::CorruptMetadata { algo, detail } => {
+                write!(f, "corrupt {algo} metadata: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = DecodeError::Truncated {
+            needed: 32,
+            remaining: 7,
+        };
+        assert!(e.to_string().contains("truncated"));
+        let e = DecodeError::InvalidCode {
+            algo: "BPC",
+            detail: "unused base prefix",
+        };
+        assert!(e.to_string().contains("BPC"));
+        let e = DecodeError::LengthMismatch {
+            algo: "FPC",
+            expected: 32,
+            actual: 35,
+        };
+        assert!(e.to_string().contains("32"));
+        let e = DecodeError::CorruptMetadata {
+            algo: "C-PACK",
+            detail: "dictionary index out of range",
+        };
+        assert!(e.to_string().contains("dictionary"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(DecodeError::Truncated {
+            needed: 1,
+            remaining: 0,
+        });
+    }
+}

@@ -7,6 +7,7 @@
 //! on GPGPU data but is included as a characterised comparison point.
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::DecodeError;
 use crate::line::CacheLine;
 use crate::{Compression, Compressor, Cycles};
 
@@ -75,40 +76,45 @@ impl Fpc {
 
     /// Decodes an FPC bitstream produced by [`Fpc::encode`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bitstream is malformed or does not contain exactly one
-    /// line's worth of words.
-    #[must_use]
-    pub fn decode(&self, w: &BitWriter) -> CacheLine {
+    /// Returns a [`DecodeError`] when the bitstream is truncated or a
+    /// zero run overshoots the fixed line size.
+    pub fn decode(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
         let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
         while words.len() < CacheLine::NUM_U32_WORDS {
-            let p = r.read_bits(3);
+            let p = r.try_read_bits(3)?;
             match p {
                 prefix::ZERO_RUN => {
-                    let run = r.read_bits(3) + 1;
-                    words.extend(std::iter::repeat_n(0, run as usize));
+                    let run = r.try_read_bits(3)? as usize + 1;
+                    if words.len() + run > CacheLine::NUM_U32_WORDS {
+                        return Err(DecodeError::LengthMismatch {
+                            algo: "FPC",
+                            expected: CacheLine::NUM_U32_WORDS,
+                            actual: words.len() + run,
+                        });
+                    }
+                    words.extend(std::iter::repeat_n(0, run));
                 }
-                prefix::SE_4BIT => words.push(se_bits(r.read_bits(4), 4)),
-                prefix::SE_8BIT => words.push(se_bits(r.read_bits(8), 8)),
-                prefix::SE_16BIT => words.push(se_bits(r.read_bits(16), 16)),
-                prefix::HALF_PADDED => words.push((r.read_bits(16) as u32) << 16),
+                prefix::SE_4BIT => words.push(se_bits(r.try_read_bits(4)?, 4)),
+                prefix::SE_8BIT => words.push(se_bits(r.try_read_bits(8)?, 8)),
+                prefix::SE_16BIT => words.push(se_bits(r.try_read_bits(16)?, 16)),
+                prefix::HALF_PADDED => words.push((r.try_read_bits(16)? as u32) << 16),
                 prefix::HALF_SE_BYTES => {
-                    let hi = se_bits(r.read_bits(8), 8) & 0xffff;
-                    let lo = se_bits(r.read_bits(8), 8) & 0xffff;
+                    let hi = se_bits(r.try_read_bits(8)?, 8) & 0xffff;
+                    let lo = se_bits(r.try_read_bits(8)?, 8) & 0xffff;
                     words.push(hi << 16 | lo);
                 }
                 prefix::REP_BYTES => {
-                    let b = r.read_bits(8) as u32;
+                    let b = r.try_read_bits(8)? as u32;
                     words.push(b * 0x0101_0101);
                 }
-                prefix::RAW => words.push(r.read_bits(32) as u32),
+                prefix::RAW => words.push(r.try_read_bits(32)? as u32),
                 _ => unreachable!("3-bit prefix"),
             }
         }
-        assert_eq!(words.len(), CacheLine::NUM_U32_WORDS, "malformed FPC stream");
-        CacheLine::from_u32_words(&words)
+        Ok(CacheLine::from_u32_words(&words))
     }
 }
 
@@ -190,8 +196,39 @@ mod tests {
     fn round_trip(line: &CacheLine) -> usize {
         let fpc = Fpc::new();
         let w = fpc.encode(line);
-        assert_eq!(&fpc.decode(&w), line);
+        assert_eq!(fpc.decode(&w).as_ref(), Ok(line));
         w.byte_len()
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let fpc = Fpc::new();
+        let w = fpc.encode(&CacheLine::from_u32_words(&vec![0xdead_beef; 32]));
+        let mut cut = BitWriter::new();
+        let mut r = BitReader::new(w.as_slice(), w.bit_len());
+        for _ in 0..w.bit_len() / 2 {
+            cut.write_bit(r.read_bit());
+        }
+        assert!(matches!(
+            fpc.decode(&cut),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn overshooting_zero_run_is_an_error() {
+        // 31 single-word zero runs then a run of 8 words: 31 + 8 > 32.
+        let mut w = BitWriter::new();
+        for _ in 0..31 {
+            w.write_bits(prefix::ZERO_RUN, 3);
+            w.write_bits(0, 3);
+        }
+        w.write_bits(prefix::ZERO_RUN, 3);
+        w.write_bits(7, 3);
+        assert!(matches!(
+            Fpc::new().decode(&w),
+            Err(DecodeError::LengthMismatch { algo: "FPC", .. })
+        ));
     }
 
     #[test]

@@ -38,12 +38,14 @@ mod bdi;
 mod bitstream;
 mod bpc;
 mod cpack;
+mod error;
 mod fpc;
 mod line;
 mod sc;
 
-pub use bdi::{Bdi, BdiEncoding};
+pub use bdi::{Bdi, BdiCompressed, BdiEncoding};
 pub use bitstream::{BitReader, BitWriter};
+pub use error::DecodeError;
 pub use bpc::Bpc;
 pub use cpack::CpackZ;
 pub use fpc::Fpc;

@@ -14,6 +14,7 @@
 //! 3. compress with [`Sc`] until the next retraining point.
 
 use crate::bitstream::{BitReader, BitWriter};
+use crate::error::DecodeError;
 use crate::line::CacheLine;
 use crate::{Compression, Compressor, Cycles};
 use std::collections::HashMap;
@@ -243,34 +244,43 @@ impl ScCodebook {
 
     /// Decodes a line produced by [`ScCodebook::encode_line`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bitstream was produced by a different codebook.
-    #[must_use]
-    pub fn decode_line(&self, w: &BitWriter) -> CacheLine {
+    /// Returns a [`DecodeError`] when the bitstream is truncated or was
+    /// produced by a different codebook (a code exceeds the maximum
+    /// length without matching any table entry).
+    pub fn decode_line(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
         let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
         while words.len() < CacheLine::NUM_U32_WORDS {
             let mut code = 0u32;
             let mut len = 0u32;
             let sym = loop {
-                code = (code << 1) | u32::from(r.read_bit());
+                code = (code << 1) | u32::from(r.try_read_bit()?);
                 len += 1;
-                assert!(len <= self.max_len, "malformed SC stream");
+                if len > self.max_len {
+                    return Err(DecodeError::InvalidCode {
+                        algo: "SC",
+                        detail: "code exceeds codebook maximum length",
+                    });
+                }
                 if let Some(&sym) = self.decode.get(&(len, code)) {
                     break sym;
                 }
             };
             match sym {
                 Symbol::Value(v) => words.push(v),
-                Symbol::Escape => words.push(r.read_bits(32) as u32),
+                Symbol::Escape => words.push(r.try_read_bits(32)? as u32),
             }
         }
-        CacheLine::from_u32_words(&words)
+        Ok(CacheLine::from_u32_words(&words))
     }
 }
 
 /// Computes Huffman code lengths for `weights` (symbol, weight) pairs.
+// The heap pops below are guarded by the surrounding `len() > 1` checks;
+// this is codebook construction, not a decode path.
+#[allow(clippy::expect_used)]
 fn huffman_code_lengths(weights: &[(Symbol, u64)]) -> Vec<(Symbol, u32)> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
@@ -440,7 +450,19 @@ mod tests {
         let line = CacheLine::from_u32_words(&(0..32).map(|i| i % 8).collect::<Vec<_>>());
         let cb = train(&[line]);
         let w = cb.encode_line(&line);
-        assert_eq!(cb.decode_line(&w), line);
+        assert_eq!(cb.decode_line(&w), Ok(line));
+    }
+
+    #[test]
+    fn foreign_codebook_stream_never_panics_or_aliases() {
+        // Encode under one codebook, decode under a disjoint one: either a
+        // detected error or a (wrong) well-formed line — never a panic,
+        // never the original data by accident.
+        let line = CacheLine::from_u32_words(&vec![7u32; 32]);
+        let a = train(&[line]);
+        let b = train(&[CacheLine::from_u32_words(&vec![0xdead_beefu32; 32])]);
+        let w = a.encode_line(&line);
+        assert_ne!(b.decode_line(&w), Ok(line));
     }
 
     #[test]
@@ -450,7 +472,7 @@ mod tests {
         // A line full of values the codebook never saw.
         let unseen = CacheLine::from_u32_words(&(0..32).map(|i| 0xdead_0000 + i).collect::<Vec<_>>());
         let w = cb.encode_line(&unseen);
-        assert_eq!(cb.decode_line(&w), unseen);
+        assert_eq!(cb.decode_line(&w), Ok(unseen));
     }
 
     #[test]
@@ -560,6 +582,6 @@ mod tests {
         assert_eq!(cb.cost_bits(5), cb.escape.1 + 32);
         // Even an empty codebook round-trips via escapes.
         let line = CacheLine::from_u32_words(&(0..32).collect::<Vec<_>>());
-        assert_eq!(cb.decode_line(&cb.encode_line(&line)), line);
+        assert_eq!(cb.decode_line(&cb.encode_line(&line)), Ok(line));
     }
 }

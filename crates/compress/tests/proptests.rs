@@ -4,7 +4,8 @@
 //! encodings.
 
 use latte_compress::{
-    Bdi, BdiEncoding, Bpc, CacheLine, Compression, Compressor, CpackZ, Fpc, Sc, VftBuilder,
+    Bdi, BdiEncoding, BitWriter, Bpc, CacheLine, Compression, Compressor, CpackZ, Fpc, Sc,
+    VftBuilder,
 };
 use proptest::prelude::*;
 
@@ -70,7 +71,7 @@ proptest! {
     fn bdi_round_trips(line in any_line()) {
         let bdi = Bdi::new();
         let c = bdi.encode(&line);
-        prop_assert_eq!(bdi.decode(&c), line);
+        prop_assert_eq!(bdi.decode(&c), Ok(line));
         check_size_invariants(bdi.compress(&line));
     }
 
@@ -78,7 +79,7 @@ proptest! {
     fn bdi_round_trips_structured(line in structured_line()) {
         let bdi = Bdi::new();
         let c = bdi.encode(&line);
-        prop_assert_eq!(bdi.decode(&c), line);
+        prop_assert_eq!(bdi.decode(&c), Ok(line));
         // Structured lines must actually compress (they are BDI's target).
         prop_assert_ne!(c.encoding(), BdiEncoding::Uncompressed);
     }
@@ -86,27 +87,27 @@ proptest! {
     #[test]
     fn fpc_round_trips(line in any_line()) {
         let fpc = Fpc::new();
-        prop_assert_eq!(fpc.decode(&fpc.encode(&line)), line);
+        prop_assert_eq!(fpc.decode(&fpc.encode(&line)), Ok(line));
         check_size_invariants(fpc.compress(&line));
     }
 
     #[test]
     fn fpc_round_trips_structured(line in structured_line()) {
         let fpc = Fpc::new();
-        prop_assert_eq!(fpc.decode(&fpc.encode(&line)), line);
+        prop_assert_eq!(fpc.decode(&fpc.encode(&line)), Ok(line));
     }
 
     #[test]
     fn cpack_round_trips(line in any_line()) {
         let cp = CpackZ::new();
-        prop_assert_eq!(cp.decode(&cp.encode(&line)), line);
+        prop_assert_eq!(cp.decode(&cp.encode(&line)), Ok(line));
         check_size_invariants(cp.compress(&line));
     }
 
     #[test]
     fn cpack_round_trips_temporal(line in temporal_line()) {
         let cp = CpackZ::new();
-        prop_assert_eq!(cp.decode(&cp.encode(&line)), line);
+        prop_assert_eq!(cp.decode(&cp.encode(&line)), Ok(line));
         // A 4-value alphabet saturates the dictionary: must compress.
         prop_assert!(cp.compress(&line).is_compressed());
     }
@@ -114,14 +115,14 @@ proptest! {
     #[test]
     fn bpc_round_trips(line in any_line()) {
         let bpc = Bpc::new();
-        prop_assert_eq!(bpc.decode(&bpc.encode(&line)), line);
+        prop_assert_eq!(bpc.decode(&bpc.encode(&line)), Ok(line));
         check_size_invariants(bpc.compress(&line));
     }
 
     #[test]
     fn bpc_round_trips_structured(line in structured_line()) {
         let bpc = Bpc::new();
-        prop_assert_eq!(bpc.decode(&bpc.encode(&line)), line);
+        prop_assert_eq!(bpc.decode(&bpc.encode(&line)), Ok(line));
     }
 
     #[test]
@@ -134,7 +135,7 @@ proptest! {
             vft.observe_line(l);
         }
         let cb = vft.build();
-        prop_assert_eq!(cb.decode_line(&cb.encode_line(&line)), line);
+        prop_assert_eq!(cb.decode_line(&cb.encode_line(&line)), Ok(line));
     }
 
     #[test]
@@ -162,6 +163,112 @@ proptest! {
         let zero = CacheLine::zeroed();
         for algo in [&Bdi::new() as &dyn Compressor, &Fpc::new(), &CpackZ::new(), &Bpc::new()] {
             prop_assert!(algo.compress(&zero).size_bytes() <= algo.compress(&line).size_bytes());
+        }
+    }
+}
+
+/// Random bitstreams of arbitrary (not byte-aligned) length: garbage in,
+/// `Err` or a well-formed line out — never a panic.
+fn random_stream() -> impl Strategy<Value = BitWriter> {
+    (prop::collection::vec(any::<u8>(), 0..140), 0u32..8).prop_map(|(bytes, extra)| {
+        let mut w = BitWriter::new();
+        for b in &bytes {
+            w.write_bits(u64::from(*b), 8);
+        }
+        w.write_bits(0x15, extra);
+        w
+    })
+}
+
+proptest! {
+    #[test]
+    fn decoders_never_panic_on_random_streams(stream in random_stream()) {
+        // Any outcome is acceptable except a panic.
+        let _ = Fpc::new().decode(&stream);
+        let _ = CpackZ::new().decode(&stream);
+        let _ = Bpc::new().decode(&stream);
+        let trained = {
+            let mut vft = VftBuilder::new();
+            vft.observe_line(&CacheLine::from_u32_words(&(0..32).collect::<Vec<_>>()));
+            vft.build()
+        };
+        let _ = trained.decode_line(&stream);
+    }
+
+    #[test]
+    fn empty_and_truncated_streams_are_errors(line in any_line()) {
+        let empty = BitWriter::new();
+        prop_assert!(Fpc::new().decode(&empty).is_err());
+        prop_assert!(CpackZ::new().decode(&empty).is_err());
+        prop_assert!(Bpc::new().decode(&empty).is_err());
+
+        // Dropping the tail of a valid stream must be detected, not
+        // silently padded (encodings are self-terminating, so cutting at
+        // least one bit short of a full line cannot decode to 32 words).
+        let fpc = Fpc::new();
+        let w = fpc.encode(&line);
+        let mut cut = BitWriter::new();
+        for _ in 0..w.bit_len().saturating_sub(36) {
+            cut.write_bit(false);
+        }
+        let _ = fpc.decode(&cut); // arbitrary content: just must not panic
+    }
+
+    #[test]
+    fn bit_flipped_streams_never_panic(
+        line in any_line(),
+        structured in structured_line(),
+        flip in any::<u64>(),
+    ) {
+        for target in [&line, &structured] {
+            let fpc = Fpc::new();
+            let mut w = fpc.encode(target);
+            w.toggle_bit(flip as usize % w.bit_len());
+            let _ = fpc.decode(&w);
+
+            let cp = CpackZ::new();
+            let mut w = cp.encode(target);
+            w.toggle_bit(flip as usize % w.bit_len());
+            let _ = cp.decode(&w);
+
+            let bpc = Bpc::new();
+            let mut w = bpc.encode(target);
+            w.toggle_bit(flip as usize % w.bit_len());
+            let _ = bpc.decode(&w);
+        }
+    }
+
+    #[test]
+    fn bit_flipped_sc_streams_never_panic(
+        training in prop::collection::vec(temporal_line(), 1..4),
+        line in any_line(),
+        flip in any::<u64>(),
+    ) {
+        let mut vft = VftBuilder::new();
+        for l in &training {
+            vft.observe_line(l);
+        }
+        let cb = vft.build();
+        let mut w = cb.encode_line(&line);
+        w.toggle_bit(flip as usize % w.bit_len());
+        let _ = cb.decode_line(&w);
+    }
+
+    #[test]
+    fn bit_flipped_bdi_state_never_panics(
+        line in any_line(),
+        structured in structured_line(),
+        flip in any::<u64>(),
+    ) {
+        let bdi = Bdi::new();
+        for target in [&line, &structured] {
+            let mut c = bdi.encode(target);
+            if c.flip_bit(flip) {
+                let _ = bdi.decode(&c);
+            } else {
+                // No mutable payload: decode must still be exact.
+                prop_assert_eq!(bdi.decode(&c), Ok(*target));
+            }
         }
     }
 }

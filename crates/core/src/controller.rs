@@ -34,6 +34,11 @@ pub struct LatteConfig {
     pub tolerance_scale: f64,
     /// Which algorithm backs the high-capacity mode.
     pub high_capacity: HighCapacityAlgo,
+    /// Decode failures tolerated within one kernel before the controller
+    /// demotes itself to uncompressed operation — the integrity analogue
+    /// of the paper's latency fallback (compression must never endanger
+    /// the baseline). Resets at kernel boundaries.
+    pub decode_error_demotion_threshold: u64,
 }
 
 impl LatteConfig {
@@ -59,6 +64,7 @@ impl LatteConfig {
             miss_latency,
             tolerance_scale,
             high_capacity: HighCapacityAlgo::Sc,
+            decode_error_demotion_threshold: 8,
         }
     }
 
@@ -221,6 +227,8 @@ pub struct LatteCc {
     tolerance: f64,
     selected: CompressionMode,
     eps_in_mode: [u64; 3],
+    decode_errors: u64,
+    demoted: bool,
 }
 
 impl LatteCc {
@@ -242,6 +250,8 @@ impl LatteCc {
             tolerance: 0.0,
             selected: CompressionMode::None,
             eps_in_mode: [0; 3],
+            decode_errors: 0,
+            demoted: false,
         }
     }
 
@@ -249,6 +259,19 @@ impl LatteCc {
     #[must_use]
     pub fn selected_mode(&self) -> CompressionMode {
         self.selected
+    }
+
+    /// Decode failures observed since the kernel started.
+    #[must_use]
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// `true` when the controller has demoted itself to uncompressed
+    /// operation because the decode-failure rate crossed the threshold.
+    #[must_use]
+    pub fn is_demoted(&self) -> bool {
+        self.demoted
     }
 
     /// The latest latency-tolerance estimate, in cycles.
@@ -298,6 +321,11 @@ impl LatteCc {
             Ok("high") => best = CompressionMode::HighCapacity,
             _ => {}
         }
+        // Integrity fallback: once demoted, stay uncompressed for the
+        // rest of the kernel no matter what the AMAT model prefers.
+        if self.demoted {
+            best = CompressionMode::None;
+        }
         self.selected = best;
     }
 }
@@ -308,6 +336,12 @@ impl L1CompressionPolicy for LatteCc {
     }
 
     fn compress_fill(&mut self, set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
+        if self.demoted {
+            // Demoted: store everything raw, dedicated sets included —
+            // the sampler's compressed samples are untrustworthy when
+            // stored lines are being corrupted.
+            return (CompressionAlgo::None, Compression::UNCOMPRESSED);
+        }
         // SC trains on inserted lines whenever its window is open.
         self.sc.observe_fill(line);
         let mode = self.sampling.fill_mode(set).unwrap_or(self.selected);
@@ -317,6 +351,14 @@ impl L1CompressionPolicy for LatteCc {
     fn on_access(&mut self, ev: &AccessEvent) {
         if ev.hit {
             self.sampling.on_hit(ev.set);
+        }
+    }
+
+    fn on_decode_error(&mut self, _algo: CompressionAlgo) {
+        self.decode_errors += 1;
+        if !self.demoted && self.decode_errors >= self.cfg.decode_error_demotion_threshold {
+            self.demoted = true;
+            self.selected = CompressionMode::None;
         }
     }
 
@@ -334,6 +376,8 @@ impl L1CompressionPolicy for LatteCc {
         self.sampling.on_kernel_start();
         self.sc.on_kernel_start();
         self.eps_in_mode = [0; 3];
+        self.decode_errors = 0;
+        self.demoted = false;
     }
 
     fn pending_invalidation(&mut self) -> Option<CompressionAlgo> {
@@ -702,6 +746,46 @@ mod tests {
         assert!(c.is_compressed());
         let (algo, _) = latte.compress_fill(2, &line);
         assert_eq!(algo, CompressionAlgo::Sc);
+    }
+
+    #[test]
+    fn decode_errors_demote_to_uncompressed() {
+        let mut latte = LatteCc::new(LatteConfig {
+            decode_error_demotion_threshold: 3,
+            ..cfg()
+        });
+        let line = CacheLine::from_u32_words(&(0..32).map(|i| 0x40 + i).collect::<Vec<_>>());
+        // A dedicated low-latency set compresses while healthy.
+        let (algo, _) = latte.compress_fill(1, &line);
+        assert_eq!(algo, CompressionAlgo::Bdi);
+
+        latte.on_decode_error(CompressionAlgo::Bdi);
+        latte.on_decode_error(CompressionAlgo::Sc);
+        assert!(!latte.is_demoted(), "below threshold");
+        latte.on_decode_error(CompressionAlgo::Bdi);
+        assert!(latte.is_demoted());
+        assert_eq!(latte.decode_errors(), 3);
+        assert_eq!(latte.selected_mode(), CompressionMode::None);
+
+        // Demoted: everything stores raw, even dedicated sets, and EP
+        // decisions cannot re-enable compression within this kernel.
+        let (algo, c) = latte.compress_fill(1, &line);
+        assert_eq!(algo, CompressionAlgo::None);
+        assert!(!c.is_compressed());
+        latte.sampling.frozen = [
+            ModeSample { hits: 10, insertions: 90 },
+            ModeSample { hits: 90, insertions: 10 },
+            ModeSample { hits: 90, insertions: 10 },
+        ];
+        latte.on_ep(&EpProbe::default());
+        assert_eq!(latte.selected_mode(), CompressionMode::None);
+
+        // A new kernel gets a clean slate.
+        latte.on_kernel_start();
+        assert!(!latte.is_demoted());
+        assert_eq!(latte.decode_errors(), 0);
+        let (algo, _) = latte.compress_fill(1, &line);
+        assert_eq!(algo, CompressionAlgo::Bdi);
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! The typed error model of the simulation stack.
+//!
+//! Low-level failures are typed where they occur —
+//! [`latte_compress::DecodeError`] for corrupt compressed payloads,
+//! `Result<(), String>` from the cache's structural audit — and this
+//! module folds them into one [`SimError`] so callers (the bench runner,
+//! experiment drivers) can propagate a single error type instead of
+//! panicking.
+
+use latte_compress::DecodeError;
+use latte_gpusim::TerminationReason;
+
+/// An error surfaced by the simulation stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A stored compressed line failed to decompress (detected
+    /// corruption). Recoverable: the access re-fetches from the L2.
+    Decode(DecodeError),
+    /// A structural audit of simulator state failed; statistics produced
+    /// after this point are suspect.
+    CorruptState {
+        /// Human-readable description of the first violation found.
+        detail: String,
+    },
+    /// A kernel stopped before completing its work.
+    EarlyTermination(TerminationReason),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Decode(e) => write!(f, "decode failure: {e}"),
+            SimError::CorruptState { detail } => {
+                write!(f, "corrupt simulator state: {detail}")
+            }
+            SimError::EarlyTermination(reason) => {
+                write!(f, "kernel stopped early: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for SimError {
+    fn from(e: DecodeError) -> SimError {
+        SimError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_decode_errors_with_source() {
+        let decode = DecodeError::Truncated {
+            needed: 8,
+            remaining: 3,
+        };
+        let err: SimError = decode.into();
+        assert_eq!(err, SimError::Decode(decode));
+        assert!(err.to_string().contains("decode failure"));
+        let source = std::error::Error::source(&err);
+        assert!(source.is_some(), "decode errors must chain as source");
+    }
+
+    #[test]
+    fn displays_each_variant() {
+        let corrupt = SimError::CorruptState {
+            detail: "set 3 exceeds tag budget".into(),
+        };
+        assert!(corrupt.to_string().contains("set 3"));
+        assert!(std::error::Error::source(&corrupt).is_none());
+        let early = SimError::EarlyTermination(TerminationReason::Deadlock);
+        assert!(early.to_string().contains("deadlock"));
+    }
+}

@@ -40,6 +40,7 @@
 
 mod amat;
 mod controller;
+mod error;
 mod kernel_opt;
 mod mode;
 mod multi;
@@ -48,6 +49,7 @@ mod static_policies;
 
 pub use amat::{amat_cmp, amat_gpu, ModeSample};
 pub use controller::{AdaptiveCmp, AdaptiveHitCount, LatteCc, LatteConfig, SamplingController};
+pub use error::SimError;
 pub use kernel_opt::{run_kernel_opt, KernelOptKernel, KernelOptResult};
 pub use mode::{CompressionMode, HighCapacityAlgo};
 pub use multi::{LatteCcMulti, ModeOption, MultiConfig};

@@ -269,7 +269,7 @@ mod tests {
         m.observe_fill(&hot_line());
         m.on_ep_end(); // bootstrap on the old distribution (period clock: 1)
         let _ = m.take_invalidation();
-        let new_line = CacheLine::from_u32_words(&vec![0xdead_beef; 32]);
+        let new_line = CacheLine::from_u32_words(&[0xdead_beef; 32]);
         // Feed the new distribution through at least one full period so a
         // train -> score -> swap cycle sees it.
         for _ in 0..12 {

@@ -39,7 +39,7 @@ fn drive(policy: &mut dyn L1CompressionPolicy, events: &[Event]) {
                 cycle,
             }),
             Event::Fill { set, word } => {
-                let line = CacheLine::from_u32_words(&vec![*word; 32]);
+                let line = CacheLine::from_u32_words(&[*word; 32]);
                 let (algo, compression) = policy.compress_fill(*set, &line);
                 // Fill results are always well-formed.
                 assert!(compression.size_bytes() <= CacheLine::SIZE_BYTES);
@@ -148,8 +148,8 @@ proptest! {
         let mut m = ScManager::new(period);
         let mut invalidations = 0u64;
         for (i, w) in words.iter().enumerate() {
-            m.observe_fill(&CacheLine::from_u32_words(&vec![*w; 32]));
-            let _ = m.compress(&CacheLine::from_u32_words(&vec![*w; 32]));
+            m.observe_fill(&CacheLine::from_u32_words(&[*w; 32]));
+            let _ = m.compress(&CacheLine::from_u32_words(&[*w; 32]));
             if i % 8 == 7 {
                 m.on_ep_end();
             }

@@ -1,5 +1,6 @@
 //! Simulated GPU configuration (Table II of the paper).
 
+use crate::faults::FaultConfig;
 use latte_cache::CacheGeometry;
 
 /// Which warp scheduler the SMs use.
@@ -65,6 +66,10 @@ pub struct GpuConfig {
     /// choice has negligible performance impact; `latte-bench sens-write`
     /// reproduces that claim.
     pub write_allocate: bool,
+    /// Deterministic fault injection (`None` disables it entirely; the
+    /// happy path then takes no injection branches and produces
+    /// bit-identical statistics to a build without the feature).
+    pub faults: Option<FaultConfig>,
 }
 
 impl GpuConfig {
@@ -93,6 +98,7 @@ impl GpuConfig {
             record_traces: false,
             flush_at_kernel_boundary: true,
             write_allocate: false,
+            faults: None,
         }
     }
 

@@ -5,7 +5,7 @@ use crate::config::GpuConfig;
 use crate::ops::Kernel;
 use crate::policy::L1CompressionPolicy;
 use crate::sm::{MemCtx, MemEvent, Sm};
-use crate::stats::KernelStats;
+use crate::stats::{KernelStats, TerminationReason};
 use latte_cache::SimpleCache;
 use latte_compress::Cycles;
 use std::cmp::Reverse;
@@ -119,6 +119,7 @@ impl Gpu {
             }
             if cycle >= self.config.max_cycles_per_kernel {
                 stats.timed_out = true;
+                stats.termination = self.audit_termination(TerminationReason::CycleLimit);
                 break;
             }
 
@@ -139,9 +140,12 @@ impl Gpu {
                 (Some(a), None) => a,
                 (None, Some(b)) => b,
                 (None, None) => {
-                    // No pending work but not all finished: a barrier
-                    // deadlock in the workload. Bail out.
+                    // No pending work but not all finished. The watchdog
+                    // audit decides whether this is a workload deadlock
+                    // (e.g. a barrier that can never release) or the
+                    // simulator's own state went bad. Bail out either way.
                     stats.timed_out = true;
+                    stats.termination = self.audit_termination(TerminationReason::Deadlock);
                     break;
                 }
             };
@@ -171,12 +175,46 @@ impl Gpu {
         stats
     }
 
+    /// Watchdog audit: distinguishes a stalled workload from corrupted
+    /// simulator state. Returns `fallback` when every L1 passes its
+    /// structural validation and `FaultAbort` otherwise (the violation is
+    /// reported on stderr; statistics past this point are suspect).
+    fn audit_termination(&self, fallback: TerminationReason) -> TerminationReason {
+        for sm in &self.sms {
+            if let Err(violation) = sm.l1.validate() {
+                eprintln!(
+                    "latte-gpusim: watchdog found corrupted L1 state on SM {}: {violation}",
+                    sm.id
+                );
+                return TerminationReason::FaultAbort;
+            }
+        }
+        fallback
+    }
+
     /// Runs a sequence of kernels, returning per-kernel statistics.
+    /// Kernels that stop early (cycle limit, deadlock, fault abort) are
+    /// reported on stderr instead of failing silently.
     pub fn run_kernels<'k>(
         &mut self,
         kernels: impl IntoIterator<Item = &'k dyn Kernel>,
     ) -> Vec<KernelStats> {
-        kernels.into_iter().map(|k| self.run_kernel(k)).collect()
+        kernels
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let stats = self.run_kernel(k);
+                if !stats.termination.is_clean() {
+                    eprintln!(
+                        "latte-gpusim: kernel {i} ({}) stopped early: {} after {} cycles",
+                        k.name(),
+                        stats.termination,
+                        stats.cycles
+                    );
+                }
+                stats
+            })
+            .collect()
     }
 
     /// Decision reports from every SM's policy (see

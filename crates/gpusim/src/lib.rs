@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod faults;
 mod gpu;
 mod ops;
 mod policy;
@@ -45,9 +46,10 @@ pub mod testing;
 mod warp;
 
 pub use config::{GpuConfig, SchedulerKind};
+pub use faults::{BitflipOutcome, FaultConfig, FaultInjector, FaultStats};
 pub use gpu::Gpu;
 pub use ops::{Kernel, Op, OpStream, VecStream};
 pub use policy::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport, UncompressedPolicy};
 pub use scheduler::{SchedulerProbe, WarpScheduler};
-pub use stats::{AlgoCounts, EpTraceEntry, KernelStats};
+pub use stats::{AlgoCounts, EpTraceEntry, KernelStats, TerminationReason};
 pub use warp::{Warp, WarpState};

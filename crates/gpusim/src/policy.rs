@@ -95,6 +95,13 @@ pub trait L1CompressionPolicy {
     /// Called on every L1 data access.
     fn on_access(&mut self, _ev: &AccessEvent) {}
 
+    /// Called when a compressed line stored with `algo` fails to
+    /// decompress (detected corruption). The access has already been
+    /// re-classified as a miss and the line invalidated; adaptive
+    /// policies may use this to demote themselves to uncompressed
+    /// operation when the error rate is suspicious.
+    fn on_decode_error(&mut self, _algo: CompressionAlgo) {}
+
     /// Called at every EP boundary with the latency-tolerance probe.
     fn on_ep(&mut self, _probe: &EpProbe) {}
 

@@ -2,6 +2,7 @@
 //! queue, MSHRs and the experimental-phase (EP) bookkeeping.
 
 use crate::config::GpuConfig;
+use crate::faults::{BitflipOutcome, FaultInjector};
 use crate::ops::{Kernel, Op};
 use crate::policy::{AccessEvent, EpProbe, L1CompressionPolicy};
 use crate::scheduler::WarpScheduler;
@@ -43,6 +44,8 @@ pub(crate) struct Sm {
     waiters: HashMap<LineAddr, Vec<(usize, Cycles)>>,
     /// Warp ids per thread block (barrier scope).
     blocks: Vec<Vec<usize>>,
+    /// Deterministic fault source (absent when injection is disabled).
+    faults: Option<FaultInjector>,
     // EP bookkeeping.
     ep_access_count: u64,
     ep_hits: u64,
@@ -62,6 +65,7 @@ impl Sm {
             dq: DecompressionQueue::new(),
             waiters: HashMap::new(),
             blocks: Vec::new(),
+            faults: config.faults.map(|fc| FaultInjector::new(fc, id)),
             ep_access_count: 0,
             ep_hits: 0,
             ep_index: 0,
@@ -106,6 +110,11 @@ impl Sm {
             self.waiters.clear();
         }
         self.l1.reset_stats();
+        if let Some(f) = &mut self.faults {
+            // Re-seed per kernel so each kernel's fault sequence depends
+            // only on (seed, SM), not on what ran before it.
+            f.reseed();
+        }
         self.ep_access_count = 0;
         self.ep_hits = 0;
         self.ep_index = 0;
@@ -234,9 +243,20 @@ impl Sm {
     ) -> bool {
         let line = LineAddr::from_byte_addr(addr);
 
-        // If this would be a miss the MSHR cannot take, stall before any
+        // If this would be a miss the MSHR cannot take — really full, or
+        // transiently exhausted by an injected fault — stall before any
         // statistics are recorded and retry shortly.
-        if !self.l1.contains(line) && !self.mshr.would_accept(line) {
+        let mshr_blocked = !self.l1.contains(line) && {
+            let injected = self
+                .faults
+                .as_mut()
+                .is_some_and(FaultInjector::roll_mshr_exhaust);
+            if injected {
+                ctx.stats.faults.mshr_exhaustions += 1;
+            }
+            injected || !self.mshr.would_accept(line)
+        };
+        if mshr_blocked {
             ctx.stats.mshr_stalls += 1;
             let op = if blocking {
                 Op::Load { addr }
@@ -252,7 +272,35 @@ impl Sm {
         }
 
         ctx.stats.loads += 1;
-        let outcome = self.l1.lookup(line, cycle);
+        let mut outcome = self.l1.lookup(line, cycle);
+        // Fault injection: a compressed hit may read a payload with one
+        // flipped bit. A detected flip becomes a decode failure — the hit
+        // is re-classified as a miss and the line re-fetched — while a
+        // masked flip proceeds as a normal hit. Injection is skipped when
+        // the MSHR could not absorb the resulting miss.
+        if let LookupOutcome::Hit {
+            algo,
+            compressed: true,
+        } = outcome
+        {
+            if let Some(inj) = self.faults.as_mut() {
+                if inj.roll_bitflip() && self.mshr.would_accept(line) {
+                    ctx.stats.faults.bitflips_injected += 1;
+                    let data = ctx.kernel.line_data(line);
+                    match inj.corrupt_compressed_read(algo, &data) {
+                        BitflipOutcome::Detected => {
+                            ctx.stats.faults.bitflips_detected += 1;
+                            self.l1.on_decode_failure(line);
+                            ctx.policy.on_decode_error(algo);
+                            outcome = LookupOutcome::Miss;
+                        }
+                        BitflipOutcome::Masked => {
+                            ctx.stats.faults.bitflips_masked += 1;
+                        }
+                    }
+                }
+            }
+        }
         let set = self.l1.set_of(line);
         let (hit, algo) = match outcome {
             LookupOutcome::Hit { algo, .. } => (true, algo),
@@ -299,12 +347,21 @@ impl Sm {
                 match self.mshr.allocate(line) {
                     MshrOutcome::Primary => {
                         let l2_hit = ctx.l2.access_and_fill(line);
-                        let latency = if l2_hit {
+                        let mut latency = if l2_hit {
                             ctx.config.l2_latency
                         } else {
                             ctx.stats.dram_accesses += 1;
                             ctx.config.dram_latency
                         };
+                        if let Some(spike) = self
+                            .faults
+                            .as_mut()
+                            .and_then(FaultInjector::roll_latency_spike)
+                        {
+                            ctx.stats.faults.latency_spikes += 1;
+                            ctx.stats.faults.spike_cycles_added += spike;
+                            latency += spike;
+                        }
                         ctx.events.push(std::cmp::Reverse(MemEvent {
                             cycle: cycle + latency,
                             sm: self.id,
@@ -334,19 +391,30 @@ impl Sm {
 
     /// Handles a refill arriving from the memory system.
     pub(crate) fn handle_fill(&mut self, addr: LineAddr, cycle: Cycles, ctx: &mut MemCtx<'_>) {
-        let data = ctx.kernel.line_data(addr);
-        let set = self.l1.set_of(addr);
-        let (algo, mut compression) = ctx.policy.compress_fill(set, &data);
-        if algo != latte_compress::CompressionAlgo::None {
-            // The compressor ran regardless of whether it succeeded.
-            ctx.stats.compressions.bump(algo);
+        // Fault injection: a corrupted tag write loses the fill. The
+        // refill data still reaches the waiting warps below, but the line
+        // is not retained, so the next access misses and re-fetches.
+        let drop_fill = self
+            .faults
+            .as_mut()
+            .is_some_and(FaultInjector::roll_tag_corruption);
+        if drop_fill {
+            ctx.stats.faults.tag_corruptions += 1;
+        } else {
+            let data = ctx.kernel.line_data(addr);
+            let set = self.l1.set_of(addr);
+            let (algo, mut compression) = ctx.policy.compress_fill(set, &data);
+            if algo != latte_compress::CompressionAlgo::None {
+                // The compressor ran regardless of whether it succeeded.
+                ctx.stats.compressions.bump(algo);
+            }
+            if ctx.config.ignore_capacity_benefit && compression.is_compressed() {
+                // Fig 4 study: charge the hit-latency penalty but store at full
+                // size (127 B quantises to the full four sub-blocks).
+                compression = Compression::new(latte_compress::CacheLine::SIZE_BYTES - 1);
+            }
+            self.l1.fill(addr, algo, compression, cycle);
         }
-        if ctx.config.ignore_capacity_benefit && compression.is_compressed() {
-            // Fig 4 study: charge the hit-latency penalty but store at full
-            // size (127 B quantises to the full four sub-blocks).
-            compression = Compression::new(latte_compress::CacheLine::SIZE_BYTES - 1);
-        }
-        self.l1.fill(addr, algo, compression, cycle);
         self.mshr.release(addr);
         if let Some(waiters) = self.waiters.remove(&addr) {
             for (wid, issued_at) in waiters {

@@ -1,7 +1,47 @@
 //! Simulation statistics: per-kernel and aggregated.
 
+use crate::faults::FaultStats;
 use latte_cache::CacheStats;
 use latte_compress::{CompressionAlgo, Cycles};
+
+/// Why a kernel's simulation loop stopped. Ordered by severity, so
+/// accumulating kernels keeps the worst outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TerminationReason {
+    /// Every warp retired and the memory system drained.
+    #[default]
+    Completed,
+    /// The kernel hit [`crate::GpuConfig::max_cycles_per_kernel`] with
+    /// structurally sound simulator state: the workload is slow or
+    /// livelocked, not the simulator.
+    CycleLimit,
+    /// No warp can ever make progress again (e.g. a barrier that can
+    /// never release) while the simulator state is structurally sound:
+    /// a workload deadlock.
+    Deadlock,
+    /// The watchdog's structural audit found corrupted simulator state;
+    /// the run's statistics are suspect beyond this kernel.
+    FaultAbort,
+}
+
+impl TerminationReason {
+    /// `true` when the kernel ran to completion.
+    #[must_use]
+    pub fn is_clean(self) -> bool {
+        self == TerminationReason::Completed
+    }
+}
+
+impl std::fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TerminationReason::Completed => "completed",
+            TerminationReason::CycleLimit => "cycle-limit",
+            TerminationReason::Deadlock => "deadlock",
+            TerminationReason::FaultAbort => "fault-abort",
+        })
+    }
+}
 
 /// Per-algorithm event counts (compressions or decompressions).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -108,8 +148,14 @@ pub struct KernelStats {
     pub decompression_queue_wait: u64,
     /// Per-EP traces from SM 0 (empty unless tracing is enabled).
     pub traces: Vec<EpTraceEntry>,
-    /// True if the kernel hit the cycle limit before completing.
+    /// True if the kernel stopped before completing (any
+    /// [`TerminationReason`] other than `Completed`).
     pub timed_out: bool,
+    /// Why the simulation loop stopped (worst across kernels when
+    /// accumulated).
+    pub termination: TerminationReason,
+    /// Injected-fault counters (all zero when injection is disabled).
+    pub faults: FaultStats,
 }
 
 impl KernelStats {
@@ -142,6 +188,8 @@ impl KernelStats {
         self.decompression_queue_wait += other.decompression_queue_wait;
         self.traces.extend(other.traces.iter().copied());
         self.timed_out |= other.timed_out;
+        self.termination = self.termination.max(other.termination);
+        self.faults += other.faults;
     }
 }
 
@@ -185,5 +233,31 @@ mod tests {
         assert_eq!(a.cycles, 20);
         assert_eq!(a.instructions, 40);
         assert_eq!(a.dram_accesses, 6);
+    }
+
+    #[test]
+    fn accumulate_keeps_worst_termination() {
+        let mut a = KernelStats {
+            termination: TerminationReason::Deadlock,
+            timed_out: true,
+            ..KernelStats::default()
+        };
+        a.accumulate(&KernelStats::default());
+        assert_eq!(a.termination, TerminationReason::Deadlock);
+        let mut b = KernelStats::default();
+        b.accumulate(&a);
+        assert_eq!(b.termination, TerminationReason::Deadlock);
+        assert!(b.timed_out);
+    }
+
+    #[test]
+    fn termination_severity_order() {
+        use TerminationReason::*;
+        assert!(Completed < CycleLimit);
+        assert!(CycleLimit < Deadlock);
+        assert!(Deadlock < FaultAbort);
+        assert!(Completed.is_clean());
+        assert!(!Deadlock.is_clean());
+        assert_eq!(FaultAbort.to_string(), "fault-abort");
     }
 }

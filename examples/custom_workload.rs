@@ -44,7 +44,7 @@ impl OpStream for FilterStream {
             Op::Barrier
         } else if step <= STREAM_STEPS + HISTOGRAM_STEPS {
             // Phase 2: shared histogram bins, pseudo-random reuse.
-            let i = u64::from(step) * 2654435761 ^ (self.warp << 17);
+            let i = (u64::from(step) * 2654435761) ^ (self.warp << 17);
             let line = base | HISTOGRAM_REGION | (i % 160);
             Op::Load { addr: line * 128 }
         } else {
@@ -91,9 +91,11 @@ impl Kernel for ImageFilterKernel {
     }
 }
 
+type PolicyFactory = Box<dyn Fn() -> Box<dyn L1CompressionPolicy>>;
+
 fn main() {
     let config = GpuConfig::small();
-    let policies: Vec<(&str, Box<dyn Fn() -> Box<dyn L1CompressionPolicy>>)> = vec![
+    let policies: Vec<(&str, PolicyFactory)> = vec![
         ("Baseline", Box::new(|| Box::new(UncompressedPolicy))),
         ("Static-BDI", Box::new(|| Box::new(StaticBdi::new()))),
         ("Static-SC", Box::new(|| Box::new(StaticSc::new()))),
