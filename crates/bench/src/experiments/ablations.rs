@@ -6,18 +6,19 @@
 //! Each ablation reports the C-Sens-subset geomean speedup of LATTE-CC
 //! under the varied parameter, everything else held at the defaults.
 
-use crate::experiments::write_csv;
+use crate::report::outln;
+use crate::experiments::{lookup_benchmark, write_csv};
 use crate::runner::{experiment_config, geomean, PolicyKind};
 use latte_core::{LatteCc, LatteConfig};
 use latte_gpusim::{Gpu, GpuConfig, Kernel, SchedulerKind};
-use latte_workloads::{benchmark, BenchmarkSpec};
+use latte_workloads::BenchmarkSpec;
 
 /// A representative cache-sensitive subset (one per behaviour class) that
 /// keeps each ablation under a minute.
-fn subset() -> Vec<BenchmarkSpec> {
+fn subset() -> std::io::Result<Vec<BenchmarkSpec>> {
     ["SS", "KM", "BC", "FW", "PRK", "DJK"]
         .iter()
-        .map(|a| benchmark(a).expect("subset benchmark exists"))
+        .map(|a| lookup_benchmark(a))
         .collect()
 }
 
@@ -49,18 +50,18 @@ fn latte_defaults(config: &GpuConfig) -> LatteConfig {
 }
 
 /// Geomean LATTE-CC speedup over the subset for one (gpu, latte) config.
-fn subset_geomean(config: &GpuConfig, latte: &LatteConfig) -> f64 {
-    let speedups: Vec<f64> = subset()
+fn subset_geomean(config: &GpuConfig, latte: &LatteConfig) -> std::io::Result<f64> {
+    let speedups: Vec<f64> = subset()?
         .iter()
         .map(|b| run_baseline(config, b) as f64 / run_latte(config, latte, b).max(1) as f64)
         .collect();
-    geomean(&speedups)
+    Ok(geomean(&speedups))
 }
 
 /// Tolerance-awareness ablation: scale the Eq. (4) estimate from 0
 /// (tolerance-blind, i.e. conventional AMAT) upwards.
 pub fn tolerance() -> std::io::Result<()> {
-    println!("Ablation: latency-tolerance scale (0 = tolerance-blind)\n");
+    outln!("Ablation: latency-tolerance scale (0 = tolerance-blind)\n");
     let config = experiment_config();
     let mut rows = vec![vec!["tolerance_scale".to_owned(), "csens_subset_geomean".to_owned()]];
     for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
@@ -68,8 +69,8 @@ pub fn tolerance() -> std::io::Result<()> {
             tolerance_scale: scale,
             ..latte_defaults(&config)
         };
-        let g = subset_geomean(&config, &latte);
-        println!("scale {scale:>4.1}: {g:.4}");
+        let g = subset_geomean(&config, &latte)?;
+        outln!("scale {scale:>4.1}: {g:.4}");
         rows.push(vec![format!("{scale}"), format!("{g:.4}")]);
     }
     write_csv("ablation_tolerance_scale", &rows)
@@ -78,7 +79,7 @@ pub fn tolerance() -> std::io::Result<()> {
 /// Miss-latency constant ablation: how sensitive are the AMAT decisions
 /// to the assumed effective miss cost?
 pub fn miss_latency() -> std::io::Result<()> {
-    println!("Ablation: AMAT effective miss-latency constant\n");
+    outln!("Ablation: AMAT effective miss-latency constant\n");
     let config = experiment_config();
     let mut rows = vec![vec!["miss_latency".to_owned(), "csens_subset_geomean".to_owned()]];
     for ml in [40.0, 80.0, 110.0, 150.0, 230.0] {
@@ -86,8 +87,8 @@ pub fn miss_latency() -> std::io::Result<()> {
             miss_latency: ml,
             ..latte_defaults(&config)
         };
-        let g = subset_geomean(&config, &latte);
-        println!("miss_latency {ml:>5.0}: {g:.4}");
+        let g = subset_geomean(&config, &latte)?;
+        outln!("miss_latency {ml:>5.0}: {g:.4}");
         rows.push(vec![format!("{ml}"), format!("{g:.4}")]);
     }
     write_csv("ablation_miss_latency", &rows)
@@ -96,7 +97,7 @@ pub fn miss_latency() -> std::io::Result<()> {
 /// EP-length ablation (the paper empirically picked 256 accesses/EP):
 /// shorter EPs adapt faster but sample less; longer EPs the reverse.
 pub fn ep_length() -> std::io::Result<()> {
-    println!("Ablation: experimental-phase length (L1 accesses per EP)\n");
+    outln!("Ablation: experimental-phase length (L1 accesses per EP)\n");
     let base = experiment_config();
     let mut rows = vec![vec!["ep_accesses".to_owned(), "csens_subset_geomean".to_owned()]];
     for ep in [64u64, 128, 256, 512, 1024] {
@@ -105,8 +106,8 @@ pub fn ep_length() -> std::io::Result<()> {
             ..base.clone()
         };
         let latte = latte_defaults(&config);
-        let g = subset_geomean(&config, &latte);
-        println!("EP {ep:>5}: {g:.4}");
+        let g = subset_geomean(&config, &latte)?;
+        outln!("EP {ep:>5}: {g:.4}");
         rows.push(vec![ep.to_string(), format!("{g:.4}")]);
     }
     write_csv("ablation_ep_length", &rows)
@@ -114,7 +115,7 @@ pub fn ep_length() -> std::io::Result<()> {
 
 /// Dedicated-set count ablation: sampling fidelity vs sampling overhead.
 pub fn dedicated_sets() -> std::io::Result<()> {
-    println!("Ablation: dedicated sets per compression mode\n");
+    outln!("Ablation: dedicated sets per compression mode\n");
     let config = experiment_config();
     let mut rows = vec![vec![
         "dedicated_per_mode".to_owned(),
@@ -125,8 +126,8 @@ pub fn dedicated_sets() -> std::io::Result<()> {
             dedicated_sets_per_mode: d,
             ..latte_defaults(&config)
         };
-        let g = subset_geomean(&config, &latte);
-        println!("dedicated {d}: {g:.4}  (overhead {:.0}% of sets)", 3.0 * d as f64 / 32.0 * 100.0);
+        let g = subset_geomean(&config, &latte)?;
+        outln!("dedicated {d}: {g:.4}  (overhead {:.0}% of sets)", 3.0 * d as f64 / 32.0 * 100.0);
         rows.push(vec![d.to_string(), format!("{g:.4}")]);
     }
     write_csv("ablation_dedicated_sets", &rows)
@@ -134,7 +135,7 @@ pub fn dedicated_sets() -> std::io::Result<()> {
 
 /// Scheduler ablation: the paper's GTO vs loose round-robin.
 pub fn scheduler() -> std::io::Result<()> {
-    println!("Ablation: warp scheduler (GTO vs LRR)\n");
+    outln!("Ablation: warp scheduler (GTO vs LRR)\n");
     let base = experiment_config();
     let mut rows = vec![vec![
         "scheduler".to_owned(),
@@ -146,8 +147,8 @@ pub fn scheduler() -> std::io::Result<()> {
             ..base.clone()
         };
         let latte = latte_defaults(&config);
-        let g = subset_geomean(&config, &latte);
-        println!("{name}: {g:.4}");
+        let g = subset_geomean(&config, &latte)?;
+        outln!("{name}: {g:.4}");
         rows.push(vec![name.to_owned(), format!("{g:.4}")]);
     }
     write_csv("ablation_scheduler", &rows)
@@ -156,12 +157,12 @@ pub fn scheduler() -> std::io::Result<()> {
 /// Runs every ablation.
 pub fn run() -> std::io::Result<()> {
     tolerance()?;
-    println!();
+    outln!();
     miss_latency()?;
-    println!();
+    outln!();
     ep_length()?;
-    println!();
+    outln!();
     dedicated_sets()?;
-    println!();
+    outln!();
     scheduler()
 }

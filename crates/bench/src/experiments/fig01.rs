@@ -3,29 +3,29 @@
 //! cycles for PRK, CLR, MIS, BC and FW: PRK is insensitive, CLR and MIS
 //! tolerate ~9 cycles, BC and FW degrade quickly.
 
-use crate::experiments::write_csv;
+use crate::report::{out, outln};
+use crate::experiments::{lookup_benchmark, write_csv};
 use crate::runner::experiment_config;
 use latte_gpusim::{Gpu, GpuConfig, Kernel, UncompressedPolicy};
-use latte_workloads::benchmark;
 
 const BENCHES: [&str; 5] = ["PRK", "CLR", "MIS", "BC", "FW"];
 const LATENCIES: [u64; 6] = [0, 3, 6, 9, 12, 14];
 
 /// Runs the Fig 1 sweep.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 1: IPC (normalised to +0) vs added L1 hit latency\n");
+    outln!("Figure 1: IPC (normalised to +0) vs added L1 hit latency\n");
     let mut rows = vec![{
         let mut h = vec!["benchmark".to_owned()];
         h.extend(LATENCIES.iter().map(|l| format!("+{l}")));
         h
     }];
-    print!("{:6}", "bench");
+    out!("{:6}", "bench");
     for l in LATENCIES {
-        print!(" {:>7}", format!("+{l}"));
+        out!(" {:>7}", format!("+{l}"));
     }
-    println!();
+    outln!();
     for abbr in BENCHES {
-        let bench = benchmark(abbr).expect("benchmark exists");
+        let bench = lookup_benchmark(abbr)?;
         let cycles: Vec<u64> = LATENCIES
             .iter()
             .map(|&extra| {
@@ -43,11 +43,11 @@ pub fn run() -> std::io::Result<()> {
             .collect();
         let base = cycles[0] as f64;
         let normalised: Vec<f64> = cycles.iter().map(|&c| base / c as f64).collect();
-        print!("{:6}", abbr);
+        out!("{:6}", abbr);
         for n in &normalised {
-            print!(" {n:>7.3}");
+            out!(" {n:>7.3}");
         }
-        println!();
+        outln!();
         let mut row = vec![abbr.to_owned()];
         row.extend(normalised.iter().map(|n| format!("{n:.4}")));
         rows.push(row);

@@ -6,6 +6,7 @@
 //! under temporal (SC); PF/MIS/CLR favour BPC; SC and BDI/BPC achieve the
 //! highest ratios overall while FPC and C-PACK trail.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use latte_cache::LineAddr;
 use latte_compress::{
@@ -64,8 +65,8 @@ pub fn ratios_for(bench: &BenchmarkSpec) -> [f64; 5] {
 
 /// Runs the Fig 2 characterisation.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 2: compression ratio per algorithm (L1 insertion stream)\n");
-    println!(
+    outln!("Figure 2: compression ratio per algorithm (L1 insertion stream)\n");
+    outln!(
         "{:6} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "bench", "BDI", "FPC", "CPACK", "BPC", "SC"
     );
@@ -81,7 +82,7 @@ pub fn run() -> std::io::Result<()> {
     let benches = suite();
     for bench in &benches {
         let r = ratios_for(bench);
-        println!(
+        outln!(
             "{:6} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
             bench.abbr, r[0], r[1], r[2], r[3], r[4]
         );
@@ -94,7 +95,7 @@ pub fn run() -> std::io::Result<()> {
     }
     let n = benches.len() as f64;
     let gm: Vec<f64> = sums.iter().map(|s| (s / n).exp()).collect();
-    println!(
+    outln!(
         "{:6} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}   (geomean)",
         "MEAN", gm[0], gm[1], gm[2], gm[3], gm[4]
     );

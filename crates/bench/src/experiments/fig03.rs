@@ -1,6 +1,7 @@
 //! **Figure 3** — Performance upper bound of static compression: the
 //! capacity benefit with decompression latency forced to zero.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{geomean, run_benchmark_with_config, experiment_config, PolicyKind};
 use latte_gpusim::GpuConfig;
@@ -8,12 +9,12 @@ use latte_workloads::{suite, Category};
 
 /// Runs the Fig 3 upper-bound study.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 3: speedup upper bound (zero decompression latency)\n");
+    outln!("Figure 3: speedup upper bound (zero decompression latency)\n");
     let config = GpuConfig {
         zero_decompression_latency: true,
         ..experiment_config()
     };
-    println!("{:6} {:>10} {:>10}", "bench", "BDI-0lat", "SC-0lat");
+    outln!("{:6} {:>10} {:>10}", "bench", "BDI-0lat", "SC-0lat");
     let mut rows = vec![vec![
         "benchmark".to_owned(),
         "static_bdi_zero_latency".to_owned(),
@@ -25,7 +26,7 @@ pub fn run() -> std::io::Result<()> {
         let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
         let sc = run_benchmark_with_config(PolicyKind::StaticSc, &bench, &config);
         let (s_bdi, s_sc) = (bdi.speedup_over(&base), sc.speedup_over(&base));
-        println!("{:6} {:>10.3} {:>10.3}", bench.abbr, s_bdi, s_sc);
+        outln!("{:6} {:>10.3} {:>10.3}", bench.abbr, s_bdi, s_sc);
         rows.push(vec![
             bench.abbr.to_owned(),
             format!("{s_bdi:.4}"),
@@ -36,7 +37,7 @@ pub fn run() -> std::io::Result<()> {
             sens.1.push(s_sc);
         }
     }
-    println!(
+    outln!(
         "{:6} {:>10.3} {:>10.3}   (C-Sens geomean)",
         "MEAN",
         geomean(&sens.0),

@@ -3,6 +3,7 @@
 //! suppressed. Per the paper, FW (−47%) and BC (−22%) suffer most under
 //! SC's 14-cycle latency while PRK tolerates it fully.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{run_benchmark_with_config, experiment_config, PolicyKind};
 use latte_gpusim::GpuConfig;
@@ -10,12 +11,12 @@ use latte_workloads::suite;
 
 /// Runs the Fig 4 latency-only study.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 4: slowdown from decompression latency only (no capacity benefit)\n");
+    outln!("Figure 4: slowdown from decompression latency only (no capacity benefit)\n");
     let config = GpuConfig {
         ignore_capacity_benefit: true,
         ..experiment_config()
     };
-    println!("{:6} {:>10} {:>10}", "bench", "BDI-lat", "SC-lat");
+    outln!("{:6} {:>10} {:>10}", "bench", "BDI-lat", "SC-lat");
     let mut rows = vec![vec![
         "benchmark".to_owned(),
         "static_bdi_latency_only".to_owned(),
@@ -26,7 +27,7 @@ pub fn run() -> std::io::Result<()> {
         let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
         let sc = run_benchmark_with_config(PolicyKind::StaticSc, &bench, &config);
         let (s_bdi, s_sc) = (bdi.speedup_over(&base), sc.speedup_over(&base));
-        println!("{:6} {:>10.3} {:>10.3}", bench.abbr, s_bdi, s_sc);
+        outln!("{:6} {:>10.3} {:>10.3}", bench.abbr, s_bdi, s_sc);
         rows.push(vec![
             bench.abbr.to_owned(),
             format!("{s_bdi:.4}"),

@@ -3,15 +3,15 @@
 //! low latency tolerance, which is exactly what LATTE-CC's fine-grained
 //! adaptation exploits.
 
-use crate::experiments::write_csv;
+use crate::report::outln;
+use crate::experiments::{lookup_benchmark, write_csv};
 use crate::runner::experiment_config;
 use latte_gpusim::{Gpu, GpuConfig, Kernel, UncompressedPolicy};
-use latte_workloads::benchmark;
 
 /// Runs the Fig 5 tolerance trace.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 5: latency tolerance over time (SS, SM 0)\n");
-    let bench = benchmark("SS").expect("SS exists");
+    outln!("Figure 5: latency tolerance over time (SS, SM 0)\n");
+    let bench = lookup_benchmark("SS")?;
     let config = GpuConfig {
         record_traces: true,
         ..experiment_config()
@@ -34,12 +34,12 @@ pub fn run() -> std::io::Result<()> {
         let mean: f64 =
             chunk.iter().map(|t| t.latency_tolerance).sum::<f64>() / chunk.len() as f64;
         let bar_len = (mean * 2.0).min(60.0) as usize;
-        println!("EP {:>4}..{:<4} tol {:>6.2} {}", i, i + chunk.len(), mean, "#".repeat(bar_len));
+        outln!("EP {:>4}..{:<4} tol {:>6.2} {}", i, i + chunk.len(), mean, "#".repeat(bar_len));
         i += chunk.len();
     }
     let min = all.iter().map(|t| t.latency_tolerance).fold(f64::MAX, f64::min);
     let max = all.iter().map(|t| t.latency_tolerance).fold(0.0, f64::max);
-    println!("\n{} EPs, tolerance range [{min:.2}, {max:.2}]", all.len());
+    outln!("\n{} EPs, tolerance range [{min:.2}, {max:.2}]", all.len());
     assert!(
         max > 2.0 * (min + 0.5),
         "SS should show strong tolerance variation over time"

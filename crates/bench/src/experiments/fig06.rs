@@ -4,14 +4,15 @@
 //! 1.36x energy); the adaptive scheme recovers the upside everywhere,
 //! most visibly on KM, SS and VM.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{run_benchmark, PolicyKind};
 use latte_workloads::suite;
 
 /// Runs the Fig 6 motivation study.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 6: static vs adaptive — (a) speedup, (b) normalised energy\n");
-    println!(
+    outln!("Figure 6: static vs adaptive — (a) speedup, (b) normalised energy\n");
+    outln!(
         "{:6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "bench", "spd-BDI", "spd-SC", "spd-AD", "en-BDI", "en-SC", "en-AD"
     );
@@ -44,7 +45,7 @@ pub fn run() -> std::io::Result<()> {
             spread.0 = spread.0.min(*v);
             spread.1 = spread.1.max(*v);
         }
-        println!(
+        outln!(
             "{:6} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}",
             bench.abbr, s[0], s[1], s[2], e[0], e[1], e[2]
         );
@@ -58,7 +59,7 @@ pub fn run() -> std::io::Result<()> {
             format!("{:.4}", e[2]),
         ]);
     }
-    println!(
+    outln!(
         "\nstatic-policy speedup spread: {:.3} .. {:.3} (paper: 0.48 .. 1.48)",
         spread.0, spread.1
     );

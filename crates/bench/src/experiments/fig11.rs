@@ -6,6 +6,7 @@
 //! oracle; C-InSens workloads are unaffected except Static-SC, which
 //! degrades several of them.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{experiment_config, geomean, run_benchmark, PolicyKind};
 use latte_core::run_kernel_opt;
@@ -59,7 +60,7 @@ fn print_means(rows: &[Fig11Row], category: Category, csv: &mut Vec<Vec<String>>
     for (i, m) in means.iter_mut().enumerate() {
         *m = geomean(&in_cat.iter().map(|r| r.speedups[i]).collect::<Vec<_>>());
     }
-    println!(
+    outln!(
         "{:6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}   ({category} geomean)",
         "MEAN", means[0], means[1], means[2], means[3]
     );
@@ -74,8 +75,8 @@ fn print_means(rows: &[Fig11Row], category: Category, csv: &mut Vec<Vec<String>>
 
 /// Runs the Fig 11 experiment.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 11: speedup over uncompressed baseline\n");
-    println!(
+    outln!("Figure 11: speedup over uncompressed baseline\n");
+    outln!(
         "{:6} {:>9} {:>9} {:>9} {:>9}",
         "bench", "BDI", "SC", "LATTE", "K-OPT"
     );
@@ -89,7 +90,7 @@ pub fn run() -> std::io::Result<()> {
     ]];
     for cat in [Category::CInSens, Category::CSens] {
         for r in rows.iter().filter(|r| r.category == cat) {
-            println!(
+            outln!(
                 "{:6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
                 r.abbr, r.speedups[0], r.speedups[1], r.speedups[2], r.speedups[3]
             );
@@ -102,7 +103,7 @@ pub fn run() -> std::io::Result<()> {
             ]);
         }
         print_means(&rows, cat, &mut csv);
-        println!();
+        outln!();
     }
     write_csv("fig11_speedups", &csv)
 }

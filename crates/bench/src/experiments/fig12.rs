@@ -3,14 +3,15 @@
 //! C-Sens) yet loses performance; LATTE-CC's ~24.6% reduction translates
 //! into speedup because it is taken only when the latency is hideable.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{run_benchmark, PolicyKind};
 use latte_workloads::{suite, Category};
 
 /// Runs the Fig 12 experiment.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 12: L1 miss reduction over baseline (%)\n");
-    println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
+    outln!("Figure 12: L1 miss reduction over baseline (%)\n");
+    outln!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
     let mut csv = vec![vec![
         "benchmark".to_owned(),
         "static_bdi".to_owned(),
@@ -24,7 +25,7 @@ pub fn run() -> std::io::Result<()> {
             .iter()
             .map(|&p| run_benchmark(p, &bench).miss_reduction_over(&base) * 100.0)
             .collect();
-        println!("{:6} {:>8.1}% {:>8.1}% {:>8.1}%", bench.abbr, mr[0], mr[1], mr[2]);
+        outln!("{:6} {:>8.1}% {:>8.1}% {:>8.1}%", bench.abbr, mr[0], mr[1], mr[2]);
         csv.push(vec![
             bench.abbr.to_owned(),
             format!("{:.2}", mr[0]),
@@ -38,7 +39,7 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!(
+    outln!(
         "{:6} {:>8.1}% {:>8.1}% {:>8.1}%   (C-Sens arithmetic mean)",
         "MEAN",
         mean(&sens[0]),

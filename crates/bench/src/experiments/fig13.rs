@@ -2,14 +2,15 @@
 //! C-Sens workloads LATTE-CC saves ~10%, Static-BDI ~5%, Static-SC ~0%;
 //! on C-InSens, Static-SC *increases* energy (up to +53% on HW).
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::{suite, Category};
 
 /// Runs the Fig 13 experiment.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 13: GPU energy normalised to baseline (lower is better)\n");
-    println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
+    outln!("Figure 13: GPU energy normalised to baseline (lower is better)\n");
+    outln!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
     let mut csv = vec![vec![
         "benchmark".to_owned(),
         "static_bdi".to_owned(),
@@ -23,7 +24,7 @@ pub fn run() -> std::io::Result<()> {
             .iter()
             .map(|&p| run_benchmark(p, &bench).energy_ratio_over(&base))
             .collect();
-        println!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, e[0], e[1], e[2]);
+        outln!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, e[0], e[1], e[2]);
         csv.push(vec![
             bench.abbr.to_owned(),
             format!("{:.4}", e[0]),
@@ -36,7 +37,7 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     for (cat, name) in [(1usize, "C-Sens"), (0, "C-InSens")] {
-        println!(
+        outln!(
             "{:6} {:>9.3} {:>9.3} {:>9.3}   ({name} geomean)",
             "MEAN",
             geomean(&by_cat[cat][0]),

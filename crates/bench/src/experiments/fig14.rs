@@ -3,14 +3,15 @@
 //! bulk of the saving (~4.2% and ~3.7% of GPU energy respectively) while
 //! compressor/decompressor overhead stays below 0.25%.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{run_benchmark, PolicyKind};
 use latte_workloads::c_sens;
 
 /// Runs the Fig 14 experiment.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 14: LATTE-CC energy saving breakdown, C-Sens (% of baseline GPU energy)\n");
-    println!(
+    outln!("Figure 14: LATTE-CC energy saving breakdown, C-Sens (% of baseline GPU energy)\n");
+    outln!(
         "{:6} {:>10} {:>9} {:>9} {:>10} {:>9}",
         "bench", "data-move", "static", "core+L1", "overhead", "total"
     );
@@ -37,7 +38,7 @@ pub fn run() -> std::io::Result<()> {
             * 100.0;
         let overhead = latte.energy.compression_overhead_nj() / total * 100.0;
         let saving = (total - latte.energy.total_nj()) / total * 100.0;
-        println!(
+        outln!(
             "{:6} {:>9.2}% {:>8.2}% {:>8.2}% {:>9.3}% {:>8.2}%",
             bench.abbr, dm, st, core, overhead, saving
         );
@@ -54,7 +55,7 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     let n = benches.len() as f64;
-    println!(
+    outln!(
         "{:6} {:>9.2}% {:>8.2}% {:>8.2}% {:>9.3}% {:>8.2}%   (mean)",
         "MEAN",
         sums[0] / n,

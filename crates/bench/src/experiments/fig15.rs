@@ -4,6 +4,7 @@
 //! (KM, SS, MM) LATTE-CC beats the oracle *because* it deviates within
 //! kernels.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{experiment_config, PolicyKind};
 use latte_core::run_kernel_opt;
@@ -12,8 +13,8 @@ use latte_workloads::c_sens;
 
 /// Runs the Fig 15 agreement analysis.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 15: LATTE-CC vs Kernel-OPT decision agreement (C-Sens)\n");
-    println!(
+    outln!("Figure 15: LATTE-CC vs Kernel-OPT decision agreement (C-Sens)\n");
+    outln!(
         "{:6} {:>8} {:>11} {:>11} {:>9}",
         "bench", "agree%", "spd-LATTE", "spd-K-OPT", "perfΔ%"
     );
@@ -55,7 +56,7 @@ pub fn run() -> std::io::Result<()> {
         let spd_latte = base_cycles as f64 / latte_cycles.max(1) as f64;
         let spd_opt = base_cycles as f64 / opt.total_cycles().max(1) as f64;
         let delta = (spd_opt - spd_latte) * 100.0;
-        println!(
+        outln!(
             "{:6} {:>7.1}% {:>11.3} {:>11.3} {:>9.1}",
             bench.abbr, agreement, spd_latte, spd_opt, delta
         );
@@ -67,6 +68,6 @@ pub fn run() -> std::io::Result<()> {
             format!("{delta:.2}"),
         ]);
     }
-    println!("\n(negative perfΔ: LATTE-CC beats the oracle via intra-kernel adaptation)");
+    outln!("\n(negative perfΔ: LATTE-CC beats the oracle via intra-kernel adaptation)");
     write_csv("fig15_kernel_opt_agreement", &csv)
 }

@@ -4,13 +4,13 @@
 //! hovers between 1-2x, opportunistically taking SC capacity only during
 //! tolerant phases.
 
-use crate::experiments::write_csv;
+use crate::report::outln;
+use crate::experiments::{lookup_benchmark, write_csv};
 use crate::runner::{experiment_config, PolicyKind};
 use latte_gpusim::{Gpu, GpuConfig, Kernel};
-use latte_workloads::benchmark;
 
-fn trace(policy: PolicyKind) -> Vec<f64> {
-    let bench = benchmark("SS").expect("SS exists");
+fn trace(policy: PolicyKind) -> std::io::Result<Vec<f64>> {
+    let bench = lookup_benchmark("SS")?;
     let config = GpuConfig {
         record_traces: true,
         ..experiment_config()
@@ -21,16 +21,19 @@ fn trace(policy: PolicyKind) -> Vec<f64> {
         let stats = gpu.run_kernel(&kernel as &dyn Kernel);
         capacities.extend(stats.traces.iter().map(|t| t.effective_capacity));
     }
-    capacities
+    Ok(capacities)
 }
 
 /// Runs the Fig 16 capacity trace.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 16: effective L1 capacity over time (SS, SM 0, 1.0 = baseline)\n");
+    outln!("Figure 16: effective L1 capacity over time (SS, SM 0, 1.0 = baseline)\n");
     let policies = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc];
-    let traces: Vec<Vec<f64>> = policies.iter().map(|&p| trace(p)).collect();
+    let traces: Vec<Vec<f64>> = policies
+        .iter()
+        .map(|&p| trace(p))
+        .collect::<std::io::Result<_>>()?;
     let len = traces.iter().map(Vec::len).min().unwrap_or(0);
-    println!("{:>6} {:>9} {:>9} {:>9}", "EP", "BDI", "SC", "LATTE");
+    outln!("{:>6} {:>9} {:>9} {:>9}", "EP", "BDI", "SC", "LATTE");
     let mut rows = vec![vec![
         "ep".to_owned(),
         "static_bdi".to_owned(),
@@ -40,7 +43,7 @@ pub fn run() -> std::io::Result<()> {
     #[allow(clippy::needless_range_loop)] // parallel indexing into three traces
     for ep in 0..len {
         if ep % 8 == 0 {
-            println!(
+            outln!(
                 "{:>6} {:>9.2} {:>9.2} {:>9.2}",
                 ep, traces[0][ep], traces[1][ep], traces[2][ep]
             );
@@ -53,7 +56,7 @@ pub fn run() -> std::io::Result<()> {
         ]);
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!(
+    outln!(
         "\nmeans: BDI {:.2}x  SC {:.2}x  LATTE {:.2}x",
         mean(&traces[0][..len]),
         mean(&traces[1][..len]),

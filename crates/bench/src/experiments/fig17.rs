@@ -4,14 +4,15 @@
 //! similarly (~24%), but only LATTE-CC converts the reduction into the
 //! full speedup (19.2% vs 15% / 13%).
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::c_sens;
 
 /// Runs the Fig 17 comparison.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 17: adaptive policy comparison (C-Sens)\n");
-    println!(
+    outln!("Figure 17: adaptive policy comparison (C-Sens)\n");
+    outln!(
         "{:6} {:>9} {:>9} {:>9} | {:>8} {:>8} {:>8}",
         "bench", "LATTE", "AHC", "ACMP", "mrLATTE", "mrAHC", "mrACMP"
     );
@@ -39,7 +40,7 @@ pub fn run() -> std::io::Result<()> {
             .iter()
             .map(|r| r.miss_reduction_over(&base) * 100.0)
             .collect();
-        println!(
+        outln!(
             "{:6} {:>9.3} {:>9.3} {:>9.3} | {:>7.1}% {:>7.1}% {:>7.1}%",
             bench.abbr, s[0], s[1], s[2], m[0], m[1], m[2]
         );
@@ -58,7 +59,7 @@ pub fn run() -> std::io::Result<()> {
         }
     }
     let amean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!(
+    outln!(
         "{:6} {:>9.3} {:>9.3} {:>9.3} | {:>7.1}% {:>7.1}% {:>7.1}%   (means)",
         "MEAN",
         geomean(&spd[0]),

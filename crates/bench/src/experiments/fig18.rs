@@ -3,14 +3,15 @@
 //! Paper shape: similar on average, better on the BPC-affine workloads
 //! (PF, MIS, CLR, FW).
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::{c_sens, Category};
 
 /// Runs the Fig 18 variant study.
 pub fn run() -> std::io::Result<()> {
-    println!("Figure 18: LATTE-CC vs LATTE-CC-BDI-BPC (C-Sens)\n");
-    println!("{:6} {:>11} {:>15}", "bench", "LATTE(SC)", "LATTE(BDI-BPC)");
+    outln!("Figure 18: LATTE-CC vs LATTE-CC-BDI-BPC (C-Sens)\n");
+    outln!("{:6} {:>11} {:>15}", "bench", "LATTE(SC)", "LATTE(BDI-BPC)");
     let mut csv = vec![vec![
         "benchmark".to_owned(),
         "latte_bdi_sc".to_owned(),
@@ -29,7 +30,7 @@ pub fn run() -> std::io::Result<()> {
         } else {
             ""
         };
-        println!("{:6} {:>11.3} {:>15.3}{marker}", bench.abbr, s1, s2);
+        outln!("{:6} {:>11.3} {:>15.3}{marker}", bench.abbr, s1, s2);
         csv.push(vec![
             bench.abbr.to_owned(),
             format!("{s1:.4}"),
@@ -38,7 +39,7 @@ pub fn run() -> std::io::Result<()> {
         sc_spd.push(s1);
         bpc_spd.push(s2);
     }
-    println!(
+    outln!(
         "{:6} {:>11.3} {:>15.3}   (geomean)",
         "MEAN",
         geomean(&sc_spd),

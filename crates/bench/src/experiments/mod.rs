@@ -28,12 +28,43 @@ pub mod trace;
 pub mod table2;
 pub mod table3;
 
+use crate::report::outln;
 use std::fmt::Display;
 use std::fs;
 use std::io;
 use std::path::PathBuf;
+use std::sync::RwLock;
 
-/// Writes `rows` (first row = header) to `results/<name>.csv`.
+/// Process-wide override of the `results/` output directory (used by the
+/// determinism test suite to compare independent runs). `None` means the
+/// default relative `results/` directory.
+static RESULTS_DIR: RwLock<Option<PathBuf>> = RwLock::new(None);
+
+/// Redirects all experiment CSV output to `dir` for the rest of the
+/// process (pass `None` to restore the default `results/`).
+pub fn set_results_dir(dir: Option<PathBuf>) {
+    if let Ok(mut slot) = RESULTS_DIR.write() {
+        *slot = dir;
+    }
+}
+
+/// The directory experiment CSVs are written to.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    RESULTS_DIR
+        .read()
+        .ok()
+        .and_then(|slot| slot.clone())
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes `rows` (first row = header) to `<results_dir>/<name>.csv`.
+///
+/// The write is atomic: the body goes to a temp file in the same
+/// directory which is then renamed over the final name, so a reader (or
+/// a crashed run) never observes a half-written CSV and parallel driver
+/// workers never interleave within one file. Experiment names are
+/// unique, so the temp name cannot collide across workers.
 ///
 /// # Errors
 ///
@@ -41,17 +72,35 @@ use std::path::PathBuf;
 /// the file; the experiment driver reports it and moves on to the next
 /// experiment instead of aborting the whole run.
 pub fn write_csv(name: &str, rows: &[Vec<String>]) -> io::Result<()> {
-    let dir = PathBuf::from("results");
+    let dir = results_dir();
     fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
+    let tmp = dir.join(format!(".{name}.csv.tmp"));
     let body: String = rows
         .iter()
         .map(|r| r.join(","))
         .collect::<Vec<_>>()
         .join("\n");
-    fs::write(&path, body + "\n")?;
-    println!("[wrote {}]", path.display());
+    fs::write(&tmp, body + "\n")?;
+    fs::rename(&tmp, &path)?;
+    outln!("[wrote {}]", path.display());
     Ok(())
+}
+
+/// Looks up a benchmark by abbreviation, failing with a typed I/O error
+/// instead of panicking (bench library code is covered by the clippy
+/// `unwrap_used`/`expect_used` gate).
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::NotFound`] when no suite benchmark matches.
+pub fn lookup_benchmark(abbr: &str) -> io::Result<latte_workloads::BenchmarkSpec> {
+    latte_workloads::benchmark(abbr).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("unknown benchmark abbreviation: {abbr}"),
+        )
+    })
 }
 
 /// Formats a row of cells with a fixed column width.

@@ -3,14 +3,15 @@
 //! three-mode variants. §V-E argues LATTE-CC is agnostic to its component
 //! algorithms; this experiment checks whether *more* components help.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{geomean, run_benchmark, PolicyKind};
 use latte_workloads::c_sens;
 
 /// Runs the multi-mode comparison.
 pub fn run() -> std::io::Result<()> {
-    println!("Multi-mode extension: 3-mode (BDI+SC), 3-mode (BDI+BPC), 4-mode (C-Sens)\n");
-    println!(
+    outln!("Multi-mode extension: 3-mode (BDI+SC), 3-mode (BDI+BPC), 4-mode (C-Sens)\n");
+    outln!(
         "{:6} {:>11} {:>12} {:>10}",
         "bench", "LATTE(SC)", "LATTE(BPC)", "4-mode"
     );
@@ -31,7 +32,7 @@ pub fn run() -> std::io::Result<()> {
         .iter()
         .map(|&p| run_benchmark(p, &bench).speedup_over(&base))
         .collect();
-        println!("{:6} {:>11.3} {:>12.3} {:>10.3}", bench.abbr, s[0], s[1], s[2]);
+        outln!("{:6} {:>11.3} {:>12.3} {:>10.3}", bench.abbr, s[0], s[1], s[2]);
         csv.push(vec![
             bench.abbr.to_owned(),
             format!("{:.4}", s[0]),
@@ -42,7 +43,7 @@ pub fn run() -> std::io::Result<()> {
             m.push(*v);
         }
     }
-    println!(
+    outln!(
         "{:6} {:>11.3} {:>12.3} {:>10.3}   (geomean)",
         "MEAN",
         geomean(&means[0]),

@@ -2,6 +2,7 @@
 //! unscaled Table II configuration (15 SMs, 768 KB L2) to confirm the
 //! scaled experiment machine preserves the result structure.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{geomean, run_benchmark_with_config, PolicyKind};
 use latte_gpusim::GpuConfig;
@@ -9,9 +10,9 @@ use latte_workloads::c_sens;
 
 /// Runs the C-Sens policy comparison on the full 15-SM machine.
 pub fn run() -> std::io::Result<()> {
-    println!("Full Table II machine (15 SMs): C-Sens speedups\n");
+    outln!("Full Table II machine (15 SMs): C-Sens speedups\n");
     let config = GpuConfig::paper();
-    println!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
+    outln!("{:6} {:>9} {:>9} {:>9}", "bench", "BDI", "SC", "LATTE");
     let mut csv = vec![vec![
         "benchmark".to_owned(),
         "static_bdi".to_owned(),
@@ -25,7 +26,7 @@ pub fn run() -> std::io::Result<()> {
             .iter()
             .map(|&p| run_benchmark_with_config(p, &bench, &config).speedup_over(&base))
             .collect();
-        println!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, s[0], s[1], s[2]);
+        outln!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, s[0], s[1], s[2]);
         csv.push(vec![
             bench.abbr.to_owned(),
             format!("{:.4}", s[0]),
@@ -36,7 +37,7 @@ pub fn run() -> std::io::Result<()> {
             m.push(*v);
         }
     }
-    println!(
+    outln!(
         "{:6} {:>9.3} {:>9.3} {:>9.3}   (geomean)",
         "MEAN",
         geomean(&means[0]),

@@ -11,6 +11,7 @@
 //! compressing for the remainder of the kernel (integrity analogue of the
 //! paper's latency fallback).
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{experiment_config, fault_injection, PolicyKind};
 use latte_gpusim::{FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, TerminationReason};
@@ -19,6 +20,10 @@ use std::io;
 
 const RATES: [f64; 4] = [1e-6, 1e-5, 1e-4, 1e-3];
 
+/// Fill-return-path rates (per fill; fills are far rarer than hits, so
+/// the interesting range sits higher than [`RATES`]).
+const FILL_RATES: [f64; 2] = [1e-4, 1e-3];
+
 /// Statistics of one kernel run under injection.
 struct KernelRecord {
     abbr: &'static str,
@@ -26,12 +31,18 @@ struct KernelRecord {
     stats: KernelStats,
 }
 
-/// Runs the whole suite under LATTE-CC with bit flips at `rate`.
+/// Runs the whole suite under LATTE-CC with bit flips at `rate` per
+/// compressed L1 hit.
 fn run_suite(rate: f64, seed: u64) -> Vec<KernelRecord> {
+    run_suite_faults(FaultConfig::bitflips(seed, rate))
+}
+
+/// Runs the whole suite under LATTE-CC with the given fault model.
+fn run_suite_faults(faults: FaultConfig) -> Vec<KernelRecord> {
     let mut records = Vec::new();
     for bench in suite() {
         let config = GpuConfig {
-            faults: Some(FaultConfig::bitflips(seed, rate)),
+            faults: Some(faults),
             ..experiment_config()
         };
         let mut gpu = Gpu::new(config.clone(), |_| PolicyKind::LatteCc.build(&config));
@@ -50,8 +61,8 @@ fn run_suite(rate: f64, seed: u64) -> Vec<KernelRecord> {
 /// Runs the resilience sweep.
 pub fn run() -> std::io::Result<()> {
     let seed = fault_injection().map_or(42, |f| f.seed);
-    println!("Resilience: LATTE-CC under compressed-line bit flips (seed {seed})\n");
-    println!(
+    outln!("Resilience: LATTE-CC under compressed-line bit flips (seed {seed})\n");
+    outln!(
         "{:>9} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10} {:>9}",
         "rate", "kernels", "complete", "injected", "detected", "masked", "refetches", "demoted*"
     );
@@ -83,7 +94,7 @@ pub fn run() -> std::io::Result<()> {
             .iter()
             .filter(|r| r.stats.l1.decode_failures >= 8)
             .count();
-        println!(
+        outln!(
             "{rate:>9.0e} {kernels:>8} {complete:>9} {injected:>9} {detected:>9} {masked:>9} {refetches:>10} {demoted:>9}"
         );
         for r in &records {
@@ -104,14 +115,62 @@ pub fn run() -> std::io::Result<()> {
                 .iter()
                 .filter(|r| r.stats.termination != TerminationReason::Completed)
             {
-                println!(
+                outln!(
                     "  !! {}/{}: {} after {} cycles",
                     r.abbr, r.kernel, r.stats.termination, r.stats.cycles
                 );
             }
         }
     }
-    println!("\n* kernels with >= 8 decode-error refetches (LATTE-CC's demotion threshold)");
+    outln!("\n* kernels with >= 8 decode-error refetches (LATTE-CC's demotion threshold)");
+
+    // Second sweep: bit flips on the L2/DRAM fill return path. These are
+    // parity-detected at the L1 and recovered by a re-send one L2 round
+    // trip later, so every kernel must still complete; the cost shows up
+    // purely as retry latency.
+    outln!("\nFill return path: bit flips per L2/DRAM fill (parity-detected, re-sent)\n");
+    outln!(
+        "{:>9} {:>8} {:>9} {:>11} {:>13}",
+        "rate", "kernels", "complete", "fill_flips", "retry_cycles"
+    );
+    let mut fill_rows = vec![vec![
+        "rate".to_owned(),
+        "benchmark".to_owned(),
+        "kernel".to_owned(),
+        "termination".to_owned(),
+        "cycles".to_owned(),
+        "fill_bitflips".to_owned(),
+        "fill_retry_cycles".to_owned(),
+    ]];
+    for rate in FILL_RATES {
+        let records = run_suite_faults(FaultConfig::fill_bitflips(seed, rate));
+        let kernels = records.len();
+        let complete = records
+            .iter()
+            .filter(|r| r.stats.termination == TerminationReason::Completed)
+            .count();
+        let fill_flips: u64 = records.iter().map(|r| r.stats.faults.fill_bitflips).sum();
+        let retry_cycles: u64 = records.iter().map(|r| r.stats.faults.fill_retry_cycles).sum();
+        outln!("{rate:>9.0e} {kernels:>8} {complete:>9} {fill_flips:>11} {retry_cycles:>13}");
+        for r in &records {
+            fill_rows.push(vec![
+                format!("{rate:e}"),
+                r.abbr.to_owned(),
+                r.kernel.clone(),
+                r.stats.termination.to_string(),
+                r.stats.cycles.to_string(),
+                r.stats.faults.fill_bitflips.to_string(),
+                r.stats.faults.fill_retry_cycles.to_string(),
+            ]);
+        }
+        if complete != kernels {
+            return Err(io::Error::other(format!(
+                "fill-path injection at {rate:e} left {} kernel(s) incomplete",
+                kernels - complete
+            )));
+        }
+    }
+    write_csv("resilience_fill_fault_sweep", &fill_rows)?;
 
     // Determinism: a second run at 1e-4 with the same seed must reproduce
     // every kernel's statistics bit for bit.
@@ -123,7 +182,7 @@ pub fn run() -> std::io::Result<()> {
         .filter(|(x, y)| x.stats != y.stats)
         .count();
     if mismatches == 0 && a.len() == b.len() {
-        println!(
+        outln!(
             "determinism: two seed-{seed} runs at 1e-4 are bit-identical over all {} kernels",
             a.len()
         );

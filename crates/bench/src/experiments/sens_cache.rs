@@ -2,15 +2,16 @@
 //! configuration. Paper: LATTE-CC still gains ~6% on C-Sens (Static-BDI
 //! ~3%): larger caches shrink but do not erase the benefit.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{experiment_config, geomean, run_benchmark_with_config, PolicyKind};
 use latte_workloads::c_sens;
 
 /// Runs the 48 KB sensitivity study.
 pub fn run() -> std::io::Result<()> {
-    println!("Cache-size sensitivity (48 KB L1, C-Sens)\n");
+    outln!("Cache-size sensitivity (48 KB L1, C-Sens)\n");
     let config = experiment_config().with_large_l1();
-    println!("{:6} {:>9} {:>9}", "bench", "BDI", "LATTE");
+    outln!("{:6} {:>9} {:>9}", "bench", "BDI", "LATTE");
     let mut csv = vec![vec![
         "benchmark".to_owned(),
         "static_bdi_48k".to_owned(),
@@ -23,7 +24,7 @@ pub fn run() -> std::io::Result<()> {
         let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
         let latte = run_benchmark_with_config(PolicyKind::LatteCc, &bench, &config);
         let (s_bdi, s_latte) = (bdi.speedup_over(&base), latte.speedup_over(&base));
-        println!("{:6} {:>9.3} {:>9.3}", bench.abbr, s_bdi, s_latte);
+        outln!("{:6} {:>9.3} {:>9.3}", bench.abbr, s_bdi, s_latte);
         csv.push(vec![
             bench.abbr.to_owned(),
             format!("{s_bdi:.4}"),
@@ -32,7 +33,7 @@ pub fn run() -> std::io::Result<()> {
         bdi_spd.push(s_bdi);
         latte_spd.push(s_latte);
     }
-    println!(
+    outln!(
         "{:6} {:>9.3} {:>9.3}   (geomean; paper: 1.03 / 1.06)",
         "MEAN",
         geomean(&bdi_spd),

@@ -3,6 +3,7 @@
 //! justifies modelling the L1 as write-avoid. This experiment re-runs the
 //! store-heavy benchmarks with write-allocate L1s and measures the delta.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{experiment_config, run_benchmark_with_config, PolicyKind};
 use latte_gpusim::GpuConfig;
@@ -10,13 +11,13 @@ use latte_workloads::suite;
 
 /// Runs the write-policy sensitivity check.
 pub fn run() -> std::io::Result<()> {
-    println!("Write-policy sensitivity (write-avoid vs write-allocate L1)\n");
+    outln!("Write-policy sensitivity (write-avoid vs write-allocate L1)\n");
     let avoid = experiment_config();
     let allocate = GpuConfig {
         write_allocate: true,
         ..avoid.clone()
     };
-    println!("{:6} {:>8} | {:>12} {:>12} {:>8}", "bench", "stores%", "avoid-cyc", "alloc-cyc", "delta");
+    outln!("{:6} {:>8} | {:>12} {:>12} {:>8}", "bench", "stores%", "avoid-cyc", "alloc-cyc", "delta");
     let mut csv = vec![vec![
         "benchmark".to_owned(),
         "store_fraction_pct".to_owned(),
@@ -36,7 +37,7 @@ pub fn run() -> std::io::Result<()> {
             stores as f64 / (stores + a.stats.loads) as f64 * 100.0;
         let delta = (b.stats.cycles as f64 - a.stats.cycles as f64) / a.stats.cycles as f64 * 100.0;
         worst = if delta.abs() > worst.abs() { delta } else { worst };
-        println!(
+        outln!(
             "{:6} {:>7.1}% | {:>12} {:>12} {:>+7.2}%",
             bench.abbr, store_pct, a.stats.cycles, b.stats.cycles, delta
         );
@@ -48,6 +49,6 @@ pub fn run() -> std::io::Result<()> {
             format!("{delta:.3}"),
         ]);
     }
-    println!("\nlargest delta: {worst:+.2}% (paper: \"negligible impact\")");
+    outln!("\nlargest delta: {worst:+.2}% (paper: \"negligible impact\")");
     write_csv("sens_write_policy", &csv)
 }

@@ -2,13 +2,14 @@
 //! per-category mean speedups, miss reductions and energy savings for
 //! every policy, side by side with the paper's reported values.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{geomean, run_benchmark, PolicyKind, ALL_POLICIES};
 use latte_workloads::{suite, Category};
 
 /// Runs the summary aggregation.
 pub fn run() -> std::io::Result<()> {
-    println!("Headline summary (C-Sens geomeans vs paper)\n");
+    outln!("Headline summary (C-Sens geomeans vs paper)\n");
     let benches = suite();
     let mut csv = vec![vec![
         "policy".to_owned(),
@@ -17,7 +18,7 @@ pub fn run() -> std::io::Result<()> {
         "csens_miss_reduction_pct".to_owned(),
         "csens_energy_ratio".to_owned(),
     ]];
-    println!(
+    outln!(
         "{:20} {:>10} {:>10} {:>10} {:>10}",
         "policy", "spd-Sens", "spd-InSens", "mr-Sens%", "en-Sens"
     );
@@ -41,7 +42,7 @@ pub fn run() -> std::io::Result<()> {
             }
         }
         let amean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        println!(
+        outln!(
             "{:20} {:>10.3} {:>10.3} {:>9.1}% {:>10.3}",
             policy.name(),
             geomean(&spd.0),
@@ -57,7 +58,7 @@ pub fn run() -> std::io::Result<()> {
             format!("{:.4}", geomean(&en)),
         ]);
     }
-    println!("\npaper (C-Sens): LATTE-CC +19.2% spd / 24.6% mr / 0.90 energy;");
-    println!("               Static-BDI +13.7% / 19.2% / 0.95; Static-SC -8.2% / 28.7% / ~1.0");
+    outln!("\npaper (C-Sens): LATTE-CC +19.2% spd / 24.6% mr / 0.90 energy;");
+    outln!("               Static-BDI +13.7% / 19.2% / 0.95; Static-SC -8.2% / 28.7% / ~1.0");
     write_csv("summary_headline", &csv)
 }

@@ -3,6 +3,7 @@
 //! compression ratio measured over the whole workload suite's line
 //! population.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use latte_cache::LineAddr;
 use latte_compress::{
@@ -43,8 +44,8 @@ fn mean_ratio(algo: CompressionAlgo) -> f64 {
 
 /// Prints Table I.
 pub fn run() -> std::io::Result<()> {
-    println!("Table I: compression algorithm comparison\n");
-    println!(
+    outln!("Table I: compression algorithm comparison\n");
+    outln!(
         "{:10} {:>12} {:>10} {:>18} {:>12}",
         "algorithm", "decomp(cyc)", "comp(cyc)", "value locality", "mean ratio"
     );
@@ -63,7 +64,7 @@ pub fn run() -> std::io::Result<()> {
     ]];
     for algo in CompressionAlgo::ALL {
         let ratio = mean_ratio(algo);
-        println!(
+        outln!(
             "{:10} {:>12} {:>10} {:>18} {:>12.2}",
             algo.to_string(),
             algo.decompression_latency(),

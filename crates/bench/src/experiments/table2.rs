@@ -1,6 +1,7 @@
 //! **Table II** — The simulated GPU configuration, and the scaled
 //! experiment machine actually used for the sweeps.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::experiment_config;
 use latte_gpusim::GpuConfig;
@@ -35,17 +36,17 @@ fn print_config(name: &str, c: &GpuConfig, csv: &mut Vec<Vec<String>>) {
         ("mshr", format!("{} entries x {} merges", c.mshr_entries, c.mshr_merges)),
         ("ep_length", format!("{} L1 accesses", c.ep_accesses)),
     ];
-    println!("[{name}]");
+    outln!("[{name}]");
     for (k, v) in &entries {
-        println!("  {k:22} {v}");
+        outln!("  {k:22} {v}");
         csv.push(vec![name.to_owned(), (*k).to_owned(), v.clone()]);
     }
-    println!();
+    outln!();
 }
 
 /// Prints Table II.
 pub fn run() -> std::io::Result<()> {
-    println!("Table II: simulated GPU configurations\n");
+    outln!("Table II: simulated GPU configurations\n");
     let mut csv = vec![vec![
         "config".to_owned(),
         "parameter".to_owned(),

@@ -3,6 +3,7 @@
 //! more than 20%. This experiment *measures* the classification on the
 //! synthetic suite and reports any divergence from the declared category.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::experiment_config;
 use latte_cache::CacheGeometry;
@@ -20,8 +21,8 @@ fn total_cycles(config: &GpuConfig, bench: &latte_workloads::BenchmarkSpec) -> u
 
 /// Runs the Table III classification check.
 pub fn run() -> std::io::Result<()> {
-    println!("Table III: benchmarks and measured 4x-cache sensitivity\n");
-    println!(
+    outln!("Table III: benchmarks and measured 4x-cache sensitivity\n");
+    outln!(
         "{:6} {:28} {:>9} {:>10} {:>10} {:>6}",
         "abbr", "name", "declared", "4x-speedup", "measured", "match"
     );
@@ -52,7 +53,7 @@ pub fn run() -> std::io::Result<()> {
         };
         let matches = measured == bench.category;
         mismatches += usize::from(!matches);
-        println!(
+        outln!(
             "{:6} {:28} {:>9} {:>10.3} {:>10} {:>6}",
             bench.abbr,
             bench.name,
@@ -69,6 +70,6 @@ pub fn run() -> std::io::Result<()> {
             measured.to_string(),
         ]);
     }
-    println!("\n{mismatches} classification mismatches");
+    outln!("\n{mismatches} classification mismatches");
     write_csv("table3_benchmarks", &csv)
 }

@@ -3,6 +3,7 @@
 //! per-EP latency tolerance, selected mode, effective capacity and hit
 //! rate on SM 0.
 
+use crate::report::outln;
 use crate::experiments::write_csv;
 use crate::runner::{experiment_config, PolicyKind};
 use latte_gpusim::{EpTraceEntry, Gpu, GpuConfig, Kernel};
@@ -23,7 +24,7 @@ pub fn run_for(abbr: &str) -> std::io::Result<()> {
         eprintln!("unknown benchmark: {abbr}");
         return Ok(());
     };
-    println!(
+    outln!(
         "LATTE-CC decision trace: {} ({}), SM 0\n",
         bench.name, bench.abbr
     );
@@ -38,14 +39,14 @@ pub fn run_for(abbr: &str) -> std::io::Result<()> {
     }
 
     // Mode strip, 64 EPs per row.
-    println!("mode per EP ('.' none, 'L' low-latency, 'H' high-capacity):");
+    outln!("mode per EP ('.' none, 'L' low-latency, 'H' high-capacity):");
     for (row, chunk) in traces.chunks(64).enumerate() {
         let strip: String = chunk.iter().map(|t| mode_glyph(t.selected_mode)).collect();
-        println!("  EP {:>4} | {strip}", row * 64);
+        outln!("  EP {:>4} | {strip}", row * 64);
     }
 
     // Tolerance and capacity summary per 16-EP window.
-    println!("\n{:>6} {:>10} {:>10} {:>8} {:>6}", "EP", "tolerance", "capacity", "hit%", "mode");
+    outln!("\n{:>6} {:>10} {:>10} {:>8} {:>6}", "EP", "tolerance", "capacity", "hit%", "mode");
     let mut rows = vec![vec![
         "ep".to_owned(),
         "latency_tolerance".to_owned(),
@@ -55,7 +56,7 @@ pub fn run_for(abbr: &str) -> std::io::Result<()> {
     ]];
     for (ep, t) in traces.iter().enumerate() {
         if ep % 16 == 0 {
-            println!(
+            outln!(
                 "{:>6} {:>10.2} {:>9.2}x {:>7.1}% {:>6}",
                 ep,
                 t.latency_tolerance,
@@ -76,7 +77,7 @@ pub fn run_for(abbr: &str) -> std::io::Result<()> {
         .windows(2)
         .filter(|w| w[0].selected_mode != w[1].selected_mode)
         .count();
-    println!("\n{} EPs, {} mode switches", traces.len(), switches);
+    outln!("\n{} EPs, {} mode switches", traces.len(), switches);
     write_csv(&format!("trace_{}", abbr.to_lowercase()), &rows)
 }
 

@@ -4,11 +4,22 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed `io::Result`s the
+// experiment driver can report — never panics (tests may unwrap
+// freely). Enforced here rather than via clippy's command line because
+// `-D clippy::unwrap_used` on the command line also gates this crate's
+// whole path-dependency closure.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod driver;
 pub mod experiments;
+pub mod pool;
+mod report;
 pub mod runner;
 
+pub use driver::{run_experiments, Experiment, ExperimentOutcome};
 pub use runner::{
-    fault_injection, geomean, run_benchmark, run_benchmark_with_config, set_fault_injection,
-    BenchResult, PolicyKind, ALL_POLICIES,
+    fault_injection, geomean, latte_overrides, run_benchmark, run_benchmark_with_config,
+    set_fault_injection, set_latte_overrides, BenchResult, LatteOverrides, PolicyKind,
+    ALL_POLICIES,
 };

@@ -2,22 +2,30 @@
 //! figure of the LATTE-CC paper (HPCA 2018).
 //!
 //! ```text
-//! latte-bench [--inject <rate> [--seed <n>]] <experiment> [<experiment> ...]
-//! latte-bench all
+//! latte-bench [options] <experiment> [<experiment> ...]
+//! latte-bench [options] all
 //! ```
+//!
+//! Experiments run on a work-stealing thread pool (`--jobs`, default =
+//! available parallelism). The run is deterministic: `--jobs N` writes
+//! byte-identical `results/` files to `--jobs 1`; only the order of the
+//! finished-experiment blocks on stdout may differ.
 //!
 //! `--inject <rate>` enables deterministic bit-flip fault injection into
 //! compressed L1 lines at the given per-hit probability for every
 //! experiment that follows (seeded by `--seed`, default 42), exercising
 //! the detect-and-refetch recovery path and LATTE-CC's integrity
-//! demotion.
+//! demotion. `--inject-fill <rate>` does the same for the L2/DRAM fill
+//! return path (parity-detected, retried after one L2 round trip).
+//!
+//! The controller knobs that used to be hidden `LATTE_*` environment
+//! variables are now explicit flags: `--miss-latency`,
+//! `--tolerance-scale`, `--force-mode`, `--debug-decide`.
 
 use latte_bench::experiments as exp;
+use latte_bench::{Experiment, LatteOverrides};
+use latte_core::CompressionMode;
 use latte_gpusim::FaultConfig;
-use std::io;
-
-/// One registered experiment: name, description, entry point.
-type Experiment = (&'static str, &'static str, fn() -> io::Result<()>);
 
 const EXPERIMENTS: &[Experiment] = &[
     ("fig1", "L1 hit-latency sensitivity sweep", exp::fig01::run),
@@ -48,9 +56,17 @@ const EXPERIMENTS: &[Experiment] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: latte-bench [--inject <rate> [--seed <n>]] <experiment> [<experiment> ...] | all\n");
-    eprintln!("  --inject <rate>  flip one bit per compressed L1 hit with this probability");
-    eprintln!("  --seed <n>       fault-injection seed (default 42; same seed => same faults)\n");
+    eprintln!("usage: latte-bench [options] <experiment> [<experiment> ...] | all\n");
+    eprintln!("options:");
+    eprintln!("  --jobs <n>             worker threads (default: available parallelism;");
+    eprintln!("                         results are byte-identical for every n)");
+    eprintln!("  --inject <rate>        flip one bit per compressed L1 hit with this probability");
+    eprintln!("  --inject-fill <rate>   flip one bit per L2/DRAM fill return with this probability");
+    eprintln!("  --seed <n>             fault-injection seed (default 42; same seed => same faults)");
+    eprintln!("  --miss-latency <c>     AMAT effective miss-latency constant (default 150)");
+    eprintln!("  --tolerance-scale <s>  latency-tolerance scale factor (default 2)");
+    eprintln!("  --force-mode <m>       pin the controller: none | lowlatency | highcapacity");
+    eprintln!("  --debug-decide         print the controller's per-decision trace\n");
     eprintln!("experiments:");
     for (name, desc, _) in EXPERIMENTS {
         eprintln!("  {name:12} {desc}");
@@ -58,11 +74,35 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Extracts `--inject <rate>` / `--seed <n>` from `args` (removing them),
-/// returning the fault configuration to install, if any.
-fn parse_fault_flags(args: &mut Vec<String>) -> Option<FaultConfig> {
-    let mut rate: Option<f64> = None;
+/// Command-line options parsed (and removed) from the argument list
+/// before the remaining words are matched against experiment names.
+struct Options {
+    jobs: usize,
+    faults: Option<FaultConfig>,
+    overrides: LatteOverrides,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn parse_force_mode(v: &str) -> Option<CompressionMode> {
+    match v.to_ascii_lowercase().as_str() {
+        "none" => Some(CompressionMode::None),
+        "lowlatency" | "low-latency" | "bdi" => Some(CompressionMode::LowLatency),
+        "highcapacity" | "high-capacity" | "sc" => Some(CompressionMode::HighCapacity),
+        _ => None,
+    }
+}
+
+/// Extracts every `--flag [value]` option from `args` (removing them).
+#[allow(clippy::too_many_lines)]
+fn parse_options(args: &mut Vec<String>) -> Options {
+    let mut jobs = default_jobs();
+    let mut bitflip_rate: Option<f64> = None;
+    let mut fill_bitflip_rate: Option<f64> = None;
     let mut seed: u64 = 42;
+    let mut overrides = LatteOverrides::default();
     let mut i = 0;
     while i < args.len() {
         let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> String {
@@ -72,16 +112,35 @@ fn parse_fault_flags(args: &mut Vec<String>) -> Option<FaultConfig> {
             }
             args.remove(i + 1)
         };
+        let parse_rate = |flag: &str, v: &str| -> f64 {
+            match v.parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => r,
+                _ => {
+                    eprintln!("{flag} expects a probability in [0, 1], got {v}\n");
+                    usage();
+                }
+            }
+        };
         match args[i].as_str() {
-            "--inject" => {
-                let v = take_value(args, i, "--inject");
-                match v.parse::<f64>() {
-                    Ok(r) if (0.0..=1.0).contains(&r) => rate = Some(r),
+            "--jobs" => {
+                let v = take_value(args, i, "--jobs");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
                     _ => {
-                        eprintln!("--inject expects a probability in [0, 1], got {v}\n");
+                        eprintln!("--jobs expects a positive integer, got {v}\n");
                         usage();
                     }
                 }
+                args.remove(i);
+            }
+            "--inject" => {
+                let v = take_value(args, i, "--inject");
+                bitflip_rate = Some(parse_rate("--inject", &v));
+                args.remove(i);
+            }
+            "--inject-fill" => {
+                let v = take_value(args, i, "--inject-fill");
+                fill_bitflip_rate = Some(parse_rate("--inject-fill", &v));
                 args.remove(i);
             }
             "--seed" => {
@@ -95,24 +154,71 @@ fn parse_fault_flags(args: &mut Vec<String>) -> Option<FaultConfig> {
                 }
                 args.remove(i);
             }
+            "--miss-latency" => {
+                let v = take_value(args, i, "--miss-latency");
+                match v.parse::<f64>() {
+                    Ok(c) if c > 0.0 && c.is_finite() => overrides.miss_latency = Some(c),
+                    _ => {
+                        eprintln!("--miss-latency expects a positive number of cycles, got {v}\n");
+                        usage();
+                    }
+                }
+                args.remove(i);
+            }
+            "--tolerance-scale" => {
+                let v = take_value(args, i, "--tolerance-scale");
+                match v.parse::<f64>() {
+                    Ok(s) if s >= 0.0 && s.is_finite() => overrides.tolerance_scale = Some(s),
+                    _ => {
+                        eprintln!("--tolerance-scale expects a non-negative number, got {v}\n");
+                        usage();
+                    }
+                }
+                args.remove(i);
+            }
+            "--force-mode" => {
+                let v = take_value(args, i, "--force-mode");
+                match parse_force_mode(&v) {
+                    Some(mode) => overrides.force_mode = Some(mode),
+                    None => {
+                        eprintln!("--force-mode expects none | lowlatency | highcapacity, got {v}\n");
+                        usage();
+                    }
+                }
+                args.remove(i);
+            }
+            "--debug-decide" => {
+                overrides.debug_decide = true;
+                args.remove(i);
+            }
             _ => i += 1,
         }
     }
-    rate.map(|bitflip_rate| FaultConfig {
+    let faults = (bitflip_rate.is_some() || fill_bitflip_rate.is_some()).then(|| FaultConfig {
         seed,
-        bitflip_rate,
+        bitflip_rate: bitflip_rate.unwrap_or(0.0),
+        fill_bitflip_rate: fill_bitflip_rate.unwrap_or(0.0),
         ..FaultConfig::default()
-    })
+    });
+    Options {
+        jobs,
+        faults,
+        overrides,
+    }
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(faults) = parse_fault_flags(&mut args) {
+    let opts = parse_options(&mut args);
+    if let Some(faults) = opts.faults {
         latte_bench::set_fault_injection(faults);
         println!(
-            "[fault injection on: bit-flip rate {:e} per compressed hit, seed {}]",
-            faults.bitflip_rate, faults.seed
+            "[fault injection on: L1-hit bit-flip rate {:e}, fill bit-flip rate {:e}, seed {}]",
+            faults.bitflip_rate, faults.fill_bitflip_rate, faults.seed
         );
+    }
+    if opts.overrides != LatteOverrides::default() {
+        latte_bench::set_latte_overrides(opts.overrides);
     }
     if args.is_empty() {
         usage();
@@ -132,21 +238,7 @@ fn main() {
             })
             .collect()
     };
-    let mut failed = 0usize;
-    for (name, _, run) in selected {
-        println!("==================== {name} ====================");
-        let start = std::time::Instant::now();
-        match run() {
-            Ok(()) => println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64()),
-            Err(e) => {
-                failed += 1;
-                eprintln!(
-                    "[{name} FAILED after {:.1}s: {e}]\n",
-                    start.elapsed().as_secs_f64()
-                );
-            }
-        }
-    }
+    let failed = latte_bench::run_experiments(&selected, opts.jobs);
     if failed > 0 {
         eprintln!("{failed} experiment(s) failed");
         std::process::exit(1);

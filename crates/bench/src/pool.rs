@@ -1,0 +1,167 @@
+//! A small hand-rolled work-stealing thread pool for the experiment
+//! driver.
+//!
+//! The container this project builds in has no route to a crates
+//! registry, so instead of `rayon` this is ~100 lines of `std`: each
+//! worker owns a deque seeded round-robin with its share of the tasks,
+//! pops from the front of its own deque, and steals from the back of a
+//! sibling's when it runs dry. Tasks never spawn subtasks, so a worker
+//! that finds every deque empty can simply exit — no condvars needed.
+//!
+//! Determinism note: the pool imposes no ordering on task *execution*,
+//! so anything a task touches must be task-private (the experiment
+//! driver gives each task its own output buffer and its own atomically
+//! renamed result files). Completion results are delivered to a single
+//! consumer — the caller's `on_complete` callback, invoked on the
+//! calling thread only — which is what serializes all reporting.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// A unit of pool work, tagged with its index in the submission order.
+type Task<'a, T> = Box<dyn FnOnce() -> T + Send + 'a>;
+
+/// A worker's deque of (submission index, task) pairs.
+type TaskQueue<'a, T> = VecDeque<(usize, Task<'a, T>)>;
+
+/// Locks `m`, recovering from a poisoned lock: pool tasks are run under
+/// `catch_unwind` by the driver, but if a panic does escape a task the
+/// queues only hold plain jobs and remain structurally valid.
+fn lock_queue<'a, 'b, T>(m: &'a Mutex<TaskQueue<'b, T>>) -> std::sync::MutexGuard<'a, TaskQueue<'b, T>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `tasks` on `jobs` worker threads, calling `on_complete(index,
+/// &result)` on the **calling thread** as each task finishes (in
+/// completion order). Returns the results in submission order; an entry
+/// is `None` only if the worker executing it died (a panic escaping the
+/// task closure).
+///
+/// `jobs` is clamped to `1..=tasks.len()`.
+pub fn run_tasks<'env, T, F>(
+    jobs: usize,
+    tasks: Vec<Task<'env, T>>,
+    mut on_complete: F,
+) -> Vec<Option<T>>
+where
+    T: Send + 'env,
+    F: FnMut(usize, &T),
+{
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = jobs.clamp(1, n);
+
+    // Seed the per-worker deques round-robin so long-running experiments
+    // registered next to each other start on different workers.
+    let mut deques: Vec<TaskQueue<'env, T>> = (0..jobs).map(|_| VecDeque::new()).collect();
+    for (i, task) in tasks.into_iter().enumerate() {
+        deques[i % jobs].push_back((i, task));
+    }
+    let deques: Vec<Mutex<TaskQueue<'env, T>>> = deques.into_iter().map(Mutex::new).collect();
+
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let tx = tx.clone();
+            let deques = &deques;
+            scope.spawn(move || loop {
+                // Own work first (front: submission order within the
+                // worker), then steal from the back of the most loaded
+                // sibling.
+                let mut job = lock_queue(&deques[w]).pop_front();
+                if job.is_none() {
+                    let mut best: Option<(usize, usize)> = None; // (len, victim)
+                    for off in 1..deques.len() {
+                        let v = (w + off) % deques.len();
+                        let len = lock_queue(&deques[v]).len();
+                        if len > 0 && best.is_none_or(|(l, _)| len > l) {
+                            best = Some((len, v));
+                        }
+                    }
+                    if let Some((_, victim)) = best {
+                        job = lock_queue(&deques[victim]).pop_back();
+                    }
+                }
+                let Some((i, f)) = job else { break };
+                if tx.send((i, f())).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Single consumer: every completion is reported from this thread,
+        // so callers get serialized output for free. If all workers died
+        // the channel closes early and the remaining slots stay `None`.
+        while let Ok((i, v)) = rx.recv() {
+            on_complete(i, &v);
+            results[i] = Some(v);
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_once_across_worker_counts() {
+        for jobs in [1, 2, 4, 16] {
+            let counter = AtomicUsize::new(0);
+            let tasks: Vec<Task<'_, usize>> = (0..23usize)
+                .map(|i| {
+                    let counter = &counter;
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        i * 2
+                    }) as Task<'_, usize>
+                })
+                .collect();
+            let mut seen = Vec::new();
+            let results = run_tasks(jobs, tasks, |i, _| seen.push(i));
+            assert_eq!(counter.load(Ordering::SeqCst), 23);
+            assert_eq!(results.len(), 23);
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(*r, Some(i * 2), "jobs={jobs}");
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let results = run_tasks(4, Vec::<Task<'_, ()>>::new(), |_, _| {});
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn uneven_task_durations_are_stolen() {
+        // One deque gets all the slow tasks; with stealing, 4 workers
+        // must still finish well under the serial time.
+        let tasks: Vec<Task<'_, ()>> = (0..8)
+            .map(|i| {
+                Box::new(move || {
+                    let ms = if i % 4 == 0 { 40 } else { 5 };
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }) as Task<'_, ()>
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        let results = run_tasks(4, tasks, |_, _| {});
+        assert!(results.iter().all(Option::is_some));
+        // Serial would be 2*40 + 6*5 = 110 ms of sleep; allow generous
+        // scheduling slack while still proving overlap happened.
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(110),
+            "no overlap: {:?}",
+            start.elapsed()
+        );
+    }
+}

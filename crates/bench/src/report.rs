@@ -1,0 +1,98 @@
+//! Serialized experiment output.
+//!
+//! Experiments historically printed straight to stdout with `println!`.
+//! Under the parallel driver that would interleave half-printed tables
+//! from different experiments, so all experiment output now goes through
+//! the crate-internal `out!`/`outln!` macros: on a driver worker thread
+//! the text is captured into a thread-local buffer and the driver prints
+//! the whole block atomically when the experiment finishes; outside the
+//! driver (unit tests, examples, direct library use) the macros degrade
+//! to plain `print!`.
+
+use std::cell::RefCell;
+use std::fmt;
+
+thread_local! {
+    static CAPTURE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Starts capturing this thread's experiment output. Nested captures are
+/// not supported: a second call simply clears the buffer.
+pub fn begin_capture() {
+    CAPTURE.with(|c| *c.borrow_mut() = Some(String::new()));
+}
+
+/// Stops capturing and returns everything emitted since
+/// [`begin_capture`]. Returns an empty string if capture was never
+/// started on this thread.
+pub fn end_capture() -> String {
+    CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default()
+}
+
+/// Emits formatted text to the active capture buffer, or to stdout when
+/// no capture is active. The implementation behind [`out!`]/[`outln!`];
+/// call those instead.
+pub fn emit(args: fmt::Arguments<'_>) {
+    CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(buf) => {
+                use fmt::Write;
+                // Formatting into a String cannot fail.
+                let _ = buf.write_fmt(args);
+            }
+            None => print!("{args}"),
+        }
+    });
+}
+
+/// Like `print!`, but routed through the experiment output capture.
+macro_rules! out {
+    ($($arg:tt)*) => {
+        $crate::report::emit(::std::format_args!($($arg)*))
+    };
+}
+
+/// Like `println!`, but routed through the experiment output capture.
+macro_rules! outln {
+    () => {
+        $crate::report::emit(::std::format_args!("\n"))
+    };
+    ($($arg:tt)*) => {{
+        $crate::report::emit(::std::format_args!($($arg)*));
+        $crate::report::emit(::std::format_args!("\n"));
+    }};
+}
+
+pub(crate) use {out, outln};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_collects_and_drains() {
+        begin_capture();
+        out!("a{}", 1);
+        outln!("b");
+        outln!();
+        assert_eq!(end_capture(), "a1b\n\n");
+        // Drained: a second end_capture is empty.
+        assert_eq!(end_capture(), "");
+    }
+
+    #[test]
+    fn captures_are_thread_local() {
+        begin_capture();
+        out!("main");
+        let other = std::thread::spawn(|| {
+            begin_capture();
+            out!("worker");
+            end_capture()
+        })
+        .join()
+        .expect("worker thread");
+        assert_eq!(other, "worker");
+        assert_eq!(end_capture(), "main");
+    }
+}

@@ -1,9 +1,10 @@
 //! Benchmark runners: execute a [`BenchmarkSpec`] under a compression
 //! management policy and collect aggregate statistics.
 
+use crate::report::outln;
 use latte_core::{
-    AdaptiveCmp, AdaptiveHitCount, HighCapacityAlgo, LatteCc, LatteCcMulti, LatteConfig,
-    MultiConfig, StaticBdi, StaticBpc, StaticSc,
+    AdaptiveCmp, AdaptiveHitCount, CompressionMode, HighCapacityAlgo, LatteCc, LatteCcMulti,
+    LatteConfig, MultiConfig, StaticBdi, StaticBpc, StaticSc,
 };
 use latte_energy::{EnergyModel, EnergyReport};
 use latte_gpusim::{
@@ -30,6 +31,69 @@ pub fn set_fault_injection(config: FaultConfig) -> bool {
 #[must_use]
 pub fn fault_injection() -> Option<FaultConfig> {
     FAULT_INJECTION.get().copied()
+}
+
+/// Explicit overrides for the LATTE-CC controller knobs that used to be
+/// read from hidden `LATTE_*` environment variables inside
+/// [`LatteConfig::paper`]. They are now plumbed from the `latte-bench`
+/// command line (`--miss-latency`, `--tolerance-scale`, `--force-mode`,
+/// `--debug-decide`) through this struct, so a config is fully
+/// determined by its constructor arguments.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatteOverrides {
+    /// Overrides [`LatteConfig::miss_latency`] (cycles).
+    pub miss_latency: Option<f64>,
+    /// Overrides [`LatteConfig::tolerance_scale`].
+    pub tolerance_scale: Option<f64>,
+    /// Pins every controller decision to a fixed mode.
+    pub force_mode: Option<CompressionMode>,
+    /// Prints a per-decision trace from the controller.
+    pub debug_decide: bool,
+}
+
+/// Process-wide LATTE-CC config overrides, set once from the command
+/// line before any experiment runs (same pattern as
+/// [`set_fault_injection`]: experiments build configs in many places,
+/// and a write-once global avoids threading a parameter through every
+/// signature while staying deterministic under the parallel driver —
+/// after startup it is read-only).
+static LATTE_OVERRIDES: OnceLock<LatteOverrides> = OnceLock::new();
+
+/// Installs controller-knob overrides for every subsequent benchmark run
+/// in this process. Returns `false` if overrides were already installed
+/// (the first call wins).
+pub fn set_latte_overrides(overrides: LatteOverrides) -> bool {
+    LATTE_OVERRIDES.set(overrides).is_ok()
+}
+
+/// The process-wide controller-knob overrides (all-`None`/false when
+/// nothing was installed).
+#[must_use]
+pub fn latte_overrides() -> LatteOverrides {
+    LATTE_OVERRIDES.get().copied().unwrap_or_default()
+}
+
+/// Applies the process-wide overrides to a freshly built [`LatteConfig`].
+fn apply_overrides(latte: LatteConfig) -> LatteConfig {
+    apply_overrides_with(latte, latte_overrides())
+}
+
+/// Applies one specific set of overrides ([`apply_overrides`] minus the
+/// global lookup, so it is unit-testable without mutating process state).
+fn apply_overrides_with(mut latte: LatteConfig, ov: LatteOverrides) -> LatteConfig {
+    if let Some(miss) = ov.miss_latency {
+        latte = latte.with_miss_latency(miss);
+    }
+    if let Some(scale) = ov.tolerance_scale {
+        latte = latte.with_tolerance_scale(scale);
+    }
+    if ov.force_mode.is_some() {
+        latte.force_mode = ov.force_mode;
+    }
+    if ov.debug_decide {
+        latte.debug_decide = true;
+    }
+    latte
 }
 
 /// The compression management policies under evaluation.
@@ -89,11 +153,11 @@ impl PolicyKind {
     /// Builds a fresh policy instance, tuned to `gpu_config`'s L1.
     #[must_use]
     pub fn build(self, gpu_config: &GpuConfig) -> Box<dyn L1CompressionPolicy> {
-        let latte = LatteConfig {
+        let latte = apply_overrides(LatteConfig {
             num_l1_sets: gpu_config.l1_geometry.num_sets(),
             l1_base_hit_latency: gpu_config.l1_hit_latency as f64,
             ..LatteConfig::paper()
-        };
+        });
         match self {
             PolicyKind::Baseline => Box::new(UncompressedPolicy),
             PolicyKind::StaticBdi => Box::new(StaticBdi::new()),
@@ -195,7 +259,7 @@ pub fn run_benchmark_with_config(
     for kernel in &kernels {
         let ks = gpu.run_kernel(kernel as &dyn Kernel);
         if !ks.termination.is_clean() {
-            eprintln!(
+            outln!(
                 "latte-bench: {}/{} under {} stopped early: {} after {} cycles \
                  (statistics for this benchmark are partial)",
                 bench.abbr,
@@ -244,6 +308,28 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), ALL_POLICIES.len());
+    }
+
+    #[test]
+    fn overrides_replace_the_removed_env_knobs() {
+        let base = LatteConfig::paper();
+        let ov = LatteOverrides {
+            miss_latency: Some(320.0),
+            tolerance_scale: Some(0.5),
+            force_mode: Some(CompressionMode::LowLatency),
+            debug_decide: true,
+        };
+        let cfg = apply_overrides_with(base.clone(), ov);
+        assert_eq!(cfg.miss_latency, 320.0);
+        assert_eq!(cfg.tolerance_scale, 0.5);
+        assert_eq!(cfg.force_mode, Some(CompressionMode::LowLatency));
+        assert!(cfg.debug_decide);
+        // No overrides => the config passes through untouched.
+        let untouched = apply_overrides_with(base.clone(), LatteOverrides::default());
+        assert_eq!(untouched.miss_latency, base.miss_latency);
+        assert_eq!(untouched.tolerance_scale, base.tolerance_scale);
+        assert_eq!(untouched.force_mode, None);
+        assert!(!untouched.debug_decide);
     }
 
     #[test]

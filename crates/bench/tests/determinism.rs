@@ -1,0 +1,100 @@
+//! The parallel experiment driver's determinism contract: `--jobs N`
+//! must produce byte-identical `results/` files to `--jobs 1`, and a
+//! failing experiment must never prevent the rest of the batch from
+//! running.
+
+use latte_bench::experiments::{self as exp, set_results_dir};
+use latte_bench::{run_experiments, Experiment};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A cheap experiment subset (a few seconds total) that still exercises
+/// real simulations and CSV writes.
+const CHEAP: &[Experiment] = &[
+    ("fig1", "L1 hit-latency sensitivity sweep", exp::fig01::run),
+    ("table1", "compression algorithm comparison", exp::table1::run),
+    ("table2", "simulated GPU configuration", exp::table2::run),
+];
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("latte-determinism-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp results dir");
+    dir
+}
+
+/// Reads every regular file in `dir` into a name -> bytes map.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read results dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        files.insert(name, fs::read(entry.path()).expect("read result file"));
+    }
+    files
+}
+
+/// One test (not several) because the results-dir override is
+/// process-global and libtest runs sibling tests concurrently.
+#[test]
+fn parallel_run_is_byte_identical_to_serial() {
+    let selected: Vec<&Experiment> = CHEAP.iter().collect();
+
+    let serial_dir = fresh_dir("serial");
+    set_results_dir(Some(serial_dir.clone()));
+    let failed = run_experiments(&selected, 1);
+    assert_eq!(failed, 0, "serial run must succeed");
+
+    let parallel_dir = fresh_dir("parallel");
+    set_results_dir(Some(parallel_dir.clone()));
+    let failed = run_experiments(&selected, 4);
+    set_results_dir(None);
+    assert_eq!(failed, 0, "parallel run must succeed");
+
+    let serial = snapshot(&serial_dir);
+    let parallel = snapshot(&parallel_dir);
+    assert!(!serial.is_empty(), "experiments must write result files");
+    assert_eq!(
+        serial.keys().collect::<Vec<_>>(),
+        parallel.keys().collect::<Vec<_>>(),
+        "same set of result files"
+    );
+    for (name, bytes) in &serial {
+        assert_eq!(
+            Some(bytes),
+            parallel.get(name),
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+
+    let _ = fs::remove_dir_all(&serial_dir);
+    let _ = fs::remove_dir_all(&parallel_dir);
+}
+
+fn ok_exp() -> io::Result<()> {
+    Ok(())
+}
+
+fn err_exp() -> io::Result<()> {
+    Err(io::Error::other("synthetic failure"))
+}
+
+/// Property: for every job count and every single-failure position, the
+/// driver reports exactly one failure and still runs the whole batch
+/// (enumerated exhaustively — no randomness, so no flaky shrinking).
+#[test]
+fn driver_completes_batch_for_all_failure_positions_and_job_counts() {
+    const N: usize = 6;
+    static TEMPLATES: [Experiment; 2] = [("ok", "", ok_exp), ("err", "", err_exp)];
+    for jobs in 1..=8 {
+        for fail_at in 0..N {
+            let batch: Vec<&Experiment> = (0..N)
+                .map(|i| &TEMPLATES[usize::from(i == fail_at)])
+                .collect();
+            let failed = run_experiments(&batch, jobs);
+            assert_eq!(failed, 1, "jobs={jobs} fail_at={fail_at}");
+        }
+    }
+}

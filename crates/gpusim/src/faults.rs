@@ -48,6 +48,14 @@ pub struct FaultConfig {
     /// Probability that a missing load finds the MSHR file transiently
     /// exhausted and must replay.
     pub mshr_exhaust_rate: f64,
+    /// Probability that a refill returning over the L2/DRAM path carries
+    /// a flipped bit. The return path is parity-protected per sector, so
+    /// a single-bit flip is always *detected*; the memory partition then
+    /// re-sends the line, costing one extra L2 round trip. This is what
+    /// keeps refetched lines from being implicitly trusted: the recovery
+    /// refetch after an L1 decode failure goes through this same path
+    /// and can itself be corrupted (and retried) again.
+    pub fill_bitflip_rate: f64,
 }
 
 impl FaultConfig {
@@ -57,6 +65,17 @@ impl FaultConfig {
         FaultConfig {
             seed,
             bitflip_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// A configuration injecting only L2/DRAM return-path bit flips, at
+    /// `rate`.
+    #[must_use]
+    pub fn fill_bitflips(seed: u64, rate: f64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            fill_bitflip_rate: rate,
             ..FaultConfig::default()
         }
     }
@@ -72,6 +91,7 @@ impl Default for FaultConfig {
             latency_spike_rate: 0.0,
             latency_spike_cycles: 100,
             mshr_exhaust_rate: 0.0,
+            fill_bitflip_rate: 0.0,
         }
     }
 }
@@ -95,13 +115,22 @@ pub struct FaultStats {
     pub spike_cycles_added: u64,
     /// Misses that found the MSHR file transiently exhausted.
     pub mshr_exhaustions: u64,
+    /// Bit flips injected on the L2/DRAM return path. Each one is
+    /// detected by link parity and costs the fill a retry round trip.
+    pub fill_bitflips: u64,
+    /// Total extra cycles spent re-sending parity-rejected refills.
+    pub fill_retry_cycles: u64,
 }
 
 impl FaultStats {
     /// Total faults injected across all sites.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.bitflips_injected + self.tag_corruptions + self.latency_spikes + self.mshr_exhaustions
+        self.bitflips_injected
+            + self.tag_corruptions
+            + self.latency_spikes
+            + self.mshr_exhaustions
+            + self.fill_bitflips
     }
 }
 
@@ -114,6 +143,8 @@ impl std::ops::AddAssign for FaultStats {
         self.latency_spikes += rhs.latency_spikes;
         self.spike_cycles_added += rhs.spike_cycles_added;
         self.mshr_exhaustions += rhs.mshr_exhaustions;
+        self.fill_bitflips += rhs.fill_bitflips;
+        self.fill_retry_cycles += rhs.fill_retry_cycles;
     }
 }
 
@@ -201,6 +232,13 @@ impl FaultInjector {
     /// Should this miss find the MSHR file transiently exhausted?
     pub fn roll_mshr_exhaust(&mut self) -> bool {
         let rate = self.config.mshr_exhaust_rate;
+        self.roll(rate)
+    }
+
+    /// Should this refill arrive with a flipped bit on the L2/DRAM
+    /// return path (detected by parity, forcing a re-send)?
+    pub fn roll_fill_bitflip(&mut self) -> bool {
+        let rate = self.config.fill_bitflip_rate;
         self.roll(rate)
     }
 
@@ -343,10 +381,14 @@ mod tests {
             latency_spikes: 1,
             spike_cycles_added: 100,
             mshr_exhaustions: 4,
+            fill_bitflips: 5,
+            fill_retry_cycles: 120,
         };
         a += a;
         assert_eq!(a.bitflips_injected, 4);
         assert_eq!(a.spike_cycles_added, 200);
-        assert_eq!(a.total(), 4 + 6 + 2 + 8);
+        assert_eq!(a.fill_bitflips, 10);
+        assert_eq!(a.fill_retry_cycles, 240);
+        assert_eq!(a.total(), 4 + 6 + 2 + 8 + 10);
     }
 }

@@ -95,7 +95,7 @@ impl Gpu {
                     config: &self.config,
                     stats: &mut stats,
                 };
-                sm.handle_fill(ev.addr, ev.cycle.max(cycle), &mut ctx);
+                sm.handle_fill(ev.addr, ev.cycle.max(cycle), ev.verified, &mut ctx);
             }
 
             // Issue.
@@ -237,6 +237,17 @@ impl Gpu {
         }
     }
 }
+
+// The parallel experiment driver moves whole simulations onto worker
+// threads, so the GPU — SMs, caches, fault injectors, policies — must be
+// `Send`. Enforced at compile time; losing this (e.g. by storing an `Rc`
+// in per-SM state) is a build error, not a runtime surprise.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Gpu>();
+    assert_send::<crate::sm::Sm>();
+    assert_send::<crate::faults::FaultInjector>();
+};
 
 impl std::fmt::Debug for Gpu {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

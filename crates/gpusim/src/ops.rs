@@ -48,7 +48,11 @@ pub enum Op {
 
 /// A per-warp instruction stream. Streams are generated lazily so that
 /// billion-instruction workloads need no trace storage.
-pub trait OpStream {
+///
+/// Streams are part of per-SM simulation state, which must be [`Send`] so
+/// the parallel experiment driver can run whole simulations on worker
+/// threads (each stream is still only ever driven by one thread).
+pub trait OpStream: Send {
     /// Produces the next operation. Must return [`Op::Exit`] forever once
     /// the stream ends.
     fn next_op(&mut self) -> Op;

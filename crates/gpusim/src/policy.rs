@@ -77,7 +77,13 @@ impl PolicyReport {
 ///
 /// The default method bodies make a minimal policy trivial to write: only
 /// [`L1CompressionPolicy::compress_fill`] is required.
-pub trait L1CompressionPolicy {
+///
+/// Policies must be [`Send`]: the parallel experiment driver runs whole
+/// simulations on worker threads, so every piece of per-SM state — the
+/// policy included — has to be movable across threads. Policies are still
+/// driven single-threaded (one `Gpu` never crosses a thread mid-run), so
+/// `Sync` is *not* required and interior state needs no locking.
+pub trait L1CompressionPolicy: Send {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 

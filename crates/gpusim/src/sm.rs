@@ -20,6 +20,10 @@ pub(crate) struct MemEvent {
     pub cycle: Cycles,
     pub sm: usize,
     pub addr: LineAddr,
+    /// `true` for a parity-retry re-send: the return-path data has
+    /// already been checked, so the fill-bitflip site must not roll
+    /// again (guarantees forward progress even at injection rate 1.0).
+    pub verified: bool,
 }
 
 /// Shared resources an SM needs while stepping (split off `Gpu` to keep
@@ -214,6 +218,7 @@ impl Sm {
                         cycle: cycle + ctx.config.l2_latency,
                         sm: self.id,
                         addr: line,
+                        verified: false,
                     }));
                 }
                 self.warps[wid].state = WarpState::BusyUntil(cycle + 1);
@@ -366,6 +371,7 @@ impl Sm {
                             cycle: cycle + latency,
                             sm: self.id,
                             addr: line,
+                            verified: false,
                         }));
                     }
                     MshrOutcome::Merged => {}
@@ -389,8 +395,41 @@ impl Sm {
         true
     }
 
-    /// Handles a refill arriving from the memory system.
-    pub(crate) fn handle_fill(&mut self, addr: LineAddr, cycle: Cycles, ctx: &mut MemCtx<'_>) {
+    /// Handles a refill arriving from the memory system. `verified` is
+    /// `true` when this delivery is a parity-retry re-send whose data has
+    /// already been checked on the return path.
+    pub(crate) fn handle_fill(
+        &mut self,
+        addr: LineAddr,
+        cycle: Cycles,
+        verified: bool,
+        ctx: &mut MemCtx<'_>,
+    ) {
+        // Fault injection on the L2/DRAM return path: the refill arrives
+        // with a flipped bit. Per-sector parity always detects a
+        // single-bit flip, so the data is never consumed; the memory
+        // partition re-sends the line after another L2 round trip. The
+        // MSHR entry and the waiting warps stay parked until the re-send
+        // lands. Recovery refetches (after an L1 decode failure) travel
+        // this same path, so refetched lines are not implicitly trusted.
+        if !verified {
+            let flipped = self
+                .faults
+                .as_mut()
+                .is_some_and(FaultInjector::roll_fill_bitflip);
+            if flipped {
+                let retry_latency = ctx.config.l2_latency;
+                ctx.stats.faults.fill_bitflips += 1;
+                ctx.stats.faults.fill_retry_cycles += retry_latency;
+                ctx.events.push(std::cmp::Reverse(MemEvent {
+                    cycle: cycle + retry_latency,
+                    sm: self.id,
+                    addr,
+                    verified: true,
+                }));
+                return;
+            }
+        }
         // Fault injection: a corrupted tag write loses the fill. The
         // refill data still reaches the waiting warps below, but the line
         // is not retained, so the next access misses and re-fetches.

@@ -69,6 +69,7 @@ fn fault_runs_are_bit_identical_across_same_seed_runs() {
             latency_spike_rate: 0.01,
             latency_spike_cycles: 150,
             mshr_exhaust_rate: 0.01,
+            fill_bitflip_rate: 0.02,
         }),
         ..base_config()
     };
@@ -197,6 +198,82 @@ fn mshr_exhaustion_and_latency_spikes_slow_but_complete() {
     assert!(faulty.cycles > clean.cycles);
     assert_eq!(faulty.termination, TerminationReason::Completed);
     assert_eq!(faulty.instructions, clean.instructions);
+}
+
+#[test]
+fn fill_bitflips_delay_fills_but_preserve_work() {
+    let kernel = StridedKernel::new(8, 300, 1024); // miss-heavy: many fills
+    let clean = run_compressed(base_config(), &kernel);
+    let faulty = run_compressed(
+        GpuConfig {
+            faults: Some(FaultConfig::fill_bitflips(11, 0.2)),
+            ..base_config()
+        },
+        &kernel,
+    );
+    assert!(faulty.faults.fill_bitflips > 0, "return-path flips must fire");
+    // Every detected return-path flip costs exactly one retry round trip.
+    assert_eq!(
+        faulty.faults.fill_retry_cycles,
+        faulty.faults.fill_bitflips * base_config().l2_latency
+    );
+    // Retries delay completion but never lose work.
+    assert!(faulty.cycles > clean.cycles);
+    assert_eq!(faulty.termination, TerminationReason::Completed);
+    assert_eq!(faulty.instructions, clean.instructions);
+    assert_eq!(faulty.loads, clean.loads);
+}
+
+#[test]
+fn fill_bitflips_at_rate_one_still_terminate() {
+    // Every first delivery is rejected by parity; the retry is verified
+    // and must not be re-rolled, or the kernel would never finish.
+    let kernel = StridedKernel::new(4, 100, 256);
+    let faulty = run_compressed(
+        GpuConfig {
+            faults: Some(FaultConfig::fill_bitflips(3, 1.0)),
+            ..base_config()
+        },
+        &kernel,
+    );
+    assert_eq!(faulty.termination, TerminationReason::Completed);
+    assert!(faulty.faults.fill_bitflips > 0);
+}
+
+#[test]
+fn fill_bitflip_runs_are_deterministic() {
+    let kernel = StridedKernel::new(8, 300, 512);
+    let config = GpuConfig {
+        faults: Some(FaultConfig::fill_bitflips(21, 0.1)),
+        ..base_config()
+    };
+    let a = run_compressed(config.clone(), &kernel);
+    let b = run_compressed(config, &kernel);
+    assert_eq!(a, b);
+    assert!(a.faults.fill_bitflips > 0);
+}
+
+#[test]
+fn refetch_after_decode_failure_is_not_trusted() {
+    // Enable both the L1 hit-path flips (whose recovery refetches lines)
+    // and the return-path flips (which corrupt refetches too): both sites
+    // must fire in the same run and the workload must still complete.
+    let kernel = StridedKernel::new(8, 400, 64); // hit-heavy: many refetches
+    let faulty = run_compressed(
+        GpuConfig {
+            faults: Some(FaultConfig {
+                seed: 13,
+                bitflip_rate: 0.1,
+                fill_bitflip_rate: 0.1,
+                ..FaultConfig::default()
+            }),
+            ..base_config()
+        },
+        &kernel,
+    );
+    assert!(faulty.faults.bitflips_detected > 0);
+    assert!(faulty.faults.fill_bitflips > 0);
+    assert_eq!(faulty.termination, TerminationReason::Completed);
 }
 
 #[test]
