@@ -4,8 +4,14 @@ use latte_bench::{run_benchmark, ALL_POLICIES};
 use latte_workloads::benchmark;
 
 fn main() {
-    let abbr = std::env::args().nth(1).expect("usage: detail <ABBR>");
-    let bench = benchmark(&abbr).expect("unknown benchmark");
+    let Some(abbr) = std::env::args().nth(1) else {
+        eprintln!("usage: detail <ABBR>");
+        std::process::exit(2);
+    };
+    let Some(bench) = benchmark(&abbr) else {
+        eprintln!("unknown benchmark: {abbr}");
+        std::process::exit(2);
+    };
     println!(
         "{:18} {:>10} {:>8} {:>10} {:>10} {:>8} {:>10} {:>10} {:>9} {:>10} {:>9} {:>8}",
         "policy", "cycles", "ipc", "l1hits", "l1miss", "hit%", "decomp", "dqwait", "hitwait", "misswait", "barwait", "dram"

@@ -62,6 +62,9 @@ fn usage() -> ! {
     eprintln!("                         results are byte-identical for every n)");
     eprintln!("  --inject <rate>        flip one bit per compressed L1 hit with this probability");
     eprintln!("  --inject-fill <rate>   flip one bit per L2/DRAM fill return with this probability");
+    eprintln!("  --inject-wakeup-drop <rate>");
+    eprintln!("                         lose a refill's wakeup notification with this probability");
+    eprintln!("                         (unrecoverable: exercises the deadlock watchdog)");
     eprintln!("  --seed <n>             fault-injection seed (default 42; same seed => same faults)");
     eprintln!("  --miss-latency <c>     AMAT effective miss-latency constant (default 150)");
     eprintln!("  --tolerance-scale <s>  latency-tolerance scale factor (default 2)");
@@ -101,6 +104,7 @@ fn parse_options(args: &mut Vec<String>) -> Options {
     let mut jobs = default_jobs();
     let mut bitflip_rate: Option<f64> = None;
     let mut fill_bitflip_rate: Option<f64> = None;
+    let mut wakeup_drop_rate: Option<f64> = None;
     let mut seed: u64 = 42;
     let mut overrides = LatteOverrides::default();
     let mut i = 0;
@@ -141,6 +145,11 @@ fn parse_options(args: &mut Vec<String>) -> Options {
             "--inject-fill" => {
                 let v = take_value(args, i, "--inject-fill");
                 fill_bitflip_rate = Some(parse_rate("--inject-fill", &v));
+                args.remove(i);
+            }
+            "--inject-wakeup-drop" => {
+                let v = take_value(args, i, "--inject-wakeup-drop");
+                wakeup_drop_rate = Some(parse_rate("--inject-wakeup-drop", &v));
                 args.remove(i);
             }
             "--seed" => {
@@ -194,12 +203,14 @@ fn parse_options(args: &mut Vec<String>) -> Options {
             _ => i += 1,
         }
     }
-    let faults = (bitflip_rate.is_some() || fill_bitflip_rate.is_some()).then(|| FaultConfig {
-        seed,
-        bitflip_rate: bitflip_rate.unwrap_or(0.0),
-        fill_bitflip_rate: fill_bitflip_rate.unwrap_or(0.0),
-        ..FaultConfig::default()
-    });
+    let faults = (bitflip_rate.is_some() || fill_bitflip_rate.is_some() || wakeup_drop_rate.is_some())
+        .then(|| FaultConfig {
+            seed,
+            bitflip_rate: bitflip_rate.unwrap_or(0.0),
+            fill_bitflip_rate: fill_bitflip_rate.unwrap_or(0.0),
+            wakeup_drop_rate: wakeup_drop_rate.unwrap_or(0.0),
+            ..FaultConfig::default()
+        });
     Options {
         jobs,
         faults,
@@ -207,14 +218,44 @@ fn parse_options(args: &mut Vec<String>) -> Options {
     }
 }
 
+/// Environment variables that used to configure `LatteConfig::paper`
+/// (removed: they were hidden process-global state, racy under the
+/// parallel experiment driver). Setting any of them now only triggers a
+/// warning on stderr. This check lives in the driver binary — the only
+/// place in the workspace allowed to touch the process environment or
+/// write to stderr directly.
+const REMOVED_ENV_KNOBS: [(&str, &str); 4] = [
+    ("LATTE_MISS_LATENCY", "--miss-latency / LatteConfig::with_miss_latency"),
+    ("LATTE_TOLERANCE_SCALE", "--tolerance-scale / LatteConfig::with_tolerance_scale"),
+    ("LATTE_FORCE_MODE", "--force-mode / LatteConfig::force_mode"),
+    ("LATTE_DEBUG_DECIDE", "--debug-decide / LatteConfig::decide_trace"),
+];
+
+/// Warns if any removed `LATTE_*` env knob is still set, so stale
+/// calibration scripts fail loudly instead of silently running the
+/// defaults.
+fn warn_on_removed_env_knobs() {
+    for (var, replacement) in REMOVED_ENV_KNOBS {
+        if std::env::var_os(var).is_some() {
+            eprintln!(
+                "latte-bench: warning: the {var} environment variable is no longer read \
+                 (env knobs were hidden process-global state, racy under the parallel \
+                 experiment driver); it is IGNORED. Use {replacement} instead."
+            );
+        }
+    }
+}
+
 fn main() {
+    warn_on_removed_env_knobs();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_options(&mut args);
     if let Some(faults) = opts.faults {
         latte_bench::set_fault_injection(faults);
         println!(
-            "[fault injection on: L1-hit bit-flip rate {:e}, fill bit-flip rate {:e}, seed {}]",
-            faults.bitflip_rate, faults.fill_bitflip_rate, faults.seed
+            "[fault injection on: L1-hit bit-flip rate {:e}, fill bit-flip rate {:e}, \
+             wakeup-drop rate {:e}, seed {}]",
+            faults.bitflip_rate, faults.fill_bitflip_rate, faults.wakeup_drop_rate, faults.seed
         );
     }
     if opts.overrides != LatteOverrides::default() {

@@ -91,7 +91,12 @@ fn apply_overrides_with(mut latte: LatteConfig, ov: LatteOverrides) -> LatteConf
         latte.force_mode = ov.force_mode;
     }
     if ov.debug_decide {
-        latte.debug_decide = true;
+        // Route the decision trace into the per-experiment output
+        // capture (report::emit): lines land in the experiment's own
+        // buffer, so parallel runs cannot interleave.
+        latte.decide_trace = Some(latte_gpusim::TraceSink::new(|line| {
+            crate::report::emit(format_args!("{line}\n"));
+        }));
     }
     latte
 }
@@ -254,6 +259,11 @@ pub fn run_benchmark_with_config(
         config.faults = fault_injection();
     }
     let mut gpu = Gpu::new(config.clone(), |_| policy.build(&config));
+    // Simulator diagnostics (watchdog, early termination) join the same
+    // per-experiment capture as the runner's own output.
+    gpu.set_diag_sink(latte_gpusim::TraceSink::new(|line| {
+        crate::report::emit(format_args!("{line}\n"));
+    }));
     let kernels = bench.build_kernels();
     let mut stats = KernelStats::default();
     for kernel in &kernels {
@@ -323,13 +333,13 @@ mod tests {
         assert_eq!(cfg.miss_latency, 320.0);
         assert_eq!(cfg.tolerance_scale, 0.5);
         assert_eq!(cfg.force_mode, Some(CompressionMode::LowLatency));
-        assert!(cfg.debug_decide);
+        assert!(cfg.decide_trace.is_some(), "--debug-decide installs a trace sink");
         // No overrides => the config passes through untouched.
         let untouched = apply_overrides_with(base.clone(), LatteOverrides::default());
         assert_eq!(untouched.miss_latency, base.miss_latency);
         assert_eq!(untouched.tolerance_scale, base.tolerance_scale);
         assert_eq!(untouched.force_mode, None);
-        assert!(!untouched.debug_decide);
+        assert!(untouched.decide_trace.is_none());
     }
 
     #[test]

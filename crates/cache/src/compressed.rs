@@ -374,6 +374,7 @@ impl CompressedCache {
     /// Panics if [`CompressedCache::validate`] reports a violation.
     pub fn assert_invariants(&self) {
         if let Err(violation) = self.validate() {
+            // latte-lint: allow(P1, reason = "documented panicking test-support API; sim paths use validate()")
             panic!("{violation}");
         }
     }

@@ -155,9 +155,11 @@ impl<'a> BitReader<'a> {
     pub fn read_bits(&mut self, n: u32) -> u64 {
         match self.try_read_bits(n) {
             Ok(v) => v,
+            // latte-lint: allow(P1, reason = "documented panicking variant; decode paths use try_read_bits")
             Err(DecodeError::Truncated { needed, remaining }) => panic!(
                 "bit reader exhausted: need {needed} bits, {remaining} remain"
             ),
+            // latte-lint: allow(P1, reason = "documented panicking variant; decode paths use try_read_bits")
             Err(e) => panic!("bit read failed: {e}"),
         }
     }

@@ -13,6 +13,13 @@
 //!    plus an escape code for untabled values),
 //! 3. compress with [`Sc`] until the next retraining point.
 
+// Order-independence audit (2026-08): the three HashMaps here (VFT
+// counts, codebook encode/decode tables) are keyed lookups; the one
+// place a map is iterated — `ScCodebook::from_counts` — immediately
+// sorts by symbol ("deterministic tie-breaking independent of HashMap
+// order" below), so canonical code assignment cannot see map order.
+// latte-lint: allow-file(D3, reason = "keyed lookups; the single iteration site sorts by symbol before use")
+
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::DecodeError;
 use crate::line::CacheLine;
@@ -302,14 +309,21 @@ fn huffman_code_lengths(weights: &[(Symbol, u64)]) -> Vec<(Symbol, u32)> {
         .enumerate()
         .map(|(i, &(_, w))| Reverse((w, i)))
         .collect();
+    // Two pops per iteration are guaranteed by the len > 1 guard, and
+    // the loop leaves exactly one node — the root — behind; written
+    // let-else so no panicking path exists even if that reasoning rots.
     while heap.len() > 1 {
-        let Reverse((w1, n1)) = heap.pop().expect("heap len > 1");
-        let Reverse((w2, n2)) = heap.pop().expect("heap len > 1");
+        let (Some(Reverse((w1, n1))), Some(Reverse((w2, n2)))) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         let idx = children.len();
         children.push(Some((n1, n2)));
         heap.push(Reverse((w1 + w2, idx)));
     }
-    let Reverse((_, root)) = heap.pop().expect("non-empty heap");
+    let root = match heap.pop() {
+        Some(Reverse((_, root))) => root,
+        None => return Vec::new(), // unreachable: weights is non-empty
+    };
 
     let mut lengths = vec![0u32; weights.len()];
     let mut stack = vec![(root, 0u32)];

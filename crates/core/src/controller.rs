@@ -14,7 +14,7 @@ use crate::mode::{CompressionMode, HighCapacityAlgo};
 use crate::sc_manager::ScManager;
 use latte_cache::{SetRole, SetSampler};
 use latte_compress::{Bdi, Bpc, CacheLine, Compression, CompressionAlgo, Compressor};
-use latte_gpusim::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport};
+use latte_gpusim::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport, TraceSink};
 
 /// Tunables of the LATTE-CC controller (§IV-C3 defaults).
 #[derive(Debug, Clone, PartialEq)]
@@ -46,44 +46,18 @@ pub struct LatteConfig {
     /// Calibration hook: pin the selected mode, bypassing the AMAT
     /// decision while keeping all sampling machinery running.
     pub force_mode: Option<CompressionMode>,
-    /// Log every AMAT decision (samples, tolerance, winner) to stderr.
-    pub debug_decide: bool,
-}
-
-/// Environment variables that used to configure [`LatteConfig::paper`]
-/// (removed: they were hidden process-global state, racy under the
-/// parallel experiment driver). Setting any of them now only triggers a
-/// one-time warning on stderr.
-const REMOVED_ENV_KNOBS: [(&str, &str); 4] = [
-    ("LATTE_MISS_LATENCY", "LatteConfig::with_miss_latency / latte-bench --miss-latency"),
-    ("LATTE_TOLERANCE_SCALE", "LatteConfig::with_tolerance_scale / latte-bench --tolerance-scale"),
-    ("LATTE_FORCE_MODE", "LatteConfig::force_mode / latte-bench --force-mode"),
-    ("LATTE_DEBUG_DECIDE", "LatteConfig::debug_decide / latte-bench --debug-decide"),
-];
-
-/// Warns (once per process) if any removed `LATTE_*` env knob is still
-/// set, so stale calibration scripts fail loudly instead of silently
-/// running the defaults.
-fn warn_on_removed_env_knobs() {
-    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-    WARN_ONCE.call_once(|| {
-        for (var, replacement) in REMOVED_ENV_KNOBS {
-            if std::env::var_os(var).is_some() {
-                eprintln!(
-                    "latte-core: warning: the {var} environment variable is no longer read \
-                     (env knobs were hidden process-global state, racy under the parallel \
-                     experiment driver); it is IGNORED. Use {replacement} instead."
-                );
-            }
-        }
-    });
+    /// Sink receiving one line per AMAT decision (samples, tolerance,
+    /// winner). `None` disables decision tracing. The driver installs
+    /// this (e.g. `latte-bench --debug-decide` routes it into the
+    /// per-experiment output capture); the controller itself never
+    /// writes to stdout/stderr.
+    pub decide_trace: Option<TraceSink>,
 }
 
 impl LatteConfig {
     /// The paper's configuration for the 16 KB L1.
     #[must_use]
     pub fn paper() -> LatteConfig {
-        warn_on_removed_env_knobs();
         LatteConfig {
             eps_per_period: 10,
             num_l1_sets: 32,
@@ -97,7 +71,7 @@ impl LatteConfig {
             high_capacity: HighCapacityAlgo::Sc,
             decode_error_demotion_threshold: 8,
             force_mode: None,
-            debug_decide: false,
+            decide_trace: None,
         }
     }
 
@@ -356,11 +330,11 @@ impl LatteCc {
                 best = mode;
             }
         }
-        if self.cfg.debug_decide {
-            eprintln!(
+        if let Some(trace) = &self.cfg.decide_trace {
+            trace.emit(&format!(
                 "decide: tol={:.2} none={:?} low={:?} high={:?} -> {best}",
                 self.tolerance, frozen[0], frozen[1], frozen[2]
-            );
+            ));
         }
         // Calibration hook: pin the selected mode (bypasses the AMAT
         // decision but keeps all sampling machinery running).
@@ -514,7 +488,7 @@ impl L1CompressionPolicy for AdaptiveHitCount {
             self.selected = CompressionMode::ALL
                 .into_iter()
                 .max_by_key(|m| frozen[m.index()].hits)
-                .expect("three modes");
+                .unwrap_or(CompressionMode::None);
         }
         self.eps_in_mode[self.selected.index()] += 1;
     }
@@ -665,7 +639,7 @@ mod tests {
         assert_eq!(c.high_capacity, HighCapacityAlgo::Sc);
         assert_eq!(c.decode_error_demotion_threshold, 8);
         assert_eq!(c.force_mode, None);
-        assert!(!c.debug_decide);
+        assert!(c.decide_trace.is_none());
     }
 
     #[test]

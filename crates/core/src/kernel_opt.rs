@@ -91,7 +91,7 @@ pub fn run_kernel_opt(config: &GpuConfig, kernels: &[&dyn Kernel]) -> KernelOptR
     for &kernel in kernels {
         let runs: Vec<KernelStats> = gpus.iter_mut().map(|g| g.run_kernel(kernel)).collect();
         let cycles = [runs[0].cycles, runs[1].cycles, runs[2].cycles];
-        let best_idx = (0..3).min_by_key(|&i| cycles[i]).expect("three runs");
+        let best_idx = (0..3).min_by_key(|&i| cycles[i]).unwrap_or(0);
         let best = CompressionMode::ALL[best_idx];
         result.kernels.push(KernelOptKernel {
             name: kernel.name().to_owned(),

@@ -56,6 +56,13 @@ pub struct FaultConfig {
     /// refetch after an L1 decode failure goes through this same path
     /// and can itself be corrupted (and retried) again.
     pub fill_bitflip_rate: f64,
+    /// Probability that a refill's wakeup notification is lost:
+    /// scoreboard-corruption model where the data lands in the cache but
+    /// the warps blocked on it are never re-marked ready. A dropped
+    /// wakeup is architecturally unrecoverable — the affected warps wait
+    /// forever — so this site exists to exercise the simulator's
+    /// deadlock watchdog ([`crate::TerminationReason::Deadlock`]).
+    pub wakeup_drop_rate: f64,
 }
 
 impl FaultConfig {
@@ -79,6 +86,16 @@ impl FaultConfig {
             ..FaultConfig::default()
         }
     }
+
+    /// A configuration dropping refill wakeup notifications, at `rate`.
+    #[must_use]
+    pub fn wakeup_drops(seed: u64, rate: f64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            wakeup_drop_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
 }
 
 impl Default for FaultConfig {
@@ -92,6 +109,7 @@ impl Default for FaultConfig {
             latency_spike_cycles: 100,
             mshr_exhaust_rate: 0.0,
             fill_bitflip_rate: 0.0,
+            wakeup_drop_rate: 0.0,
         }
     }
 }
@@ -120,6 +138,8 @@ pub struct FaultStats {
     pub fill_bitflips: u64,
     /// Total extra cycles spent re-sending parity-rejected refills.
     pub fill_retry_cycles: u64,
+    /// Refill wakeup notifications dropped (warps left waiting forever).
+    pub wakeup_drops: u64,
 }
 
 impl FaultStats {
@@ -131,6 +151,7 @@ impl FaultStats {
             + self.latency_spikes
             + self.mshr_exhaustions
             + self.fill_bitflips
+            + self.wakeup_drops
     }
 }
 
@@ -145,6 +166,7 @@ impl std::ops::AddAssign for FaultStats {
         self.mshr_exhaustions += rhs.mshr_exhaustions;
         self.fill_bitflips += rhs.fill_bitflips;
         self.fill_retry_cycles += rhs.fill_retry_cycles;
+        self.wakeup_drops += rhs.wakeup_drops;
     }
 }
 
@@ -239,6 +261,12 @@ impl FaultInjector {
     /// return path (detected by parity, forcing a re-send)?
     pub fn roll_fill_bitflip(&mut self) -> bool {
         let rate = self.config.fill_bitflip_rate;
+        self.roll(rate)
+    }
+
+    /// Should this refill's wakeup notification be lost?
+    pub fn roll_wakeup_drop(&mut self) -> bool {
+        let rate = self.config.wakeup_drop_rate;
         self.roll(rate)
     }
 
@@ -341,6 +369,7 @@ mod tests {
         assert!(!inj.roll_bitflip());
         assert!(!inj.roll_tag_corruption());
         assert!(!inj.roll_mshr_exhaust());
+        assert!(!inj.roll_wakeup_drop());
         assert!(inj.roll_latency_spike().is_none());
         assert_eq!(inj.state, before);
     }
@@ -383,12 +412,14 @@ mod tests {
             mshr_exhaustions: 4,
             fill_bitflips: 5,
             fill_retry_cycles: 120,
+            wakeup_drops: 6,
         };
         a += a;
         assert_eq!(a.bitflips_injected, 4);
         assert_eq!(a.spike_cycles_added, 200);
         assert_eq!(a.fill_bitflips, 10);
         assert_eq!(a.fill_retry_cycles, 240);
-        assert_eq!(a.total(), 4 + 6 + 2 + 8 + 10);
+        assert_eq!(a.wakeup_drops, 12);
+        assert_eq!(a.total(), 4 + 6 + 2 + 8 + 10 + 12);
     }
 }

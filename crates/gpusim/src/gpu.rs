@@ -6,6 +6,7 @@ use crate::ops::Kernel;
 use crate::policy::L1CompressionPolicy;
 use crate::sm::{MemCtx, MemEvent, Sm};
 use crate::stats::{KernelStats, TerminationReason};
+use crate::trace::TraceSink;
 use latte_cache::SimpleCache;
 use latte_compress::Cycles;
 use std::cmp::Reverse;
@@ -38,6 +39,7 @@ pub struct Gpu {
     l2: SimpleCache,
     policies: Vec<Box<dyn L1CompressionPolicy>>,
     events: BinaryHeap<Reverse<MemEvent>>,
+    diag: Option<TraceSink>,
 }
 
 impl Gpu {
@@ -55,6 +57,21 @@ impl Gpu {
             l2,
             policies,
             events: BinaryHeap::new(),
+            diag: None,
+        }
+    }
+
+    /// Installs the sink that receives watchdog and early-termination
+    /// diagnostics. Without one, diagnostics are dropped — the driver
+    /// decides where (and whether) they surface; the simulator never
+    /// writes to stdout/stderr itself.
+    pub fn set_diag_sink(&mut self, sink: TraceSink) {
+        self.diag = Some(sink);
+    }
+
+    fn emit_diag(&self, line: &str) {
+        if let Some(sink) = &self.diag {
+            sink.emit(line);
         }
     }
 
@@ -178,14 +195,15 @@ impl Gpu {
     /// Watchdog audit: distinguishes a stalled workload from corrupted
     /// simulator state. Returns `fallback` when every L1 passes its
     /// structural validation and `FaultAbort` otherwise (the violation is
-    /// reported on stderr; statistics past this point are suspect).
+    /// reported through the diagnostic sink; statistics past this point
+    /// are suspect).
     fn audit_termination(&self, fallback: TerminationReason) -> TerminationReason {
         for sm in &self.sms {
             if let Err(violation) = sm.l1.validate() {
-                eprintln!(
+                self.emit_diag(&format!(
                     "latte-gpusim: watchdog found corrupted L1 state on SM {}: {violation}",
                     sm.id
-                );
+                ));
                 return TerminationReason::FaultAbort;
             }
         }
@@ -194,7 +212,7 @@ impl Gpu {
 
     /// Runs a sequence of kernels, returning per-kernel statistics.
     /// Kernels that stop early (cycle limit, deadlock, fault abort) are
-    /// reported on stderr instead of failing silently.
+    /// reported through the diagnostic sink instead of failing silently.
     pub fn run_kernels<'k>(
         &mut self,
         kernels: impl IntoIterator<Item = &'k dyn Kernel>,
@@ -205,12 +223,12 @@ impl Gpu {
             .map(|(i, k)| {
                 let stats = self.run_kernel(k);
                 if !stats.termination.is_clean() {
-                    eprintln!(
+                    self.emit_diag(&format!(
                         "latte-gpusim: kernel {i} ({}) stopped early: {} after {} cycles",
                         k.name(),
                         stats.termination,
                         stats.cycles
-                    );
+                    ));
                 }
                 stats
             })

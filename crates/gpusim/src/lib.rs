@@ -43,6 +43,7 @@ mod scheduler;
 mod sm;
 mod stats;
 pub mod testing;
+mod trace;
 mod warp;
 
 pub use config::{GpuConfig, SchedulerKind};
@@ -52,4 +53,5 @@ pub use ops::{Kernel, Op, OpStream, VecStream};
 pub use policy::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport, UncompressedPolicy};
 pub use scheduler::{SchedulerProbe, WarpScheduler};
 pub use stats::{AlgoCounts, EpTraceEntry, KernelStats, TerminationReason};
+pub use trace::TraceSink;
 pub use warp::{Warp, WarpState};

@@ -96,13 +96,14 @@ impl WarpScheduler {
                     self.end_run();
                 }
                 // Oldest = lowest warp id (warps are launched in id order).
+                // `ready > 0` was checked on entry, so `min()` is Some;
+                // `?` keeps the path panic-free regardless.
                 let oldest = self
                     .warp_ids
                     .iter()
                     .copied()
                     .filter(|&w| warps[w].is_ready(cycle))
-                    .min()
-                    .expect("ready > 0");
+                    .min()?;
                 self.current = Some(oldest);
                 self.run_length = 1;
                 Some(oldest)
@@ -117,8 +118,7 @@ impl WarpScheduler {
                 let n = self.warp_ids.len();
                 let next = (0..n)
                     .map(|i| self.warp_ids[(start + i) % n])
-                    .find(|&w| warps[w].is_ready(cycle))
-                    .expect("ready > 0");
+                    .find(|&w| warps[w].is_ready(cycle))?;
                 self.current = Some(next);
                 self.runs_completed += 1;
                 self.run_length_sum += 1;

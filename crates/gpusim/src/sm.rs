@@ -1,6 +1,12 @@
 //! One streaming multiprocessor: warps, schedulers, L1, decompression
 //! queue, MSHRs and the experimental-phase (EP) bookkeeping.
 
+// Order-independence audit (2026-08): `waiters` is accessed only through
+// keyed operations (entry/remove/contains_key/is_empty/clear) — never
+// iterated — and the Vec behind each key preserves enqueue order, so
+// wakeup order is insertion order, not hash order.
+// latte-lint: allow-file(D3, reason = "keyed access only, never iterated; per-key Vec keeps wakeups in enqueue order")
+
 use crate::config::GpuConfig;
 use crate::faults::{BitflipOutcome, FaultInjector};
 use crate::ops::{Kernel, Op};
@@ -455,6 +461,23 @@ impl Sm {
             self.l1.fill(addr, algo, compression, cycle);
         }
         self.mshr.release(addr);
+        // Fault injection: the wakeup notification is lost (scoreboard
+        // corruption). The data landed above, but the warps blocked on
+        // this line are discarded without being re-marked ready, so they
+        // wait forever — the deadlock watchdog's job to report. Rolled
+        // only when warps are actually waiting, so a zero-waiter fill
+        // cannot perturb the fault stream.
+        if self.waiters.contains_key(&addr) {
+            let dropped = self
+                .faults
+                .as_mut()
+                .is_some_and(FaultInjector::roll_wakeup_drop);
+            if dropped {
+                ctx.stats.faults.wakeup_drops += 1;
+                self.waiters.remove(&addr);
+                return;
+            }
+        }
         if let Some(waiters) = self.waiters.remove(&addr) {
             for (wid, issued_at) in waiters {
                 ctx.stats.miss_wait_cycles += cycle.saturating_sub(issued_at);

@@ -1,0 +1,71 @@
+//! Caller-supplied diagnostic sinks.
+//!
+//! Simulation crates must never write to stdout/stderr directly (lint
+//! rule D4): under the parallel experiment driver, raw prints interleave
+//! across worker threads and bypass the per-experiment output capture
+//! that makes reports bit-identical across `--jobs` values. Any
+//! diagnostic a simulation component wants to surface goes through a
+//! [`TraceSink`] the driver installs — the driver decides whether that
+//! means the capture buffer, stderr, or silence.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A shareable "write one diagnostic line" callback.
+///
+/// Cloning is cheap (an [`Arc`] bump). Equality is sink *identity*
+/// (pointer equality), which is what configuration types need: two
+/// configs are interchangeable when they forward diagnostics to the
+/// same place.
+#[derive(Clone)]
+pub struct TraceSink(Arc<dyn Fn(&str) + Send + Sync>);
+
+impl TraceSink {
+    /// Wraps a callback invoked once per diagnostic line (no trailing
+    /// newline; the sink appends its own framing).
+    pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> TraceSink {
+        TraceSink(Arc::new(f))
+    }
+
+    /// Emits one diagnostic line.
+    pub fn emit(&self, line: &str) {
+        (self.0)(line);
+    }
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TraceSink(..)")
+    }
+}
+
+impl PartialEq for TraceSink {
+    fn eq(&self, other: &TraceSink) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn emits_through_the_callback() {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let captured = Arc::clone(&lines);
+        let sink = TraceSink::new(move |l| captured.lock().unwrap().push(l.to_owned()));
+        sink.emit("hello");
+        sink.emit("world");
+        assert_eq!(*lines.lock().unwrap(), ["hello", "world"]);
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = TraceSink::new(|_| {});
+        let b = a.clone();
+        let c = TraceSink::new(|_| {});
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -70,6 +70,7 @@ fn fault_runs_are_bit_identical_across_same_seed_runs() {
             latency_spike_cycles: 150,
             mshr_exhaust_rate: 0.01,
             fill_bitflip_rate: 0.02,
+            wakeup_drop_rate: 0.0,
         }),
         ..base_config()
     };
@@ -289,6 +290,40 @@ fn cycle_limit_is_reported_as_termination_reason() {
     let stats = gpu.run_kernel(&kernel);
     assert!(stats.timed_out);
     assert_eq!(stats.termination, TerminationReason::CycleLimit);
+}
+
+#[test]
+fn dropped_wakeups_deadlock_and_are_reported_as_such() {
+    // At rate 1.0 every refill's wakeup notification is lost: the data
+    // lands in the cache, but the warps blocked on it are never re-marked
+    // ready. That is architecturally unrecoverable, so the run must end
+    // with the watchdog's Deadlock verdict — not CycleLimit (the machine
+    // goes fully idle long before the limit) and not FaultAbort (the L1
+    // itself is structurally intact).
+    let kernel = StridedKernel::new(8, 300, 1024); // miss-heavy: every warp blocks
+    let faulty = run_compressed(
+        GpuConfig {
+            faults: Some(FaultConfig::wakeup_drops(17, 1.0)),
+            ..base_config()
+        },
+        &kernel,
+    );
+    assert!(faulty.faults.wakeup_drops > 0, "drops must fire: {:?}", faulty.faults);
+    assert_eq!(faulty.termination, TerminationReason::Deadlock);
+    assert!(faulty.timed_out);
+    assert!(!faulty.termination.is_clean());
+}
+
+#[test]
+fn wakeup_drop_runs_are_deterministic() {
+    let kernel = StridedKernel::new(8, 300, 512);
+    let config = GpuConfig {
+        faults: Some(FaultConfig::wakeup_drops(23, 0.02)),
+        ..base_config()
+    };
+    let a = run_compressed(config.clone(), &kernel);
+    let b = run_compressed(config, &kernel);
+    assert_eq!(a, b);
 }
 
 #[test]

@@ -1,0 +1,567 @@
+//! A minimal Rust lexer for `latte-lint`.
+//!
+//! It does *not* parse Rust; it produces just enough structure for the
+//! lint rules: identifier and punctuation tokens with `line:col`
+//! positions, with line/block comments, string/char/byte literals, raw
+//! strings (any `#` depth) and lifetimes correctly skipped so that, e.g.,
+//! `"println!"` inside a string or a doc comment never triggers a rule.
+//! Line comments are additionally inspected for `// latte-lint:
+//! allow(...)` suppression markers.
+
+/// What a token is. Only identifiers and single-character punctuation
+/// survive lexing; literals, comments and whitespace are consumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`println`, `fn`, `HashMap`, ...).
+    Ident(String),
+    /// One character of punctuation (`!`, `.`, `(`, `{`, `#`, ...).
+    Punct(char),
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token payload.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+impl Tok {
+    /// The identifier text, or `None` for punctuation.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            TokKind::Punct(_) => None,
+        }
+    }
+
+    /// `true` if this token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct(ch)
+    }
+}
+
+/// A parsed `// latte-lint: allow(RULE, reason = "...")` marker.
+///
+/// `allow` suppresses `RULE` on the marker's own line and the line
+/// directly below it; `allow-file` suppresses `RULE` for the whole file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// Line the marker comment starts on.
+    pub line: u32,
+    /// Rule name being allowed (e.g. `"D3"`).
+    pub rule: String,
+    /// The (nonempty) justification string.
+    pub reason: String,
+    /// `true` for `allow-file` (whole-file scope).
+    pub file_scope: bool,
+}
+
+/// A malformed allow marker (missing reason, bad syntax). These become
+/// `A0` violations: a suppression without a justification is itself an
+/// error, and a broken marker must not silently suppress anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkerError {
+    /// Line the marker comment starts on.
+    pub line: u32,
+    /// Human-readable description of what is wrong.
+    pub message: String,
+}
+
+/// Everything lexing a file produces.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Well-formed suppression markers.
+    pub markers: Vec<AllowMarker>,
+    /// Malformed suppression markers.
+    pub marker_errors: Vec<MarkerError>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into tokens and suppression markers.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> LexOutput {
+    let b = src.as_bytes();
+    let mut out = LexOutput::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    // Advances past one byte, maintaining the position counters.
+    macro_rules! bump {
+        () => {{
+            if b[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            // Whitespace (and any stray non-ASCII byte outside literals).
+            _ if c.is_ascii_whitespace() || !c.is_ascii() => bump!(),
+
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment: collect the text, check for a marker.
+                let start_line = line;
+                let text_start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    bump!();
+                }
+                let text = src.get(text_start..i).unwrap_or_default();
+                parse_marker(text, start_line, &mut out);
+            }
+
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested.
+                bump!();
+                bump!();
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                    } else {
+                        bump!();
+                    }
+                }
+            }
+
+            b'"' => {
+                // Ordinary string literal.
+                bump!();
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        bump!();
+                        bump!();
+                    } else if b[i] == b'"' {
+                        bump!();
+                        break;
+                    } else {
+                        bump!();
+                    }
+                }
+            }
+
+            b'\'' => {
+                // Char literal or lifetime.
+                if let Some(&n) = b.get(i + 1) {
+                    if n == b'\\' {
+                        // Escaped char literal: skip to the closing quote.
+                        bump!(); // '
+                        bump!(); // backslash
+                        if i < b.len() {
+                            bump!(); // escaped char
+                        }
+                        while i < b.len() && b[i] != b'\'' {
+                            bump!();
+                        }
+                        if i < b.len() {
+                            bump!(); // closing '
+                        }
+                    } else if is_ident_start(n) && b.get(i + 2) != Some(&b'\'') {
+                        // Lifetime: consume the quote and the name without
+                        // emitting an identifier token.
+                        bump!();
+                        while i < b.len() && is_ident_continue(b[i]) {
+                            bump!();
+                        }
+                    } else {
+                        // Plain char literal: 'a', '(', ...
+                        bump!(); // '
+                        if i < b.len() {
+                            bump!(); // the char
+                        }
+                        if i < b.len() && b[i] == b'\'' {
+                            bump!(); // closing '
+                        }
+                    }
+                } else {
+                    bump!();
+                }
+            }
+
+            b'0'..=b'9' => {
+                // Numeric literal (incl. hex/suffixes, and `1.5` but not
+                // the range in `0..3`).
+                bump!();
+                while i < b.len()
+                    && (is_ident_continue(b[i])
+                        || (b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    bump!();
+                }
+            }
+
+            _ if is_ident_start(c) => {
+                // Raw strings / byte strings / raw identifiers first.
+                if (c == b'r' || c == b'b') && skip_raw_or_byte_literal(b, &mut i, &mut line, &mut col) {
+                    continue;
+                }
+                let (tok_line, tok_col) = (line, col);
+                let start = i;
+                // A raw identifier `r#name` reaches here with `i` at `r`.
+                if c == b'r' && b.get(i + 1) == Some(&b'#') && b.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    bump!();
+                    bump!();
+                }
+                let name_start = if i == start { start } else { i };
+                while i < b.len() && is_ident_continue(b[i]) {
+                    bump!();
+                }
+                let name = src.get(name_start..i).unwrap_or_default().to_owned();
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident(name),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    line,
+                    col,
+                });
+                bump!();
+            }
+        }
+    }
+    out
+}
+
+/// If `b[*i]` starts a raw string (`r"`, `r#"`), byte string (`b"`),
+/// byte char (`b'`), or raw byte string (`br#"`), consumes it and
+/// returns `true`. Otherwise leaves the position untouched.
+fn skip_raw_or_byte_literal(b: &[u8], i: &mut usize, line: &mut u32, col: &mut u32) -> bool {
+    let start = *i;
+    let mut j = *i;
+    let c = b[j];
+    if c == b'b' {
+        match b.get(j + 1) {
+            Some(&b'\'') => {
+                // Byte char b'x' / b'\n': skip to closing quote.
+                j += 2;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'\'' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                advance_to(b, i, j, line, col);
+                return true;
+            }
+            Some(&b'"') => {
+                j += 1; // now at the quote; fall through to plain-string scan
+                let end = scan_plain_string(b, j);
+                advance_to(b, i, end, line, col);
+                return true;
+            }
+            Some(&b'r') => {
+                j += 1; // `br...`: raw-string scan below
+            }
+            _ => return false,
+        }
+    }
+    // Here b[j] is `r` (from `r...` or `br...`).
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        // `r#ident` or a plain identifier starting with r/b.
+        *i = start;
+        return false;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                j += 1 + hashes;
+                break;
+            }
+        }
+        j += 1;
+    }
+    advance_to(b, i, j, line, col);
+    true
+}
+
+/// Returns the index just past the closing quote of a plain string whose
+/// opening quote is at `j`.
+fn scan_plain_string(b: &[u8], mut j: usize) -> usize {
+    j += 1;
+    while j < b.len() {
+        if b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == b'"' {
+            return j + 1;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Moves `*i` to `target`, updating line/col counters over the skipped
+/// bytes.
+fn advance_to(b: &[u8], i: &mut usize, target: usize, line: &mut u32, col: &mut u32) {
+    while *i < target && *i < b.len() {
+        if b[*i] == b'\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    }
+}
+
+/// Parses one line-comment body for a `latte-lint:` marker.
+///
+/// Grammar: `latte-lint: allow(RULE, reason = "...")` or
+/// `latte-lint: allow-file(RULE, reason = "...")`. The reason is
+/// mandatory and must be nonempty: a suppression is a claim about the
+/// code (e.g. "this map is never iterated") and the claim must be
+/// stated.
+fn parse_marker(comment_text: &str, line: u32, out: &mut LexOutput) {
+    let text = comment_text.trim_start_matches(['/', '!']).trim();
+    let Some(rest) = text.strip_prefix("latte-lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        out.marker_errors.push(MarkerError {
+            line,
+            message: format!("unknown latte-lint directive: `{rest}` (expected `allow(...)` or `allow-file(...)`)"),
+        });
+        return;
+    };
+    let rest = rest.trim();
+    let Some(inner) = rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) else {
+        out.marker_errors.push(MarkerError {
+            line,
+            message: "malformed allow marker: expected `(RULE, reason = \"...\")`".to_owned(),
+        });
+        return;
+    };
+    let (rule_part, reason_part) = match inner.split_once(',') {
+        Some((r, rest)) => (r.trim(), Some(rest.trim())),
+        None => (inner.trim(), None),
+    };
+    if rule_part.is_empty() {
+        out.marker_errors.push(MarkerError {
+            line,
+            message: "allow marker names no rule".to_owned(),
+        });
+        return;
+    }
+    let Some(reason_part) = reason_part else {
+        out.marker_errors.push(MarkerError {
+            line,
+            message: format!("allow({rule_part}) carries no reason; suppressions must justify themselves"),
+        });
+        return;
+    };
+    let Some(reason) = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+    else {
+        out.marker_errors.push(MarkerError {
+            line,
+            message: format!("allow({rule_part}): malformed reason; expected `reason = \"...\"`"),
+        });
+        return;
+    };
+    if reason.trim().is_empty() {
+        out.marker_errors.push(MarkerError {
+            line,
+            message: format!("allow({rule_part}) has an empty reason; suppressions must justify themselves"),
+        });
+        return;
+    }
+    out.markers.push(AllowMarker {
+        line,
+        rule: rule_part.to_owned(),
+        reason: reason.trim().to_owned(),
+        file_scope,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                TokKind::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn skips_line_and_doc_comments() {
+        let src = "// println! here\n/// and panic! here\n//! and unwrap() here\nfn ok() {}\n";
+        assert_eq!(idents(src), ["fn", "ok"]);
+    }
+
+    #[test]
+    fn skips_nested_block_comments() {
+        let src = "/* outer /* inner panic! */ still comment println! */ fn f() {}";
+        assert_eq!(idents(src), ["fn", "f"]);
+    }
+
+    #[test]
+    fn skips_string_contents_and_escapes() {
+        let src = r#"let s = "println!(\"panic!\")"; let t = s;"#;
+        assert_eq!(idents(src), ["let", "s", "let", "t", "s"]);
+    }
+
+    #[test]
+    fn skips_raw_strings_with_hashes() {
+        let src = r####"let s = r#"contains "quotes" and println!("x")"#; f(s);"####;
+        assert_eq!(idents(src), ["let", "s", "f", "s"]);
+    }
+
+    #[test]
+    fn skips_byte_and_raw_byte_strings() {
+        let src = r####"let a = b"unwrap()"; let c = br#"expect("x")"#; let d = b'\'';"####;
+        assert_eq!(idents(src), ["let", "a", "let", "c", "let", "d"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A lifetime must not swallow following code as a "char literal".
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let ids = idents(src);
+        assert!(ids.contains(&"str".to_owned()));
+        assert!(ids.contains(&"x".to_owned()));
+        // And char literals still work, including the escaped quote.
+        let src2 = "let c = 'x'; let q = '\\''; let n = '\\n'; done();";
+        assert!(idents(src2).contains(&"done".to_owned()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_name() {
+        let src = "let r#fn = 1; use r#type;";
+        let ids = idents(src);
+        assert!(ids.contains(&"fn".to_owned()));
+        assert!(ids.contains(&"type".to_owned()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let src = "fn main() {\n    foo();\n}\n";
+        let toks = lex(src).tokens;
+        let foo = toks
+            .iter()
+            .find(|t| t.ident() == Some("foo"))
+            .map(|t| (t.line, t.col));
+        assert_eq!(foo, Some((2, 5)));
+    }
+
+    #[test]
+    fn parses_allow_marker_with_reason() {
+        let src = "// latte-lint: allow(D3, reason = \"never iterated\")\nlet x = 1;\n";
+        let out = lex(src);
+        assert_eq!(out.marker_errors, []);
+        assert_eq!(
+            out.markers,
+            [AllowMarker {
+                line: 1,
+                rule: "D3".to_owned(),
+                reason: "never iterated".to_owned(),
+                file_scope: false,
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_file_scope_marker() {
+        let src = "// latte-lint: allow-file(D3, reason = \"keyed access only\")\n";
+        let out = lex(src);
+        assert_eq!(out.markers.len(), 1);
+        assert!(out.markers[0].file_scope);
+    }
+
+    #[test]
+    fn marker_without_reason_is_an_error_and_does_not_suppress() {
+        for src in [
+            "// latte-lint: allow(D3)\n",
+            "// latte-lint: allow(D3, reason = \"\")\n",
+            "// latte-lint: allow(D3, reason = \"  \")\n",
+            "// latte-lint: allow(D3, because = \"x\")\n",
+            "// latte-lint: permit(D3, reason = \"x\")\n",
+        ] {
+            let out = lex(src);
+            assert_eq!(out.markers, [], "should not parse: {src}");
+            assert_eq!(out.marker_errors.len(), 1, "should error: {src}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_markers() {
+        let out = lex("// just a note about latte-lint rules\n");
+        assert_eq!(out.markers, []);
+        assert_eq!(out.marker_errors, []);
+    }
+
+    #[test]
+    fn numeric_literals_and_ranges() {
+        // `0..3` must not eat the dots; hex and suffixes lex as one unit.
+        let src = "for i in 0..3 { let x = 0xFFu64 + 1.5e3; use_it(x, i); }";
+        assert!(idents(src).contains(&"use_it".to_owned()));
+    }
+}

@@ -1,0 +1,131 @@
+//! `latte-lint` — the workspace's own static-analysis pass.
+//!
+//! PR 2 made the experiment pipeline bit-identical across `--jobs`
+//! values, but that guarantee rests on source-level conventions: all RNG
+//! through per-SM seeded streams, no wall-clock reads in simulation
+//! code, stdout only via the capture macros, no iteration-order
+//! dependence on hash containers, and panic-free library code. The
+//! serial-vs-parallel byte-comparison suite checks these only at
+//! runtime, on the configs it happens to run; this crate checks them at
+//! the source level, before any experiment runs.
+//!
+//! The scanner is a hand-rolled lexer (the build environment is
+//! offline, so no syn/proc-macro stack): it skips comments, string and
+//! char literals, raw strings and lifetimes, and feeds an identifier/
+//! punctuation token stream to the rules in [`rules::RULES`].
+//!
+//! Suppression is per-site and must be justified:
+//!
+//! ```text
+//! // latte-lint: allow(D3, reason = "keyed access only; never iterated")
+//! use std::collections::HashMap;
+//! ```
+//!
+//! `allow` covers the marker's line and the next line; `allow-file`
+//! covers the whole file. A marker without a nonempty reason is itself a
+//! violation (rule `A0`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The linter lints itself: P1 (panic-freedom) applies to this crate's
+// library and binary code, so keep the same clippy gate the rest of the
+// workspace uses.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use lexer::{lex, AllowMarker, LexOutput, MarkerError, Tok, TokKind};
+pub use rules::{rule, FileContext, FileKind, RuleInfo, Severity, Violation, RULES, SIM_CRATES};
+pub use scan::{classify, scan_source, scan_workspace, ScanReport};
+
+/// Serializes violations as a stable JSON document (hand-rolled: the
+/// environment is offline, and the schema is flat).
+#[must_use]
+pub fn to_json(report: &ScanReport) -> String {
+    let mut s = String::from("{\"clean\":");
+    s.push_str(if report.is_clean() { "true" } else { "false" });
+    s.push_str(",\"files_scanned\":");
+    s.push_str(&report.files_scanned.to_string());
+    s.push_str(",\"violations\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"rule\":");
+        json_string(&mut s, v.rule);
+        s.push_str(",\"severity\":");
+        json_string(&mut s, v.severity.as_str());
+        s.push_str(",\"path\":");
+        json_string(&mut s, &v.path);
+        s.push_str(",\"line\":");
+        s.push_str(&v.line.to_string());
+        s.push_str(",\"col\":");
+        s.push_str(&v.col.to_string());
+        s.push_str(",\"message\":");
+        json_string(&mut s, &v.message);
+        s.push_str(",\"snippet\":");
+        json_string(&mut s, &v.snippet);
+        s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let hi = (c as u32) >> 4;
+                let lo = (c as u32) & 0xF;
+                for d in [hi, lo] {
+                    out.push(char::from_digit(d, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = ScanReport {
+            violations: vec![Violation {
+                rule: "D1",
+                severity: Severity::Error,
+                path: "crates/x/src/lib.rs".to_owned(),
+                line: 3,
+                col: 9,
+                message: "msg".to_owned(),
+                snippet: "let t = Instant::now();".to_owned(),
+            }],
+            files_scanned: 2,
+        };
+        let json = to_json(&report);
+        assert!(json.starts_with("{\"clean\":false,\"files_scanned\":2,"));
+        assert!(json.contains("\"rule\":\"D1\""));
+        assert!(json.contains("\"line\":3"));
+        let empty = to_json(&ScanReport::default());
+        assert_eq!(empty, "{\"clean\":true,\"files_scanned\":0,\"violations\":[]}");
+    }
+}

@@ -1,0 +1,104 @@
+//! The `latte-lint` binary: scans the workspace and reports violations.
+//!
+//! ```text
+//! latte-lint [--root <dir>] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use latte_lint::{scan_workspace, to_json, ScanReport, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: latte-lint [--root <dir>] [--format text|json] [--list-rules]\n");
+    eprintln!("Scans the workspace's .rs files for determinism, panic-freedom and");
+    eprintln!("output-discipline violations. Exit codes: 0 clean, 1 violations, 2 error.");
+    ExitCode::from(2)
+}
+
+fn list_rules() {
+    for r in RULES {
+        println!("{} [{}]: {}", r.id, r.severity.as_str(), r.title);
+        println!("    {}", r.rationale);
+    }
+    println!("\nSuppression: // latte-lint: allow(RULE, reason = \"...\")   (this + next line)");
+    println!("             // latte-lint: allow-file(RULE, reason = \"...\")  (whole file)");
+}
+
+fn print_text(report: &ScanReport) {
+    for v in &report.violations {
+        println!(
+            "{}:{}:{}: {}[{}]: {}",
+            v.path,
+            v.line,
+            v.col,
+            v.severity.as_str(),
+            v.rule,
+            v.message
+        );
+        if !v.snippet.is_empty() {
+            println!("    {}", v.snippet.trim_start());
+        }
+    }
+    if report.is_clean() {
+        println!(
+            "latte-lint: {} files scanned, no violations",
+            report.files_scanned
+        );
+    } else {
+        println!(
+            "latte-lint: {} violation(s) in {} files scanned (run with --list-rules for rule docs)",
+            report.violations.len(),
+            report.files_scanned
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                _ => return usage(),
+            },
+            "--list-rules" => {
+                list_rules();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("latte-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Text => print_text(&report),
+        Format::Json => println!("{}", to_json(&report)),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,174 @@
+//! Workspace walking and per-file orchestration.
+
+use crate::lexer::lex;
+use crate::rules::{check, FileContext, FileKind, Violation, SIM_CRATES};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into.
+///
+/// * `target` — build output.
+/// * `vendor` — offline API-subset shims of third-party crates
+///   (proptest/criterion); they are not this project's code and
+///   legitimately contain RNG plumbing.
+/// * `fixtures` — latte-lint's own test fixtures, which *deliberately*
+///   violate the rules.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", "results"];
+
+/// Result of scanning a tree.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All violations, in path order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files checked.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// `true` when no violation was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Classifies a workspace-relative path, or returns `None` when the file
+/// is out of scope for linting.
+#[must_use]
+pub fn classify(rel_path: &str) -> Option<FileContext> {
+    let parts: Vec<&str> = rel_path.split('/').filter(|p| !p.is_empty()).collect();
+    if parts.iter().any(|p| SKIP_DIRS.contains(p)) {
+        return None;
+    }
+    match parts.as_slice() {
+        ["crates", crate_dir, rest @ ..] => {
+            let crate_name = (*crate_dir).to_owned();
+            let is_sim_crate = SIM_CRATES.contains(crate_dir);
+            let kind = match rest {
+                ["src", "main.rs"] | ["src", "bin", ..] | ["build.rs"] => FileKind::Bin,
+                ["src", ..] => FileKind::Lib,
+                ["tests", ..] | ["benches", ..] => FileKind::Test,
+                ["examples", ..] => FileKind::Example,
+                _ => return None,
+            };
+            Some(FileContext {
+                crate_name: Some(crate_name),
+                is_sim_crate,
+                kind,
+            })
+        }
+        // Repository-root integration tests and examples belong to the
+        // bench (driver) crate via explicit [[test]]/[[example]] paths.
+        ["tests", ..] => Some(FileContext {
+            crate_name: Some("bench".to_owned()),
+            is_sim_crate: false,
+            kind: FileKind::Test,
+        }),
+        ["examples", ..] => Some(FileContext {
+            crate_name: Some("bench".to_owned()),
+            is_sim_crate: false,
+            kind: FileKind::Example,
+        }),
+        _ => None,
+    }
+}
+
+/// Lexes and checks one file's source under the context derived from
+/// `rel_path`. Returns an empty list for out-of-scope paths.
+#[must_use]
+pub fn scan_source(rel_path: &str, src: &str) -> Vec<Violation> {
+    match classify(rel_path) {
+        Some(ctx) => check(rel_path, src, &lex(src), &ctx),
+        None => Vec::new(),
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic report order.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scans every in-scope `.rs` file of the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns an error when `root` is not a workspace root (no
+/// `Cargo.toml`) or a file cannot be read.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} does not look like a workspace root (no Cargo.toml)", root.display()),
+        ));
+    }
+    let mut files = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    let mut report = ScanReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if classify(&rel).is_none() {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        report.violations.extend(scan_source(&rel, &src));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layout() {
+        let lib = classify("crates/gpusim/src/sm.rs").map(|c| (c.is_sim_crate, c.kind));
+        assert_eq!(lib, Some((true, FileKind::Lib)));
+        let bin = classify("crates/bench/src/main.rs").map(|c| (c.is_sim_crate, c.kind));
+        assert_eq!(bin, Some((false, FileKind::Bin)));
+        let tool = classify("crates/bench/src/bin/probe.rs").map(|c| c.kind);
+        assert_eq!(tool, Some(FileKind::Bin));
+        let test = classify("crates/cache/tests/proptests.rs").map(|c| c.kind);
+        assert_eq!(test, Some(FileKind::Test));
+        let bench = classify("crates/bench/benches/simulator.rs").map(|c| c.kind);
+        assert_eq!(bench, Some(FileKind::Test));
+        let root_test = classify("tests/end_to_end.rs").map(|c| c.kind);
+        assert_eq!(root_test, Some(FileKind::Test));
+        let example = classify("examples/quickstart.rs").map(|c| c.kind);
+        assert_eq!(example, Some(FileKind::Example));
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_skipped() {
+        assert_eq!(classify("vendor/proptest/src/lib.rs"), None);
+        assert_eq!(classify("target/debug/build/x.rs"), None);
+        assert_eq!(classify("crates/lint/tests/fixtures/d1_fail.rs"), None);
+        assert_eq!(classify("README.md"), None);
+    }
+}

@@ -1,0 +1,10 @@
+//! A0 failing fixture: allow markers must carry a nonempty reason, and
+//! a malformed marker must not suppress the violation it sits on.
+
+// latte-lint: allow(D3)
+use std::collections::HashMap;
+
+// latte-lint: allow(D4, reason = "")
+pub fn shout(map: &HashMap<u64, u32>) {
+    println!("{}", map.len());
+}

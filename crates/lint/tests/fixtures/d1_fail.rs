@@ -1,0 +1,8 @@
+//! D1 failing fixture: wall-clock read in simulation library code.
+
+use std::time::Instant;
+
+pub fn timestamped_tick() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

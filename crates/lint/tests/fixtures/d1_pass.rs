@@ -1,0 +1,21 @@
+//! D1 passing fixture: simulated time only; `Instant` appears solely in
+//! comments and string literals, which the lexer must skip.
+
+/// Advances simulated time. Never reads Instant::now() — see D1.
+pub fn tick(cycle: u64) -> u64 {
+    let label = "Instant::now() inside a string is fine";
+    let _ = label;
+    cycle + 1
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall-clock in test code is allowed by D1's scope.
+    use std::time::Instant;
+
+    #[test]
+    fn timer_smoke() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

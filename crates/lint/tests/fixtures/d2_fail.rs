@@ -1,0 +1,6 @@
+//! D2 failing fixture: ambient randomness.
+
+pub fn jitter() -> u64 {
+    let r = rand::thread_rng().gen_range(0..100);
+    r
+}

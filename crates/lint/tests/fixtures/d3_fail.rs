@@ -1,0 +1,8 @@
+//! D3 failing fixture: hash container in sim library code with no
+//! order-independence marker.
+
+use std::collections::HashMap;
+
+pub struct Tracker {
+    pub hits: HashMap<u64, u32>,
+}

@@ -1,0 +1,21 @@
+//! D3 passing fixture: hash containers annotated as order-independent.
+//! Uses the file-scope marker, the idiom for a type that names the
+//! container in several places (use, field, impl).
+
+// latte-lint: allow-file(D3, reason = "keyed get/insert/remove only; never iterated")
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub struct Tracker {
+    /// Ordered container needs no marker at all.
+    pub by_set: BTreeMap<u64, u32>,
+    hits: HashMap<u64, u32>,
+}
+
+impl Tracker {
+    pub fn record(&mut self, addr: u64) {
+        *self.hits.entry(addr).or_insert(0) += 1;
+        let _ = &self.by_set;
+    }
+}

@@ -1,0 +1,5 @@
+//! D4 failing fixture: raw stdout/stderr from sim library code.
+
+pub fn report(misses: u64) {
+    println!("misses = {misses}");
+}

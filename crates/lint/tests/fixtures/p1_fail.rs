@@ -1,0 +1,13 @@
+//! P1 failing fixture: panicking constructs in library code.
+
+pub fn lookup(table: &[u32], idx: usize) -> u32 {
+    let v = table.get(idx).copied().unwrap();
+    if v == 0 {
+        panic!("zero entry");
+    }
+    v
+}
+
+pub fn later() {
+    todo!("fill in")
+}

@@ -1,0 +1,24 @@
+//! P1 passing fixture: fallible code paths, no panics outside tests.
+
+pub fn lookup(table: &[u32], idx: usize) -> Option<u32> {
+    // `unwrap_or` is not `unwrap`; exact-identifier matching must not
+    // confuse them.
+    let fallback = table.first().copied().unwrap_or(0);
+    table.get(idx).copied().or(Some(fallback))
+}
+
+pub fn checked(table: &[u32]) -> u32 {
+    table.iter().copied().max().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(lookup(&[7], 0).unwrap(), 7);
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.expect("ok"), 3);
+    }
+}
