@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use latte_cache::LineAddr;
-use latte_compress::{Bdi, Bpc, CacheLine, Compressor, CpackZ, Fpc, Sc, VftBuilder};
+use latte_compress::{Bdi, BitSink, Bpc, CacheLine, Compressor, CpackZ, Fpc, Sc, VftBuilder};
 use latte_workloads::ValueProfile;
 use std::hint::black_box;
 
@@ -47,6 +47,100 @@ fn bench_compressors(c: &mut Criterion) {
     group.finish();
 }
 
+/// The simulator's per-access hot path: every L1 fill sizes the line
+/// under one compressor via `compress()`, which drives the
+/// allocation-free `BitCounter` sink. Benchmarked as a whole mixed
+/// stream per iteration — the shape the cache model actually produces —
+/// so this number tracks the scratch-reuse/no-alloc work directly.
+fn bench_hot_path_stream(c: &mut Criterion) {
+    let mut stream: Vec<CacheLine> = Vec::new();
+    for profile in [
+        ValueProfile::Zeros,
+        ValueProfile::SmallInts { max: 1024 },
+        ValueProfile::Pointers,
+        ValueProfile::HotFloats { alphabet: 64 },
+        ValueProfile::RandomFloats,
+    ] {
+        stream.extend(lines_for(profile));
+    }
+    let mut vft = VftBuilder::new();
+    for l in &stream {
+        vft.observe_line(l);
+    }
+    let sc = Sc::new(vft.build());
+    let algos: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("bdi", Box::new(Bdi::new())),
+        ("fpc", Box::new(Fpc::new())),
+        ("cpack", Box::new(CpackZ::new())),
+        ("bpc", Box::new(Bpc::new())),
+        ("sc", Box::new(sc)),
+    ];
+    let mut group = c.benchmark_group("hot_path_stream_640_lines");
+    for (name, algo) in &algos {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for line in &stream {
+                    total += black_box(algo.compress(black_box(line))).size_bytes();
+                }
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Size-only probe vs full bit-exact encode for the variable-length
+/// coders: the gap is what routing `compress()` through `BitCounter`
+/// instead of a real `BitWriter` buys on the hot path.
+fn bench_size_probe_vs_encode(c: &mut Criterion) {
+    let lines = lines_for(ValueProfile::SmallInts { max: 1024 });
+    let fpc = Fpc::new();
+    let bpc = Bpc::new();
+    let mut group = c.benchmark_group("size_probe_vs_encode");
+    group.bench_function("fpc_count_only", |b| {
+        b.iter(|| {
+            let mut bits = 0usize;
+            for line in &lines {
+                let mut counter = latte_compress::BitCounter::new();
+                fpc.encode_into(black_box(line), &mut counter);
+                bits += counter.bit_len();
+            }
+            black_box(bits)
+        });
+    });
+    group.bench_function("fpc_full_encode", |b| {
+        b.iter(|| {
+            let mut bits = 0usize;
+            for line in &lines {
+                bits += fpc.encode(black_box(line)).bit_len();
+            }
+            black_box(bits)
+        });
+    });
+    group.bench_function("bpc_count_only", |b| {
+        b.iter(|| {
+            let mut bits = 0usize;
+            for line in &lines {
+                let mut counter = latte_compress::BitCounter::new();
+                bpc.encode_into(black_box(line), &mut counter);
+                bits += counter.bit_len();
+            }
+            black_box(bits)
+        });
+    });
+    group.bench_function("bpc_full_encode", |b| {
+        b.iter(|| {
+            let mut bits = 0usize;
+            for line in &lines {
+                bits += bpc.encode(black_box(line)).bit_len();
+            }
+            black_box(bits)
+        });
+    });
+    group.finish();
+}
+
 fn bench_sc_training(c: &mut Criterion) {
     let lines = lines_for(ValueProfile::HotFloats { alphabet: 256 });
     c.bench_function("sc_vft_train_and_build", |b| {
@@ -60,5 +154,11 @@ fn bench_sc_training(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compressors, bench_sc_training);
+criterion_group!(
+    benches,
+    bench_compressors,
+    bench_hot_path_stream,
+    bench_size_probe_vs_encode,
+    bench_sc_training
+);
 criterion_main!(benches);

@@ -26,7 +26,7 @@ fn bench_simulation(c: &mut Criterion) {
             &policy,
             |b, &policy| {
                 b.iter(|| {
-                    let mut gpu = Gpu::new(config.clone(), |_| policy.build(&config));
+                    let mut gpu = Gpu::new(&config, |_| policy.build(&config));
                     let mut cycles = 0;
                     for kernel in bench.build_kernels() {
                         cycles += gpu.run_kernel(black_box(&kernel as &dyn Kernel)).cycles;

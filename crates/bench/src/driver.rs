@@ -15,9 +15,9 @@
 
 use crate::pool;
 use crate::report;
+use crate::timing;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 /// One registered experiment: name, description, entry point.
 pub type Experiment = (&'static str, &'static str, fn() -> io::Result<()>);
@@ -37,7 +37,7 @@ pub struct ExperimentOutcome {
 }
 
 fn run_one(name: &'static str, run: fn() -> io::Result<()>) -> ExperimentOutcome {
-    let start = Instant::now();
+    let watch = timing::Stopwatch::start();
     report::begin_capture();
     let result = match catch_unwind(AssertUnwindSafe(run)) {
         Ok(r) => r,
@@ -54,7 +54,7 @@ fn run_one(name: &'static str, run: fn() -> io::Result<()>) -> ExperimentOutcome
         name,
         output: report::end_capture(),
         result,
-        secs: start.elapsed().as_secs_f64(),
+        secs: watch.elapsed_secs(),
     }
 }
 
@@ -63,6 +63,17 @@ fn run_one(name: &'static str, run: fn() -> io::Result<()>) -> ExperimentOutcome
 /// the number of failed experiments; every experiment runs even when an
 /// earlier one fails or panics.
 pub fn run_experiments(selected: &[&Experiment], jobs: usize) -> usize {
+    run_experiments_with_outcomes(selected, jobs).0
+}
+
+/// [`run_experiments`], additionally returning every completed
+/// [`ExperimentOutcome`] in submission order (experiments whose worker
+/// died are absent). The `--timings` report and the determinism
+/// integration test consume the outcomes.
+pub fn run_experiments_with_outcomes(
+    selected: &[&Experiment],
+    jobs: usize,
+) -> (usize, Vec<ExperimentOutcome>) {
     let total = selected.len();
     let tasks: Vec<Box<dyn FnOnce() -> ExperimentOutcome + Send>> = selected
         .iter()
@@ -87,7 +98,8 @@ pub fn run_experiments(selected: &[&Experiment], jobs: usize) -> usize {
     });
     // Workers only die if a panic escapes `catch_unwind` (e.g. an abort
     // in a dependency); count the experiments that never reported.
-    failed + outcomes.iter().filter(|o| o.is_none()).count()
+    let died = outcomes.iter().filter(|o| o.is_none()).count();
+    (failed + died, outcomes.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

@@ -8,7 +8,9 @@
 
 use crate::report::outln;
 use crate::experiments::{lookup_benchmark, write_csv};
+use crate::pool;
 use crate::runner::{experiment_config, geomean, PolicyKind};
+use crate::sim;
 use latte_core::{LatteCc, LatteConfig};
 use latte_gpusim::{Gpu, GpuConfig, Kernel, SchedulerKind};
 use latte_workloads::BenchmarkSpec;
@@ -24,16 +26,7 @@ fn subset() -> std::io::Result<Vec<BenchmarkSpec>> {
 
 fn run_latte(config: &GpuConfig, latte: &LatteConfig, bench: &BenchmarkSpec) -> u64 {
     let latte = latte.clone();
-    let mut gpu = Gpu::new(config.clone(), move |_| Box::new(LatteCc::new(latte.clone())));
-    bench
-        .build_kernels()
-        .iter()
-        .map(|k| gpu.run_kernel(k as &dyn Kernel).cycles)
-        .sum()
-}
-
-fn run_baseline(config: &GpuConfig, bench: &BenchmarkSpec) -> u64 {
-    let mut gpu = Gpu::new(config.clone(), |_| PolicyKind::Baseline.build(config));
+    let mut gpu = Gpu::new(config, move |_| Box::new(LatteCc::new(latte.clone())));
     bench
         .build_kernels()
         .iter()
@@ -50,11 +43,26 @@ fn latte_defaults(config: &GpuConfig) -> LatteConfig {
 }
 
 /// Geomean LATTE-CC speedup over the subset for one (gpu, latte) config.
+///
+/// Each benchmark runs as a pool subtask: the varied-parameter LATTE run
+/// is a bespoke `LatteConfig` (not a named policy), while its Baseline
+/// reference is a standard simulation served by the memo cache and shared
+/// across every ablation point that keeps the machine config fixed.
 fn subset_geomean(config: &GpuConfig, latte: &LatteConfig) -> std::io::Result<f64> {
-    let speedups: Vec<f64> = subset()?
-        .iter()
-        .map(|b| run_baseline(config, b) as f64 / run_latte(config, latte, b).max(1) as f64)
-        .collect();
+    let speedups = pool::run_subtasks(
+        subset()?
+            .into_iter()
+            .map(|bench| {
+                let config = config.clone();
+                let latte = latte.clone();
+                Box::new(move || {
+                    let base =
+                        sim::run_cached(PolicyKind::Baseline, &bench, &config).cycles();
+                    base as f64 / run_latte(&config, &latte, &bench).max(1) as f64
+                }) as Box<dyn FnOnce() -> f64 + Send>
+            })
+            .collect(),
+    );
     Ok(geomean(&speedups))
 }
 

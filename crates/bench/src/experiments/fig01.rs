@@ -5,8 +5,9 @@
 
 use crate::report::{out, outln};
 use crate::experiments::{lookup_benchmark, write_csv};
-use crate::runner::experiment_config;
-use latte_gpusim::{Gpu, GpuConfig, Kernel, UncompressedPolicy};
+use crate::runner::{experiment_config, PolicyKind};
+use crate::sim;
+use latte_gpusim::GpuConfig;
 
 const BENCHES: [&str; 5] = ["PRK", "CLR", "MIS", "BC", "FW"];
 const LATENCIES: [u64; 6] = [0, 3, 6, 9, 12, 14];
@@ -24,23 +25,26 @@ pub fn run() -> std::io::Result<()> {
         out!(" {:>7}", format!("+{l}"));
     }
     outln!();
+    // One batch over the whole (benchmark × latency) grid. The +0 point
+    // is the standard Baseline/experiment-machine simulation, so it is
+    // shared with every other figure through the memo cache.
+    let mut jobs = Vec::new();
     for abbr in BENCHES {
         let bench = lookup_benchmark(abbr)?;
-        let cycles: Vec<u64> = LATENCIES
-            .iter()
-            .map(|&extra| {
-                let config = GpuConfig {
+        for &extra in &LATENCIES {
+            jobs.push(sim::SimJob {
+                policy: PolicyKind::Baseline,
+                bench: bench.clone(),
+                config: GpuConfig {
                     extra_hit_latency: extra,
                     ..experiment_config()
-                };
-                let mut gpu = Gpu::new(config, |_| Box::new(UncompressedPolicy));
-                bench
-                    .build_kernels()
-                    .iter()
-                    .map(|k| gpu.run_kernel(k as &dyn Kernel).cycles)
-                    .sum()
-            })
-            .collect();
+                },
+            });
+        }
+    }
+    let results = sim::run_batch(jobs);
+    for (abbr, grid) in BENCHES.iter().zip(results.chunks(LATENCIES.len())) {
+        let cycles: Vec<u64> = grid.iter().map(crate::runner::BenchResult::cycles).collect();
         let base = cycles[0] as f64;
         let normalised: Vec<f64> = cycles.iter().map(|&c| base / c as f64).collect();
         out!("{:6}", abbr);
@@ -48,7 +52,7 @@ pub fn run() -> std::io::Result<()> {
             out!(" {n:>7.3}");
         }
         outln!();
-        let mut row = vec![abbr.to_owned()];
+        let mut row = vec![(*abbr).to_owned()];
         row.extend(normalised.iter().map(|n| format!("{n:.4}")));
         rows.push(row);
     }

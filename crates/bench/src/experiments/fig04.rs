@@ -5,7 +5,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{run_benchmark_with_config, experiment_config, PolicyKind};
+use crate::runner::{experiment_config, PolicyKind};
+use crate::sim;
 use latte_gpusim::GpuConfig;
 use latte_workloads::suite;
 
@@ -22,11 +23,11 @@ pub fn run() -> std::io::Result<()> {
         "static_bdi_latency_only".to_owned(),
         "static_sc_latency_only".to_owned(),
     ]];
-    for bench in suite() {
-        let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
-        let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
-        let sc = run_benchmark_with_config(PolicyKind::StaticSc, &bench, &config);
-        let (s_bdi, s_sc) = (bdi.speedup_over(&base), sc.speedup_over(&base));
+    let benches = suite();
+    let policies = [PolicyKind::Baseline, PolicyKind::StaticBdi, PolicyKind::StaticSc];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix(&policies, &benches, &config)) {
+        let (base, bdi, sc) = (&runs[0], &runs[1], &runs[2]);
+        let (s_bdi, s_sc) = (bdi.speedup_over(base), sc.speedup_over(base));
         outln!("{:6} {:>10.3} {:>10.3}", bench.abbr, s_bdi, s_sc);
         rows.push(vec![
             bench.abbr.to_owned(),

@@ -16,7 +16,7 @@ pub fn run() -> std::io::Result<()> {
         record_traces: true,
         ..experiment_config()
     };
-    let mut gpu = Gpu::new(config, |_| Box::new(UncompressedPolicy));
+    let mut gpu = Gpu::new(&config, |_| Box::new(UncompressedPolicy));
     let mut rows = vec![vec![
         "ep".to_owned(),
         "end_cycle".to_owned(),

@@ -6,7 +6,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{run_benchmark, PolicyKind};
+use crate::runner::PolicyKind;
+use crate::sim;
 use latte_workloads::suite;
 
 /// Runs the Fig 6 motivation study.
@@ -26,20 +27,24 @@ pub fn run() -> std::io::Result<()> {
         "energy_adaptive".to_owned(),
     ]];
     let mut spread: (f64, f64) = (f64::MAX, f64::MIN);
-    for bench in suite() {
-        let base = run_benchmark(PolicyKind::Baseline, &bench);
-        let bdi = run_benchmark(PolicyKind::StaticBdi, &bench);
-        let sc = run_benchmark(PolicyKind::StaticSc, &bench);
-        let ad = run_benchmark(PolicyKind::LatteCc, &bench);
+    let benches = suite();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,
+        PolicyKind::LatteCc,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix_default(&policies, &benches)) {
+        let (base, bdi, sc, ad) = (&runs[0], &runs[1], &runs[2], &runs[3]);
         let s = [
-            bdi.speedup_over(&base),
-            sc.speedup_over(&base),
-            ad.speedup_over(&base),
+            bdi.speedup_over(base),
+            sc.speedup_over(base),
+            ad.speedup_over(base),
         ];
         let e = [
-            bdi.energy_ratio_over(&base),
-            sc.energy_ratio_over(&base),
-            ad.energy_ratio_over(&base),
+            bdi.energy_ratio_over(base),
+            sc.energy_ratio_over(base),
+            ad.energy_ratio_over(base),
         ];
         for v in &s[..2] {
             spread.0 = spread.0.min(*v);

@@ -8,7 +8,9 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{experiment_config, geomean, run_benchmark, PolicyKind};
+use crate::pool;
+use crate::runner::{experiment_config, geomean, PolicyKind};
+use crate::sim;
 use latte_core::run_kernel_opt;
 use latte_gpusim::Kernel;
 use latte_workloads::{suite, Category};
@@ -28,25 +30,46 @@ pub struct Fig11Row {
 #[must_use]
 pub fn collect() -> Vec<Fig11Row> {
     let config = experiment_config();
-    suite()
+    let benches = suite();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,
+        PolicyKind::LatteCc,
+    ];
+    let matrix = sim::run_matrix(&policies, &benches, &config);
+    // The Kernel-OPT oracle is not a policy simulation (it sweeps every
+    // mode per kernel), so it bypasses the memo cache — but it is the
+    // most expensive column, so fan it out as one subtask per benchmark.
+    let opt_cycles = pool::run_subtasks(
+        benches
+            .iter()
+            .map(|bench| {
+                let bench = bench.clone();
+                let config = config.clone();
+                Box::new(move || {
+                    let kernels = bench.build_kernels();
+                    let refs: Vec<&dyn Kernel> =
+                        kernels.iter().map(|k| k as &dyn Kernel).collect();
+                    run_kernel_opt(&config, &refs).total_cycles()
+                }) as Box<dyn FnOnce() -> u64 + Send>
+            })
+            .collect(),
+    );
+    benches
         .iter()
-        .map(|bench| {
-            let base = run_benchmark(PolicyKind::Baseline, bench);
-            let bdi = run_benchmark(PolicyKind::StaticBdi, bench);
-            let sc = run_benchmark(PolicyKind::StaticSc, bench);
-            let latte = run_benchmark(PolicyKind::LatteCc, bench);
-            let kernels = bench.build_kernels();
-            let refs: Vec<&dyn Kernel> = kernels.iter().map(|k| k as &dyn Kernel).collect();
-            let opt = run_kernel_opt(&config, &refs);
-            let base_cycles = base.stats.cycles as f64;
+        .zip(matrix)
+        .zip(opt_cycles)
+        .map(|((bench, runs), opt_cycles)| {
+            let (base, bdi, sc, latte) = (&runs[0], &runs[1], &runs[2], &runs[3]);
             Fig11Row {
                 abbr: bench.abbr,
                 category: bench.category,
                 speedups: [
-                    bdi.speedup_over(&base),
-                    sc.speedup_over(&base),
-                    latte.speedup_over(&base),
-                    base_cycles / opt.total_cycles().max(1) as f64,
+                    bdi.speedup_over(base),
+                    sc.speedup_over(base),
+                    latte.speedup_over(base),
+                    base.stats.cycles as f64 / opt_cycles.max(1) as f64,
                 ],
             }
         })

@@ -5,7 +5,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{run_benchmark, PolicyKind};
+use crate::runner::PolicyKind;
+use crate::sim;
 use latte_workloads::{suite, Category};
 
 /// Runs the Fig 12 experiment.
@@ -19,11 +20,18 @@ pub fn run() -> std::io::Result<()> {
         "latte_cc".to_owned(),
     ]];
     let mut sens = [Vec::new(), Vec::new(), Vec::new()];
-    for bench in suite() {
-        let base = run_benchmark(PolicyKind::Baseline, &bench);
-        let mr: Vec<f64> = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc]
+    let benches = suite();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,
+        PolicyKind::LatteCc,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix_default(&policies, &benches)) {
+        let base = &runs[0];
+        let mr: Vec<f64> = runs[1..]
             .iter()
-            .map(|&p| run_benchmark(p, &bench).miss_reduction_over(&base) * 100.0)
+            .map(|r| r.miss_reduction_over(base) * 100.0)
             .collect();
         outln!("{:6} {:>8.1}% {:>8.1}% {:>8.1}%", bench.abbr, mr[0], mr[1], mr[2]);
         csv.push(vec![

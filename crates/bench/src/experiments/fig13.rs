@@ -4,7 +4,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{geomean, run_benchmark, PolicyKind};
+use crate::runner::{geomean, PolicyKind};
+use crate::sim;
 use latte_workloads::{suite, Category};
 
 /// Runs the Fig 13 experiment.
@@ -18,11 +19,18 @@ pub fn run() -> std::io::Result<()> {
         "latte_cc".to_owned(),
     ]];
     let mut by_cat = [[Vec::new(), Vec::new(), Vec::new()], [Vec::new(), Vec::new(), Vec::new()]];
-    for bench in suite() {
-        let base = run_benchmark(PolicyKind::Baseline, &bench);
-        let e: Vec<f64> = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc]
+    let benches = suite();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,
+        PolicyKind::LatteCc,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix_default(&policies, &benches)) {
+        let base = &runs[0];
+        let e: Vec<f64> = runs[1..]
             .iter()
-            .map(|&p| run_benchmark(p, &bench).energy_ratio_over(&base))
+            .map(|r| r.energy_ratio_over(base))
             .collect();
         outln!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, e[0], e[1], e[2]);
         csv.push(vec![

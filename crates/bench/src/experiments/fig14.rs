@@ -5,7 +5,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{run_benchmark, PolicyKind};
+use crate::runner::PolicyKind;
+use crate::sim;
 use latte_workloads::c_sens;
 
 /// Runs the Fig 14 experiment.
@@ -25,9 +26,9 @@ pub fn run() -> std::io::Result<()> {
     ]];
     let mut sums = [0.0f64; 5];
     let benches = c_sens();
-    for bench in &benches {
-        let base = run_benchmark(PolicyKind::Baseline, bench);
-        let latte = run_benchmark(PolicyKind::LatteCc, bench);
+    let policies = [PolicyKind::Baseline, PolicyKind::LatteCc];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix_default(&policies, &benches)) {
+        let (base, latte) = (&runs[0], &runs[1]);
         let total = base.energy.total_nj();
         let dm = (base.energy.data_movement_nj() - latte.energy.data_movement_nj()) / total * 100.0;
         let st = (base.energy.static_nj - latte.energy.static_nj) / total * 100.0;

@@ -6,10 +6,21 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
+use crate::pool;
 use crate::runner::{experiment_config, PolicyKind};
+use crate::sim;
 use latte_core::run_kernel_opt;
 use latte_gpusim::{Gpu, Kernel};
 use latte_workloads::c_sens;
+
+/// One benchmark's agreement numbers (computed in a pool subtask).
+struct Row {
+    abbr: &'static str,
+    agreement: f64,
+    spd_latte: f64,
+    spd_opt: f64,
+    delta: f64,
+}
 
 /// Runs the Fig 15 agreement analysis.
 pub fn run() -> std::io::Result<()> {
@@ -26,46 +37,69 @@ pub fn run() -> std::io::Result<()> {
         "kernel_opt_speedup".to_owned(),
         "perf_delta_pct".to_owned(),
     ]];
-    for bench in c_sens() {
-        let kernels = bench.build_kernels();
-        let refs: Vec<&dyn Kernel> = kernels.iter().map(|k| k as &dyn Kernel).collect();
-        let opt = run_kernel_opt(&config, &refs);
+    // One subtask per benchmark: each runs the Kernel-OPT oracle and the
+    // per-kernel LATTE-CC histogram loop (neither is a plain policy
+    // simulation), while the Baseline reference comes from the memo
+    // cache shared with every other figure.
+    let rows = pool::run_subtasks(
+        c_sens()
+            .iter()
+            .map(|bench| {
+                let bench = bench.clone();
+                let config = config.clone();
+                Box::new(move || {
+                    let kernels = bench.build_kernels();
+                    let refs: Vec<&dyn Kernel> =
+                        kernels.iter().map(|k| k as &dyn Kernel).collect();
+                    let opt = run_kernel_opt(&config, &refs);
 
-        // Baseline cycles for speedups.
-        let mut base_gpu = Gpu::new(config.clone(), |_| PolicyKind::Baseline.build(&config));
-        let base_cycles: u64 = kernels.iter().map(|k| base_gpu.run_kernel(k as &dyn Kernel).cycles).sum();
+                    // Baseline cycles for speedups (memoized).
+                    let base_cycles =
+                        sim::run_cached(PolicyKind::Baseline, &bench, &config).cycles();
 
-        // LATTE-CC kernel by kernel, collecting per-kernel mode histograms.
-        let mut latte_gpu = Gpu::new(config.clone(), |_| PolicyKind::LatteCc.build(&config));
-        let mut latte_cycles = 0u64;
-        let mut agree_eps = 0u64;
-        let mut total_eps = 0u64;
-        for (kernel, opt_kernel) in kernels.iter().zip(&opt.kernels) {
-            latte_cycles += latte_gpu.run_kernel(kernel as &dyn Kernel).cycles;
-            let oracle_mode = opt_kernel.best.index();
-            for report in latte_gpu.policy_reports() {
-                agree_eps += report.eps_in_mode[oracle_mode];
-                total_eps += report.total_eps();
-            }
-        }
-        let agreement = if total_eps == 0 {
-            0.0
-        } else {
-            agree_eps as f64 / total_eps as f64 * 100.0
-        };
-        let spd_latte = base_cycles as f64 / latte_cycles.max(1) as f64;
-        let spd_opt = base_cycles as f64 / opt.total_cycles().max(1) as f64;
-        let delta = (spd_opt - spd_latte) * 100.0;
+                    // LATTE-CC kernel by kernel, collecting per-kernel
+                    // mode histograms.
+                    let mut latte_gpu = Gpu::new(&config, |_| PolicyKind::LatteCc.build(&config));
+                    let mut latte_cycles = 0u64;
+                    let mut agree_eps = 0u64;
+                    let mut total_eps = 0u64;
+                    for (kernel, opt_kernel) in kernels.iter().zip(&opt.kernels) {
+                        latte_cycles += latte_gpu.run_kernel(kernel as &dyn Kernel).cycles;
+                        let oracle_mode = opt_kernel.best.index();
+                        for report in latte_gpu.policy_reports() {
+                            agree_eps += report.eps_in_mode[oracle_mode];
+                            total_eps += report.total_eps();
+                        }
+                    }
+                    let agreement = if total_eps == 0 {
+                        0.0
+                    } else {
+                        agree_eps as f64 / total_eps as f64 * 100.0
+                    };
+                    let spd_latte = base_cycles as f64 / latte_cycles.max(1) as f64;
+                    let spd_opt = base_cycles as f64 / opt.total_cycles().max(1) as f64;
+                    Row {
+                        abbr: bench.abbr,
+                        agreement,
+                        spd_latte,
+                        spd_opt,
+                        delta: (spd_opt - spd_latte) * 100.0,
+                    }
+                }) as Box<dyn FnOnce() -> Row + Send>
+            })
+            .collect(),
+    );
+    for row in rows {
         outln!(
             "{:6} {:>7.1}% {:>11.3} {:>11.3} {:>9.1}",
-            bench.abbr, agreement, spd_latte, spd_opt, delta
+            row.abbr, row.agreement, row.spd_latte, row.spd_opt, row.delta
         );
         csv.push(vec![
-            bench.abbr.to_owned(),
-            format!("{agreement:.2}"),
-            format!("{spd_latte:.4}"),
-            format!("{spd_opt:.4}"),
-            format!("{delta:.2}"),
+            row.abbr.to_owned(),
+            format!("{:.2}", row.agreement),
+            format!("{:.4}", row.spd_latte),
+            format!("{:.4}", row.spd_opt),
+            format!("{:.2}", row.delta),
         ]);
     }
     outln!("\n(negative perfΔ: LATTE-CC beats the oracle via intra-kernel adaptation)");

@@ -15,7 +15,7 @@ fn trace(policy: PolicyKind) -> std::io::Result<Vec<f64>> {
         record_traces: true,
         ..experiment_config()
     };
-    let mut gpu = Gpu::new(config.clone(), |_| policy.build(&config));
+    let mut gpu = Gpu::new(&config, |_| policy.build(&config));
     let mut capacities = Vec::new();
     for kernel in bench.build_kernels() {
         let stats = gpu.run_kernel(&kernel as &dyn Kernel);

@@ -6,7 +6,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{geomean, run_benchmark, PolicyKind};
+use crate::runner::{geomean, PolicyKind};
+use crate::sim;
 use latte_workloads::c_sens;
 
 /// Runs the Fig 17 comparison.
@@ -27,18 +28,19 @@ pub fn run() -> std::io::Result<()> {
     ]];
     let mut spd = [Vec::new(), Vec::new(), Vec::new()];
     let mut mrs = [Vec::new(), Vec::new(), Vec::new()];
-    for bench in c_sens() {
-        let base = run_benchmark(PolicyKind::Baseline, &bench);
-        let policies = [
-            PolicyKind::LatteCc,
-            PolicyKind::AdaptiveHitCount,
-            PolicyKind::AdaptiveCmp,
-        ];
-        let results: Vec<_> = policies.iter().map(|&p| run_benchmark(p, &bench)).collect();
-        let s: Vec<f64> = results.iter().map(|r| r.speedup_over(&base)).collect();
-        let m: Vec<f64> = results
+    let benches = c_sens();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::LatteCc,
+        PolicyKind::AdaptiveHitCount,
+        PolicyKind::AdaptiveCmp,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix_default(&policies, &benches)) {
+        let base = &runs[0];
+        let s: Vec<f64> = runs[1..].iter().map(|r| r.speedup_over(base)).collect();
+        let m: Vec<f64> = runs[1..]
             .iter()
-            .map(|r| r.miss_reduction_over(&base) * 100.0)
+            .map(|r| r.miss_reduction_over(base) * 100.0)
             .collect();
         outln!(
             "{:6} {:>9.3} {:>9.3} {:>9.3} | {:>7.1}% {:>7.1}% {:>7.1}%",

@@ -5,7 +5,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{geomean, run_benchmark, PolicyKind};
+use crate::runner::{geomean, PolicyKind};
+use crate::sim;
 use latte_workloads::{c_sens, Category};
 
 /// Runs the Fig 18 variant study.
@@ -19,12 +20,16 @@ pub fn run() -> std::io::Result<()> {
     ]];
     let mut sc_spd = Vec::new();
     let mut bpc_spd = Vec::new();
-    for bench in c_sens() {
+    let benches = c_sens();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::LatteCc,
+        PolicyKind::LatteCcBdiBpc,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix_default(&policies, &benches)) {
         debug_assert_eq!(bench.category, Category::CSens);
-        let base = run_benchmark(PolicyKind::Baseline, &bench);
-        let latte = run_benchmark(PolicyKind::LatteCc, &bench);
-        let latte_bpc = run_benchmark(PolicyKind::LatteCcBdiBpc, &bench);
-        let (s1, s2) = (latte.speedup_over(&base), latte_bpc.speedup_over(&base));
+        let (base, latte, latte_bpc) = (&runs[0], &runs[1], &runs[2]);
+        let (s1, s2) = (latte.speedup_over(base), latte_bpc.speedup_over(base));
         let marker = if ["PF", "MIS", "CLR", "FW"].contains(&bench.abbr) {
             "  <- BPC-affine"
         } else {

@@ -5,7 +5,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{geomean, run_benchmark, PolicyKind};
+use crate::runner::{geomean, PolicyKind};
+use crate::sim;
 use latte_workloads::c_sens;
 
 /// Runs the multi-mode comparison.
@@ -22,16 +23,16 @@ pub fn run() -> std::io::Result<()> {
         "latte_four_mode".to_owned(),
     ]];
     let mut means = [Vec::new(), Vec::new(), Vec::new()];
-    for bench in c_sens() {
-        let base = run_benchmark(PolicyKind::Baseline, &bench);
-        let s: Vec<f64> = [
-            PolicyKind::LatteCc,
-            PolicyKind::LatteCcBdiBpc,
-            PolicyKind::LatteCcMulti,
-        ]
-        .iter()
-        .map(|&p| run_benchmark(p, &bench).speedup_over(&base))
-        .collect();
+    let benches = c_sens();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::LatteCc,
+        PolicyKind::LatteCcBdiBpc,
+        PolicyKind::LatteCcMulti,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix_default(&policies, &benches)) {
+        let base = &runs[0];
+        let s: Vec<f64> = runs[1..].iter().map(|r| r.speedup_over(base)).collect();
         outln!("{:6} {:>11.3} {:>12.3} {:>10.3}", bench.abbr, s[0], s[1], s[2]);
         csv.push(vec![
             bench.abbr.to_owned(),

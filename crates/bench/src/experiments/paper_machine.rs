@@ -4,7 +4,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{geomean, run_benchmark_with_config, PolicyKind};
+use crate::runner::{geomean, PolicyKind};
+use crate::sim;
 use latte_gpusim::GpuConfig;
 use latte_workloads::c_sens;
 
@@ -20,12 +21,16 @@ pub fn run() -> std::io::Result<()> {
         "latte_cc".to_owned(),
     ]];
     let mut means = [Vec::new(), Vec::new(), Vec::new()];
-    for bench in c_sens() {
-        let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
-        let s: Vec<f64> = [PolicyKind::StaticBdi, PolicyKind::StaticSc, PolicyKind::LatteCc]
-            .iter()
-            .map(|&p| run_benchmark_with_config(p, &bench, &config).speedup_over(&base))
-            .collect();
+    let benches = c_sens();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::StaticBdi,
+        PolicyKind::StaticSc,
+        PolicyKind::LatteCc,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix(&policies, &benches, &config)) {
+        let base = &runs[0];
+        let s: Vec<f64> = runs[1..].iter().map(|r| r.speedup_over(base)).collect();
         outln!("{:6} {:>9.3} {:>9.3} {:>9.3}", bench.abbr, s[0], s[1], s[2]);
         csv.push(vec![
             bench.abbr.to_owned(),

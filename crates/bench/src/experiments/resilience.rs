@@ -13,6 +13,7 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
+use crate::pool;
 use crate::runner::{experiment_config, fault_injection, PolicyKind};
 use latte_gpusim::{FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, TerminationReason};
 use latte_workloads::suite;
@@ -38,24 +39,38 @@ fn run_suite(rate: f64, seed: u64) -> Vec<KernelRecord> {
 }
 
 /// Runs the whole suite under LATTE-CC with the given fault model.
+///
+/// Each benchmark runs as a pool subtask. Deliberately NOT routed through
+/// the simulation memo cache: the sweep's determinism self-check re-runs
+/// the same configuration and must be a genuine re-execution, and fault
+/// sweeps are one-shot configurations nothing else shares.
 fn run_suite_faults(faults: FaultConfig) -> Vec<KernelRecord> {
-    let mut records = Vec::new();
-    for bench in suite() {
-        let config = GpuConfig {
-            faults: Some(faults),
-            ..experiment_config()
-        };
-        let mut gpu = Gpu::new(config.clone(), |_| PolicyKind::LatteCc.build(&config));
-        for kernel in bench.build_kernels() {
-            let stats = gpu.run_kernel(&kernel as &dyn Kernel);
-            records.push(KernelRecord {
-                abbr: bench.abbr,
-                kernel: kernel.name().to_owned(),
-                stats,
-            });
-        }
-    }
-    records
+    pool::run_subtasks(
+        suite()
+            .into_iter()
+            .map(|bench| {
+                Box::new(move || {
+                    let config = GpuConfig {
+                        faults: Some(faults),
+                        ..experiment_config()
+                    };
+                    let mut gpu = Gpu::new(&config, |_| PolicyKind::LatteCc.build(&config));
+                    bench
+                        .build_kernels()
+                        .iter()
+                        .map(|kernel| KernelRecord {
+                            abbr: bench.abbr,
+                            kernel: kernel.name().to_owned(),
+                            stats: gpu.run_kernel(kernel as &dyn Kernel),
+                        })
+                        .collect::<Vec<_>>()
+                }) as Box<dyn FnOnce() -> Vec<KernelRecord> + Send>
+            })
+            .collect(),
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Runs the resilience sweep.

@@ -4,7 +4,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{experiment_config, geomean, run_benchmark_with_config, PolicyKind};
+use crate::runner::{experiment_config, geomean, PolicyKind};
+use crate::sim;
 use latte_workloads::c_sens;
 
 /// Runs the 48 KB sensitivity study.
@@ -19,11 +20,15 @@ pub fn run() -> std::io::Result<()> {
     ]];
     let mut bdi_spd = Vec::new();
     let mut latte_spd = Vec::new();
-    for bench in c_sens() {
-        let base = run_benchmark_with_config(PolicyKind::Baseline, &bench, &config);
-        let bdi = run_benchmark_with_config(PolicyKind::StaticBdi, &bench, &config);
-        let latte = run_benchmark_with_config(PolicyKind::LatteCc, &bench, &config);
-        let (s_bdi, s_latte) = (bdi.speedup_over(&base), latte.speedup_over(&base));
+    let benches = c_sens();
+    let policies = [
+        PolicyKind::Baseline,
+        PolicyKind::StaticBdi,
+        PolicyKind::LatteCc,
+    ];
+    for (bench, runs) in benches.iter().zip(sim::run_matrix(&policies, &benches, &config)) {
+        let (base, bdi, latte) = (&runs[0], &runs[1], &runs[2]);
+        let (s_bdi, s_latte) = (bdi.speedup_over(base), latte.speedup_over(base));
         outln!("{:6} {:>9.3} {:>9.3}", bench.abbr, s_bdi, s_latte);
         csv.push(vec![
             bench.abbr.to_owned(),

@@ -5,7 +5,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{experiment_config, run_benchmark_with_config, PolicyKind};
+use crate::runner::{experiment_config, PolicyKind};
+use crate::sim;
 use latte_gpusim::GpuConfig;
 use latte_workloads::suite;
 
@@ -26,13 +27,33 @@ pub fn run() -> std::io::Result<()> {
         "delta_pct".to_owned(),
     ]];
     let mut worst: f64 = 0.0;
-    for bench in suite() {
-        let a = run_benchmark_with_config(PolicyKind::LatteCc, &bench, &avoid);
+    let benches = suite();
+    // Two waves: whether a benchmark stores at all is only known after
+    // its write-avoid run, so batch all of those first, then batch the
+    // write-allocate runs for just the store-heavy subset.
+    let policies = [PolicyKind::LatteCc];
+    let avoid_runs = sim::run_matrix(&policies, &benches, &avoid);
+    let storing: Vec<latte_workloads::BenchmarkSpec> = benches
+        .iter()
+        .zip(&avoid_runs)
+        .filter(|(_, runs)| runs[0].stats.stores > 0)
+        .map(|(bench, _)| bench.clone())
+        .collect();
+    let allocate_runs = sim::run_matrix(&policies, &storing, &allocate);
+    let mut allocate_by_abbr = std::collections::HashMap::new();
+    for (bench, runs) in storing.iter().zip(allocate_runs) {
+        allocate_by_abbr.insert(bench.abbr, runs);
+    }
+    for (bench, runs) in benches.iter().zip(&avoid_runs) {
+        let a = &runs[0];
         let stores = a.stats.stores;
         if stores == 0 {
             continue; // write policy is vacuous without stores
         }
-        let b = run_benchmark_with_config(PolicyKind::LatteCc, &bench, &allocate);
+        let Some(b_runs) = allocate_by_abbr.get(bench.abbr) else {
+            continue;
+        };
+        let b = &b_runs[0];
         let store_pct =
             stores as f64 / (stores + a.stats.loads) as f64 * 100.0;
         let delta = (b.stats.cycles as f64 - a.stats.cycles as f64) / a.stats.cycles as f64 * 100.0;

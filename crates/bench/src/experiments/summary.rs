@@ -4,7 +4,8 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::{geomean, run_benchmark, PolicyKind, ALL_POLICIES};
+use crate::runner::{geomean, PolicyKind, ALL_POLICIES};
+use crate::sim;
 use latte_workloads::{suite, Category};
 
 /// Runs the summary aggregation.
@@ -22,23 +23,27 @@ pub fn run() -> std::io::Result<()> {
         "{:20} {:>10} {:>10} {:>10} {:>10}",
         "policy", "spd-Sens", "spd-InSens", "mr-Sens%", "en-Sens"
     );
-    for policy in ALL_POLICIES {
+    // One 9-policy × full-suite matrix: every simulation the summary
+    // needs, fanned out across the whole pool in a single batch.
+    let matrix = sim::run_matrix_default(&ALL_POLICIES, &benches);
+    for (pi, &policy) in ALL_POLICIES.iter().enumerate() {
         if policy == PolicyKind::Baseline {
             continue;
         }
         let mut spd = (Vec::new(), Vec::new());
         let mut mr = Vec::new();
         let mut en = Vec::new();
-        for bench in &benches {
-            let base = run_benchmark(PolicyKind::Baseline, bench);
-            let r = run_benchmark(policy, bench);
+        for (bench, runs) in benches.iter().zip(&matrix) {
+            let base = &runs[0];
+            debug_assert_eq!(base.policy, PolicyKind::Baseline);
+            let r = &runs[pi];
             match bench.category {
                 Category::CSens => {
-                    spd.0.push(r.speedup_over(&base));
-                    mr.push(r.miss_reduction_over(&base) * 100.0);
-                    en.push(r.energy_ratio_over(&base));
+                    spd.0.push(r.speedup_over(base));
+                    mr.push(r.miss_reduction_over(base) * 100.0);
+                    en.push(r.energy_ratio_over(base));
                 }
-                Category::CInSens => spd.1.push(r.speedup_over(&base)),
+                Category::CInSens => spd.1.push(r.speedup_over(base)),
             }
         }
         let amean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;

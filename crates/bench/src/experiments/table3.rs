@@ -5,19 +5,11 @@
 
 use crate::report::outln;
 use crate::experiments::write_csv;
-use crate::runner::experiment_config;
+use crate::runner::{experiment_config, PolicyKind};
+use crate::sim;
 use latte_cache::CacheGeometry;
-use latte_gpusim::{Gpu, GpuConfig, Kernel, UncompressedPolicy};
+use latte_gpusim::GpuConfig;
 use latte_workloads::{suite, Category};
-
-fn total_cycles(config: &GpuConfig, bench: &latte_workloads::BenchmarkSpec) -> u64 {
-    let mut gpu = Gpu::new(config.clone(), |_| Box::new(UncompressedPolicy));
-    bench
-        .build_kernels()
-        .iter()
-        .map(|k| gpu.run_kernel(k as &dyn Kernel).cycles)
-        .sum()
-}
 
 /// Runs the Table III classification check.
 pub fn run() -> std::io::Result<()> {
@@ -42,9 +34,25 @@ pub fn run() -> std::io::Result<()> {
         "measured_category".to_owned(),
     ]];
     let mut mismatches = 0;
-    for bench in suite() {
-        let base = total_cycles(&base_config, &bench);
-        let big = total_cycles(&big_config, &bench);
+    let benches = suite();
+    // One batch over both machine sizes; the normal-cache Baseline runs
+    // are the same simulations every figure uses, so they come from the
+    // memo cache on a full sweep.
+    let mut jobs = Vec::new();
+    for config in [&base_config, &big_config] {
+        for bench in &benches {
+            jobs.push(sim::SimJob {
+                policy: PolicyKind::Baseline,
+                bench: bench.clone(),
+                config: config.clone(),
+            });
+        }
+    }
+    let results = sim::run_batch(jobs);
+    let (base_runs, big_runs) = results.split_at(benches.len());
+    for ((bench, base_r), big_r) in benches.iter().zip(base_runs).zip(big_runs) {
+        let base = base_r.cycles();
+        let big = big_r.cycles();
         let speedup = base as f64 / big.max(1) as f64;
         let measured = if speedup > 1.20 {
             Category::CSens

@@ -32,7 +32,7 @@ pub fn run_for(abbr: &str) -> std::io::Result<()> {
         record_traces: true,
         ..experiment_config()
     };
-    let mut gpu = Gpu::new(config.clone(), |_| PolicyKind::LatteCc.build(&config));
+    let mut gpu = Gpu::new(&config, |_| PolicyKind::LatteCc.build(&config));
     let mut traces: Vec<EpTraceEntry> = Vec::new();
     for kernel in bench.build_kernels() {
         traces.extend(gpu.run_kernel(&kernel as &dyn Kernel).traces);

@@ -16,10 +16,14 @@ pub mod experiments;
 pub mod pool;
 mod report;
 pub mod runner;
+pub mod sim;
+pub mod timing;
 
-pub use driver::{run_experiments, Experiment, ExperimentOutcome};
+pub use driver::{
+    run_experiments, run_experiments_with_outcomes, Experiment, ExperimentOutcome,
+};
 pub use runner::{
-    fault_injection, geomean, latte_overrides, run_benchmark, run_benchmark_with_config,
-    set_fault_injection, set_latte_overrides, BenchResult, LatteOverrides, PolicyKind,
-    ALL_POLICIES,
+    fault_injection, geomean, latte_overrides, run_benchmark, run_benchmark_uncached,
+    run_benchmark_with_config, set_fault_injection, set_latte_overrides, BenchResult,
+    LatteOverrides, PolicyKind, ALL_POLICIES,
 };

@@ -69,7 +69,9 @@ fn usage() -> ! {
     eprintln!("  --miss-latency <c>     AMAT effective miss-latency constant (default 150)");
     eprintln!("  --tolerance-scale <s>  latency-tolerance scale factor (default 2)");
     eprintln!("  --force-mode <m>       pin the controller: none | lowlatency | highcapacity");
-    eprintln!("  --debug-decide         print the controller's per-decision trace\n");
+    eprintln!("  --debug-decide         print the controller's per-decision trace");
+    eprintln!("  --timings              after the run, print per-experiment / per-simulation");
+    eprintln!("                         wall times and the simulation cache's hit statistics\n");
     eprintln!("experiments:");
     for (name, desc, _) in EXPERIMENTS {
         eprintln!("  {name:12} {desc}");
@@ -83,6 +85,7 @@ struct Options {
     jobs: usize,
     faults: Option<FaultConfig>,
     overrides: LatteOverrides,
+    timings: bool,
 }
 
 fn default_jobs() -> usize {
@@ -107,6 +110,7 @@ fn parse_options(args: &mut Vec<String>) -> Options {
     let mut wakeup_drop_rate: Option<f64> = None;
     let mut seed: u64 = 42;
     let mut overrides = LatteOverrides::default();
+    let mut timings = false;
     let mut i = 0;
     while i < args.len() {
         let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> String {
@@ -200,6 +204,10 @@ fn parse_options(args: &mut Vec<String>) -> Options {
                 overrides.debug_decide = true;
                 args.remove(i);
             }
+            "--timings" => {
+                timings = true;
+                args.remove(i);
+            }
             _ => i += 1,
         }
     }
@@ -215,6 +223,7 @@ fn parse_options(args: &mut Vec<String>) -> Options {
         jobs,
         faults,
         overrides,
+        timings,
     }
 }
 
@@ -279,7 +288,20 @@ fn main() {
             })
             .collect()
     };
-    let failed = latte_bench::run_experiments(&selected, opts.jobs);
+    latte_bench::timing::set_report_enabled(opts.timings);
+    let (failed, outcomes) = latte_bench::run_experiments_with_outcomes(&selected, opts.jobs);
+    if opts.timings {
+        let experiments: Vec<(&str, f64)> =
+            outcomes.iter().map(|o| (o.name, o.secs)).collect();
+        latte_bench::timing::print_report(&experiments, latte_bench::sim::stats());
+    }
+    // The service's "each unique simulation ran exactly once" contract is
+    // cheap to check and load-bearing for both correctness and the perf
+    // model, so assert it on every invocation.
+    if let Err(violation) = latte_bench::sim::verify_each_sim_ran_once() {
+        eprintln!("latte-bench: {violation}");
+        std::process::exit(1);
+    }
     if failed > 0 {
         eprintln!("{failed} experiment(s) failed");
         std::process::exit(1);

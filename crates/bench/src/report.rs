@@ -29,6 +29,20 @@ pub fn end_capture() -> String {
     CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default()
 }
 
+/// Swaps this thread's capture state for `new`, returning the previous
+/// state (`None` = no capture was active).
+///
+/// This is the primitive behind *nested* captures: the simulation
+/// service and the subtask pool wrap a unit of work with
+/// `swap_capture(Some(String::new()))` / `swap_capture(saved)` so the
+/// work's output is harvested into its own buffer — for memoized replay
+/// or ordered re-emission — without disturbing whatever capture the
+/// current thread (an experiment, another subtask, or none at all) had
+/// active around it.
+pub fn swap_capture(new: Option<String>) -> Option<String> {
+    CAPTURE.with(|c| std::mem::replace(&mut *c.borrow_mut(), new))
+}
+
 /// Emits formatted text to the active capture buffer, or to stdout when
 /// no capture is active. The implementation behind [`out!`]/[`outln!`];
 /// call those instead.
@@ -79,6 +93,20 @@ mod tests {
         assert_eq!(end_capture(), "a1b\n\n");
         // Drained: a second end_capture is empty.
         assert_eq!(end_capture(), "");
+    }
+
+    #[test]
+    fn swap_capture_nests_and_restores() {
+        begin_capture();
+        out!("outer-1 ");
+        let saved = swap_capture(Some(String::new()));
+        out!("inner");
+        let inner = swap_capture(saved).unwrap_or_default();
+        out!("outer-2");
+        assert_eq!(inner, "inner");
+        assert_eq!(end_capture(), "outer-1 outer-2");
+        // With no capture active, swap returns None.
+        assert_eq!(swap_capture(None), None);
     }
 
     #[test]

@@ -241,15 +241,38 @@ pub fn experiment_config() -> GpuConfig {
     }
 }
 
-/// Runs `bench` under `policy` on the default experiment machine.
+/// Runs `bench` under `policy` on the default experiment machine,
+/// memoized by the simulation service (see [`crate::sim`]).
 #[must_use]
 pub fn run_benchmark(policy: PolicyKind, bench: &BenchmarkSpec) -> BenchResult {
     run_benchmark_with_config(policy, bench, &experiment_config())
 }
 
 /// Runs `bench` under `policy` on a specific machine configuration.
+///
+/// Routed through the memoized simulation service: each unique
+/// (policy, benchmark, config, overrides) combination is simulated at
+/// most once per process, and repeat requests replay the stored result
+/// *and* its diagnostics into the caller's output capture. Experiments
+/// that must genuinely re-execute (e.g. a determinism self-check) call
+/// [`run_benchmark_uncached`] instead.
 #[must_use]
 pub fn run_benchmark_with_config(
+    policy: PolicyKind,
+    bench: &BenchmarkSpec,
+    config: &GpuConfig,
+) -> BenchResult {
+    crate::sim::run_cached(policy, bench, config)
+}
+
+/// Runs `bench` under `policy` on `config`, **bypassing** the simulation
+/// memo cache: the simulator genuinely executes, and diagnostics are
+/// emitted directly into the current capture. The cached path
+/// ([`run_benchmark_with_config`]) is observationally identical and
+/// almost always what you want; this exists for callers whose *point* is
+/// re-execution, like `resilience`'s determinism self-check.
+#[must_use]
+pub fn run_benchmark_uncached(
     policy: PolicyKind,
     bench: &BenchmarkSpec,
     config: &GpuConfig,
@@ -258,7 +281,7 @@ pub fn run_benchmark_with_config(
     if config.faults.is_none() {
         config.faults = fault_injection();
     }
-    let mut gpu = Gpu::new(config.clone(), |_| policy.build(&config));
+    let mut gpu = Gpu::new(&config, |_| policy.build(&config));
     // Simulator diagnostics (watchdog, early termination) join the same
     // per-experiment capture as the runner's own output.
     gpu.set_diag_sink(latte_gpusim::TraceSink::new(|line| {

@@ -1,0 +1,369 @@
+//! The memoized simulation service.
+//!
+//! Every benchmark simulation in the bench harness flows through
+//! [`run_cached`]: the job is keyed by *what would be simulated* — the
+//! policy, a structural fingerprint of the [`BenchmarkSpec`], a
+//! structural fingerprint of the [`GpuConfig`] (including fault
+//! injection) and the process-wide controller overrides — and a
+//! process-wide cache guarantees each unique key is **computed exactly
+//! once per invocation**, no matter how many experiments request it.
+//! The default sweep requests the Baseline/`experiment_config` run of
+//! every suite benchmark from a dozen different figures; under the
+//! service those all share one simulation.
+//!
+//! Because simulations are deterministic (enforced by
+//! `crates/bench/tests/determinism.rs` and lint rule D1), replaying a
+//! memoized result is observationally identical to re-running it — with
+//! one subtlety: simulations also *print* (watchdog diagnostics,
+//! early-stop warnings, `--debug-decide` traces). The service captures
+//! everything a compute prints into [`SimOutcome::diag`] and re-emits it
+//! into the requesting experiment's output buffer on **every**
+//! consumption, so each experiment's captured output is the same whether
+//! it hit or missed the cache.
+//!
+//! Concurrency: the cache maps each key to a cell; the first requester
+//! claims the cell and computes inline, later requesters block on the
+//! cell's condvar. A compute never requests another simulation
+//! (single-level, enforced by structure: computes call
+//! [`runner::run_benchmark_uncached`] which goes straight to the
+//! simulator), so cell waits cannot cycle. A panicking compute parks the
+//! panic message in the cell, and every requester re-raises it — one
+//! poisoned simulation fails exactly the experiments that depend on it.
+
+use crate::pool;
+use crate::report;
+use crate::runner::{self, BenchResult, PolicyKind};
+use crate::timing;
+use latte_gpusim::{Fingerprinter, GpuConfig};
+use latte_workloads::BenchmarkSpec;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Canonical identity of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SimKey {
+    policy: PolicyKind,
+    /// Structural fingerprint of (benchmark spec, gpu config, controller
+    /// overrides).
+    fingerprint: u128,
+}
+
+/// A finished simulation: its result plus everything it printed.
+#[derive(Debug)]
+struct SimOutcome {
+    result: BenchResult,
+    diag: String,
+}
+
+/// One cache slot. `None` while the claiming thread is still computing;
+/// `Some(Err(msg))` when the compute panicked.
+struct SimCell {
+    state: Mutex<Option<Result<Arc<SimOutcome>, String>>>,
+    ready: Condvar,
+}
+
+static CACHE: OnceLock<Mutex<HashMap<SimKey, Arc<SimCell>>>> = OnceLock::new();
+
+/// Simulations requested through the service.
+static REQUESTS: AtomicU64 = AtomicU64::new(0);
+/// Requests satisfied by an existing cell (fresh or awaited).
+static HITS: AtomicU64 = AtomicU64::new(0);
+/// Requests that claimed a cell and ran the simulator.
+static COMPUTED: AtomicU64 = AtomicU64::new(0);
+
+fn lock<'a, T: ?Sized>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn cache() -> &'static Mutex<HashMap<SimKey, Arc<SimCell>>> {
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn key_for(policy: PolicyKind, bench: &BenchmarkSpec, config: &GpuConfig) -> SimKey {
+    let mut fp = Fingerprinter::new();
+    bench.write_fingerprint(&mut fp);
+    fp.write_u64(0x5e70_ffff); // domain separator: spec | config
+    let cfg_fp = config.fingerprint();
+    fp.write_u64(cfg_fp as u64);
+    fp.write_u64((cfg_fp >> 64) as u64);
+    // The controller overrides are process-global and write-once, but
+    // folding them in keeps the key honest about everything that shapes
+    // the simulation.
+    let ov = runner::latte_overrides();
+    fp.write_opt_f64(ov.miss_latency);
+    fp.write_opt_f64(ov.tolerance_scale);
+    fp.write_u64(match ov.force_mode {
+        None => 0,
+        Some(latte_core::CompressionMode::None) => 1,
+        Some(latte_core::CompressionMode::LowLatency) => 2,
+        Some(latte_core::CompressionMode::HighCapacity) => 3,
+    });
+    fp.write_bool(ov.debug_decide);
+    SimKey {
+        policy,
+        fingerprint: fp.finish(),
+    }
+}
+
+/// Computes one simulation with its printed output harvested into the
+/// returned [`SimOutcome`] instead of the current capture.
+fn compute(policy: PolicyKind, bench: &BenchmarkSpec, config: &GpuConfig) -> Result<Arc<SimOutcome>, String> {
+    let watch = timing::Stopwatch::start();
+    let saved = report::swap_capture(Some(String::new()));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        runner::run_benchmark_uncached(policy, bench, config)
+    }));
+    let diag = report::swap_capture(saved).unwrap_or_default();
+    COMPUTED.fetch_add(1, Ordering::SeqCst);
+    timing::record_sim(
+        format!("{}/{}", policy.name(), bench.abbr),
+        watch.elapsed_secs(),
+    );
+    match result {
+        Ok(result) => Ok(Arc::new(SimOutcome { result, diag })),
+        Err(payload) => {
+            // The experiment that triggered the compute still gets the
+            // partial diagnostics; the panic itself is parked in the
+            // cell and re-raised by every requester.
+            report::emit(format_args!("{diag}"));
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(format!(
+                "simulation {}/{} panicked: {msg}",
+                policy.name(),
+                bench.abbr
+            ))
+        }
+    }
+}
+
+/// Returns the memoized outcome for a key, computing it if this is the
+/// first request.
+fn outcome_for(policy: PolicyKind, bench: &BenchmarkSpec, config: &GpuConfig) -> Arc<SimOutcome> {
+    REQUESTS.fetch_add(1, Ordering::SeqCst);
+    let key = key_for(policy, bench, config);
+    let (cell, claimed) = {
+        let mut map = lock(cache());
+        match map.get(&key) {
+            Some(cell) => (Arc::clone(cell), false),
+            None => {
+                let cell = Arc::new(SimCell {
+                    state: Mutex::new(None),
+                    ready: Condvar::new(),
+                });
+                map.insert(key, Arc::clone(&cell));
+                (cell, true)
+            }
+        }
+    };
+    if claimed {
+        let outcome = compute(policy, bench, config);
+        let mut state = lock(&cell.state);
+        *state = Some(outcome.clone());
+        cell.ready.notify_all();
+        drop(state);
+        match outcome {
+            Ok(outcome) => outcome,
+            Err(msg) => resume_unwind(Box::new(msg)),
+        }
+    } else {
+        HITS.fetch_add(1, Ordering::SeqCst);
+        let mut state = lock(&cell.state);
+        loop {
+            match &*state {
+                Some(Ok(outcome)) => return Arc::clone(outcome),
+                Some(Err(msg)) => resume_unwind(Box::new(msg.clone())),
+                None => {
+                    let (next, _) = cell
+                        .ready
+                        .wait_timeout(state, std::time::Duration::from_millis(10))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    state = next;
+                }
+            }
+        }
+    }
+}
+
+/// Runs (or replays) `bench` under `policy` on `config`, re-emitting the
+/// simulation's diagnostics into the current output capture. This is the
+/// single entry point behind [`runner::run_benchmark_with_config`].
+pub fn run_cached(policy: PolicyKind, bench: &BenchmarkSpec, config: &GpuConfig) -> BenchResult {
+    let outcome = outcome_for(policy, bench, config);
+    report::emit(format_args!("{}", outcome.diag));
+    outcome.result.clone()
+}
+
+/// One simulation request for the batch APIs.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Policy to evaluate.
+    pub policy: PolicyKind,
+    /// Benchmark to run.
+    pub bench: BenchmarkSpec,
+    /// Machine configuration.
+    pub config: GpuConfig,
+}
+
+/// Runs a batch of simulations as pool subtasks, saturating every
+/// driver worker, and returns results in submission order. Diagnostics
+/// land in the calling experiment's capture in submission order, so a
+/// batched experiment prints the same bytes at any `--jobs` level.
+///
+/// Duplicate keys within one batch are fine: the cache computes the
+/// first and the rest await the same cell.
+pub fn run_batch(jobs: Vec<SimJob>) -> Vec<BenchResult> {
+    let tasks: Vec<Box<dyn FnOnce() -> BenchResult + Send>> = jobs
+        .into_iter()
+        .map(|job| {
+            Box::new(move || run_cached(job.policy, &job.bench, &job.config))
+                as Box<dyn FnOnce() -> BenchResult + Send>
+        })
+        .collect();
+    pool::run_subtasks(tasks)
+}
+
+/// [`run_batch`] over the cross product `policies` × `benches` on one
+/// config; returns results grouped per benchmark, policies in the given
+/// order (`result[b][p]` = `benches[b]` under `policies[p]`).
+pub fn run_matrix(
+    policies: &[PolicyKind],
+    benches: &[BenchmarkSpec],
+    config: &GpuConfig,
+) -> Vec<Vec<BenchResult>> {
+    let jobs: Vec<SimJob> = benches
+        .iter()
+        .flat_map(|bench| {
+            policies.iter().map(|&policy| SimJob {
+                policy,
+                bench: bench.clone(),
+                config: config.clone(),
+            })
+        })
+        .collect();
+    let mut flat = run_batch(jobs).into_iter();
+    benches
+        .iter()
+        .map(|_| (0..policies.len()).filter_map(|_| flat.next()).collect())
+        .collect()
+}
+
+/// [`run_matrix`] on the default experiment machine
+/// ([`runner::experiment_config`]).
+pub fn run_matrix_default(
+    policies: &[PolicyKind],
+    benches: &[BenchmarkSpec],
+) -> Vec<Vec<BenchResult>> {
+    run_matrix(policies, benches, &runner::experiment_config())
+}
+
+/// `(requests, hits, computed)` counters since process start.
+pub fn stats() -> (u64, u64, u64) {
+    (
+        REQUESTS.load(Ordering::SeqCst),
+        HITS.load(Ordering::SeqCst),
+        COMPUTED.load(Ordering::SeqCst),
+    )
+}
+
+/// Checks the service's "each unique simulation ran exactly once"
+/// contract: the number of computes equals the number of distinct keys,
+/// and every request was either a hit or a compute.
+///
+/// # Errors
+///
+/// Returns a description of the violated invariant.
+pub fn verify_each_sim_ran_once() -> Result<(), String> {
+    let (requests, hits, computed) = stats();
+    let unique = lock(cache()).len() as u64;
+    if computed != unique {
+        return Err(format!(
+            "sim cache invariant violated: {computed} computes for {unique} unique keys"
+        ));
+    }
+    if requests != hits + computed {
+        return Err(format!(
+            "sim cache invariant violated: {requests} requests != {hits} hits + {computed} computes"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nw() -> BenchmarkSpec {
+        latte_workloads::benchmark("NW").expect("NW exists")
+    }
+
+    #[test]
+    fn cache_replays_results_and_diagnostics_identically() {
+        let bench = nw();
+        let config = GpuConfig {
+            num_sms: 1,
+            ..GpuConfig::small()
+        };
+        let (_, _, computed_before) = stats();
+
+        report::begin_capture();
+        let cold = run_cached(PolicyKind::StaticBdi, &bench, &config);
+        let cold_text = report::end_capture();
+        let (_, _, computed_mid) = stats();
+
+        report::begin_capture();
+        let warm = run_cached(PolicyKind::StaticBdi, &bench, &config);
+        let warm_text = report::end_capture();
+        let (_, _, computed_after) = stats();
+
+        assert_eq!(cold.stats.cycles, warm.stats.cycles);
+        assert_eq!(cold.energy.total_nj(), warm.energy.total_nj());
+        assert_eq!(cold_text, warm_text, "replayed diagnostics must match");
+        // Other tests run concurrently against the same process-wide
+        // cache, so assert deltas local to this key: the warm request
+        // computed nothing new.
+        assert!(computed_mid > computed_before);
+        assert_eq!(computed_mid, computed_after);
+    }
+
+    #[test]
+    fn distinct_configs_do_not_alias() {
+        let bench = nw();
+        let a = GpuConfig {
+            num_sms: 1,
+            ..GpuConfig::small()
+        };
+        let b = GpuConfig {
+            num_sms: 1,
+            l1_hit_latency: a.l1_hit_latency + 1,
+            ..GpuConfig::small()
+        };
+        let ra = run_cached(PolicyKind::Baseline, &bench, &a);
+        let rb = run_cached(PolicyKind::Baseline, &bench, &b);
+        assert_ne!(ra.stats.cycles, rb.stats.cycles);
+    }
+
+    #[test]
+    fn batch_matches_serial_results() {
+        let bench = nw();
+        let config = GpuConfig {
+            num_sms: 1,
+            ..GpuConfig::small()
+        };
+        let policies = [PolicyKind::Baseline, PolicyKind::StaticSc];
+        let matrix = run_matrix(&policies, std::slice::from_ref(&bench), &config);
+        assert_eq!(matrix.len(), 1);
+        assert_eq!(matrix[0].len(), 2);
+        for (i, &policy) in policies.iter().enumerate() {
+            let serial = run_cached(policy, &bench, &config);
+            assert_eq!(matrix[0][i].policy, policy);
+            assert_eq!(matrix[0][i].stats.cycles, serial.stats.cycles);
+        }
+        assert!(verify_each_sim_ran_once().is_ok());
+    }
+}

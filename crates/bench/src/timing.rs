@@ -1,0 +1,155 @@
+//! Wall-clock bookkeeping behind the `--timings` flag.
+//!
+//! This module is deliberately the **only** place in the workspace's
+//! non-test code that reads a clock. The simulation crates model time as
+//! cycles and must stay wall-clock-free so results are a pure function
+//! of their inputs (lint rule D1 enforces this for the sim crates); the
+//! bench binary is the one component that may observe real time, and it
+//! funnels every such read through [`Stopwatch`] here so the boundary
+//! stays auditable.
+// latte-lint: allow-file(D1, reason = "the bench driver is the workspace's single wall-clock authority; timings are reporting-only and never feed back into simulation results")
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Whether `--timings` was passed: gates *printing* the report, not
+/// collection (recording a label and an `f64` per simulation is far too
+/// cheap to branch on).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables the end-of-run timing report (`--timings`).
+pub fn set_report_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Returns whether the end-of-run timing report was requested.
+pub fn report_enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+/// A started wall-clock measurement.
+#[derive(Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// One timed simulation compute (cache hits are not re-timed; replaying
+/// a memoized result costs microseconds).
+#[derive(Debug, Clone)]
+struct SimRecord {
+    label: String,
+    secs: f64,
+}
+
+static SIM_TIMES: Mutex<Vec<SimRecord>> = Mutex::new(Vec::new());
+
+/// Records the wall time of one simulation compute. `label` should
+/// identify the job, e.g. `"Baseline/NW"` or `"LatteCC/KM [cfg 3f2a]"`.
+pub fn record_sim(label: String, secs: f64) {
+    let mut times = SIM_TIMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    times.push(SimRecord { label, secs });
+}
+
+/// Drains and returns all recorded sim timings as `(label, secs)`,
+/// slowest first. Used by the report printer and by tests.
+pub fn take_sim_times() -> Vec<(String, f64)> {
+    let mut times = std::mem::take(
+        &mut *SIM_TIMES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    times.sort_by(|a, b| b.secs.total_cmp(&a.secs).then_with(|| a.label.cmp(&b.label)));
+    times.into_iter().map(|r| (r.label, r.secs)).collect()
+}
+
+/// Prints the `--timings` report to stdout: per-experiment wall time
+/// (slowest first), then per-sim-job compute time, then the simulation
+/// cache's request/hit/compute counters.
+///
+/// `experiments` is `(name, secs)` per completed experiment; `cache` is
+/// `(requests, hits, computed)` from the simulation service.
+pub fn print_report(experiments: &[(&str, f64)], cache: (u64, u64, u64)) {
+    let mut exps: Vec<&(&str, f64)> = experiments.iter().collect();
+    exps.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+    println!("==================== timings ====================");
+    println!("experiments ({} total, slowest first):", exps.len());
+    for (name, secs) in exps {
+        println!("  {secs:>8.2}s  {name}");
+    }
+
+    let sims = take_sim_times();
+    // `+ 0.0` normalises the -0.0 an empty float sum starts from, which
+    // would otherwise print as "-0.00s".
+    let total: f64 = sims.iter().map(|(_, s)| s).sum::<f64>() + 0.0;
+    println!(
+        "simulation jobs ({} computed, {:.2}s simulating, slowest first):",
+        sims.len(),
+        total
+    );
+    const SHOWN: usize = 25;
+    for (label, secs) in sims.iter().take(SHOWN) {
+        println!("  {secs:>8.2}s  {label}");
+    }
+    if sims.len() > SHOWN {
+        println!("  ... and {} more under {:.2}s", sims.len() - SHOWN, sims[SHOWN - 1].1);
+    }
+
+    let (requests, hits, computed) = cache;
+    let pct = if requests == 0 {
+        0.0
+    } else {
+        100.0 * hits as f64 / requests as f64
+    };
+    println!(
+        "sim cache: {requests} requests, {hits} hits ({pct:.0}%), {computed} computed"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_secs() > 0.0);
+    }
+
+    #[test]
+    fn sim_times_drain_sorted() {
+        // Use labels unlikely to collide with other tests' records; the
+        // registry is process-global and tests run concurrently.
+        record_sim("timing-test/slow".to_owned(), 123_456.0);
+        record_sim("timing-test/fast".to_owned(), 123_455.0);
+        let times = take_sim_times();
+        let slow = times.iter().position(|(l, _)| l == "timing-test/slow");
+        let fast = times.iter().position(|(l, _)| l == "timing-test/fast");
+        match (slow, fast) {
+            (Some(s), Some(f)) => assert!(s < f, "slowest must sort first"),
+            _ => panic!("records missing from drained registry"),
+        }
+    }
+
+    #[test]
+    fn report_enable_round_trips() {
+        let before = report_enabled();
+        set_report_enabled(true);
+        assert!(report_enabled());
+        set_report_enabled(before);
+    }
+}

@@ -1,10 +1,12 @@
 //! The parallel experiment driver's determinism contract: `--jobs N`
-//! must produce byte-identical `results/` files to `--jobs 1`, and a
-//! failing experiment must never prevent the rest of the batch from
-//! running.
+//! must produce byte-identical `results/` files *and* per-experiment
+//! output to `--jobs 1`, a warm simulation memo cache must be
+//! indistinguishable from a cold one (same bytes, zero recomputation),
+//! and a failing experiment must never prevent the rest of the batch
+//! from running.
 
 use latte_bench::experiments::{self as exp, set_results_dir};
-use latte_bench::{run_experiments, Experiment};
+use latte_bench::{run_experiments, run_experiments_with_outcomes, sim, Experiment};
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -36,25 +38,66 @@ fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     files
 }
 
-/// One test (not several) because the results-dir override is
-/// process-global and libtest runs sibling tests concurrently.
+/// One test (not several) because the results-dir override and the
+/// simulation memo cache are process-global and libtest runs sibling
+/// tests concurrently.
+///
+/// The first (serial) run starts from a cold cache; the second
+/// (parallel) run hits the warm cache for every simulation. Requiring
+/// the two runs to match byte for byte therefore checks both contracts
+/// at once: `--jobs N` vs `--jobs 1`, and warm vs cold cache — for the
+/// `results/` CSVs *and* for each experiment's captured output,
+/// including diagnostic lines replayed out of the cache.
 #[test]
-fn parallel_run_is_byte_identical_to_serial() {
+fn parallel_warm_cache_run_is_byte_identical_to_serial_cold_run() {
     let selected: Vec<&Experiment> = CHEAP.iter().collect();
+    let outputs = |outcomes: Vec<latte_bench::ExperimentOutcome>| {
+        outcomes
+            .into_iter()
+            .map(|o| {
+                assert!(o.result.is_ok(), "{} must succeed", o.name);
+                (o.name, o.output)
+            })
+            .collect::<BTreeMap<_, _>>()
+    };
 
-    let serial_dir = fresh_dir("serial");
-    set_results_dir(Some(serial_dir.clone()));
-    let failed = run_experiments(&selected, 1);
+    // One directory for both runs (the captured output embeds the CSV
+    // paths, so they must match): snapshot between runs, the second run
+    // atomically overwrites the first's files.
+    let dir = fresh_dir("runs");
+    set_results_dir(Some(dir.clone()));
+    let (_, _, computed_before) = sim::stats();
+    let (failed, serial_outcomes) = run_experiments_with_outcomes(&selected, 1);
     assert_eq!(failed, 0, "serial run must succeed");
+    let (_, _, computed_cold) = sim::stats();
+    assert!(
+        computed_cold > computed_before,
+        "the cheap subset must run real simulations"
+    );
+    let serial = snapshot(&dir);
 
-    let parallel_dir = fresh_dir("parallel");
-    set_results_dir(Some(parallel_dir.clone()));
-    let failed = run_experiments(&selected, 4);
+    let (failed, parallel_outcomes) = run_experiments_with_outcomes(&selected, 4);
     set_results_dir(None);
     assert_eq!(failed, 0, "parallel run must succeed");
+    let parallel = snapshot(&dir);
+    let (_, _, computed_warm) = sim::stats();
+    assert_eq!(
+        computed_warm, computed_cold,
+        "a warm-cache re-run must not recompute any simulation"
+    );
+    sim::verify_each_sim_ran_once().expect("one compute per unique simulation");
 
-    let serial = snapshot(&serial_dir);
-    let parallel = snapshot(&parallel_dir);
+    let serial_out = outputs(serial_outcomes);
+    let parallel_out = outputs(parallel_outcomes);
+    assert!(
+        serial_out.values().any(|o| !o.is_empty()),
+        "experiments must capture output"
+    );
+    assert_eq!(
+        serial_out, parallel_out,
+        "captured experiment output differs between serial-cold and parallel-warm runs"
+    );
+
     assert!(!serial.is_empty(), "experiments must write result files");
     assert_eq!(
         serial.keys().collect::<Vec<_>>(),
@@ -69,8 +112,7 @@ fn parallel_run_is_byte_identical_to_serial() {
         );
     }
 
-    let _ = fs::remove_dir_all(&serial_dir);
-    let _ = fs::remove_dir_all(&parallel_dir);
+    let _ = fs::remove_dir_all(&dir);
 }
 
 fn ok_exp() -> io::Result<()> {

@@ -93,18 +93,32 @@ impl BdiEncoding {
     }
 }
 
+/// The most blocks any encoding splits a line into (B2D1: 128 B / 2 B).
+const MAX_BLOCKS: usize = CacheLine::SIZE_BYTES / 2;
+
 /// A BDI-compressed line, retained in full so it can be decompressed —
 /// the simulator only needs sizes, but round-trip fidelity is what the unit
 /// and property tests check.
+///
+/// Deltas and the zero-base mask live in fixed-size inline storage
+/// (`MAX_BLOCKS` covers the narrowest base), so encoding a line performs
+/// no heap allocation except the raw fallback copy for incompressible
+/// lines — and the size-only [`Compressor::compress`] path skips even
+/// that.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BdiCompressed {
     encoding: BdiEncoding,
     /// Base value (zero-extended to u64).
     base: u64,
-    /// Per-block deltas (sign info captured by two's-complement truncation).
-    deltas: Vec<u64>,
-    /// `true` where the block is relative to the implicit zero base.
-    zero_base_mask: Vec<bool>,
+    /// Per-block deltas (sign info captured by two's-complement
+    /// truncation); only the first `num_blocks` entries are meaningful
+    /// and the rest stay zero.
+    deltas: [u64; MAX_BLOCKS],
+    /// Blocks the line splits into under `encoding` (0 for the
+    /// degenerate encodings).
+    num_blocks: u8,
+    /// Bit `b` set: block `b` is relative to the implicit zero base.
+    zero_base_mask: u64,
     /// Raw copy for the `Uncompressed` encoding.
     raw: Option<Box<CacheLine>>,
 }
@@ -144,8 +158,8 @@ impl BdiCompressed {
             enc => {
                 let base_w = enc.base_bytes().map_or(64, |b| b as u64 * 8);
                 let delta_w = enc.delta_bytes() as u64 * 8;
-                let delta_total = self.deltas.len() as u64 * delta_w;
-                let total = base_w + delta_total + self.zero_base_mask.len() as u64;
+                let delta_total = u64::from(self.num_blocks) * delta_w;
+                let total = base_w + delta_total + u64::from(self.num_blocks);
                 let mut b = bit % total;
                 if b < base_w {
                     self.base ^= 1 << b;
@@ -160,12 +174,11 @@ impl BdiCompressed {
                     return false;
                 }
                 b -= delta_total;
-                match self.zero_base_mask.get_mut(b as usize) {
-                    Some(m) => {
-                        *m = !*m;
-                        true
-                    }
-                    None => false,
+                if b < u64::from(self.num_blocks) {
+                    self.zero_base_mask ^= 1 << b;
+                    true
+                } else {
+                    false
                 }
             }
         }
@@ -197,12 +210,20 @@ impl Bdi {
     /// Compresses a line, keeping enough state to decompress it.
     #[must_use]
     pub fn encode(&self, line: &CacheLine) -> BdiCompressed {
+        self.encode_impl(line, true)
+    }
+
+    /// [`Bdi::encode`] with an optional raw fallback copy: the size-only
+    /// hot path passes `keep_raw = false` so incompressible lines cost no
+    /// heap allocation (their size is the line size by definition).
+    fn encode_impl(&self, line: &CacheLine, keep_raw: bool) -> BdiCompressed {
         if line.is_zero() {
             return BdiCompressed {
                 encoding: BdiEncoding::Zeros,
                 base: 0,
-                deltas: Vec::new(),
-                zero_base_mask: Vec::new(),
+                deltas: [0; MAX_BLOCKS],
+                num_blocks: 0,
+                zero_base_mask: 0,
                 raw: None,
             };
         }
@@ -218,12 +239,13 @@ impl Bdi {
                 best = Some(c);
             }
         }
-        best.unwrap_or(BdiCompressed {
+        best.unwrap_or_else(|| BdiCompressed {
             encoding: BdiEncoding::Uncompressed,
             base: 0,
-            deltas: Vec::new(),
-            zero_base_mask: Vec::new(),
-            raw: Some(Box::new(*line)),
+            deltas: [0; MAX_BLOCKS],
+            num_blocks: 0,
+            zero_base_mask: 0,
+            raw: keep_raw.then(|| Box::new(*line)),
         })
     }
 
@@ -251,17 +273,16 @@ impl Bdi {
                 })?;
                 let delta_bytes = enc.delta_bytes();
                 let blocks = CacheLine::SIZE_BYTES / base_bytes;
-                if c.zero_base_mask.len() < blocks || c.deltas.len() < blocks {
+                if (c.num_blocks as usize) < blocks {
                     return Err(DecodeError::LengthMismatch {
                         algo: "BDI",
                         expected: blocks,
-                        actual: c.deltas.len().min(c.zero_base_mask.len()),
+                        actual: c.num_blocks as usize,
                     });
                 }
                 let mut out = [0u8; CacheLine::SIZE_BYTES];
-                for (blk, (&zero_base, &raw_delta)) in
-                    c.zero_base_mask.iter().zip(&c.deltas).enumerate().take(blocks)
-                {
+                for (blk, &raw_delta) in c.deltas.iter().enumerate().take(blocks) {
+                    let zero_base = (c.zero_base_mask >> blk) & 1 == 1;
                     let base = if zero_base { 0 } else { c.base };
                     let delta = sign_extend(raw_delta, delta_bytes * 8);
                     let value = base.wrapping_add(delta) & mask_bytes(base_bytes);
@@ -280,7 +301,9 @@ impl Compressor for Bdi {
     }
 
     fn compress(&self, line: &CacheLine) -> Compression {
-        let c = self.encode(line);
+        // Size-only probe: skip the raw fallback copy — an incompressible
+        // line's size is the line size by definition.
+        let c = self.encode_impl(line, false);
         if c.encoding == BdiEncoding::Uncompressed {
             Compression::UNCOMPRESSED
         } else {
@@ -345,24 +368,25 @@ fn try_encode(line: &CacheLine, enc: BdiEncoding) -> Option<BdiCompressed> {
     if enc == BdiEncoding::Rep8 {
         let first = block_value(line, 0, 8);
         let all_same = (1..blocks).all(|b| block_value(line, b, 8) == first);
-        return all_same.then(|| BdiCompressed {
+        return all_same.then_some(BdiCompressed {
             encoding: BdiEncoding::Rep8,
             base: first,
-            deltas: Vec::new(),
-            zero_base_mask: Vec::new(),
+            deltas: [0; MAX_BLOCKS],
+            num_blocks: 0,
+            zero_base_mask: 0,
             raw: None,
         });
     }
 
     let mut base: Option<u64> = None;
-    let mut deltas = Vec::with_capacity(blocks);
-    let mut zero_mask = Vec::with_capacity(blocks);
-    for blk in 0..blocks {
+    let mut deltas = [0u64; MAX_BLOCKS];
+    let mut zero_mask = 0u64;
+    for (blk, slot) in deltas.iter_mut().enumerate().take(blocks) {
         let v = block_value(line, blk, base_bytes);
         if delta_fits(v, base_bytes, delta_bytes) {
             // Fits as an immediate relative to the zero base.
-            deltas.push(v & mask_bytes(delta_bytes));
-            zero_mask.push(true);
+            *slot = v & mask_bytes(delta_bytes);
+            zero_mask |= 1 << blk;
             continue;
         }
         let b = *base.get_or_insert(v);
@@ -370,13 +394,13 @@ fn try_encode(line: &CacheLine, enc: BdiEncoding) -> Option<BdiCompressed> {
         if !delta_fits(delta, base_bytes, delta_bytes) {
             return None;
         }
-        deltas.push(delta & mask_bytes(delta_bytes));
-        zero_mask.push(false);
+        *slot = delta & mask_bytes(delta_bytes);
     }
     Some(BdiCompressed {
         encoding: enc,
         base: base.unwrap_or(0),
         deltas,
+        num_blocks: blocks as u8,
         zero_base_mask: zero_mask,
         raw: None,
     })

@@ -4,6 +4,71 @@
 
 use crate::error::DecodeError;
 
+/// A destination for bit-exact encoder output.
+///
+/// The variable-length encoders (FPC, BPC, C-PACK) are generic over this
+/// trait so the same encoding logic serves two consumers: round-trip
+/// paths write real bits into a [`BitWriter`], while the per-line
+/// `compress()` hot path — which only needs the compressed *size* —
+/// drives a [`BitCounter`] and never allocates.
+pub trait BitSink {
+    /// Appends the `n` least-significant bits of `value`, most
+    /// significant of those bits first.
+    fn write_bits(&mut self, value: u64, n: u32);
+
+    /// Appends a single bit.
+    fn write_bit(&mut self, bit: bool) {
+        self.write_bits(u64::from(bit), 1);
+    }
+
+    /// Total number of bits written so far.
+    fn bit_len(&self) -> usize;
+}
+
+/// A [`BitSink`] that only counts bits — the allocation-free size probe
+/// behind the compressors' hot paths.
+///
+/// # Example
+///
+/// ```
+/// use latte_compress::{BitCounter, BitSink};
+///
+/// let mut c = BitCounter::new();
+/// c.write_bits(0b101, 3);
+/// c.write_bit(true);
+/// assert_eq!(c.bit_len(), 4);
+/// assert_eq!(c.byte_len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BitCounter {
+    bits: usize,
+}
+
+impl BitCounter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> BitCounter {
+        BitCounter::default()
+    }
+
+    /// Number of whole bytes needed to store the counted bits.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bits.div_ceil(8)
+    }
+}
+
+impl BitSink for BitCounter {
+    fn write_bits(&mut self, _value: u64, n: u32) {
+        debug_assert!(n <= 64, "cannot write more than 64 bits at once");
+        self.bits += n as usize;
+    }
+
+    fn bit_len(&self) -> usize {
+        self.bits
+    }
+}
+
 /// An append-only bit buffer (MSB-first within each byte).
 ///
 /// # Example
@@ -84,6 +149,16 @@ impl BitWriter {
     pub fn toggle_bit(&mut self, bit: usize) {
         assert!(bit < self.bit_len, "bit index {bit} out of {}", self.bit_len);
         self.bytes[bit / 8] ^= 1 << (7 - (bit % 8));
+    }
+}
+
+impl BitSink for BitWriter {
+    fn write_bits(&mut self, value: u64, n: u32) {
+        BitWriter::write_bits(self, value, n);
+    }
+
+    fn bit_len(&self) -> usize {
+        BitWriter::bit_len(self)
     }
 }
 
@@ -238,6 +313,19 @@ mod tests {
                 remaining: 0
             })
         );
+    }
+
+    #[test]
+    fn counter_matches_writer_lengths() {
+        let mut w = BitWriter::new();
+        let mut c = BitCounter::new();
+        for sink in [&mut w as &mut dyn BitSink, &mut c as &mut dyn BitSink] {
+            sink.write_bits(0b101, 3);
+            sink.write_bit(false);
+            sink.write_bits(u64::MAX, 64);
+        }
+        assert_eq!(BitSink::bit_len(&w), c.bit_len());
+        assert_eq!(w.byte_len(), c.byte_len());
     }
 
     #[test]

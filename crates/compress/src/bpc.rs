@@ -12,7 +12,7 @@
 //! compression ratios comparable to SC, making it the alternative
 //! high-capacity mode studied in §V-E (Fig 18).
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::{BitCounter, BitReader, BitSink, BitWriter};
 use crate::error::DecodeError;
 use crate::line::CacheLine;
 use crate::{Compression, Compressor, Cycles};
@@ -49,8 +49,18 @@ impl Bpc {
     #[must_use]
     pub fn encode(&self, line: &CacheLine) -> BitWriter {
         let mut w = BitWriter::new();
-        let words: Vec<u32> = line.u32_words().collect();
-        encode_base(&mut w, words[0]);
+        self.encode_into(line, &mut w);
+        w
+    }
+
+    /// Encodes `line` into any [`BitSink`]. The simulator's per-line hot
+    /// path drives a counting sink, so the common case allocates nothing.
+    pub fn encode_into<S: BitSink>(&self, line: &CacheLine, w: &mut S) {
+        let mut words = [0u32; CacheLine::NUM_U32_WORDS];
+        for (dst, src) in words.iter_mut().zip(line.u32_words()) {
+            *dst = src;
+        }
+        encode_base(w, words[0]);
 
         let dbp = to_bit_planes(&words);
         // DBX planes, iterated from the sign plane (32) down to plane 0.
@@ -93,7 +103,6 @@ impl Bpc {
             }
             b -= 1;
         }
-        w
     }
 
     /// Decodes a bitstream produced by [`Bpc::encode`].
@@ -167,8 +176,7 @@ impl Bpc {
             b -= 1;
         }
 
-        let words = from_bit_planes(base, &dbp);
-        Ok(CacheLine::from_u32_words(&words))
+        Ok(CacheLine::from_u32_words(&from_bit_planes(base, &dbp)))
     }
 }
 
@@ -188,9 +196,9 @@ fn to_bit_planes(words: &[u32]) -> [u32; NUM_PLANES] {
 }
 
 /// Inverse of [`to_bit_planes`], rebuilding the words from base + planes.
-fn from_bit_planes(base: u32, dbp: &[u32; NUM_PLANES]) -> Vec<u32> {
-    let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
-    words.push(base);
+fn from_bit_planes(base: u32, dbp: &[u32; NUM_PLANES]) -> [u32; CacheLine::NUM_U32_WORDS] {
+    let mut words = [0u32; CacheLine::NUM_U32_WORDS];
+    words[0] = base;
     for j in 0..NUM_DELTAS {
         let mut delta33 = 0u64;
         for (b, plane) in dbp.iter().enumerate() {
@@ -201,7 +209,7 @@ fn from_bit_planes(base: u32, dbp: &[u32; NUM_PLANES]) -> Vec<u32> {
         // Sign-extend from 33 bits.
         let delta = ((delta33 << 31) as i64) >> 31;
         let prev = i64::from(words[j]);
-        words.push((prev + delta) as u32);
+        words[j + 1] = (prev + delta) as u32;
     }
     words
 }
@@ -225,7 +233,7 @@ fn two_consecutive_ones(plane: u32) -> Option<u32> {
     None
 }
 
-fn encode_base(w: &mut BitWriter, base: u32) {
+fn encode_base<S: BitSink>(w: &mut S, base: u32) {
     let signed = base as i32;
     if base == 0 {
         w.write_bits(0b000, 3);
@@ -269,7 +277,10 @@ impl Compressor for Bpc {
     }
 
     fn compress(&self, line: &CacheLine) -> Compression {
-        Compression::new(self.encode(line).byte_len())
+        // Size-only probe: count bits without materializing the stream.
+        let mut c = BitCounter::new();
+        self.encode_into(line, &mut c);
+        Compression::new(c.byte_len())
     }
 
     fn decompression_latency(&self) -> Cycles {

@@ -6,7 +6,7 @@
 //! granularity; per Table I it achieves lower compression ratios than BDI
 //! on GPGPU data but is included as a characterised comparison point.
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::{BitCounter, BitReader, BitSink, BitWriter};
 use crate::error::DecodeError;
 use crate::line::CacheLine;
 use crate::{Compression, Compressor, Cycles};
@@ -53,7 +53,17 @@ impl Fpc {
     #[must_use]
     pub fn encode(&self, line: &CacheLine) -> BitWriter {
         let mut w = BitWriter::new();
-        let words: Vec<u32> = line.u32_words().collect();
+        self.encode_into(line, &mut w);
+        w
+    }
+
+    /// Encodes `line` into any [`BitSink`]. The simulator's per-line hot
+    /// path drives a counting sink, so the common case allocates nothing.
+    pub fn encode_into<S: BitSink>(&self, line: &CacheLine, w: &mut S) {
+        let mut words = [0u32; CacheLine::NUM_U32_WORDS];
+        for (dst, src) in words.iter_mut().zip(line.u32_words()) {
+            *dst = src;
+        }
         let mut i = 0;
         while i < words.len() {
             let word = words[i];
@@ -68,10 +78,9 @@ impl Fpc {
                 i += run as usize;
                 continue;
             }
-            encode_word(&mut w, word);
+            encode_word(w, word);
             i += 1;
         }
-        w
     }
 
     /// Decodes an FPC bitstream produced by [`Fpc::encode`].
@@ -82,43 +91,47 @@ impl Fpc {
     /// zero run overshoots the fixed line size.
     pub fn decode(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
-        let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
-        while words.len() < CacheLine::NUM_U32_WORDS {
+        let mut words = [0u32; CacheLine::NUM_U32_WORDS];
+        let mut len = 0usize;
+        while len < CacheLine::NUM_U32_WORDS {
             let p = r.try_read_bits(3)?;
-            match p {
-                prefix::ZERO_RUN => {
-                    let run = r.try_read_bits(3)? as usize + 1;
-                    if words.len() + run > CacheLine::NUM_U32_WORDS {
-                        return Err(DecodeError::LengthMismatch {
-                            algo: "FPC",
-                            expected: CacheLine::NUM_U32_WORDS,
-                            actual: words.len() + run,
-                        });
-                    }
-                    words.extend(std::iter::repeat_n(0, run));
+            if p == prefix::ZERO_RUN {
+                let run = r.try_read_bits(3)? as usize + 1;
+                if len + run > CacheLine::NUM_U32_WORDS {
+                    return Err(DecodeError::LengthMismatch {
+                        algo: "FPC",
+                        expected: CacheLine::NUM_U32_WORDS,
+                        actual: len + run,
+                    });
                 }
-                prefix::SE_4BIT => words.push(se_bits(r.try_read_bits(4)?, 4)),
-                prefix::SE_8BIT => words.push(se_bits(r.try_read_bits(8)?, 8)),
-                prefix::SE_16BIT => words.push(se_bits(r.try_read_bits(16)?, 16)),
-                prefix::HALF_PADDED => words.push((r.try_read_bits(16)? as u32) << 16),
+                // The array is zero-initialized; a run just advances.
+                len += run;
+                continue;
+            }
+            words[len] = match p {
+                prefix::SE_4BIT => se_bits(r.try_read_bits(4)?, 4),
+                prefix::SE_8BIT => se_bits(r.try_read_bits(8)?, 8),
+                prefix::SE_16BIT => se_bits(r.try_read_bits(16)?, 16),
+                prefix::HALF_PADDED => (r.try_read_bits(16)? as u32) << 16,
                 prefix::HALF_SE_BYTES => {
                     let hi = se_bits(r.try_read_bits(8)?, 8) & 0xffff;
                     let lo = se_bits(r.try_read_bits(8)?, 8) & 0xffff;
-                    words.push(hi << 16 | lo);
+                    hi << 16 | lo
                 }
                 prefix::REP_BYTES => {
                     let b = r.try_read_bits(8)? as u32;
-                    words.push(b * 0x0101_0101);
+                    b * 0x0101_0101
                 }
-                prefix::RAW => words.push(r.try_read_bits(32)? as u32),
+                prefix::RAW => r.try_read_bits(32)? as u32,
                 _ => unreachable!("3-bit prefix"),
-            }
+            };
+            len += 1;
         }
         Ok(CacheLine::from_u32_words(&words))
     }
 }
 
-fn encode_word(w: &mut BitWriter, word: u32) {
+fn encode_word<S: BitSink>(w: &mut S, word: u32) {
     let sword = word as i32;
     if (-8..8).contains(&sword) {
         w.write_bits(prefix::SE_4BIT, 3);
@@ -167,8 +180,10 @@ impl Compressor for Fpc {
     }
 
     fn compress(&self, line: &CacheLine) -> Compression {
-        let w = self.encode(line);
-        Compression::new(w.byte_len())
+        // Size-only probe: count bits without materializing the stream.
+        let mut c = BitCounter::new();
+        self.encode_into(line, &mut c);
+        Compression::new(c.byte_len())
     }
 
     fn decompression_latency(&self) -> Cycles {

@@ -44,7 +44,7 @@ mod line;
 mod sc;
 
 pub use bdi::{Bdi, BdiCompressed, BdiEncoding};
-pub use bitstream::{BitReader, BitWriter};
+pub use bitstream::{BitCounter, BitReader, BitSink, BitWriter};
 pub use error::DecodeError;
 pub use bpc::Bpc;
 pub use cpack::CpackZ;

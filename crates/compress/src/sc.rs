@@ -258,8 +258,8 @@ impl ScCodebook {
     /// length without matching any table entry).
     pub fn decode_line(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
-        let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
-        while words.len() < CacheLine::NUM_U32_WORDS {
+        let mut words = [0u32; CacheLine::NUM_U32_WORDS];
+        for slot in &mut words {
             let mut code = 0u32;
             let mut len = 0u32;
             let sym = loop {
@@ -275,10 +275,10 @@ impl ScCodebook {
                     break sym;
                 }
             };
-            match sym {
-                Symbol::Value(v) => words.push(v),
-                Symbol::Escape => words.push(r.try_read_bits(32)? as u32),
-            }
+            *slot = match sym {
+                Symbol::Value(v) => v,
+                Symbol::Escape => r.try_read_bits(32)? as u32,
+            };
         }
         Ok(CacheLine::from_u32_words(&words))
     }

@@ -236,7 +236,7 @@ impl SamplingController {
 /// use latte_gpusim::testing::StridedKernel;
 ///
 /// let gpu_config = GpuConfig::small();
-/// let mut gpu = Gpu::new(gpu_config, |_| Box::new(LatteCc::new(LatteConfig::paper())));
+/// let mut gpu = Gpu::new(&gpu_config, |_| Box::new(LatteCc::new(LatteConfig::paper())));
 /// let stats = gpu.run_kernel(&StridedKernel::new(8, 512, 200));
 /// assert!(stats.instructions > 0);
 /// ```

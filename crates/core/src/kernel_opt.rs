@@ -75,13 +75,13 @@ impl KernelOptResult {
 /// this matches the simulator's default.
 pub fn run_kernel_opt(config: &GpuConfig, kernels: &[&dyn Kernel]) -> KernelOptResult {
     let mut gpus: [Gpu; 3] = [
-        Gpu::new(config.clone(), |_| {
+        Gpu::new(config, |_| {
             Box::new(UncompressedPolicy) as Box<dyn L1CompressionPolicy>
         }),
-        Gpu::new(config.clone(), |_| {
+        Gpu::new(config, |_| {
             Box::new(StaticBdi::new()) as Box<dyn L1CompressionPolicy>
         }),
-        Gpu::new(config.clone(), |_| {
+        Gpu::new(config, |_| {
             Box::new(StaticSc::new()) as Box<dyn L1CompressionPolicy>
         }),
     ];
@@ -149,7 +149,7 @@ mod tests {
             (2, &(|| Box::new(StaticSc::new()) as Box<dyn L1CompressionPolicy>)),
         ] {
             let _ = i;
-            let mut gpu = Gpu::new(config.clone(), |_| make());
+            let mut gpu = Gpu::new(&config, |_| make());
             let total: u64 = kernels.iter().map(|k| gpu.run_kernel(*k).cycles).sum();
             assert!(
                 result.total_cycles() <= total,

@@ -28,8 +28,8 @@
 //! use latte_gpusim::{Gpu, GpuConfig};
 //!
 //! let kernel = StridedKernel::new(8, 400, 300);
-//! let mut latte = Gpu::new(GpuConfig::small(), |_| Box::new(LatteCc::new(LatteConfig::paper())));
-//! let mut bdi = Gpu::new(GpuConfig::small(), |_| Box::new(StaticBdi::new()));
+//! let mut latte = Gpu::new(&GpuConfig::small(), |_| Box::new(LatteCc::new(LatteConfig::paper())));
+//! let mut bdi = Gpu::new(&GpuConfig::small(), |_| Box::new(StaticBdi::new()));
 //! let latte_stats = latte.run_kernel(&kernel);
 //! let bdi_stats = bdi.run_kernel(&kernel);
 //! println!("LATTE-CC {:.2} IPC vs Static-BDI {:.2} IPC", latte_stats.ipc(), bdi_stats.ipc());

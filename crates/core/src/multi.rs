@@ -90,7 +90,7 @@ impl MultiConfig {
 /// use latte_gpusim::{Gpu, GpuConfig};
 /// use latte_gpusim::testing::StridedKernel;
 ///
-/// let mut gpu = Gpu::new(GpuConfig::small(), |_| {
+/// let mut gpu = Gpu::new(&GpuConfig::small(), |_| {
 ///     Box::new(LatteCcMulti::new(MultiConfig::four_mode()))
 /// });
 /// let stats = gpu.run_kernel(&StridedKernel::new(8, 256, 200));

@@ -1,6 +1,7 @@
 //! Simulated GPU configuration (Table II of the paper).
 
 use crate::faults::FaultConfig;
+use crate::fingerprint::Fingerprinter;
 use latte_cache::CacheGeometry;
 
 /// Which warp scheduler the SMs use.
@@ -130,6 +131,53 @@ impl GpuConfig {
     pub fn warps_per_scheduler(&self) -> usize {
         self.max_warps_per_sm.div_ceil(self.schedulers_per_sm)
     }
+
+    /// A stable 128-bit structural fingerprint covering **every** field
+    /// (including the optional fault configuration), used by the bench
+    /// harness to key its simulation memo cache. Equal configs always
+    /// fingerprint equal; any field change changes the fingerprint.
+    ///
+    /// New fields MUST be folded in here — the
+    /// `fingerprint_covers_every_field` test cross-checks a
+    /// representative mutation of each field.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        let mut fp = Fingerprinter::new();
+        fp.write_usize(self.num_sms);
+        fp.write_usize(self.max_warps_per_sm);
+        fp.write_usize(self.warps_per_block);
+        fp.write_usize(self.schedulers_per_sm);
+        fp.write_u64(match self.scheduler {
+            SchedulerKind::Gto => 0,
+            SchedulerKind::Lrr => 1,
+        });
+        for geo in [&self.l1_geometry, &self.l2_geometry] {
+            fp.write_usize(geo.size_bytes);
+            fp.write_usize(geo.ways);
+            fp.write_usize(geo.tag_factor);
+        }
+        fp.write_u64(self.l1_hit_latency);
+        fp.write_u64(self.extra_hit_latency);
+        fp.write_u64(self.l2_latency);
+        fp.write_u64(self.dram_latency);
+        fp.write_usize(self.mshr_entries);
+        fp.write_u32(self.mshr_merges);
+        fp.write_u64(self.ep_accesses);
+        fp.write_u64(self.max_cycles_per_kernel);
+        fp.write_bool(self.zero_decompression_latency);
+        fp.write_bool(self.ignore_capacity_benefit);
+        fp.write_bool(self.record_traces);
+        fp.write_bool(self.flush_at_kernel_boundary);
+        fp.write_bool(self.write_allocate);
+        match &self.faults {
+            None => fp.write_u64(0),
+            Some(f) => {
+                fp.write_u64(1);
+                f.write_fingerprint(&mut fp);
+            }
+        }
+        fp.finish()
+    }
 }
 
 impl Default for GpuConfig {
@@ -174,5 +222,45 @@ mod tests {
     fn large_l1_sensitivity() {
         let c = GpuConfig::paper().with_large_l1();
         assert_eq!(c.l1_geometry.size_bytes, 48 * 1024);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_covers_every_field() {
+        let base = GpuConfig::paper();
+        assert_eq!(base.fingerprint(), GpuConfig::paper().fingerprint());
+
+        // One representative mutation per field; each must change the
+        // fingerprint, and all mutants must be pairwise distinct.
+        let mutants: Vec<GpuConfig> = vec![
+            GpuConfig { num_sms: 16, ..base.clone() },
+            GpuConfig { max_warps_per_sm: 47, ..base.clone() },
+            GpuConfig { warps_per_block: 5, ..base.clone() },
+            GpuConfig { schedulers_per_sm: 1, ..base.clone() },
+            GpuConfig { scheduler: SchedulerKind::Lrr, ..base.clone() },
+            base.clone().with_large_l1(),
+            GpuConfig { l2_geometry: GpuConfig::small().l2_geometry, ..base.clone() },
+            GpuConfig { l1_hit_latency: 5, ..base.clone() },
+            GpuConfig { extra_hit_latency: 3, ..base.clone() },
+            GpuConfig { l2_latency: 121, ..base.clone() },
+            GpuConfig { dram_latency: 231, ..base.clone() },
+            GpuConfig { mshr_entries: 63, ..base.clone() },
+            GpuConfig { mshr_merges: 15, ..base.clone() },
+            GpuConfig { ep_accesses: 255, ..base.clone() },
+            GpuConfig { max_cycles_per_kernel: 1, ..base.clone() },
+            GpuConfig { zero_decompression_latency: true, ..base.clone() },
+            GpuConfig { ignore_capacity_benefit: true, ..base.clone() },
+            GpuConfig { record_traces: true, ..base.clone() },
+            GpuConfig { flush_at_kernel_boundary: false, ..base.clone() },
+            GpuConfig { write_allocate: true, ..base.clone() },
+            GpuConfig { faults: Some(FaultConfig::default()), ..base.clone() },
+            GpuConfig { faults: Some(FaultConfig::bitflips(42, 1e-4)), ..base.clone() },
+            GpuConfig { faults: Some(FaultConfig::bitflips(43, 1e-4)), ..base.clone() },
+        ];
+        let mut fps: Vec<u128> = mutants.iter().map(GpuConfig::fingerprint).collect();
+        fps.push(base.fingerprint());
+        let n = fps.len();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), n, "a field mutation failed to change the fingerprint");
     }
 }

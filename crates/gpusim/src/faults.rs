@@ -96,6 +96,19 @@ impl FaultConfig {
             ..FaultConfig::default()
         }
     }
+
+    /// Folds every field into `fp` (part of
+    /// [`crate::GpuConfig::fingerprint`]; see there for the contract).
+    pub fn write_fingerprint(&self, fp: &mut crate::Fingerprinter) {
+        fp.write_u64(self.seed);
+        fp.write_f64(self.bitflip_rate);
+        fp.write_f64(self.tag_corruption_rate);
+        fp.write_f64(self.latency_spike_rate);
+        fp.write_u64(self.latency_spike_cycles);
+        fp.write_f64(self.mshr_exhaust_rate);
+        fp.write_f64(self.fill_bitflip_rate);
+        fp.write_f64(self.wakeup_drop_rate);
+    }
 }
 
 impl Default for FaultConfig {

@@ -27,7 +27,7 @@ use std::collections::BinaryHeap;
 /// use latte_gpusim::testing::StridedKernel;
 ///
 /// let config = GpuConfig::small();
-/// let mut gpu = Gpu::new(config.clone(), |_| Box::new(UncompressedPolicy));
+/// let mut gpu = Gpu::new(&config, |_| Box::new(UncompressedPolicy));
 /// let kernel = StridedKernel::new(4, 64, 1024);
 /// let stats = gpu.run_kernel(&kernel);
 /// assert!(stats.instructions > 0);
@@ -44,15 +44,19 @@ pub struct Gpu {
 
 impl Gpu {
     /// Creates a GPU, building one policy per SM via `make_policy(sm_id)`.
+    ///
+    /// The config is taken by reference and cloned exactly once, so
+    /// `make_policy` can freely borrow the caller's copy (policies are
+    /// typically tuned to the same config the GPU runs).
     pub fn new(
-        config: GpuConfig,
+        config: &GpuConfig,
         mut make_policy: impl FnMut(usize) -> Box<dyn L1CompressionPolicy>,
     ) -> Gpu {
-        let sms = (0..config.num_sms).map(|i| Sm::new(i, &config)).collect();
+        let sms = (0..config.num_sms).map(|i| Sm::new(i, config)).collect();
         let policies = (0..config.num_sms).map(&mut make_policy).collect();
         let l2 = SimpleCache::new(config.l2_geometry);
         Gpu {
-            config,
+            config: config.clone(),
             sms,
             l2,
             policies,

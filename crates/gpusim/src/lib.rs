@@ -25,7 +25,7 @@
 //! use latte_gpusim::testing::StridedKernel;
 //! use latte_gpusim::{Gpu, GpuConfig, UncompressedPolicy};
 //!
-//! let mut gpu = Gpu::new(GpuConfig::small(), |_| Box::new(UncompressedPolicy));
+//! let mut gpu = Gpu::new(&GpuConfig::small(), |_| Box::new(UncompressedPolicy));
 //! let stats = gpu.run_kernel(&StridedKernel::new(8, 128, 256));
 //! println!("IPC = {:.2}", stats.ipc());
 //! # assert!(stats.ipc() > 0.0);
@@ -36,6 +36,7 @@
 
 mod config;
 mod faults;
+mod fingerprint;
 mod gpu;
 mod ops;
 mod policy;
@@ -48,6 +49,7 @@ mod warp;
 
 pub use config::{GpuConfig, SchedulerKind};
 pub use faults::{BitflipOutcome, FaultConfig, FaultInjector, FaultStats};
+pub use fingerprint::Fingerprinter;
 pub use gpu::Gpu;
 pub use ops::{Kernel, Op, OpStream, VecStream};
 pub use policy::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport, UncompressedPolicy};

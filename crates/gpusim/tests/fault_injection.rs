@@ -52,7 +52,7 @@ impl L1CompressionPolicy for FixedPolicy {
 }
 
 fn run_compressed(config: GpuConfig, kernel: &dyn Kernel) -> KernelStats {
-    let mut gpu = Gpu::new(config, |_| {
+    let mut gpu = Gpu::new(&config, |_| {
         Box::new(FixedPolicy::bdi()) as Box<dyn L1CompressionPolicy>
     });
     gpu.run_kernel(kernel)
@@ -125,7 +125,7 @@ fn detected_bitflips_recover_as_misses() {
 fn decode_errors_reach_the_policy() {
     let kernel = StridedKernel::new(8, 400, 64);
     let mut gpu = Gpu::new(
-        GpuConfig {
+        &GpuConfig {
             faults: Some(FaultConfig::bitflips(7, 0.1)),
             ..base_config()
         },
@@ -281,7 +281,7 @@ fn refetch_after_decode_failure_is_not_trusted() {
 fn cycle_limit_is_reported_as_termination_reason() {
     let kernel = StridedKernel::new(8, 400, 1024);
     let mut gpu = Gpu::new(
-        GpuConfig {
+        &GpuConfig {
             max_cycles_per_kernel: 200,
             ..base_config()
         },

@@ -83,7 +83,7 @@ proptest! {
     #[test]
     fn random_kernels_complete_and_conserve_instructions(kernel in kernel_strategy()) {
         let expected: u64 = kernel.warps.iter().map(|w| w.len() as u64 + 1).sum(); // +1 Exit
-        let mut gpu = Gpu::new(config(SchedulerKind::Gto), |_| Box::new(UncompressedPolicy));
+        let mut gpu = Gpu::new(&config(SchedulerKind::Gto), |_| Box::new(UncompressedPolicy));
         let stats = gpu.run_kernel(&kernel);
         prop_assert!(!stats.timed_out);
         prop_assert_eq!(stats.instructions, expected);
@@ -100,7 +100,7 @@ proptest! {
     #[test]
     fn schedulers_agree_on_work_done(kernel in kernel_strategy()) {
         let run = |kind| {
-            let mut gpu = Gpu::new(config(kind), |_| {
+            let mut gpu = Gpu::new(&config(kind), |_| {
                 Box::new(UncompressedPolicy) as Box<dyn L1CompressionPolicy>
             });
             gpu.run_kernel(&kernel)
@@ -114,7 +114,7 @@ proptest! {
 
     #[test]
     fn compressed_runs_complete_with_consistent_stats(kernel in kernel_strategy()) {
-        let mut gpu = Gpu::new(config(SchedulerKind::Gto), |_| {
+        let mut gpu = Gpu::new(&config(SchedulerKind::Gto), |_| {
             Box::new(FixedSc) as Box<dyn L1CompressionPolicy>
         });
         let stats = gpu.run_kernel(&kernel);
@@ -133,7 +133,7 @@ proptest! {
     #[test]
     fn runs_are_reproducible(kernel in kernel_strategy()) {
         let run = || {
-            let mut gpu = Gpu::new(config(SchedulerKind::Gto), |_| {
+            let mut gpu = Gpu::new(&config(SchedulerKind::Gto), |_| {
                 Box::new(FixedSc) as Box<dyn L1CompressionPolicy>
             });
             gpu.run_kernel(&kernel)
@@ -160,7 +160,7 @@ proptest! {
         let kernel = OpsKernel { warps };
         let run = |extra| {
             let mut gpu = Gpu::new(
-                GpuConfig {
+                &GpuConfig {
                     extra_hit_latency: extra,
                     ..config(SchedulerKind::Gto)
                 },
@@ -188,7 +188,7 @@ fn uniform_barriers_release() {
         .collect();
     let kernel = OpsKernel { warps };
     let mut gpu = Gpu::new(
-        GpuConfig {
+        &GpuConfig {
             warps_per_block: 3,
             ..config(SchedulerKind::Gto)
         },

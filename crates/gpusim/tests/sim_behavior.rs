@@ -16,7 +16,7 @@ fn base_config() -> GpuConfig {
 }
 
 fn run_baseline(config: GpuConfig, kernel: &dyn Kernel) -> latte_gpusim::KernelStats {
-    let mut gpu = Gpu::new(config, |_| Box::new(UncompressedPolicy));
+    let mut gpu = Gpu::new(&config, |_| Box::new(UncompressedPolicy));
     gpu.run_kernel(kernel)
 }
 
@@ -118,7 +118,7 @@ fn compression_expands_effective_capacity_and_cuts_misses() {
     // 4:1-compressed cache holds everything.
     let kernel = StridedKernel::new(8, 600, 256);
     let baseline = run_baseline(base_config(), &kernel);
-    let mut gpu = Gpu::new(base_config(), |_| {
+    let mut gpu = Gpu::new(&base_config(), |_| {
         Box::new(FixedPolicy {
             algo: CompressionAlgo::Bdi,
             size: 32,
@@ -141,7 +141,7 @@ fn high_latency_compression_hurts_when_parallelism_is_low() {
     // 2 warps the penalty is exposed.
     let kernel = StridedKernel::new(2, 600, 32);
     let baseline = run_baseline(base_config(), &kernel);
-    let mut gpu = Gpu::new(base_config(), |_| {
+    let mut gpu = Gpu::new(&base_config(), |_| {
         Box::new(FixedPolicy {
             algo: CompressionAlgo::Sc,
             size: 32,
@@ -161,7 +161,7 @@ fn zero_decompression_latency_flag_removes_penalty() {
     let kernel = StridedKernel::new(2, 600, 32);
     let baseline = run_baseline(base_config(), &kernel);
     let mut gpu = Gpu::new(
-        GpuConfig {
+        &GpuConfig {
             zero_decompression_latency: true,
             ..base_config()
         },
@@ -183,7 +183,7 @@ fn ignore_capacity_flag_keeps_miss_rate_at_baseline() {
     let kernel = StridedKernel::new(8, 600, 256);
     let baseline = run_baseline(base_config(), &kernel);
     let mut gpu = Gpu::new(
-        GpuConfig {
+        &GpuConfig {
             ignore_capacity_benefit: true,
             ..base_config()
         },
@@ -207,7 +207,7 @@ fn ignore_capacity_flag_still_charges_latency() {
     let kernel = StridedKernel::new(2, 600, 32);
     let baseline = run_baseline(base_config(), &kernel);
     let mut gpu = Gpu::new(
-        GpuConfig {
+        &GpuConfig {
             ignore_capacity_benefit: true,
             ..base_config()
         },
@@ -266,7 +266,7 @@ fn gto_and_lrr_both_complete() {
 fn eps_complete_and_traces_record() {
     let kernel = StridedKernel::new(8, 600, 64);
     let mut gpu = Gpu::new(
-        GpuConfig {
+        &GpuConfig {
             record_traces: true,
             ..base_config()
         },

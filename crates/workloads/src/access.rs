@@ -44,6 +44,34 @@ pub enum AccessPattern {
 }
 
 impl AccessPattern {
+    /// Folds this pattern (discriminant + parameters) into a simulation
+    /// fingerprint.
+    pub fn write_fingerprint(&self, fp: &mut latte_gpusim::Fingerprinter) {
+        match *self {
+            AccessPattern::Stream => fp.write_u64(0),
+            AccessPattern::UniformReuse { working_set_lines } => {
+                fp.write_u64(1);
+                fp.write_u32(working_set_lines);
+            }
+            AccessPattern::Zipf {
+                universe_lines,
+                alpha_x100,
+            } => {
+                fp.write_u64(2);
+                fp.write_u32(universe_lines);
+                fp.write_u32(alpha_x100);
+            }
+            AccessPattern::Tiled {
+                tile_lines,
+                reuse_factor,
+            } => {
+                fp.write_u64(3);
+                fp.write_u32(tile_lines);
+                fp.write_u32(reuse_factor);
+            }
+        }
+    }
+
     /// The line offset (within the phase's region) of load `i` issued by
     /// `warp`, out of `warps` total.
     #[must_use]

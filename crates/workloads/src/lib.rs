@@ -25,7 +25,7 @@
 //!
 //! let ss = benchmark("SS").expect("similarity score exists");
 //! let kernels = ss.build_kernels();
-//! let mut gpu = Gpu::new(GpuConfig { num_sms: 1, ..GpuConfig::small() },
+//! let mut gpu = Gpu::new(&GpuConfig { num_sms: 1, ..GpuConfig::small() },
 //!                        |_| Box::new(UncompressedPolicy));
 //! let stats = gpu.run_kernel(&kernels[0]);
 //! assert!(stats.l1.accesses() > 0);

@@ -95,6 +95,17 @@ impl PhaseSpec {
         self.mlp = mlp.max(1);
         self
     }
+
+    /// Folds every field into a simulation fingerprint.
+    pub fn write_fingerprint(&self, fp: &mut latte_gpusim::Fingerprinter) {
+        self.pattern.write_fingerprint(fp);
+        fp.write_u32(self.loads_per_warp);
+        fp.write_u32(self.compute_per_load);
+        fp.write_u64(u64::from(self.region));
+        fp.write_u64(u64::from(self.active_warp_percent));
+        fp.write_u64(u64::from(self.store_percent));
+        fp.write_u64(u64::from(self.mlp));
+    }
 }
 
 /// One kernel: warps and a phase script (identical across SMs; data is
@@ -138,6 +149,32 @@ impl BenchmarkSpec {
                 seed: self.seed,
             })
             .collect()
+    }
+
+    /// Folds the complete benchmark definition — names, category, every
+    /// kernel's phase script, the value model and the seed — into a
+    /// simulation fingerprint. Two specs with equal fingerprints run
+    /// identical simulations, which is what lets the bench harness
+    /// memoize results even for specs modified away from the registry
+    /// versions (sensitivity sweeps and the like).
+    pub fn write_fingerprint(&self, fp: &mut latte_gpusim::Fingerprinter) {
+        fp.write_str(self.abbr);
+        fp.write_str(self.name);
+        fp.write_u64(match self.category {
+            Category::CSens => 0,
+            Category::CInSens => 1,
+        });
+        fp.write_usize(self.kernels.len());
+        for kernel in &self.kernels {
+            fp.write_str(&kernel.name);
+            fp.write_usize(kernel.warps_per_sm);
+            fp.write_usize(kernel.phases.len());
+            for phase in &kernel.phases {
+                phase.write_fingerprint(fp);
+            }
+        }
+        self.generator.write_fingerprint(fp);
+        fp.write_u64(self.seed);
     }
 
     /// Total loads per SM across all kernels (for run-length estimates).

@@ -66,6 +66,30 @@ pub enum ValueProfile {
 }
 
 impl ValueProfile {
+    /// Folds this profile (discriminant + parameters) into a simulation
+    /// fingerprint.
+    pub fn write_fingerprint(&self, fp: &mut latte_gpusim::Fingerprinter) {
+        match *self {
+            ValueProfile::Zeros => fp.write_u64(0),
+            ValueProfile::SmallInts { max } => {
+                fp.write_u64(1);
+                fp.write_u32(max);
+            }
+            ValueProfile::Pointers => fp.write_u64(2),
+            ValueProfile::Indices { stride, noise_bits } => {
+                fp.write_u64(3);
+                fp.write_u32(stride);
+                fp.write_u32(noise_bits);
+            }
+            ValueProfile::HotFloats { alphabet } => {
+                fp.write_u64(4);
+                fp.write_u32(u32::from(alphabet));
+            }
+            ValueProfile::RandomFloats => fp.write_u64(5),
+            ValueProfile::Text => fp.write_u64(6),
+        }
+    }
+
     /// Generates the contents of `addr` under this profile.
     #[must_use]
     pub fn line(&self, addr: LineAddr, seed: u64) -> CacheLine {
@@ -213,6 +237,16 @@ impl LineGenerator {
             }],
             seed,
         )
+    }
+
+    /// Folds every region and the seed into a simulation fingerprint.
+    pub fn write_fingerprint(&self, fp: &mut latte_gpusim::Fingerprinter) {
+        fp.write_usize(self.regions.len());
+        for region in &self.regions {
+            region.profile.write_fingerprint(fp);
+            fp.write_u64(u64::from(region.zero_percent));
+        }
+        fp.write_u64(self.seed);
     }
 
     /// Generates the contents of `addr`.

@@ -105,7 +105,7 @@ fn main() {
     println!("{:12} {:>10} {:>8} {:>8}", "policy", "cycles", "IPC", "hit%");
     let mut baseline_cycles = None;
     for (name, make) in policies {
-        let mut gpu = Gpu::new(config.clone(), |_| make());
+        let mut gpu = Gpu::new(&config, |_| make());
         let stats = gpu.run_kernel(&ImageFilterKernel);
         let speedup = baseline_cycles
             .get_or_insert(stats.cycles)

@@ -24,7 +24,7 @@ fn main() {
     let bench = benchmark("SS").expect("SS is part of the suite");
     let config = GpuConfig::small();
 
-    let mut baseline_gpu = Gpu::new(config.clone(), |_| Box::new(UncompressedPolicy));
+    let mut baseline_gpu = Gpu::new(&config, |_| Box::new(UncompressedPolicy));
     let baseline = run(&mut baseline_gpu, &bench);
 
     let latte_config = LatteConfig {
@@ -32,7 +32,7 @@ fn main() {
         l1_base_hit_latency: config.l1_hit_latency as f64,
         ..LatteConfig::paper()
     };
-    let mut latte_gpu = Gpu::new(config, move |_| Box::new(LatteCc::new(latte_config.clone())));
+    let mut latte_gpu = Gpu::new(&config, move |_| Box::new(LatteCc::new(latte_config.clone())));
     let latte = run(&mut latte_gpu, &bench);
 
     let energy = EnergyModel::paper();
