@@ -27,6 +27,7 @@ pub mod table1;
 pub mod trace;
 pub mod table2;
 pub mod table3;
+pub mod verify;
 
 use crate::report::outln;
 use std::fmt::Display;

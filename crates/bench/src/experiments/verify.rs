@@ -1,0 +1,175 @@
+//! **Differential-oracle verification** — the harness proving itself.
+//!
+//! Three sections:
+//!
+//! 1. **Clean runs**: a benchmark × policy matrix runs with the
+//!    functional reference model attached. Every load's bytes are
+//!    compared against the oracle and structural invariants are audited
+//!    at EP boundaries, mode switches and kernel end; any violation
+//!    fails the experiment.
+//! 2. **Mutation detection**: bit-flip injection with recovery
+//!    *disabled* (`FaultConfig::disable_recovery`) — detected flips are
+//!    consumed instead of refetched, a deliberately planted correctness
+//!    bug. The oracle must flag the corruption; if it stays silent the
+//!    verification harness itself is broken and the experiment fails.
+//! 3. **Recovery control**: the same injection with recovery *enabled*
+//!    must produce zero violations — the detect-and-refetch path really
+//!    does keep corrupted bytes away from the warps.
+
+use crate::experiments::{lookup_benchmark, write_csv};
+use crate::report::outln;
+use crate::runner::{experiment_config, fault_injection, run_benchmark_shadowed, PolicyKind};
+use latte_gpusim::{FaultConfig, GpuConfig};
+use std::io;
+
+/// Benchmarks for the clean matrix: one cache-sensitive, one streaming,
+/// one irregular — small enough to keep `verify` cheap, varied enough to
+/// exercise hit-heavy, miss-heavy and mode-switching behaviour.
+const CLEAN_BENCHES: [&str; 3] = ["BFS", "NW", "KM"];
+
+/// Policies for the clean matrix: the uncompressed baseline, both static
+/// compressed data paths (BDI sub-block placement, SC dictionary), and
+/// the full adaptive controller (mode switches + demotion).
+const CLEAN_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Baseline,
+    PolicyKind::StaticBdi,
+    PolicyKind::StaticSc,
+    PolicyKind::LatteCc,
+];
+
+/// Injection rate for the mutation/control sections: high enough that a
+/// short run sees many detected flips, low enough not to degenerate.
+const MUTATION_RATE: f64 = 0.02;
+
+/// Runs the verification experiment.
+pub fn run() -> io::Result<()> {
+    let seed = fault_injection().map_or(42, |f| f.seed);
+    let mut rows = vec![vec![
+        "section".to_owned(),
+        "benchmark".to_owned(),
+        "policy".to_owned(),
+        "loads_checked".to_owned(),
+        "checkpoints".to_owned(),
+        "violations".to_owned(),
+    ]];
+
+    outln!("Differential oracle: clean shadow-checked runs\n");
+    outln!(
+        "{:>6} {:>18} {:>14} {:>12} {:>11}",
+        "bench", "policy", "loads_checked", "checkpoints", "violations"
+    );
+    let mut clean_failures = 0u64;
+    for abbr in CLEAN_BENCHES {
+        let bench = lookup_benchmark(abbr)?;
+        for policy in CLEAN_POLICIES {
+            let (_, report) = run_benchmark_shadowed(policy, &bench, &experiment_config());
+            outln!(
+                "{:>6} {:>18} {:>14} {:>12} {:>11}",
+                abbr,
+                policy.name(),
+                report.loads_checked,
+                report.checkpoints,
+                report.violations_total
+            );
+            if report.loads_checked == 0 {
+                return Err(io::Error::other(format!(
+                    "{abbr}/{}: shadow check compared no loads — the hook is not wired",
+                    policy.name()
+                )));
+            }
+            clean_failures += report.violations_total;
+            for v in report.violations.iter().take(3) {
+                outln!("    !! {v}");
+            }
+            rows.push(vec![
+                "clean".to_owned(),
+                abbr.to_owned(),
+                policy.name().to_owned(),
+                report.loads_checked.to_string(),
+                report.checkpoints.to_string(),
+                report.violations_total.to_string(),
+            ]);
+        }
+    }
+    if clean_failures > 0 {
+        write_csv("verify_oracle", &rows)?;
+        return Err(io::Error::other(format!(
+            "clean runs diverged from the reference model: {clean_failures} violation(s)"
+        )));
+    }
+
+    // Mutation: recovery disabled. Static-BDI on a reuse-heavy benchmark
+    // guarantees compressed hits for the injector to corrupt.
+    outln!("\nMutation: bit flips at {MUTATION_RATE} per compressed hit, recovery DISABLED");
+    let bench = lookup_benchmark("BFS")?;
+    let mutated = GpuConfig {
+        faults: Some(FaultConfig {
+            disable_recovery: true,
+            ..FaultConfig::bitflips(seed, MUTATION_RATE)
+        }),
+        ..experiment_config()
+    };
+    let (result, report) = run_benchmark_shadowed(PolicyKind::StaticBdi, &bench, &mutated);
+    outln!(
+        "  {} flips detected-but-consumed, {} loads checked, {} violation(s)",
+        result.stats.faults.bitflips_detected,
+        report.loads_checked,
+        report.violations_total
+    );
+    rows.push(vec![
+        "mutation".to_owned(),
+        bench.abbr.to_owned(),
+        PolicyKind::StaticBdi.name().to_owned(),
+        report.loads_checked.to_string(),
+        report.checkpoints.to_string(),
+        report.violations_total.to_string(),
+    ]);
+    match report.violations.first() {
+        Some(first) => outln!("  oracle caught the corruption: {first}"),
+        None => {
+            write_csv("verify_oracle", &rows)?;
+            return Err(io::Error::other(
+                "MUTATION NOT DETECTED: recovery was disabled under injection but the \
+                 oracle reported zero violations — the verification harness cannot be trusted",
+            ));
+        }
+    }
+
+    // Control: identical injection, recovery enabled. Detected flips are
+    // refetched before any warp consumes them, so the oracle must agree
+    // with every load.
+    outln!("\nControl: same injection, recovery ENABLED");
+    let recovered = GpuConfig {
+        faults: Some(FaultConfig::bitflips(seed, MUTATION_RATE)),
+        ..experiment_config()
+    };
+    let (result, report) = run_benchmark_shadowed(PolicyKind::StaticBdi, &bench, &recovered);
+    outln!(
+        "  {} flips detected-and-refetched, {} loads checked, {} violation(s)",
+        result.stats.faults.bitflips_detected,
+        report.loads_checked,
+        report.violations_total
+    );
+    rows.push(vec![
+        "control".to_owned(),
+        bench.abbr.to_owned(),
+        PolicyKind::StaticBdi.name().to_owned(),
+        report.loads_checked.to_string(),
+        report.checkpoints.to_string(),
+        report.violations_total.to_string(),
+    ]);
+    write_csv("verify_oracle", &rows)?;
+    if result.stats.faults.bitflips_detected == 0 {
+        return Err(io::Error::other(
+            "control run detected no flips — the mutation section proved nothing",
+        ));
+    }
+    if report.violations_total > 0 {
+        return Err(io::Error::other(format!(
+            "recovery is enabled yet the oracle found {} violation(s)",
+            report.violations_total
+        )));
+    }
+    outln!("\nverify: oracle catches planted corruption and passes clean + recovered runs");
+    Ok(())
+}

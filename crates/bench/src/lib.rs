@@ -23,7 +23,8 @@ pub use driver::{
     run_experiments, run_experiments_with_outcomes, Experiment, ExperimentOutcome,
 };
 pub use runner::{
-    fault_injection, geomean, latte_overrides, run_benchmark, run_benchmark_uncached,
-    run_benchmark_with_config, set_fault_injection, set_latte_overrides, BenchResult,
-    LatteOverrides, PolicyKind, ALL_POLICIES,
+    fault_injection, geomean, latte_overrides, run_benchmark, run_benchmark_shadowed,
+    run_benchmark_uncached, run_benchmark_with_config, set_fault_injection, set_latte_overrides,
+    set_shadow_check, shadow_check_enabled, shadow_tally, BenchResult, LatteOverrides, PolicyKind,
+    ShadowTally, ALL_POLICIES,
 };

@@ -53,6 +53,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("paper-machine", "C-Sens comparison on the full 15-SM Table II machine", exp::paper_machine::run),
     ("multi-mode", "4-mode LATTE-CC extension (None/BDI/BPC/SC)", exp::multi_mode::run),
     ("resilience", "fault-injection resilience sweep (bit-flip rates 1e-6..1e-3)", exp::resilience::run),
+    ("verify", "differential-oracle verification: clean shadow-checked runs + mutation detection", exp::verify::run),
 ];
 
 fn usage() -> ! {
@@ -69,6 +70,11 @@ fn usage() -> ! {
     eprintln!("  --miss-latency <c>     AMAT effective miss-latency constant (default 150)");
     eprintln!("  --tolerance-scale <s>  latency-tolerance scale factor (default 2)");
     eprintln!("  --force-mode <m>       pin the controller: none | lowlatency | highcapacity");
+    eprintln!("  --shadow-check         attach the differential oracle to every simulation;");
+    eprintln!("                         exit nonzero if any run diverges from the reference model");
+    eprintln!("  --no-fault-recovery    deliberate mutation: detected bit flips are consumed");
+    eprintln!("                         instead of refetched (requires an --inject* flag; used to");
+    eprintln!("                         demonstrate that --shadow-check catches real corruption)");
     eprintln!("  --debug-decide         print the controller's per-decision trace");
     eprintln!("  --timings              after the run, print per-experiment / per-simulation");
     eprintln!("                         wall times and the simulation cache's hit statistics\n");
@@ -86,6 +92,7 @@ struct Options {
     faults: Option<FaultConfig>,
     overrides: LatteOverrides,
     timings: bool,
+    shadow_check: bool,
 }
 
 fn default_jobs() -> usize {
@@ -111,6 +118,8 @@ fn parse_options(args: &mut Vec<String>) -> Options {
     let mut seed: u64 = 42;
     let mut overrides = LatteOverrides::default();
     let mut timings = false;
+    let mut shadow_check = false;
+    let mut no_fault_recovery = false;
     let mut i = 0;
     while i < args.len() {
         let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> String {
@@ -208,6 +217,14 @@ fn parse_options(args: &mut Vec<String>) -> Options {
                 timings = true;
                 args.remove(i);
             }
+            "--shadow-check" => {
+                shadow_check = true;
+                args.remove(i);
+            }
+            "--no-fault-recovery" => {
+                no_fault_recovery = true;
+                args.remove(i);
+            }
             _ => i += 1,
         }
     }
@@ -217,13 +234,19 @@ fn parse_options(args: &mut Vec<String>) -> Options {
             bitflip_rate: bitflip_rate.unwrap_or(0.0),
             fill_bitflip_rate: fill_bitflip_rate.unwrap_or(0.0),
             wakeup_drop_rate: wakeup_drop_rate.unwrap_or(0.0),
+            disable_recovery: no_fault_recovery,
             ..FaultConfig::default()
         });
+    if no_fault_recovery && faults.is_none() {
+        eprintln!("--no-fault-recovery only makes sense with an --inject* flag\n");
+        usage();
+    }
     Options {
         jobs,
         faults,
         overrides,
         timings,
+        shadow_check,
     }
 }
 
@@ -270,6 +293,10 @@ fn main() {
     if opts.overrides != LatteOverrides::default() {
         latte_bench::set_latte_overrides(opts.overrides);
     }
+    if opts.shadow_check {
+        latte_bench::set_shadow_check(true);
+        println!("[shadow check on: every simulation runs against the differential oracle]");
+    }
     if args.is_empty() {
         usage();
     }
@@ -301,6 +328,17 @@ fn main() {
     if let Err(violation) = latte_bench::sim::verify_each_sim_ran_once() {
         eprintln!("latte-bench: {violation}");
         std::process::exit(1);
+    }
+    if opts.shadow_check {
+        let tally = latte_bench::shadow_tally();
+        if tally.violations > 0 {
+            eprintln!(
+                "latte-bench: shadow check found {} violation(s) across {} simulation(s) \
+                 ({} loads checked) — see the [shadow] lines above",
+                tally.violations, tally.sims, tally.loads_checked
+            );
+            std::process::exit(1);
+        }
     }
     if failed > 0 {
         eprintln!("{failed} experiment(s) failed");

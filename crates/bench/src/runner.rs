@@ -8,9 +8,12 @@ use latte_core::{
 };
 use latte_energy::{EnergyModel, EnergyReport};
 use latte_gpusim::{
-    FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, L1CompressionPolicy, UncompressedPolicy,
+    FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, L1CompressionPolicy, ShadowConfig,
+    UncompressedPolicy,
 };
+use latte_oracle::{MemoryOracle, OracleReport};
 use latte_workloads::BenchmarkSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// Process-wide fault-injection override, set once from the `--inject`
@@ -31,6 +34,55 @@ pub fn set_fault_injection(config: FaultConfig) -> bool {
 #[must_use]
 pub fn fault_injection() -> Option<FaultConfig> {
     FAULT_INJECTION.get().copied()
+}
+
+/// Process-wide shadow-check switch, set once from the `--shadow-check`
+/// command-line flag (same write-once pattern as [`set_fault_injection`]).
+/// When enabled, every simulation the service computes runs with a
+/// [`MemoryOracle`] attached and reports its verification summary into
+/// the experiment's captured output.
+static SHADOW_CHECK: OnceLock<bool> = OnceLock::new();
+
+/// Enables oracle shadow-checking for every subsequent benchmark run in
+/// this process. Returns `false` if the switch was already set.
+pub fn set_shadow_check(enabled: bool) -> bool {
+    SHADOW_CHECK.set(enabled).is_ok()
+}
+
+/// Whether `--shadow-check` is active in this process.
+#[must_use]
+pub fn shadow_check_enabled() -> bool {
+    SHADOW_CHECK.get().copied().unwrap_or(false)
+}
+
+/// Aggregate shadow-check counters across every *genuinely executed*
+/// simulation in this process (memo-cache replays do not re-count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShadowTally {
+    /// Simulations that ran with an oracle attached.
+    pub sims: u64,
+    /// Loads whose bytes were compared against the reference model.
+    pub loads_checked: u64,
+    /// Structural checkpoints taken.
+    pub checkpoints: u64,
+    /// Violations detected (data integrity + structural).
+    pub violations: u64,
+}
+
+static SHADOW_SIMS: AtomicU64 = AtomicU64::new(0);
+static SHADOW_LOADS: AtomicU64 = AtomicU64::new(0);
+static SHADOW_CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
+static SHADOW_VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide shadow-check counters so far.
+#[must_use]
+pub fn shadow_tally() -> ShadowTally {
+    ShadowTally {
+        sims: SHADOW_SIMS.load(Ordering::SeqCst),
+        loads_checked: SHADOW_LOADS.load(Ordering::SeqCst),
+        checkpoints: SHADOW_CHECKPOINTS.load(Ordering::SeqCst),
+        violations: SHADOW_VIOLATIONS.load(Ordering::SeqCst),
+    }
 }
 
 /// Explicit overrides for the LATTE-CC controller knobs that used to be
@@ -199,6 +251,8 @@ pub struct BenchResult {
     pub energy: EnergyReport,
     /// Per-SM policy decision reports after the final kernel.
     pub reports: Vec<latte_gpusim::PolicyReport>,
+    /// Oracle verification report, when the run was shadow-checked.
+    pub shadow: Option<OracleReport>,
 }
 
 impl BenchResult {
@@ -277,6 +331,39 @@ pub fn run_benchmark_uncached(
     bench: &BenchmarkSpec,
     config: &GpuConfig,
 ) -> BenchResult {
+    run_instrumented(policy, bench, config, shadow_check_enabled(), true)
+}
+
+/// Runs `bench` under `policy` with the oracle shadow check attached,
+/// regardless of the `--shadow-check` flag, bypassing the memo cache.
+/// This is the entry point for the `verify` experiment and the
+/// verification tests, which need the report even when the process-wide
+/// switch is off.
+#[must_use]
+pub fn run_benchmark_shadowed(
+    policy: PolicyKind,
+    bench: &BenchmarkSpec,
+    config: &GpuConfig,
+) -> (BenchResult, OracleReport) {
+    // Not counted in the process-wide tally: explicit shadowed runs
+    // (including the `verify` experiment's deliberate corruption demos)
+    // must not trip the driver's "--shadow-check found violations" exit.
+    let mut result = run_instrumented(policy, bench, config, true, false);
+    let report = result.shadow.take().unwrap_or_default();
+    result.shadow = Some(report.clone());
+    (result, report)
+}
+
+/// The one place a simulator is actually constructed and driven.
+/// `shadowed` attaches a [`MemoryOracle`] before the first kernel and
+/// folds its report into the result (and the output capture) afterwards.
+fn run_instrumented(
+    policy: PolicyKind,
+    bench: &BenchmarkSpec,
+    config: &GpuConfig,
+    shadowed: bool,
+    count_in_tally: bool,
+) -> BenchResult {
     let mut config = config.clone();
     if config.faults.is_none() {
         config.faults = fault_injection();
@@ -287,6 +374,13 @@ pub fn run_benchmark_uncached(
     gpu.set_diag_sink(latte_gpusim::TraceSink::new(|line| {
         crate::report::emit(format_args!("{line}\n"));
     }));
+    let handle = if shadowed {
+        let (oracle, handle) = MemoryOracle::new();
+        gpu.set_shadow_check(Box::new(oracle), ShadowConfig::default());
+        Some(handle)
+    } else {
+        None
+    };
     let kernels = bench.build_kernels();
     let mut stats = KernelStats::default();
     for kernel in &kernels {
@@ -304,6 +398,29 @@ pub fn run_benchmark_uncached(
         }
         stats.accumulate(&ks);
     }
+    let shadow = handle.map(|h| {
+        let report = h.report();
+        if count_in_tally {
+            SHADOW_SIMS.fetch_add(1, Ordering::SeqCst);
+            SHADOW_LOADS.fetch_add(report.loads_checked, Ordering::SeqCst);
+            SHADOW_CHECKPOINTS.fetch_add(report.checkpoints, Ordering::SeqCst);
+            SHADOW_VIOLATIONS.fetch_add(report.violations_total, Ordering::SeqCst);
+        }
+        // The summary prints into the capture, so memo-cache replays of a
+        // shadow-checked simulation reproduce it byte-for-byte.
+        outln!(
+            "[shadow] {}/{}: {} loads checked, {} checkpoints, {} violation(s)",
+            bench.abbr,
+            policy.name(),
+            report.loads_checked,
+            report.checkpoints,
+            report.violations_total
+        );
+        for violation in report.violations.iter().take(3) {
+            outln!("[shadow]   {violation}");
+        }
+        report
+    });
     let energy = EnergyModel::paper().account(&stats);
     BenchResult {
         abbr: bench.abbr,
@@ -311,6 +428,7 @@ pub fn run_benchmark_uncached(
         stats,
         energy,
         reports: gpu.policy_reports(),
+        shadow,
     }
 }
 

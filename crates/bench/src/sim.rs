@@ -101,6 +101,9 @@ fn key_for(policy: PolicyKind, bench: &BenchmarkSpec, config: &GpuConfig) -> Sim
         Some(latte_core::CompressionMode::HighCapacity) => 3,
     });
     fp.write_bool(ov.debug_decide);
+    // A shadow-checked simulation prints a verification summary and
+    // carries an oracle report, so it must not alias an unchecked run.
+    fp.write_bool(runner::shadow_check_enabled());
     SimKey {
         policy,
         fingerprint: fp.finish(),
@@ -117,8 +120,13 @@ fn compute(policy: PolicyKind, bench: &BenchmarkSpec, config: &GpuConfig) -> Res
     }));
     let diag = report::swap_capture(saved).unwrap_or_default();
     COMPUTED.fetch_add(1, Ordering::SeqCst);
+    let shadow_suffix = if runner::shadow_check_enabled() {
+        " [shadow]"
+    } else {
+        ""
+    };
     timing::record_sim(
-        format!("{}/{}", policy.name(), bench.abbr),
+        format!("{}/{}{shadow_suffix}", policy.name(), bench.abbr),
         watch.elapsed_secs(),
     );
     match result {

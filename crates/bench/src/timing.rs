@@ -117,6 +117,16 @@ pub fn print_report(experiments: &[(&str, f64)], cache: (u64, u64, u64)) {
     println!(
         "sim cache: {requests} requests, {hits} hits ({pct:.0}%), {computed} computed"
     );
+
+    let shadow = crate::runner::shadow_tally();
+    if shadow.sims > 0 {
+        // Overhead is visible directly above: shadow-checked jobs carry a
+        // "[shadow]" label suffix in the per-job times.
+        println!(
+            "shadow check: {} sims, {} loads checked, {} checkpoints, {} violation(s)",
+            shadow.sims, shadow.loads_checked, shadow.checkpoints, shadow.violations
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,69 @@
+//! Golden-snapshot test: the Fig 1 experiment's CSV must match the
+//! committed snapshot byte for byte. Fig 1 is the cheapest experiment
+//! that runs real simulations (Baseline policy only), so any drift in
+//! the simulator core, the policy plumbing or the CSV writer shows up
+//! here as a diff against a file a reviewer can read.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p latte-bench --test golden
+//! ```
+//!
+//! Its own test binary: the results-dir override and the simulation
+//! memo cache are process-global.
+
+use latte_bench::experiments::{self as exp, set_results_dir};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const CSV_NAME: &str = "fig01_hit_latency_sensitivity.csv";
+
+fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(CSV_NAME)
+}
+
+/// Writes `bytes` to `path` atomically (temp file + rename), matching
+/// the discipline of the experiment CSV writer itself.
+fn bless(path: &Path, bytes: &[u8]) {
+    let dir = path.parent().expect("golden file has a parent");
+    fs::create_dir_all(dir).expect("create golden dir");
+    let tmp = dir.join(format!(".{CSV_NAME}.tmp"));
+    fs::write(&tmp, bytes).expect("write temp golden");
+    fs::rename(&tmp, path).expect("rename golden into place");
+}
+
+#[test]
+fn fig01_csv_matches_committed_golden() {
+    let dir = std::env::temp_dir().join(format!("latte-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp results dir");
+    set_results_dir(Some(dir.clone()));
+    let result = exp::fig01::run();
+    set_results_dir(None);
+    result.expect("fig1 must succeed");
+
+    let actual = fs::read(dir.join(CSV_NAME)).expect("fig1 must write its CSV");
+    let _ = fs::remove_dir_all(&dir);
+
+    let golden = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        bless(&golden, &actual);
+        return;
+    }
+    let expected = fs::read(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); bless it with \
+             UPDATE_GOLDEN=1 cargo test -p latte-bench --test golden",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        String::from_utf8_lossy(&actual),
+        String::from_utf8_lossy(&expected),
+        "fig1 CSV drifted from the committed golden snapshot; if the \
+         change is intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}

@@ -1,0 +1,237 @@
+//! Metamorphic relations over the simulator: properties that must hold
+//! between *pairs* of runs whose configurations are known-equivalent or
+//! known-ordered. Each test runs the simulator directly (no memo cache,
+//! no process-global flags), so the relations hold for the simulator
+//! itself, not for any replay layer above it.
+
+use latte_bench::{run_benchmark_shadowed, PolicyKind};
+use latte_core::{CompressionMode, LatteCc, LatteConfig};
+use latte_gpusim::{
+    FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, L1CompressionPolicy, ShadowViolationKind,
+    UncompressedPolicy,
+};
+use latte_gpusim::testing::StridedKernel;
+use latte_workloads::BenchmarkSpec;
+
+fn bench(abbr: &str) -> BenchmarkSpec {
+    latte_workloads::benchmark(abbr).unwrap_or_else(|| panic!("{abbr} exists"))
+}
+
+fn small_machine() -> GpuConfig {
+    GpuConfig {
+        num_sms: 2,
+        ..GpuConfig::small()
+    }
+}
+
+/// Runs every kernel of `bench` on `config` under policies built by
+/// `make_policy`, returning per-kernel statistics.
+fn run_all(
+    config: &GpuConfig,
+    bench: &BenchmarkSpec,
+    make_policy: impl FnMut(usize) -> Box<dyn L1CompressionPolicy>,
+) -> Vec<KernelStats> {
+    let mut gpu = Gpu::new(config, make_policy);
+    bench
+        .build_kernels()
+        .iter()
+        .map(|k| gpu.run_kernel(k as &dyn Kernel))
+        .collect()
+}
+
+/// An injector whose every rate is zero must be observationally identical
+/// to no injector at all: zero-rate sites consume no random numbers.
+#[test]
+fn zero_fault_rates_equal_faults_disabled() {
+    for abbr in ["NW", "BFS"] {
+        let bench = bench(abbr);
+        let disabled = small_machine();
+        let zeroed = GpuConfig {
+            faults: Some(FaultConfig {
+                seed: 7,
+                ..FaultConfig::default()
+            }),
+            ..small_machine()
+        };
+        let a = run_all(&disabled, &bench, |_| Box::new(UncompressedPolicy));
+        let b = run_all(&zeroed, &bench, |_| Box::new(UncompressedPolicy));
+        assert_eq!(a, b, "{abbr}: zero-rate faults must be a no-op");
+
+        let a = run_all(&disabled, &bench, |_| {
+            PolicyKind::StaticBdi.build(&disabled)
+        });
+        let b = run_all(&zeroed, &bench, |_| PolicyKind::StaticBdi.build(&zeroed));
+        assert_eq!(a, b, "{abbr}: zero-rate faults must be a no-op under compression");
+    }
+}
+
+/// Making decompression free can only help — *when the memory access
+/// order cannot depend on latency*. With one warp on one SM the address
+/// stream is program order regardless of timing, so hits and misses are
+/// identical and every saved decompression cycle comes straight off the
+/// critical path: strictly fewer cycles, same cache behaviour.
+///
+/// (The naive multi-warp version of this relation is false: on NW the
+/// zero-latency run is ~15% *slower*, a genuine scheduling anomaly —
+/// faster hits let the greedy warp race ahead and thrash the shared L1,
+/// raising the miss count. The relation only holds pointwise per access
+/// stream, which is what this test pins.)
+#[test]
+fn free_decompression_strictly_helps_when_order_is_fixed() {
+    let kernel = StridedKernel::new(1, 2048, 64);
+    let paid = GpuConfig {
+        num_sms: 1,
+        ..GpuConfig::small()
+    };
+    let free = GpuConfig {
+        zero_decompression_latency: true,
+        ..paid.clone()
+    };
+    let run = |config: &GpuConfig| {
+        let mut gpu = Gpu::new(config, |_| PolicyKind::StaticBdi.build(config));
+        gpu.run_kernel(&kernel)
+    };
+    let paid_stats = run(&paid);
+    let free_stats = run(&free);
+    assert!(
+        paid_stats.decompressions.total() > 0,
+        "relation is vacuous without decompressions"
+    );
+    assert_eq!(paid_stats.l1, free_stats.l1, "access order must be latency-invariant");
+    assert_eq!(paid_stats.decompressions, free_stats.decompressions);
+    assert!(
+        free_stats.cycles < paid_stats.cycles,
+        "zero-latency decompression must beat paid ({} >= {})",
+        free_stats.cycles,
+        paid_stats.cycles
+    );
+}
+
+/// On the real benchmark suite the cycle count may legitimately move
+/// either way (see above), but the flag's accounting contract is exact:
+/// a `zero_decompression_latency` run still *counts* decompressions yet
+/// charges no queueing wait for them.
+#[test]
+fn free_decompression_charges_no_queue_wait_on_benchmarks() {
+    let mut suite_decompressions = 0u64;
+    for abbr in ["BFS", "KM", "NW", "SS"] {
+        let bench = bench(abbr);
+        let free = GpuConfig {
+            zero_decompression_latency: true,
+            ..small_machine()
+        };
+        let total = run_all(&free, &bench, |_| PolicyKind::StaticBdi.build(&free))
+            .iter()
+            .fold(KernelStats::default(), |mut acc, s| {
+                acc.accumulate(s);
+                acc
+            });
+        // Not every benchmark decompresses (KM's float lines are
+        // BDI-incompressible on this geometry), so non-vacuity is
+        // asserted over the suite, not per benchmark.
+        suite_decompressions += total.decompressions.total();
+        assert_eq!(
+            total.decompression_queue_wait, 0,
+            "{abbr}: free decompression must not charge queue wait"
+        );
+    }
+    assert!(
+        suite_decompressions > 0,
+        "suite saw no decompressions at all — the contract check is vacuous"
+    );
+}
+
+/// LATTE-CC pinned to the Uncompressed mode with no dedicated sampling
+/// sets must be statistics-identical to the uncompressed baseline: the
+/// controller machinery may observe, but with every decision forced to
+/// "don't compress" it must not perturb the simulation.
+#[test]
+fn latte_cc_forced_uncompressed_matches_baseline() {
+    for abbr in ["NW", "BFS", "KM"] {
+        let bench = bench(abbr);
+        let config = small_machine();
+        let baseline = run_all(&config, &bench, |_| Box::new(UncompressedPolicy));
+        let forced = run_all(&config, &bench, |_| {
+            Box::new(LatteCc::new(LatteConfig {
+                num_l1_sets: config.l1_geometry.num_sets(),
+                l1_base_hit_latency: config.l1_hit_latency as f64,
+                force_mode: Some(CompressionMode::None),
+                dedicated_sets_per_mode: 0,
+                ..LatteConfig::paper()
+            }))
+        });
+        assert_eq!(
+            baseline, forced,
+            "{abbr}: forced-Uncompressed LATTE-CC diverged from Baseline"
+        );
+    }
+}
+
+/// The oracle must catch the planted mutation: with bit flips injected
+/// and the decode-failure recovery path disabled, corrupted bytes reach
+/// the warps and every such load must be flagged with its line address
+/// and cycle. The same injection with recovery enabled is the control:
+/// zero violations.
+#[test]
+fn oracle_flags_unrecovered_corruption_and_passes_recovered_runs() {
+    let bench = bench("BFS");
+    let mutated = GpuConfig {
+        num_sms: 2,
+        faults: Some(FaultConfig {
+            disable_recovery: true,
+            ..FaultConfig::bitflips(42, 0.02)
+        }),
+        ..GpuConfig::small()
+    };
+    let (result, report) = run_benchmark_shadowed(PolicyKind::StaticBdi, &bench, &mutated);
+    assert!(
+        result.stats.faults.bitflips_detected > 0,
+        "mutation run must actually detect (and consume) flips"
+    );
+    assert!(
+        report.violations_total > 0,
+        "recovery disabled under injection but the oracle saw nothing"
+    );
+    for v in &report.violations {
+        assert_eq!(v.kind, ShadowViolationKind::DataIntegrity);
+        assert!(v.addr.is_some(), "violation must name the line: {v}");
+        assert!(v.cycle > 0, "violation must name the cycle: {v}");
+    }
+
+    let recovered = GpuConfig {
+        num_sms: 2,
+        faults: Some(FaultConfig::bitflips(42, 0.02)),
+        ..GpuConfig::small()
+    };
+    let (result, report) = run_benchmark_shadowed(PolicyKind::StaticBdi, &bench, &recovered);
+    assert!(result.stats.faults.bitflips_detected > 0);
+    assert_eq!(
+        report.violations_total, 0,
+        "recovery enabled: detect-and-refetch must keep corrupted bytes from the warps: {:?}",
+        report.violations
+    );
+}
+
+/// Shadow-checking is observation, not interference: a shadow-checked
+/// run's statistics must be identical to the plain run's.
+#[test]
+fn shadow_check_does_not_perturb_results() {
+    for abbr in ["NW", "BFS"] {
+        let bench = bench(abbr);
+        let config = small_machine();
+        for policy in [PolicyKind::Baseline, PolicyKind::StaticSc, PolicyKind::LatteCc] {
+            let plain = run_all(&config, &bench, |_| policy.build(&config));
+            let plain: KernelStats = plain.iter().fold(KernelStats::default(), |mut acc, s| {
+                acc.accumulate(s);
+                acc
+            });
+            let (shadowed, report) = run_benchmark_shadowed(policy, &bench, &config);
+            assert!(report.loads_checked > 0, "{abbr}/{policy:?}: hook not wired");
+            assert_eq!(report.violations_total, 0, "{abbr}/{policy:?} diverged");
+            assert_eq!(
+                plain, shadowed.stats,
+                "{abbr}/{policy:?}: the shadow check changed the simulation"
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Shadow-checked runs keep the driver's determinism contract: with the
+//! differential oracle attached to every simulation, `--jobs N` must
+//! still be byte-identical to `--jobs 1` and a warm memo cache
+//! indistinguishable from a cold one — including the `[shadow]` summary
+//! lines replayed out of the cache. A separate test binary from
+//! `determinism.rs` because the shadow-check flag and the simulation
+//! memo cache are process-global (the flag is part of the memo key, so
+//! it must be set before the first simulation runs).
+
+use latte_bench::experiments::{self as exp, set_results_dir};
+use latte_bench::{run_experiments_with_outcomes, set_shadow_check, shadow_tally, sim, Experiment};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A cheap subset that still spans policies: fig1 sweeps hit latency
+/// over the baseline, table1 runs every compression algorithm.
+const CHEAP: &[Experiment] = &[
+    ("fig1", "L1 hit-latency sensitivity sweep", exp::fig01::run),
+    ("table1", "compression algorithm comparison", exp::table1::run),
+];
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("latte-shadow-det-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp results dir");
+    dir
+}
+
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in fs::read_dir(dir).expect("read results dir") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        files.insert(name, fs::read(entry.path()).expect("read result file"));
+    }
+    files
+}
+
+/// One test for the same reason as `determinism.rs`: the results-dir
+/// override, the shadow flag and the memo cache are all process-global.
+#[test]
+fn shadow_checked_parallel_warm_run_matches_serial_cold_run() {
+    assert!(
+        set_shadow_check(true),
+        "this binary must be the first to decide the shadow flag"
+    );
+    let selected: Vec<&Experiment> = CHEAP.iter().collect();
+    let dir = fresh_dir("runs");
+    set_results_dir(Some(dir.clone()));
+
+    let (failed, serial_outcomes) = run_experiments_with_outcomes(&selected, 1);
+    assert_eq!(failed, 0, "serial shadow-checked run must succeed");
+    let serial = snapshot(&dir);
+    let tally = shadow_tally();
+    assert!(tally.sims > 0, "shadow-checked runs must be tallied");
+    assert!(tally.loads_checked > 0, "the oracle must compare real loads");
+    assert_eq!(tally.violations, 0, "clean experiments must verify clean");
+    let (_, _, computed_cold) = sim::stats();
+
+    let (failed, parallel_outcomes) = run_experiments_with_outcomes(&selected, 2);
+    set_results_dir(None);
+    assert_eq!(failed, 0, "parallel shadow-checked run must succeed");
+    let parallel = snapshot(&dir);
+    let (_, _, computed_warm) = sim::stats();
+    assert_eq!(
+        computed_warm, computed_cold,
+        "warm-cache shadow-checked re-run must not recompute any simulation"
+    );
+    sim::verify_each_sim_ran_once().expect("one compute per unique simulation");
+    assert_eq!(shadow_tally().violations, 0);
+
+    let outputs = |outcomes: Vec<latte_bench::ExperimentOutcome>| {
+        outcomes
+            .into_iter()
+            .map(|o| {
+                assert!(o.result.is_ok(), "{} must succeed", o.name);
+                (o.name, o.output)
+            })
+            .collect::<BTreeMap<_, _>>()
+    };
+    let serial_out = outputs(serial_outcomes);
+    let parallel_out = outputs(parallel_outcomes);
+    assert!(
+        serial_out.values().any(|o| o.contains("[shadow]")),
+        "captured output must include the oracle's per-simulation summary"
+    );
+    assert_eq!(
+        serial_out, parallel_out,
+        "shadow-checked output differs between serial-cold and parallel-warm runs"
+    );
+    assert_eq!(serial, parallel, "result files differ between the two runs");
+    assert!(!serial.is_empty(), "experiments must write result files");
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,8 +1,10 @@
 //! The compressed L1 data cache organisation of §IV-A.
+// latte-lint: allow-file(D3, reason = "the payload shadow map is keyed-access only; validate() walks the deterministic tag arrays and consults the map per key, so hash iteration order can never reach results or output")
 
 use crate::geometry::{CacheGeometry, LineAddr};
 use crate::stats::CacheStats;
 use latte_compress::{CacheLine, Compression, CompressionAlgo};
+use std::collections::HashMap;
 
 /// One allocated tag in a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +78,10 @@ pub struct EvictedLine {
 /// The cache tracks *placement*, not payload bytes: in the simulator, line
 /// contents are a deterministic function of the address (the workload's
 /// value generator), so only sizes and compression metadata need modelling.
+/// For shadow-checked runs an optional **payload shadow**
+/// ([`CompressedCache::enable_payload_shadow`]) additionally carries the
+/// bytes each resident line would hold after its compression round trip,
+/// giving the differential oracle a real data path to diff against.
 ///
 /// # Example
 ///
@@ -99,6 +105,11 @@ pub struct CompressedCache {
     sets: Vec<Set>,
     stats: CacheStats,
     clock: u64,
+    /// When enabled, the post-round-trip bytes of every resident line,
+    /// maintained in lockstep with the tag array (every eviction and
+    /// invalidation path removes its entry). `None` in normal runs: the
+    /// timing model needs no payloads and pays nothing for them.
+    payload_shadow: Option<HashMap<LineAddr, CacheLine>>,
 }
 
 impl CompressedCache {
@@ -110,7 +121,39 @@ impl CompressedCache {
             sets: vec![Set::default(); geometry.num_sets()],
             stats: CacheStats::new(),
             clock: 0,
+            payload_shadow: None,
         }
+    }
+
+    /// Turns on the payload shadow for differential verification. All
+    /// resident lines are invalidated so that every line the shadow ever
+    /// covers entered through a recorded fill.
+    pub fn enable_payload_shadow(&mut self) {
+        self.invalidate_all();
+        self.payload_shadow = Some(HashMap::new());
+    }
+
+    /// Whether [`CompressedCache::enable_payload_shadow`] was called.
+    #[must_use]
+    pub fn payload_shadow_enabled(&self) -> bool {
+        self.payload_shadow.is_some()
+    }
+
+    /// Records the bytes a just-filled resident line holds. No-op when
+    /// the shadow is disabled or the line is not resident (e.g. the fill
+    /// was dropped by tag corruption).
+    pub fn record_payload(&mut self, addr: LineAddr, data: CacheLine) {
+        if self.payload_shadow.is_some() && self.contains(addr) {
+            if let Some(map) = &mut self.payload_shadow {
+                map.insert(addr, data);
+            }
+        }
+    }
+
+    /// The recorded payload of a resident line, when the shadow is on.
+    #[must_use]
+    pub fn payload(&self, addr: LineAddr) -> Option<&CacheLine> {
+        self.payload_shadow.as_ref().and_then(|m| m.get(&addr))
     }
 
     /// The cache's geometry.
@@ -205,9 +248,13 @@ impl CompressedCache {
         let max_subblocks = self.geometry.subblocks_per_set() as u32;
         let set = &mut self.sets[set_idx];
 
-        // Re-fill in place when the line is already resident.
+        // Re-fill in place when the line is already resident. The stale
+        // payload goes too; the caller re-records after the fill.
         if let Some(pos) = set.tags.iter().position(|t| t.addr == addr) {
             set.tags.remove(pos);
+            if let Some(map) = &mut self.payload_shadow {
+                map.remove(&addr);
+            }
         }
 
         let mut evicted = Vec::new();
@@ -231,6 +278,9 @@ impl CompressedCache {
                 break;
             };
             let victim = set.tags.remove(victim_pos);
+            if let Some(map) = &mut self.payload_shadow {
+                map.remove(&victim.addr);
+            }
             evicted.push(EvictedLine {
                 addr: victim.addr,
                 algo: victim.algo,
@@ -273,6 +323,9 @@ impl CompressedCache {
         let set = &mut self.sets[self.geometry.set_of(addr)];
         if let Some(pos) = set.tags.iter().position(|t| t.addr == addr) {
             set.tags.remove(pos);
+            if let Some(map) = &mut self.payload_shadow {
+                map.remove(&addr);
+            }
             true
         } else {
             false
@@ -287,6 +340,9 @@ impl CompressedCache {
             count += set.tags.len();
             set.tags.clear();
         }
+        if let Some(map) = &mut self.payload_shadow {
+            map.clear();
+        }
         count
     }
 
@@ -297,7 +353,15 @@ impl CompressedCache {
         let mut count = 0;
         for set in &mut self.sets {
             let before = set.tags.len();
-            set.tags.retain(|t| t.algo != algo);
+            set.tags.retain(|t| {
+                let keep = t.algo != algo;
+                if !keep {
+                    if let Some(map) = &mut self.payload_shadow {
+                        map.remove(&t.addr);
+                    }
+                }
+                keep
+            });
             count += before - set.tags.len();
         }
         count
@@ -334,8 +398,10 @@ impl CompressedCache {
     /// # Errors
     ///
     /// Returns `Err` if a set exceeds its tag or sub-block budget, holds
-    /// duplicate addresses, holds a line mapped to the wrong set, or holds
-    /// a tag with an out-of-range sub-block count.
+    /// duplicate addresses, holds a line mapped to the wrong set, holds
+    /// a tag with an out-of-range sub-block count, or (when the payload
+    /// shadow is enabled) the shadow and the tag array disagree about
+    /// which lines are resident.
     pub fn validate(&self) -> Result<(), String> {
         for (i, set) in self.sets.iter().enumerate() {
             if set.tags.len() > self.geometry.tags_per_set() {
@@ -362,6 +428,28 @@ impl CompressedCache {
                 if self.geometry.set_of(t.addr) != i {
                     return Err(format!("line {} mapped to wrong set {i}", t.addr));
                 }
+            }
+        }
+        if let Some(map) = &self.payload_shadow {
+            // Keyed lookups against the deterministic tag walk; the map
+            // itself is never iterated, so the check is order-free.
+            let mut resident = 0usize;
+            for (i, set) in self.sets.iter().enumerate() {
+                for t in &set.tags {
+                    resident += 1;
+                    if !map.contains_key(&t.addr) {
+                        return Err(format!(
+                            "set {i}: resident {} has no shadow payload",
+                            t.addr
+                        ));
+                    }
+                }
+            }
+            if map.len() != resident {
+                return Err(format!(
+                    "payload shadow holds {} entries for {resident} resident lines (orphaned payloads)",
+                    map.len()
+                ));
             }
         }
         Ok(())
@@ -562,6 +650,90 @@ mod tests {
             c.lookup(LineAddr::new(i * 16), i);
         }
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn payload_shadow_tracks_fills_and_evictions() {
+        let mut c = l1();
+        c.enable_payload_shadow();
+        let data = CacheLine::from_u32_words(&[7; 32]);
+        for i in 0..4 {
+            c.fill(set0_addr(i), CompressionAlgo::None, Compression::UNCOMPRESSED, i);
+            c.record_payload(set0_addr(i), data);
+        }
+        assert_eq!(c.payload(set0_addr(0)), Some(&data));
+        assert_eq!(c.validate(), Ok(()));
+        // The 5th uncompressed fill evicts the LRU line and its payload.
+        c.fill(set0_addr(9), CompressionAlgo::None, Compression::UNCOMPRESSED, 9);
+        c.record_payload(set0_addr(9), data);
+        assert_eq!(c.payload(set0_addr(0)), None);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn payload_shadow_follows_every_invalidation_path() {
+        let mut c = l1();
+        c.enable_payload_shadow();
+        let data = CacheLine::zeroed();
+        c.fill(set0_addr(0), CompressionAlgo::Sc, Compression::new(16), 0);
+        c.record_payload(set0_addr(0), data);
+        c.fill(set0_addr(1), CompressionAlgo::Bdi, Compression::new(16), 1);
+        c.record_payload(set0_addr(1), data);
+
+        c.invalidate_algo(CompressionAlgo::Sc);
+        assert_eq!(c.payload(set0_addr(0)), None);
+        assert_eq!(c.validate(), Ok(()));
+
+        assert!(c.invalidate(set0_addr(1)));
+        assert_eq!(c.payload(set0_addr(1)), None);
+
+        c.fill(set0_addr(2), CompressionAlgo::Bdi, Compression::new(16), 2);
+        c.record_payload(set0_addr(2), data);
+        c.invalidate_all();
+        assert_eq!(c.payload(set0_addr(2)), None);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn refill_drops_the_stale_payload_until_rerecorded() {
+        let mut c = l1();
+        c.enable_payload_shadow();
+        let old = CacheLine::from_u32_words(&[1; 32]);
+        let new = CacheLine::from_u32_words(&[2; 32]);
+        c.fill(set0_addr(0), CompressionAlgo::Bdi, Compression::new(24), 0);
+        c.record_payload(set0_addr(0), old);
+        c.fill(set0_addr(0), CompressionAlgo::None, Compression::UNCOMPRESSED, 1);
+        assert_eq!(c.payload(set0_addr(0)), None, "stale payload must not survive a refill");
+        c.record_payload(set0_addr(0), new);
+        assert_eq!(c.payload(set0_addr(0)), Some(&new));
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn record_payload_ignores_non_resident_lines() {
+        let mut c = l1();
+        c.enable_payload_shadow();
+        c.record_payload(set0_addr(5), CacheLine::zeroed());
+        assert_eq!(c.payload(set0_addr(5)), None);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_flags_shadow_divergence() {
+        let mut c = l1();
+        c.enable_payload_shadow();
+        // A resident line without a payload is a divergence…
+        c.fill(set0_addr(0), CompressionAlgo::Bdi, Compression::new(24), 0);
+        let err = c.validate().expect_err("missing payload must fail validation");
+        assert!(err.contains("no shadow payload"), "{err}");
+        c.record_payload(set0_addr(0), CacheLine::zeroed());
+        assert_eq!(c.validate(), Ok(()));
+        // …and so is an orphaned payload with no resident line.
+        if let Some(map) = &mut c.payload_shadow {
+            map.insert(set0_addr(31), CacheLine::zeroed());
+        }
+        let err = c.validate().expect_err("orphaned payload must fail validation");
+        assert!(err.contains("orphaned"), "{err}");
     }
 
     #[test]

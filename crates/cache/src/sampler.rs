@@ -56,23 +56,26 @@ pub struct SetSampler {
 
 impl SetSampler {
     /// Creates a sampler for `num_sets` sets with `dedicated_per_mode`
-    /// dedicated sets per compression mode.
+    /// dedicated sets per compression mode. `dedicated_per_mode == 0`
+    /// disables sampling entirely: every set is a follower (used by
+    /// calibration runs that pin the mode via `force_mode` and want the
+    /// cache to behave exactly like a single-mode policy).
     ///
     /// # Panics
     ///
     /// Panics if the cache is too small to dedicate three distinct sets
-    /// per stride (needs `num_sets >= 3 * dedicated_per_mode`) or if
-    /// `dedicated_per_mode` is zero.
+    /// per stride (needs `num_sets >= 3 * dedicated_per_mode`).
     #[must_use]
     pub fn new(num_sets: usize, dedicated_per_mode: usize) -> SetSampler {
-        assert!(dedicated_per_mode > 0, "need at least one dedicated set per mode");
         assert!(
             num_sets >= 3 * dedicated_per_mode,
             "{num_sets} sets cannot host 3x{dedicated_per_mode} dedicated sets"
         );
         SetSampler {
             num_sets,
-            stride: num_sets / dedicated_per_mode,
+            // With sampling disabled the stride is never consulted (see
+            // `role_of`); 1 keeps the modulo well-defined.
+            stride: num_sets.checked_div(dedicated_per_mode).unwrap_or(1),
             dedicated_per_mode,
         }
     }
@@ -85,6 +88,9 @@ impl SetSampler {
     #[must_use]
     pub fn role_of(&self, idx: usize) -> SetRole {
         assert!(idx < self.num_sets, "set {idx} out of range");
+        if self.dedicated_per_mode == 0 {
+            return SetRole::Follower;
+        }
         match idx % self.stride {
             0 => SetRole::DedicatedNone,
             1 => SetRole::DedicatedLowLatency,
@@ -152,6 +158,13 @@ mod tests {
     #[should_panic(expected = "cannot host")]
     fn too_small_cache_panics() {
         let _ = SetSampler::new(8, 4);
+    }
+
+    #[test]
+    fn zero_dedicated_disables_sampling() {
+        let s = SetSampler::new(32, 0);
+        assert!((0..32).all(|i| s.role_of(i) == SetRole::Follower));
+        assert_eq!(s.dedicated_sets().count(), 0);
     }
 
     #[test]

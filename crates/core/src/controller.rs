@@ -413,6 +413,16 @@ impl L1CompressionPolicy for LatteCc {
     fn current_mode_index(&self) -> Option<usize> {
         Some(self.selected.index())
     }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.demoted && self.selected != CompressionMode::None {
+            return Err(format!(
+                "demoted controller still selects {} mode",
+                self.selected
+            ));
+        }
+        self.sc.validate()
+    }
 }
 
 /// Adaptive-Hit-Count (§V-D): set sampling like LATTE-CC, but the decision
@@ -507,6 +517,10 @@ impl L1CompressionPolicy for AdaptiveHitCount {
         PolicyReport {
             eps_in_mode: self.eps_in_mode,
         }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.sc.validate()
     }
 }
 
@@ -611,6 +625,10 @@ impl L1CompressionPolicy for AdaptiveCmp {
         PolicyReport {
             eps_in_mode: self.eps_in_mode,
         }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        self.sc.validate()
     }
 }
 

@@ -277,6 +277,17 @@ impl L1CompressionPolicy for LatteCcMulti {
             ModeOption::Bpc | ModeOption::Sc => 2,
         })
     }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.selected >= self.cfg.options.len() {
+            return Err(format!(
+                "selected option {} out of range ({} options)",
+                self.selected,
+                self.cfg.options.len()
+            ));
+        }
+        self.sc.validate()
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@
 //! and swaps only when the candidate is materially better, which is both
 //! hardware-plausible (shadow-table scoring) and statistically unbiased.
 
-use latte_compress::{CacheLine, Compression, Compressor, Sc, ScCodebook, VftBuilder};
+use latte_compress::{
+    CacheLine, Compression, Compressor, Sc, ScCodebook, VftBuilder, VFT_COUNTER_MAX, VFT_ENTRIES,
+};
 
 /// Swap when the candidate encodes the held-out window in fewer than
 /// `SWAP_NUM/SWAP_DEN` of the incumbent's bits.
@@ -194,6 +196,69 @@ impl ScManager {
         self.pending_invalidation = true;
         self.rebuilds += 1;
     }
+
+    /// Verifies the manager's dictionary and period-clock invariants
+    /// without panicking: the period clock stays inside the period once
+    /// bootstrapped, a live codebook implies at least one recorded
+    /// rebuild (and vice versa), a pending invalidation can only follow a
+    /// rebuild, the training VFT respects its hardware capacity and
+    /// counter saturation bounds, and the installed codebook fits the
+    /// VFT. Called from the shadow-verification checkpoints via
+    /// `L1CompressionPolicy::validate`.
+    ///
+    /// The VFT check reports *how many* counters are out of bounds — an
+    /// order-independent aggregate over the hash table — never which.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.eps_per_period < 2 {
+            return Err(format!(
+                "SC period of {} EPs cannot hold training + compressing phases",
+                self.eps_per_period
+            ));
+        }
+        if self.bootstrap_done && self.eps_completed_in_period >= self.eps_per_period {
+            return Err(format!(
+                "SC period clock at {} of {} EPs (missed reset)",
+                self.eps_completed_in_period, self.eps_per_period
+            ));
+        }
+        if self.bootstrap_done != (self.rebuilds >= 1) {
+            return Err(format!(
+                "SC bootstrap flag ({}) disagrees with rebuild count ({})",
+                self.bootstrap_done, self.rebuilds
+            ));
+        }
+        if self.pending_invalidation && self.rebuilds == 0 {
+            return Err("SC invalidation pending without any codebook rebuild".to_owned());
+        }
+        if let Window::Training(vft) = &self.window {
+            if vft.len() > VFT_ENTRIES {
+                return Err(format!(
+                    "VFT tracks {} values, hardware capacity {VFT_ENTRIES}",
+                    vft.len()
+                ));
+            }
+            let out_of_bounds = vft
+                .iter_counts()
+                .filter(|&(_, c)| c == 0 || c > VFT_COUNTER_MAX)
+                .count();
+            if out_of_bounds > 0 {
+                return Err(format!(
+                    "{out_of_bounds} VFT counters outside 1..={VFT_COUNTER_MAX}"
+                ));
+            }
+        }
+        if self.sc.codebook().len() > VFT_ENTRIES {
+            return Err(format!(
+                "SC codebook holds {} symbols, VFT capacity {VFT_ENTRIES}",
+                self.sc.codebook().len()
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +271,40 @@ mod tests {
 
     fn churn_line(i: u32) -> CacheLine {
         CacheLine::from_u32_words(&(0..32).map(|w| 0x5000_0000 + i * 64 + w).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn validate_holds_across_a_full_period() {
+        let mut sc = ScManager::new(4);
+        assert_eq!(sc.validate(), Ok(()));
+        for ep in 0..20 {
+            for i in 0..8 {
+                sc.observe_fill(&churn_line(ep * 8 + i));
+            }
+            sc.on_ep_end();
+            assert_eq!(sc.validate(), Ok(()), "after EP {ep}");
+            let _ = sc.take_invalidation();
+        }
+        sc.on_kernel_start();
+        assert_eq!(sc.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_flags_corrupted_period_clock() {
+        let mut sc = ScManager::new(4);
+        sc.observe_fill(&hot_line());
+        sc.on_ep_end(); // bootstrap
+        sc.eps_completed_in_period = 99;
+        let err = sc.validate().expect_err("period clock 99/4 must fail");
+        assert!(err.contains("period clock"), "{err}");
+    }
+
+    #[test]
+    fn validate_flags_inconsistent_bootstrap_state() {
+        let mut sc = ScManager::new(4);
+        sc.bootstrap_done = true; // no rebuild recorded
+        let err = sc.validate().expect_err("bootstrap without rebuild must fail");
+        assert!(err.contains("rebuild count"), "{err}");
     }
 
     #[test]

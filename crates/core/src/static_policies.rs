@@ -103,6 +103,10 @@ impl L1CompressionPolicy for StaticSc {
     fn pending_invalidation(&mut self) -> Option<CompressionAlgo> {
         self.manager.take_invalidation().then_some(CompressionAlgo::Sc)
     }
+
+    fn validate(&self) -> Result<(), String> {
+        self.manager.validate()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,145 @@
+//! Pins the energy model's per-event accounting (each component equals
+//! event count × constant, exactly) and checks monotonicity as a
+//! property: energy never decreases when event counts grow.
+
+use latte_cache::CacheStats;
+use latte_compress::CompressionAlgo;
+use latte_energy::{EnergyConstants, EnergyModel};
+use latte_gpusim::{AlgoCounts, KernelStats};
+use proptest::prelude::*;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * b.abs().max(1.0)
+}
+
+/// Every component is events × constant with the paper constants; no
+/// hidden cross terms, no double counting.
+#[test]
+fn per_event_accounting_is_exact() {
+    let c = EnergyConstants::paper();
+    let mut compressions = AlgoCounts::default();
+    for _ in 0..5 {
+        compressions.bump(CompressionAlgo::Bdi);
+    }
+    let mut decompressions = AlgoCounts::default();
+    for _ in 0..7 {
+        decompressions.bump(CompressionAlgo::Sc);
+    }
+    let stats = KernelStats {
+        cycles: 2_800_000, // exactly 2 ms at 1.4 GHz
+        instructions: 3_000,
+        l1: CacheStats {
+            hits: 900,
+            misses: 100,
+            ..CacheStats::default()
+        },
+        l2: CacheStats {
+            hits: 60,
+            misses: 40,
+            ..CacheStats::default()
+        },
+        dram_accesses: 40,
+        compressions,
+        decompressions,
+        ..KernelStats::default()
+    };
+    let r = EnergyModel::new(c).account(&stats);
+
+    assert!(close(r.core_nj, 3_000.0 * c.core_per_instruction_nj));
+    assert!(close(r.l1_nj, 1_000.0 * c.l1_access_nj), "L1 hits + misses");
+    assert!(close(r.l2_nj, 100.0 * c.l2_access_nj), "L2 hits + misses");
+    assert!(close(r.dram_nj, 40.0 * c.dram_access_nj));
+    // NoC: one 128-byte line per L2 access (SM↔L2) plus one per DRAM
+    // access (L2↔memory).
+    assert!(close(r.noc_nj, (100.0 + 40.0) * 128.0 * c.noc_per_byte_nj));
+    assert!(close(
+        r.compression_nj,
+        5.0 * CompressionAlgo::Bdi.compression_energy_nj()
+    ));
+    assert!(close(
+        r.decompression_nj,
+        7.0 * CompressionAlgo::Sc.decompression_energy_nj()
+    ));
+    // 2 ms at 42 W = 84 mJ = 8.4e7 nJ.
+    assert!(close(r.static_nj, 8.4e7));
+    assert!(close(
+        r.total_nj(),
+        r.core_nj
+            + r.l1_nj
+            + r.l2_nj
+            + r.dram_nj
+            + r.noc_nj
+            + r.compression_nj
+            + r.decompression_nj
+            + r.static_nj
+    ));
+}
+
+#[test]
+fn zero_stats_cost_zero() {
+    let r = EnergyModel::paper().account(&KernelStats::default());
+    assert_eq!(r.total_nj(), 0.0);
+}
+
+fn stats_from(counts: &[u64; 8]) -> KernelStats {
+    let [cycles, instructions, l1_hits, l1_misses, l2_hits, l2_misses, dram, comp] = *counts;
+    let mut compressions = AlgoCounts::default();
+    let mut decompressions = AlgoCounts::default();
+    for _ in 0..comp {
+        compressions.bump(CompressionAlgo::Sc);
+        decompressions.bump(CompressionAlgo::Bdi);
+    }
+    KernelStats {
+        cycles,
+        instructions,
+        l1: CacheStats {
+            hits: l1_hits,
+            misses: l1_misses,
+            ..CacheStats::default()
+        },
+        l2: CacheStats {
+            hits: l2_hits,
+            misses: l2_misses,
+            ..CacheStats::default()
+        },
+        dram_accesses: dram,
+        compressions,
+        decompressions,
+        ..KernelStats::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Monotonicity: adding events (of any kind, in any combination)
+    /// never reduces total energy, and each component is individually
+    /// monotone. The model is a nonnegative linear form over the event
+    /// counts, so this must hold exactly.
+    #[test]
+    fn total_energy_is_monotone_in_event_counts(
+        base in proptest::collection::vec(0u64..1_000_000, 8),
+        extra in proptest::collection::vec(0u64..1_000_000, 8),
+    ) {
+        let model = EnergyModel::paper();
+        let mut base_counts = [0u64; 8];
+        let mut more_counts = [0u64; 8];
+        for i in 0..8 {
+            base_counts[i] = base[i];
+            more_counts[i] = base[i] + extra[i];
+        }
+        let lo = model.account(&stats_from(&base_counts));
+        let hi = model.account(&stats_from(&more_counts));
+        prop_assert!(hi.total_nj() >= lo.total_nj());
+        prop_assert!(hi.core_nj >= lo.core_nj);
+        prop_assert!(hi.l1_nj >= lo.l1_nj);
+        prop_assert!(hi.l2_nj >= lo.l2_nj);
+        prop_assert!(hi.dram_nj >= lo.dram_nj);
+        prop_assert!(hi.noc_nj >= lo.noc_nj);
+        prop_assert!(hi.compression_nj >= lo.compression_nj);
+        prop_assert!(hi.decompression_nj >= lo.decompression_nj);
+        prop_assert!(hi.static_nj >= lo.static_nj);
+        prop_assert!(hi.data_movement_nj() >= lo.data_movement_nj());
+        prop_assert!(hi.compression_overhead_nj() >= lo.compression_overhead_nj());
+    }
+}

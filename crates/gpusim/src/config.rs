@@ -255,6 +255,10 @@ mod tests {
             GpuConfig { faults: Some(FaultConfig::default()), ..base.clone() },
             GpuConfig { faults: Some(FaultConfig::bitflips(42, 1e-4)), ..base.clone() },
             GpuConfig { faults: Some(FaultConfig::bitflips(43, 1e-4)), ..base.clone() },
+            GpuConfig {
+                faults: Some(FaultConfig { disable_recovery: true, ..FaultConfig::default() }),
+                ..base.clone()
+            },
         ];
         let mut fps: Vec<u128> = mutants.iter().map(GpuConfig::fingerprint).collect();
         fps.push(base.fingerprint());

@@ -63,6 +63,14 @@ pub struct FaultConfig {
     /// forever — so this site exists to exercise the simulator's
     /// deadlock watchdog ([`crate::TerminationReason::Deadlock`]).
     pub wakeup_drop_rate: f64,
+    /// Disables the decode-failure recovery path: a *detected* payload
+    /// bit flip is still counted, but instead of invalidating the line
+    /// and re-fetching, the SM consumes the corrupted decoded data as if
+    /// the hit were clean. This is a deliberate correctness mutation used
+    /// by the verification harness to prove the shadow oracle catches
+    /// silent data corruption (`latte-bench verify`, `--no-fault-recovery`);
+    /// it models a cache whose parity/ECC reporting is broken.
+    pub disable_recovery: bool,
 }
 
 impl FaultConfig {
@@ -108,6 +116,7 @@ impl FaultConfig {
         fp.write_f64(self.mshr_exhaust_rate);
         fp.write_f64(self.fill_bitflip_rate);
         fp.write_f64(self.wakeup_drop_rate);
+        fp.write_bool(self.disable_recovery);
     }
 }
 
@@ -123,6 +132,7 @@ impl Default for FaultConfig {
             mshr_exhaust_rate: 0.0,
             fill_bitflip_rate: 0.0,
             wakeup_drop_rate: 0.0,
+            disable_recovery: false,
         }
     }
 }
@@ -305,41 +315,87 @@ impl FaultInjector {
         algo: CompressionAlgo,
         line: &CacheLine,
     ) -> BitflipOutcome {
+        self.corrupt_compressed_read_observed(algo, line).0
+    }
+
+    /// Like [`FaultInjector::corrupt_compressed_read`], but also returns
+    /// the line the pipeline *observes* if nothing recovers the access:
+    /// the decoder's output on the corrupted input (or a deterministic
+    /// single-bit garble of the raw line when the decoder errors out, or
+    /// for SC, whose corruption is detected at the tag side before any
+    /// bytes are produced). Masked flips observe the original line by
+    /// definition.
+    ///
+    /// Consumes exactly one random draw, in the same position as
+    /// [`FaultInjector::corrupt_compressed_read`] always has, so the
+    /// injected fault sequence is unchanged by which entry point is used.
+    pub fn corrupt_compressed_read_observed(
+        &mut self,
+        algo: CompressionAlgo,
+        line: &CacheLine,
+    ) -> (BitflipOutcome, CacheLine) {
         let flip = self.next_u64();
-        let detected = match algo {
+        let garbled = garble_line(line, flip);
+        let (detected, observed) = match algo {
             // Raw lines carry no compressed payload to corrupt.
-            CompressionAlgo::None => false,
+            CompressionAlgo::None => (false, *line),
             CompressionAlgo::Bdi => {
                 let bdi = Bdi::new();
                 let mut c = bdi.encode(line);
-                c.flip_bit(flip) && bdi.decode(&c) != Ok(*line)
+                if c.flip_bit(flip) {
+                    match bdi.decode(&c) {
+                        Ok(out) => (out != *line, out),
+                        Err(_) => (true, garbled),
+                    }
+                } else {
+                    (false, *line)
+                }
             }
             CompressionAlgo::Fpc => {
                 let fpc = Fpc::new();
                 let mut w = fpc.encode(line);
                 w.toggle_bit(flip as usize % w.bit_len());
-                fpc.decode(&w) != Ok(*line)
+                match fpc.decode(&w) {
+                    Ok(out) => (out != *line, out),
+                    Err(_) => (true, garbled),
+                }
             }
             CompressionAlgo::CpackZ => {
                 let cp = CpackZ::new();
                 let mut w = cp.encode(line);
                 w.toggle_bit(flip as usize % w.bit_len());
-                cp.decode(&w) != Ok(*line)
+                match cp.decode(&w) {
+                    Ok(out) => (out != *line, out),
+                    Err(_) => (true, garbled),
+                }
             }
             CompressionAlgo::Bpc => {
                 let bpc = Bpc::new();
                 let mut w = bpc.encode(line);
                 w.toggle_bit(flip as usize % w.bit_len());
-                bpc.decode(&w) != Ok(*line)
+                match bpc.decode(&w) {
+                    Ok(out) => (out != *line, out),
+                    Err(_) => (true, garbled),
+                }
             }
-            CompressionAlgo::Sc => true,
+            CompressionAlgo::Sc => (true, garbled),
         };
         if detected {
-            BitflipOutcome::Detected
+            (BitflipOutcome::Detected, observed)
         } else {
-            BitflipOutcome::Masked
+            (BitflipOutcome::Masked, *line)
         }
     }
+}
+
+/// Toggles one seeded bit of `line` — the stand-in corrupted output for
+/// decoders that error instead of producing bytes. Always differs from
+/// the input, so an unrecovered detected flip is guaranteed observable.
+fn garble_line(line: &CacheLine, flip: u64) -> CacheLine {
+    let mut bytes = *line.as_bytes();
+    let bit = (flip % (bytes.len() as u64 * 8)) as usize;
+    bytes[bit / 8] ^= 1 << (bit % 8);
+    CacheLine::from_bytes(bytes)
 }
 
 #[cfg(test)]
@@ -411,6 +467,56 @@ mod tests {
         let mut inj = FaultInjector::new(FaultConfig::bitflips(5, 1.0), 0);
         let out = inj.corrupt_compressed_read(CompressionAlgo::Bdi, &CacheLine::zeroed());
         assert_eq!(out, BitflipOutcome::Masked);
+    }
+
+    #[test]
+    fn observed_data_differs_exactly_when_detected() {
+        let words: Vec<u32> = (0..32).map(|i| 0x4000_0000 + i * 3).collect();
+        let line = CacheLine::from_u32_words(&words);
+        let mut inj = FaultInjector::new(FaultConfig::bitflips(11, 1.0), 0);
+        for algo in CompressionAlgo::ALL {
+            for _ in 0..16 {
+                let (outcome, observed) = inj.corrupt_compressed_read_observed(algo, &line);
+                match outcome {
+                    BitflipOutcome::Detected => assert_ne!(
+                        observed, line,
+                        "{algo:?}: a detected flip must corrupt the observed data"
+                    ),
+                    BitflipOutcome::Masked => assert_eq!(
+                        observed, line,
+                        "{algo:?}: a masked flip must leave the line intact"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_entry_point_preserves_the_draw_sequence() {
+        // Both entry points must consume exactly one draw so the injected
+        // fault sequence is independent of which one the SM calls.
+        let line = CacheLine::from_u32_words(&(0..32).collect::<Vec<u32>>());
+        let mut a = FaultInjector::new(FaultConfig::bitflips(42, 1.0), 1);
+        let mut b = FaultInjector::new(FaultConfig::bitflips(42, 1.0), 1);
+        for algo in CompressionAlgo::ALL {
+            let oa = a.corrupt_compressed_read(algo, &line);
+            let (ob, _) = b.corrupt_compressed_read_observed(algo, &line);
+            assert_eq!(oa, ob);
+            assert_eq!(a.state, b.state);
+        }
+    }
+
+    #[test]
+    fn disable_recovery_changes_the_fingerprint() {
+        let mut a = crate::Fingerprinter::new();
+        FaultConfig::default().write_fingerprint(&mut a);
+        let mut b = crate::Fingerprinter::new();
+        FaultConfig {
+            disable_recovery: true,
+            ..FaultConfig::default()
+        }
+        .write_fingerprint(&mut b);
+        assert_ne!(a.finish(), b.finish());
     }
 
     #[test]

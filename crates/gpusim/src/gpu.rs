@@ -4,6 +4,7 @@
 use crate::config::GpuConfig;
 use crate::ops::Kernel;
 use crate::policy::L1CompressionPolicy;
+use crate::shadow::{ShadowCheck, ShadowCheckpoint, ShadowConfig};
 use crate::sm::{MemCtx, MemEvent, Sm};
 use crate::stats::{KernelStats, TerminationReason};
 use crate::trace::TraceSink;
@@ -40,6 +41,8 @@ pub struct Gpu {
     policies: Vec<Box<dyn L1CompressionPolicy>>,
     events: BinaryHeap<Reverse<MemEvent>>,
     diag: Option<TraceSink>,
+    shadow: Option<Box<dyn ShadowCheck>>,
+    shadow_cfg: ShadowConfig,
 }
 
 impl Gpu {
@@ -62,7 +65,23 @@ impl Gpu {
             policies,
             events: BinaryHeap::new(),
             diag: None,
+            shadow: None,
+            shadow_cfg: ShadowConfig::default(),
         }
+    }
+
+    /// Installs a differential-verification hook (see [`ShadowCheck`]).
+    ///
+    /// Every SM's L1 switches on its payload shadow, so subsequent loads
+    /// report the bytes the cache actually holds. Install the hook before
+    /// running kernels: enabling the shadow invalidates all L1 contents so
+    /// no resident line can predate its payload record.
+    pub fn set_shadow_check(&mut self, check: Box<dyn ShadowCheck>, cfg: ShadowConfig) {
+        for sm in &mut self.sms {
+            sm.l1.enable_payload_shadow();
+        }
+        self.shadow = Some(check);
+        self.shadow_cfg = cfg;
     }
 
     /// Installs the sink that receives watchdog and early-termination
@@ -115,6 +134,8 @@ impl Gpu {
                     kernel,
                     config: &self.config,
                     stats: &mut stats,
+                    shadow: self.shadow.as_deref_mut(),
+                    shadow_every: self.shadow_cfg.structural_every_eps,
                 };
                 sm.handle_fill(ev.addr, ev.cycle.max(cycle), ev.verified, &mut ctx);
             }
@@ -129,6 +150,8 @@ impl Gpu {
                     kernel,
                     config: &self.config,
                     stats: &mut stats,
+                    shadow: self.shadow.as_deref_mut(),
+                    shadow_every: self.shadow_cfg.structural_every_eps,
                 };
                 issued += sm.issue_cycle(cycle, &mut ctx);
             }
@@ -178,6 +201,15 @@ impl Gpu {
                 }
             }
             cycle = target;
+        }
+
+        // Kernel-end checkpoint: every SM's structural invariants must
+        // hold at quiescence regardless of the in-kernel cadence.
+        if let Some(shadow) = &mut self.shadow {
+            for (sm, policy) in self.sms.iter().zip(&self.policies) {
+                let errors = sm.structural_errors(policy.as_ref());
+                shadow.on_checkpoint(sm.id, cycle, ShadowCheckpoint::KernelEnd, &errors);
+            }
         }
 
         stats.cycles = cycle.max(1);

@@ -41,6 +41,7 @@ mod gpu;
 mod ops;
 mod policy;
 mod scheduler;
+mod shadow;
 mod sm;
 mod stats;
 pub mod testing;
@@ -54,6 +55,10 @@ pub use gpu::Gpu;
 pub use ops::{Kernel, Op, OpStream, VecStream};
 pub use policy::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport, UncompressedPolicy};
 pub use scheduler::{SchedulerProbe, WarpScheduler};
+pub use shadow::{
+    roundtrip_stored, ShadowCheck, ShadowCheckpoint, ShadowConfig, ShadowViolation,
+    ShadowViolationKind,
+};
 pub use stats::{AlgoCounts, EpTraceEntry, KernelStats, TerminationReason};
 pub use trace::TraceSink;
 pub use warp::{Warp, WarpState};

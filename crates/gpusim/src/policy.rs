@@ -136,6 +136,18 @@ pub trait L1CompressionPolicy: Send {
     fn current_mode_index(&self) -> Option<usize> {
         None
     }
+
+    /// Verifies the policy's internal invariants (e.g. SC dictionary and
+    /// period-clock consistency) without panicking. Called by the
+    /// shadow-verification checkpoints; stateless policies are trivially
+    /// consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` describing the first violated invariant.
+    fn validate(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// The baseline policy: never compress.

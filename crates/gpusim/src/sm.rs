@@ -12,6 +12,7 @@ use crate::faults::{BitflipOutcome, FaultInjector};
 use crate::ops::{Kernel, Op};
 use crate::policy::{AccessEvent, EpProbe, L1CompressionPolicy};
 use crate::scheduler::WarpScheduler;
+use crate::shadow::{roundtrip_stored, ShadowCheck, ShadowCheckpoint};
 use crate::stats::{EpTraceEntry, KernelStats};
 use crate::warp::{Warp, WarpState};
 use latte_cache::{
@@ -41,6 +42,10 @@ pub(crate) struct MemCtx<'a> {
     pub kernel: &'a dyn Kernel,
     pub config: &'a GpuConfig,
     pub stats: &'a mut KernelStats,
+    /// Differential-verification hook (`None` in normal runs).
+    pub shadow: Option<&'a mut (dyn ShadowCheck + 'static)>,
+    /// Structural-checkpoint cadence in EPs (meaningless without `shadow`).
+    pub shadow_every: u64,
 }
 
 pub(crate) struct Sm {
@@ -62,6 +67,10 @@ pub(crate) struct Sm {
     ep_index: u64,
     ep_start_cycle: Cycles,
     pub barrier_wait: Cycles,
+    /// Mode index at the previous EP boundary (outer `None` until the
+    /// first boundary is seen), for the shadow hook's mode-switch
+    /// checkpoints (tracked only while a hook is installed).
+    last_mode: Option<Option<usize>>,
 }
 
 impl Sm {
@@ -81,6 +90,7 @@ impl Sm {
             ep_index: 0,
             ep_start_cycle: 0,
             barrier_wait: 0,
+            last_mode: None,
         }
     }
 
@@ -130,6 +140,7 @@ impl Sm {
         self.ep_index = 0;
         self.ep_start_cycle = 0;
         self.barrier_wait = 0;
+        self.last_mode = None;
     }
 
     pub(crate) fn all_finished(&self) -> bool {
@@ -288,7 +299,10 @@ impl Sm {
         // flipped bit. A detected flip becomes a decode failure — the hit
         // is re-classified as a miss and the line re-fetched — while a
         // masked flip proceeds as a normal hit. Injection is skipped when
-        // the MSHR could not absorb the resulting miss.
+        // the MSHR could not absorb the resulting miss. With recovery
+        // disabled (a deliberate verification mutation) a detected flip is
+        // consumed anyway and the corrupted bytes flow to the shadow hook.
+        let mut corrupted: Option<latte_compress::CacheLine> = None;
         if let LookupOutcome::Hit {
             algo,
             compressed: true,
@@ -298,20 +312,34 @@ impl Sm {
                 if inj.roll_bitflip() && self.mshr.would_accept(line) {
                     ctx.stats.faults.bitflips_injected += 1;
                     let data = ctx.kernel.line_data(line);
-                    match inj.corrupt_compressed_read(algo, &data) {
-                        BitflipOutcome::Detected => {
+                    match inj.corrupt_compressed_read_observed(algo, &data) {
+                        (BitflipOutcome::Detected, observed) => {
                             ctx.stats.faults.bitflips_detected += 1;
-                            self.l1.on_decode_failure(line);
-                            ctx.policy.on_decode_error(algo);
-                            outcome = LookupOutcome::Miss;
+                            if inj.config().disable_recovery {
+                                corrupted = Some(observed);
+                            } else {
+                                self.l1.on_decode_failure(line);
+                                ctx.policy.on_decode_error(algo);
+                                outcome = LookupOutcome::Miss;
+                            }
                         }
-                        BitflipOutcome::Masked => {
+                        (BitflipOutcome::Masked, _) => {
                             ctx.stats.faults.bitflips_masked += 1;
                         }
                     }
                 }
             }
         }
+        // Snapshot the hit's payload *now*: an EP boundary inside
+        // note_ep_access below may invalidate this very line (SC codebook
+        // rebuild), but the data was read before that — the shadow must
+        // compare what the warp actually received.
+        let observed = match outcome {
+            LookupOutcome::Hit { .. } if ctx.shadow.is_some() => {
+                corrupted.or_else(|| self.l1.payload(line).copied())
+            }
+            _ => None,
+        };
         let set = self.l1.set_of(line);
         let (hit, algo) = match outcome {
             LookupOutcome::Hit { algo, .. } => (true, algo),
@@ -327,6 +355,9 @@ impl Sm {
 
         match outcome {
             LookupOutcome::Hit { algo, compressed } => {
+                if let Some(shadow) = ctx.shadow.as_deref_mut() {
+                    shadow.on_load(self.id, line, observed.as_ref(), cycle);
+                }
                 let mut latency = ctx.config.l1_hit_latency + ctx.config.extra_hit_latency;
                 if compressed {
                     ctx.stats.decompressions.bump(algo);
@@ -459,6 +490,20 @@ impl Sm {
                 compression = Compression::new(latte_compress::CacheLine::SIZE_BYTES - 1);
             }
             self.l1.fill(addr, algo, compression, cycle);
+            if self.l1.payload_shadow_enabled() {
+                // Record what the array actually holds: the encode/decode
+                // round trip under the stored algorithm (fill() downgrades
+                // incompressible lines to an uncompressed store).
+                let stored_algo = if compression.is_compressed() {
+                    algo
+                } else {
+                    latte_compress::CompressionAlgo::None
+                };
+                self.l1.record_payload(addr, roundtrip_stored(stored_algo, &data));
+            }
+            if let Some(shadow) = ctx.shadow.as_deref_mut() {
+                shadow.on_fill(self.id, addr, &data, cycle);
+            }
         }
         self.mshr.release(addr);
         // Fault injection: the wakeup notification is lost (scoreboard
@@ -582,9 +627,43 @@ impl Sm {
                 selected_mode: ctx.policy.current_mode_index(),
             });
         }
+        if ctx.shadow.is_some() {
+            let mode = ctx.policy.current_mode_index();
+            let switched = self.last_mode.is_some_and(|prev| prev != mode);
+            let kind = if switched {
+                ShadowCheckpoint::ModeSwitch
+            } else {
+                ShadowCheckpoint::EpBoundary
+            };
+            let due = switched || self.ep_index.is_multiple_of(ctx.shadow_every.max(1));
+            if due {
+                let errors = self.structural_errors(&*ctx.policy);
+                if let Some(shadow) = ctx.shadow.as_deref_mut() {
+                    shadow.on_checkpoint(self.id, cycle, kind, &errors);
+                }
+            }
+            self.last_mode = Some(mode);
+        }
         self.ep_access_count = 0;
         self.ep_hits = 0;
         self.ep_index += 1;
         self.ep_start_cycle = cycle;
+    }
+
+    /// Collects every structural-invariant failure visible from this SM:
+    /// the compressed L1's tag/capacity/shadow checks, the MSHR bounds,
+    /// and the compression policy's internal-state checks.
+    pub(crate) fn structural_errors(&self, policy: &dyn L1CompressionPolicy) -> Vec<String> {
+        let mut errors = Vec::new();
+        if let Err(e) = self.l1.validate() {
+            errors.push(format!("l1: {e}"));
+        }
+        if let Err(e) = self.mshr.validate() {
+            errors.push(format!("mshr: {e}"));
+        }
+        if let Err(e) = policy.validate() {
+            errors.push(format!("policy: {e}"));
+        }
+        errors
     }
 }

@@ -13,7 +13,15 @@ use crate::lexer::{AllowMarker, LexOutput, Tok, TokKind};
 /// Crates whose code runs *inside* a simulation (anything that can
 /// influence simulated results). The bench driver and this linter are
 /// deliberately not listed: wall-clock timing and stdout are their job.
-pub const SIM_CRATES: &[&str] = &["gpusim", "cache", "compress", "core", "workloads", "energy"];
+pub const SIM_CRATES: &[&str] = &[
+    "gpusim",
+    "cache",
+    "compress",
+    "core",
+    "workloads",
+    "energy",
+    "oracle",
+];
 
 /// How severe a violation is. Every current rule is `Error` (the binary
 /// exits nonzero); the distinction exists so a future rule can be

@@ -164,6 +164,31 @@ fn bdi_bpc_variant_helps_bpc_affine_workloads() {
     );
 }
 
+/// Debug-profile smoke variant of the suite-wide aggregates: the same
+/// "LATTE-CC wins the cache-sensitive mean" claim over a 3-benchmark
+/// mini-suite with relaxed thresholds, cheap enough to run ungated in
+/// every `cargo test`. The mini-suite reuses benchmarks the per-workload
+/// tests above already simulate, so the memoised runner makes this test
+/// nearly free. The full-suite versions stay `--release`-gated.
+#[test]
+fn latte_cc_wins_mini_suite_mean_smoke() {
+    let benches: Vec<_> = ["SS", "BC", "DJK"]
+        .iter()
+        .map(|a| benchmark(a).expect("exists"))
+        .collect();
+    assert!(
+        benches.iter().all(|b| b.category == Category::CSens),
+        "the mini-suite must be drawn from the cache-sensitive set"
+    );
+    let latte = geomean(&speedups(PolicyKind::LatteCc, &benches));
+    let sc = geomean(&speedups(PolicyKind::StaticSc, &benches));
+    assert!(latte > 1.02, "LATTE-CC mini-suite mean {latte:.3}");
+    assert!(
+        latte > sc,
+        "LATTE-CC {latte:.3} must beat Static-SC {sc:.3} on the mini-suite"
+    );
+}
+
 /// §V-A energy: LATTE-CC saves energy on the cache-sensitive mean, more
 /// than Static-SC does.
 #[test]

@@ -7,8 +7,13 @@
 //! * **Deterministic**: every test function derives its RNG seed from its
 //!   module path and name, so failures reproduce exactly across runs and
 //!   machines. There is no persistence file and no `PROPTEST_*` env vars.
-//! * **No shrinking**: a failing case reports the generated inputs via the
-//!   ordinary assertion message instead of minimising them.
+//! * **Greedy shrinking**: when a case fails, [`strategy::Strategy::shrink`]
+//!   candidates (most aggressive first — integer ranges binary-search
+//!   toward their start, vectors truncate before shrinking elements,
+//!   tuples shrink per component) are retried until no candidate still
+//!   fails, then the minimised case is re-run uncaught so the ordinary
+//!   assertion failure reports it. `prop_map` values do not shrink (the
+//!   mapping is not invertible).
 //! * Only the strategy combinators this workspace uses are implemented
 //!   (`any`, ranges, tuples, `prop_map`, `prop_oneof!`, `Just`,
 //!   `prop::collection::vec`).
@@ -91,6 +96,13 @@ pub mod strategy {
         /// Generates one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Shrink candidates for a failing `value`, ordered most
+        /// aggressive first. An empty vector means the value is minimal
+        /// (or the strategy cannot shrink, e.g. after `prop_map`).
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         /// Maps generated values through `f`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
         where
@@ -105,8 +117,38 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+            BoxedStrategy(Box::new(self))
         }
+    }
+
+    /// Pins a property closure's argument type to `S::Value` (the
+    /// `proptest!` macro cannot name that type itself).
+    #[doc(hidden)]
+    pub fn bind_case_fn<S: Strategy, F: Fn(&S::Value)>(_strat: &S, f: F) -> F {
+        f
+    }
+
+    /// Greedily minimises `failing` against `test` (`test` returns `true`
+    /// when the case passes): each round takes the first shrink candidate
+    /// that still fails, until no candidate fails or a step cap is hit.
+    /// Returns the minimised value and the number of accepted steps.
+    pub fn minimize<S: Strategy>(
+        strat: &S,
+        mut failing: S::Value,
+        test: impl Fn(&S::Value) -> bool,
+    ) -> (S::Value, u32) {
+        let mut steps = 0u32;
+        'outer: while steps < 1000 {
+            for candidate in strat.shrink(&failing) {
+                if !test(&candidate) {
+                    failing = candidate;
+                    steps += 1;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (failing, steps)
     }
 
     /// A strategy that always yields a clone of one value.
@@ -134,13 +176,31 @@ pub mod strategy {
         }
     }
 
+    /// Object-safe mirror of [`Strategy`] backing [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+        fn dyn_shrink(&self, value: &T) -> Vec<T>;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+        fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
+        }
+    }
+
     /// A type-erased strategy.
-    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
 
     impl<T> Strategy for BoxedStrategy<T> {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
-            (self.0)(rng)
+            self.0.dyn_generate(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.dyn_shrink(value)
         }
     }
 
@@ -172,6 +232,29 @@ pub mod strategy {
             }
             unreachable!("weights exhausted")
         }
+
+        /// The generating branch is not recorded, so every option is
+        /// asked for candidates; each candidate is a valid value of
+        /// *some* branch, which is all the union promises.
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.options
+                .iter()
+                .flat_map(|(_, s)| s.shrink(value))
+                .collect()
+        }
+    }
+
+    /// Candidates between `start` and `value`, binary-searching toward
+    /// `start`: `start` itself first, then successive halvings of the
+    /// remaining distance, ending at `value - 1`.
+    fn shrink_toward(start: i128, value: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        let mut d = value - start;
+        while d > 0 {
+            out.push(value - d);
+            d /= 2;
+        }
+        out
     }
 
     macro_rules! int_range_strategy {
@@ -184,6 +267,12 @@ pub mod strategy {
                     let off = (u128::from(rng.next_u64()) % span) as i128;
                     (self.start as i128 + off) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
 
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -193,6 +282,12 @@ pub mod strategy {
                     let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
                     let off = (u128::from(rng.next_u64()) % span) as i128;
                     (*self.start() as i128 + off) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_toward(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
                 }
             }
         )*};
@@ -206,6 +301,14 @@ pub mod strategy {
             assert!(self.start < self.end, "empty range strategy");
             self.start + rng.next_f64() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            // Start, then the midpoint; the step cap in `minimize` bounds
+            // the otherwise unbounded float halving.
+            [self.start, self.start + (value - self.start) / 2.0]
+                .into_iter()
+                .filter(|c| c.is_finite() && *c < *value)
+                .collect()
+        }
     }
 
     impl Strategy for core::ops::Range<f32> {
@@ -214,20 +317,41 @@ pub mod strategy {
             assert!(self.start < self.end, "empty range strategy");
             self.start + (rng.next_f64() as f32) * (self.end - self.start)
         }
+        fn shrink(&self, value: &f32) -> Vec<f32> {
+            [self.start, self.start + (value - self.start) / 2.0]
+                .into_iter()
+                .filter(|c| c.is_finite() && *c < *value)
+                .collect()
+        }
     }
 
     macro_rules! tuple_strategy {
         ($(($($s:ident . $idx:tt),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
 
     tuple_strategy! {
+        (A.0)
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
@@ -344,12 +468,40 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.max_exclusive - self.size.min) as u64;
             let len = self.size.min + rng.below(span.max(1)) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Length shrinks first (most aggressive): down to the
+            // minimum, then halfway there, then one element shorter.
+            let min = self.size.min;
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half > min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 > half {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Then per-element shrinks at the same length.
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -394,20 +546,50 @@ macro_rules! __proptest_impl {
             let seed = $crate::test_runner::fnv1a(concat!(
                 module_path!(), "::", stringify!($name)
             ));
+            // All arguments fold into one tuple strategy so a failing
+            // case shrinks across every argument at once.
+            let __strat = ($(($strat),)+);
+            let __run = $crate::strategy::bind_case_fn(&__strat, |__case| {
+                let ($($arg,)+) = ::std::clone::Clone::clone(__case);
+                $body
+            });
             for case in 0..config.cases {
                 let mut rng = $crate::test_runner::TestRng::from_seed(
                     seed ^ (u64::from(case)).wrapping_mul(0x2545_f491_4f6c_dd1d),
                 );
-                $(
-                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
-                )+
-                $body
+                let __value =
+                    $crate::strategy::Strategy::generate(&__strat, &mut rng);
+                let __passed = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { __run(&__value); }),
+                ).is_ok();
+                if !__passed {
+                    // Shrink quietly (candidate re-runs would otherwise
+                    // each print a panic), then re-run the minimised
+                    // case uncaught so the real assertion reports it.
+                    let __hook = ::std::panic::take_hook();
+                    ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                    let (__min, __steps) = $crate::strategy::minimize(
+                        &__strat,
+                        __value,
+                        |__c| ::std::panic::catch_unwind(
+                            ::std::panic::AssertUnwindSafe(|| { __run(__c); }),
+                        ).is_ok(),
+                    );
+                    ::std::panic::set_hook(__hook);
+                    eprintln!(
+                        "proptest {}: case {} failed; minimised after {} shrink step(s): {:?}",
+                        stringify!($name), case, __steps, __min,
+                    );
+                    __run(&__min);
+                    unreachable!("the minimised case no longer fails");
+                }
             }
         }
     )*};
 }
 
-/// Asserts a condition inside a property (no shrinking: plain `assert!`).
+/// Asserts a condition inside a property. Expands to a plain `assert!`;
+/// the runner catches the panic and shrinks the failing case.
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
@@ -476,5 +658,88 @@ mod tests {
         let a = strat.generate(&mut TestRng::from_seed(42));
         let b = strat.generate(&mut TestRng::from_seed(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn int_range_shrinks_toward_start_most_aggressive_first() {
+        use crate::strategy::Strategy;
+        let candidates = (3u32..17).shrink(&16);
+        assert_eq!(candidates.first(), Some(&3), "start comes first");
+        assert_eq!(candidates.last(), Some(&15), "one step back comes last");
+        assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+        assert!(candidates.iter().all(|&c| (3..16).contains(&c)));
+        assert!((3u32..17).shrink(&3).is_empty(), "the start is minimal");
+    }
+
+    #[test]
+    fn vec_shrinks_length_before_elements() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u8..10, 1..5);
+        let candidates = strat.shrink(&vec![7, 8, 9]);
+        assert_eq!(candidates[0], vec![7], "minimum length first");
+        assert!(
+            candidates.iter().any(|c| c.len() == 3 && c[0] < 7),
+            "per-element shrinks at the original length"
+        );
+        assert!(
+            candidates.iter().all(|c| !c.is_empty()),
+            "candidates respect the minimum length"
+        );
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        use crate::strategy::Strategy;
+        let strat = (0u32..100, 0u32..100);
+        for (a, b) in strat.shrink(&(40, 50)) {
+            assert!(
+                (a == 40) != (b == 50),
+                "exactly one component moves per candidate: ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_finds_the_boundary() {
+        let strat = 0u64..1000;
+        // Property "x < 10" first fails at 10: greedy binary-search
+        // shrinking from any failing value must land exactly there.
+        let (min, steps) = crate::strategy::minimize(&strat, 977, |&x| x < 10);
+        assert_eq!(min, 10);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn boxed_strategy_preserves_shrinking() {
+        use crate::strategy::Strategy;
+        let strat = (5u64..500).boxed();
+        assert_eq!(strat.shrink(&6), vec![5]);
+        let (min, _) = crate::strategy::minimize(&strat, 499, |&x| x < 20);
+        assert_eq!(min, 20);
+    }
+
+    // A deliberately failing property, *not* annotated `#[test]`: the
+    // harness test below runs it under `catch_unwind` to check the
+    // end-to-end shrink-then-report path.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        fn failing_property(x in 0u64..1000, pad in prop::collection::vec(any::<u8>(), 0..4)) {
+            let _ = pad;
+            assert!(x < 10, "x too big: {x}");
+        }
+    }
+
+    #[test]
+    fn runner_reports_the_minimised_case() {
+        let result = std::panic::catch_unwind(failing_property);
+        let payload = result.expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(
+            message, "x too big: 10",
+            "the re-raised panic must carry the fully minimised case"
+        );
     }
 }
