@@ -11,6 +11,7 @@
 // whole path-dependency closure.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod codec;
 pub mod driver;
 pub mod experiments;
 pub mod pool;

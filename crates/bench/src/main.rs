@@ -76,6 +76,14 @@ fn usage() -> ! {
     eprintln!("                         instead of refetched (requires an --inject* flag; used to");
     eprintln!("                         demonstrate that --shadow-check catches real corruption)");
     eprintln!("  --debug-decide         print the controller's per-decision trace");
+    eprintln!("  --store <dir>          persist simulation results in a crash-safe store at <dir>;");
+    eprintln!("                         a warm rerun replays every result byte-identically without");
+    eprintln!("                         simulating (corrupt entries are quarantined and recomputed)");
+    eprintln!("  --store-verify         re-simulate every store hit and byte-compare it against");
+    eprintln!("                         the stored record; exit nonzero on any divergence");
+    eprintln!("  --inject-store <rate>  deterministically corrupt store reads at this probability");
+    eprintln!("                         (truncation / bit flip / stale schema / deletion, seeded");
+    eprintln!("                         by --seed; requires --store)");
     eprintln!("  --timings              after the run, print per-experiment / per-simulation");
     eprintln!("                         wall times and the simulation cache's hit statistics\n");
     eprintln!("experiments:");
@@ -93,6 +101,10 @@ struct Options {
     overrides: LatteOverrides,
     timings: bool,
     shadow_check: bool,
+    store_dir: Option<std::path::PathBuf>,
+    store_verify: bool,
+    inject_store_rate: Option<f64>,
+    seed: u64,
 }
 
 fn default_jobs() -> usize {
@@ -120,6 +132,9 @@ fn parse_options(args: &mut Vec<String>) -> Options {
     let mut timings = false;
     let mut shadow_check = false;
     let mut no_fault_recovery = false;
+    let mut store_dir: Option<std::path::PathBuf> = None;
+    let mut store_verify = false;
+    let mut inject_store_rate: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         let take_value = |args: &mut Vec<String>, i: usize, flag: &str| -> String {
@@ -213,6 +228,20 @@ fn parse_options(args: &mut Vec<String>) -> Options {
                 overrides.debug_decide = true;
                 args.remove(i);
             }
+            "--store" => {
+                let v = take_value(args, i, "--store");
+                store_dir = Some(std::path::PathBuf::from(v));
+                args.remove(i);
+            }
+            "--store-verify" => {
+                store_verify = true;
+                args.remove(i);
+            }
+            "--inject-store" => {
+                let v = take_value(args, i, "--inject-store");
+                inject_store_rate = Some(parse_rate("--inject-store", &v));
+                args.remove(i);
+            }
             "--timings" => {
                 timings = true;
                 args.remove(i);
@@ -241,12 +270,20 @@ fn parse_options(args: &mut Vec<String>) -> Options {
         eprintln!("--no-fault-recovery only makes sense with an --inject* flag\n");
         usage();
     }
+    if (inject_store_rate.is_some() || store_verify) && store_dir.is_none() {
+        eprintln!("--inject-store / --store-verify require --store <dir>\n");
+        usage();
+    }
     Options {
         jobs,
         faults,
         overrides,
         timings,
         shadow_check,
+        store_dir,
+        store_verify,
+        inject_store_rate,
+        seed,
     }
 }
 
@@ -297,6 +334,44 @@ fn main() {
         latte_bench::set_shadow_check(true);
         println!("[shadow check on: every simulation runs against the differential oracle]");
     }
+    if let Some(dir) = &opts.store_dir {
+        let mut config = latte_store::StoreConfig::at(dir.clone());
+        if let Some(rate) = opts.inject_store_rate {
+            config.faults = Some(latte_store::StoreFaultConfig {
+                seed: opts.seed,
+                rate,
+            });
+            println!("[store fault injection on: rate {rate:e}, seed {}]", opts.seed);
+        }
+        match latte_bench::sim::configure_store(config) {
+            Ok(report) => {
+                for warning in &report.warnings {
+                    eprintln!("latte-bench: warning: {warning}");
+                }
+                if report.disk_enabled {
+                    let r = report.recovery;
+                    println!(
+                        "[store at {} — recovery: {} torn removed, {} adopted, \
+                         {} quarantined, {} missing dropped{}]",
+                        dir.display(),
+                        r.torn_removed,
+                        r.adopted,
+                        r.quarantined,
+                        r.missing_dropped,
+                        if r.index_rebuilt { ", index rebuilt" } else { "" }
+                    );
+                }
+            }
+            Err(err) => {
+                eprintln!("latte-bench: {err}");
+                std::process::exit(2);
+            }
+        }
+        if opts.store_verify {
+            latte_bench::sim::set_store_verify(true);
+            println!("[store verify on: every store hit is re-simulated and byte-compared]");
+        }
+    }
     if args.is_empty() {
         usage();
     }
@@ -317,10 +392,13 @@ fn main() {
     };
     latte_bench::timing::set_report_enabled(opts.timings);
     let (failed, outcomes) = latte_bench::run_experiments_with_outcomes(&selected, opts.jobs);
+    // Make every pending store write durable (and its counters final)
+    // before the timing report reads them.
+    latte_bench::sim::shutdown_store();
     if opts.timings {
         let experiments: Vec<(&str, f64)> =
             outcomes.iter().map(|o| (o.name, o.secs)).collect();
-        latte_bench::timing::print_report(&experiments, latte_bench::sim::stats());
+        latte_bench::timing::print_report(&experiments, &latte_bench::sim::stats());
     }
     // The service's "each unique simulation ran exactly once" contract is
     // cheap to check and load-bearing for both correctness and the perf
@@ -328,6 +406,16 @@ fn main() {
     if let Err(violation) = latte_bench::sim::verify_each_sim_ran_once() {
         eprintln!("latte-bench: {violation}");
         std::process::exit(1);
+    }
+    if opts.store_verify {
+        let verify_failures = latte_bench::sim::stats().verify_failures;
+        if verify_failures > 0 {
+            eprintln!(
+                "latte-bench: --store-verify found {verify_failures} stored record(s) \
+                 diverging from a fresh recompute — see the [store-verify] lines above"
+            );
+            std::process::exit(1);
+        }
     }
     if opts.shadow_check {
         let tally = latte_bench::shadow_tally();

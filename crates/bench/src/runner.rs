@@ -334,6 +334,31 @@ pub fn run_benchmark_uncached(
     run_instrumented(policy, bench, config, shadow_check_enabled(), true)
 }
 
+/// Uncached run that does **not** count toward the process-wide shadow
+/// tally. This is the store-verify recompute path: the stored result it
+/// is compared against already tallied (either at its original compute
+/// or via [`tally_shadow_replay`] when it was loaded), so tallying the
+/// comparison run too would double-count the simulation.
+#[must_use]
+pub(crate) fn run_benchmark_untallied(
+    policy: PolicyKind,
+    bench: &BenchmarkSpec,
+    config: &GpuConfig,
+) -> BenchResult {
+    run_instrumented(policy, bench, config, shadow_check_enabled(), false)
+}
+
+/// Folds a shadow report revived from the persistent result store into
+/// the process-wide tally. A store hit must be observationally identical
+/// to a cold compute, and the cold compute would have tallied — so the
+/// warm process tallies the stored report instead.
+pub(crate) fn tally_shadow_replay(report: &OracleReport) {
+    SHADOW_SIMS.fetch_add(1, Ordering::SeqCst);
+    SHADOW_LOADS.fetch_add(report.loads_checked, Ordering::SeqCst);
+    SHADOW_CHECKPOINTS.fetch_add(report.checkpoints, Ordering::SeqCst);
+    SHADOW_VIOLATIONS.fetch_add(report.violations_total, Ordering::SeqCst);
+}
+
 /// Runs `bench` under `policy` with the oracle shadow check attached,
 /// regardless of the `--shadow-check` flag, bypassing the memo cache.
 /// This is the entry point for the `verify` experiment and the

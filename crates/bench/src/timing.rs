@@ -77,11 +77,13 @@ pub fn take_sim_times() -> Vec<(String, f64)> {
 
 /// Prints the `--timings` report to stdout: per-experiment wall time
 /// (slowest first), then per-sim-job compute time, then the simulation
-/// cache's request/hit/compute counters.
+/// cache's counters (split by tier: in-process replay vs store memory
+/// vs store disk vs computed), then — when a persistent store is
+/// configured — the store's write/quarantine/fault counters.
 ///
 /// `experiments` is `(name, secs)` per completed experiment; `cache` is
-/// `(requests, hits, computed)` from the simulation service.
-pub fn print_report(experiments: &[(&str, f64)], cache: (u64, u64, u64)) {
+/// the simulation service's counters.
+pub fn print_report(experiments: &[(&str, f64)], cache: &crate::sim::SimStats) {
     let mut exps: Vec<&(&str, f64)> = experiments.iter().collect();
     exps.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
 
@@ -108,15 +110,56 @@ pub fn print_report(experiments: &[(&str, f64)], cache: (u64, u64, u64)) {
         println!("  ... and {} more under {:.2}s", sims.len() - SHOWN, sims[SHOWN - 1].1);
     }
 
-    let (requests, hits, computed) = cache;
-    let pct = if requests == 0 {
+    let pct = if cache.requests == 0 {
         0.0
     } else {
-        100.0 * hits as f64 / requests as f64
+        100.0 * cache.hits() as f64 / cache.requests as f64
     };
     println!(
-        "sim cache: {requests} requests, {hits} hits ({pct:.0}%), {computed} computed"
+        "sim cache: {} requests, {} hits ({pct:.0}%): {} memory, {} store-memory, \
+         {} store-disk; {} computed",
+        cache.requests,
+        cache.hits(),
+        cache.replay_hits,
+        cache.store_mem_hits,
+        cache.store_disk_hits,
+        cache.computed
     );
+    if cache.recomputed > 0 || cache.spills > 0 {
+        println!(
+            "sim cache: {} spilled to store, {} recomputed after a lost spill",
+            cache.spills, cache.recomputed
+        );
+    }
+
+    if let Some(store) = crate::sim::store_stats() {
+        println!(
+            "store: {} durable writes, {} dropped, {} write failures; {} quarantined, \
+             {} missing, {} adopted, {} torn removed",
+            store.durable_writes,
+            store.dropped_writes,
+            store.write_failures,
+            store.quarantined,
+            store.missing,
+            store.adopted,
+            store.torn_removed
+        );
+        println!(
+            "store: hot tier {} hits, {} admission-rejected, {} evicted; \
+             disk tier {} reads; {} fault(s) injected",
+            store.mem_hits,
+            store.admission_rejects,
+            store.evictions,
+            store.disk_hits,
+            store.injected_faults
+        );
+    }
+    if cache.verify_failures > 0 {
+        println!(
+            "store verify: {} stored record(s) diverged from recompute",
+            cache.verify_failures
+        );
+    }
 
     let shadow = crate::runner::shadow_tally();
     if shadow.sims > 0 {

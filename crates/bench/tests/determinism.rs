@@ -66,10 +66,10 @@ fn parallel_warm_cache_run_is_byte_identical_to_serial_cold_run() {
     // atomically overwrites the first's files.
     let dir = fresh_dir("runs");
     set_results_dir(Some(dir.clone()));
-    let (_, _, computed_before) = sim::stats();
+    let computed_before = sim::stats().computed;
     let (failed, serial_outcomes) = run_experiments_with_outcomes(&selected, 1);
     assert_eq!(failed, 0, "serial run must succeed");
-    let (_, _, computed_cold) = sim::stats();
+    let computed_cold = sim::stats().computed;
     assert!(
         computed_cold > computed_before,
         "the cheap subset must run real simulations"
@@ -80,7 +80,7 @@ fn parallel_warm_cache_run_is_byte_identical_to_serial_cold_run() {
     set_results_dir(None);
     assert_eq!(failed, 0, "parallel run must succeed");
     let parallel = snapshot(&dir);
-    let (_, _, computed_warm) = sim::stats();
+    let computed_warm = sim::stats().computed;
     assert_eq!(
         computed_warm, computed_cold,
         "a warm-cache re-run must not recompute any simulation"

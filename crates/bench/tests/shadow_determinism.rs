@@ -56,13 +56,13 @@ fn shadow_checked_parallel_warm_run_matches_serial_cold_run() {
     assert!(tally.sims > 0, "shadow-checked runs must be tallied");
     assert!(tally.loads_checked > 0, "the oracle must compare real loads");
     assert_eq!(tally.violations, 0, "clean experiments must verify clean");
-    let (_, _, computed_cold) = sim::stats();
+    let computed_cold = sim::stats().computed;
 
     let (failed, parallel_outcomes) = run_experiments_with_outcomes(&selected, 2);
     set_results_dir(None);
     assert_eq!(failed, 0, "parallel shadow-checked run must succeed");
     let parallel = snapshot(&dir);
-    let (_, _, computed_warm) = sim::stats();
+    let computed_warm = sim::stats().computed;
     assert_eq!(
         computed_warm, computed_cold,
         "warm-cache shadow-checked re-run must not recompute any simulation"

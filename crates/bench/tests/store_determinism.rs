@@ -1,0 +1,154 @@
+//! End-to-end persistent-store determinism, driven through the real
+//! `latte-bench` binary so cold and warm runs are genuinely separate
+//! processes (nothing in-process can leak between them):
+//!
+//! 1. A cold `--store` run computes and persists every simulation.
+//! 2. A warm rerun computes **zero** simulations and writes
+//!    byte-identical result CSVs.
+//! 3. Corrupting a segment on disk costs exactly one quarantine and one
+//!    recompute — never a wrong answer, never a nonzero exit.
+//! 4. A `--inject-store` run (seeded, high rate) still exits 0 with
+//!    byte-identical results.
+//! 5. A `--store-verify` rerun re-simulates every hit, finds no
+//!    divergence, and exits 0.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct Runs {
+    work: PathBuf,
+    store: PathBuf,
+}
+
+fn setup(tag: &str) -> Runs {
+    let base = std::env::temp_dir().join(format!(
+        "latte-bench-store-determinism-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&base);
+    let work = base.join("work");
+    let store = base.join("store");
+    fs::create_dir_all(&work).expect("create work dir");
+    Runs { work, store }
+}
+
+/// Runs the real binary in `work` and returns (exit code, stdout).
+fn run_bench(runs: &Runs, extra: &[&str]) -> (i32, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_latte-bench"));
+    cmd.current_dir(&runs.work)
+        .arg("--store")
+        .arg(&runs.store)
+        .arg("--timings")
+        .args(extra)
+        .arg("fig1");
+    let out = cmd.output().expect("spawn latte-bench");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Every results CSV as `name -> bytes`.
+fn snapshot_results(runs: &Runs) -> BTreeMap<String, Vec<u8>> {
+    let dir = runs.work.join("results");
+    let mut map = BTreeMap::new();
+    for entry in fs::read_dir(&dir).expect("results dir exists").flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        map.insert(name, fs::read(entry.path()).expect("read result file"));
+    }
+    assert!(!map.is_empty(), "fig1 must write at least one results file");
+    map
+}
+
+/// The `sim cache: ...` line of a `--timings` report.
+fn sim_cache_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("sim cache:"))
+        .unwrap_or_else(|| panic!("no sim cache line in:\n{stdout}"))
+}
+
+fn store_line(stdout: &str) -> &str {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("store:") && l.contains("quarantined"))
+        .unwrap_or_else(|| panic!("no store line in:\n{stdout}"))
+}
+
+fn first_segment(store: &Path) -> PathBuf {
+    fs::read_dir(store.join("segments"))
+        .expect("segments dir")
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "rec"))
+        .expect("at least one segment")
+}
+
+#[test]
+fn warm_store_replays_byte_identically_and_survives_corruption() {
+    let runs = setup("e2e");
+
+    // 1. Cold: everything computes, everything persists.
+    let (code, stdout) = run_bench(&runs, &[]);
+    assert_eq!(code, 0, "cold run failed:\n{stdout}");
+    assert!(
+        !sim_cache_line(&stdout).contains(" 0 computed"),
+        "cold run must compute: {}",
+        sim_cache_line(&stdout)
+    );
+    let cold = snapshot_results(&runs);
+
+    // 2. Warm: a fresh process computes nothing and reproduces every
+    //    byte from the store alone.
+    let (code, stdout) = run_bench(&runs, &[]);
+    assert_eq!(code, 0, "warm run failed:\n{stdout}");
+    assert!(
+        sim_cache_line(&stdout).contains(" 0 computed"),
+        "warm run must compute nothing: {}",
+        sim_cache_line(&stdout)
+    );
+    assert_eq!(snapshot_results(&runs), cold, "warm run must be byte-identical");
+
+    // 3. Corruption: truncate one segment mid-record. The damaged entry
+    //    is quarantined and recomputed; output is still byte-identical.
+    let victim = first_segment(&runs.store);
+    let bytes = fs::read(&victim).expect("read victim segment");
+    fs::write(&victim, &bytes[..bytes.len() / 2]).expect("truncate victim");
+    let (code, stdout) = run_bench(&runs, &[]);
+    assert_eq!(code, 0, "corrupted-store run failed:\n{stdout}");
+    assert!(
+        store_line(&stdout).contains("1 quarantined"),
+        "exactly the damaged record is quarantined: {}",
+        store_line(&stdout)
+    );
+    assert_eq!(
+        snapshot_results(&runs),
+        cold,
+        "corruption may cost a recompute, never a different answer"
+    );
+    let quarantine = runs.store.join("quarantine");
+    assert!(
+        fs::read_dir(&quarantine).map(|d| d.count() > 0).unwrap_or(false),
+        "quarantined record is preserved for inspection"
+    );
+
+    // 4. Seeded store fault injection: reads are being actively
+    //    corrupted and the run still exits 0 with identical bytes.
+    let (code, stdout) = run_bench(&runs, &["--inject-store", "0.5", "--seed", "7"]);
+    assert_eq!(code, 0, "--inject-store run failed:\n{stdout}");
+    assert_eq!(
+        snapshot_results(&runs),
+        cold,
+        "fault injection must never change results"
+    );
+
+    // 5. Store-verify: every surviving record byte-matches a fresh
+    //    recompute.
+    let (code, stdout) = run_bench(&runs, &["--store-verify"]);
+    assert_eq!(code, 0, "--store-verify run failed:\n{stdout}");
+    assert_eq!(snapshot_results(&runs), cold);
+
+    let _ = fs::remove_dir_all(runs.work.parent().expect("base dir"));
+}

@@ -18,6 +18,17 @@
 //! floats are folded via their IEEE-754 bit patterns so `-0.0`/`0.0`
 //! and NaN payloads are distinguished rather than conflated.
 
+/// Version of the fingerprint *schema*: the set and order of fields the
+/// simulation key folds, plus the serialized-result layout persistent
+/// stores key on. Bump this whenever a change makes previously computed
+/// results incomparable with fresh ones — a new config field entering
+/// the fingerprint, a semantic change to an existing field, or a change
+/// to the on-disk result encoding. Keys salted with different schema
+/// versions never collide, so a persistent result store written by an
+/// older build simply misses (and re-records) instead of serving stale
+/// results under a new meaning.
+pub const FINGERPRINT_SCHEMA_VERSION: u64 = 2;
+
 /// Accumulates a stable 128-bit fingerprint from a stream of typed
 /// field writes.
 ///
@@ -61,6 +72,19 @@ impl Fingerprinter {
             fnv: FNV_OFFSET,
             mix: 0x5851_f42d_4c95_7f2d,
         }
+    }
+
+    /// A fingerprinter pre-seeded with [`FINGERPRINT_SCHEMA_VERSION`]
+    /// and a caller-chosen domain string. Keys derived through different
+    /// domains (or different schema versions) live in disjoint key
+    /// spaces, which is what lets a persistent store mix record
+    /// generations in one directory without ever aliasing them.
+    #[must_use]
+    pub fn salted(domain: &str) -> Fingerprinter {
+        let mut fp = Fingerprinter::new();
+        fp.write_u64(FINGERPRINT_SCHEMA_VERSION);
+        fp.write_str(domain);
+        fp
     }
 
     /// Folds one 64-bit value into both accumulators.
@@ -138,6 +162,17 @@ impl Default for Fingerprinter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn salted_domains_are_disjoint() {
+        let a = Fingerprinter::salted("store/a").finish();
+        let b = Fingerprinter::salted("store/b").finish();
+        let plain = Fingerprinter::new().finish();
+        assert_ne!(a, b);
+        assert_ne!(a, plain);
+        // Same domain => same starting state.
+        assert_eq!(a, Fingerprinter::salted("store/a").finish());
+    }
 
     #[test]
     fn equal_streams_agree_and_order_matters() {

@@ -50,7 +50,7 @@ mod warp;
 
 pub use config::{GpuConfig, SchedulerKind};
 pub use faults::{BitflipOutcome, FaultConfig, FaultInjector, FaultStats};
-pub use fingerprint::Fingerprinter;
+pub use fingerprint::{Fingerprinter, FINGERPRINT_SCHEMA_VERSION};
 pub use gpu::Gpu;
 pub use ops::{Kernel, Op, OpStream, VecStream};
 pub use policy::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport, UncompressedPolicy};

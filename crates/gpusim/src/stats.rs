@@ -66,6 +66,12 @@ impl AlgoCounts {
         self.counts[Self::index(algo)] += 1;
     }
 
+    /// Adds `n` to the counter for `algo` (used when reconstructing
+    /// counts from a serialized record).
+    pub fn add(&mut self, algo: CompressionAlgo, n: u64) {
+        self.counts[Self::index(algo)] += n;
+    }
+
     /// The count for `algo`.
     #[must_use]
     pub fn get(&self, algo: CompressionAlgo) -> u64 {

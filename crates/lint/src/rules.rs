@@ -100,6 +100,16 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Error,
     },
     RuleInfo {
+        id: "F1",
+        title: "non-atomic file writes in bench/store code must use temp+rename",
+        rationale: "File::create / fs::write / OpenOptions aimed at a final path can leave a \
+                    torn file behind a crash; results and store segments are contracts with \
+                    the *next* run, so they must be written to a temp name in the same \
+                    directory and renamed into place (the sites that implement exactly that \
+                    pattern carry a justified allow marker)",
+        severity: Severity::Error,
+    },
+    RuleInfo {
         id: "A0",
         title: "allow markers must be well-formed and carry a nonempty reason",
         rationale: "a suppression is a claim about the code; an unjustified or malformed \
@@ -321,6 +331,34 @@ pub fn check(path: &str, src: &str, lexed: &LexOutput, ctx: &FileContext) -> Vec
                         report(
                             "P1",
                             format!("`.{name}()` in non-test code; propagate the error or handle the None/Err case"),
+                        );
+                    }
+                }
+
+                // F1: non-atomic file writes in the two crates whose
+                // files a later run depends on (results CSVs, store
+                // segments). `::` lexes as two ':' puncts.
+                let writes_durable_files =
+                    matches!(ctx.crate_name.as_deref(), Some("bench" | "store"));
+                if writes_durable_files && in_code && !in_test {
+                    let prev_path_seg = |seg: &str| -> bool {
+                        i >= 3
+                            && toks[i - 1].is_punct(':')
+                            && toks[i - 2].is_punct(':')
+                            && toks[i - 3].ident() == Some(seg)
+                    };
+                    if (name == "create" && prev_path_seg("File"))
+                        || (name == "write" && prev_path_seg("fs"))
+                        || (name == "OpenOptions" && next_punct(':'))
+                    {
+                        report(
+                            "F1",
+                            format!(
+                                "`{name}` writes a file directly in crate `{}`; write to a temp \
+                                 name and rename into place, or justify the site with an allow \
+                                 marker",
+                                crate_label(ctx)
+                            ),
                         );
                     }
                 }

@@ -1,0 +1,19 @@
+//! F1 fixture: every non-atomic file-write idiom the rule catches, as
+//! it would appear in bench/store library code.
+
+use std::fs;
+use std::fs::File;
+
+fn dump_results(path: &std::path::Path, body: &str) -> std::io::Result<()> {
+    // Direct write to the final path: a crash here leaves a torn file.
+    fs::write(path, body)?;
+    Ok(())
+}
+
+fn open_final(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+fn append_log(path: &std::path::Path) -> std::io::Result<File> {
+    fs::OpenOptions::new().append(true).open(path)
+}

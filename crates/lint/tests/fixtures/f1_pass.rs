@@ -1,0 +1,29 @@
+//! F1 fixture: writes that are fine — justified allow markers on a real
+//! temp+rename implementation, read-only file APIs, and test code.
+
+use std::fs;
+
+fn write_atomically(dir: &std::path::Path, name: &str, body: &str) -> std::io::Result<()> {
+    let path = dir.join(name);
+    let tmp = dir.join(format!(".{name}.tmp"));
+    // latte-lint: allow(F1, reason = "writes the temp name; the next line renames it over the final path")
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, &path)
+}
+
+fn read_back(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    // Reads are not writes; fs::read and friends never fire.
+    fs::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::fs;
+
+    #[test]
+    fn tests_may_write_scratch_files_directly() {
+        let p = std::env::temp_dir().join("f1-fixture-scratch");
+        fs::write(&p, b"scratch").unwrap();
+        let _ = fs::remove_file(&p);
+    }
+}

@@ -112,6 +112,47 @@ fn p1_fallible_code_and_test_unwraps_pass() {
 }
 
 #[test]
+fn f1_non_atomic_writes_in_store_code_fire() {
+    let violations = scan_source(
+        "crates/store/src/fixture.rs",
+        include_str!("fixtures/f1_fail.rs"),
+    );
+    let f1 = violations.iter().filter(|v| v.rule == "F1").count();
+    // fs::write, File::create, and fs::OpenOptions::new each fire once.
+    assert_eq!(f1, 3, "{violations:?}");
+}
+
+#[test]
+fn f1_temp_rename_and_reads_and_tests_pass() {
+    let violations = scan_source(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/f1_pass.rs"),
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn f1_does_not_apply_outside_bench_and_store() {
+    let violations = scan_source(
+        "crates/gpusim/src/fixture.rs",
+        include_str!("fixtures/f1_fail.rs"),
+    );
+    assert!(
+        violations.iter().all(|v| v.rule != "F1"),
+        "sim crates never write files; F1 is scoped to bench/store: {violations:?}"
+    );
+}
+
+#[test]
+fn f1_does_not_apply_to_test_targets() {
+    let violations = scan_source(
+        "crates/store/tests/fixture.rs",
+        include_str!("fixtures/f1_fail.rs"),
+    );
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
 fn a0_markers_without_reasons_fire_and_do_not_suppress() {
     let violations = scan_source(
         "crates/gpusim/src/fixture.rs",

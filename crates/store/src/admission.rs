@@ -1,0 +1,328 @@
+//! The in-memory hot tier: a bounded byte-budget cache with
+//! TinyLFU-style admission.
+//!
+//! Plain LRU caches are defenseless against scans: a sweep of
+//! once-requested keys evicts the whole working set. TinyLFU fixes this
+//! with an *admission* policy — a new entry only displaces the LRU
+//! victim if its estimated access frequency is higher — backed by a
+//! tiny count-min sketch with periodic halving so estimates age out.
+//! (The design follows the cacheD / Caffeine lineage; this is a small,
+//! dependency-free re-derivation, not a port.)
+//!
+//! Determinism note: the tier only decides *where* bytes are served
+//! from, never what they are. Admission and eviction decisions may
+//! depend on request order (which varies under the parallel driver),
+//! and that is fine — a rejected entry is simply re-read from disk or
+//! recomputed, producing identical bytes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Four sketch rows; the classic count-min depth.
+const SKETCH_ROWS: usize = 4;
+/// Counters saturate here; halving keeps them fresh.
+const COUNTER_MAX: u8 = 15;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A count-min sketch of access frequencies over `u128` keys, with
+/// 4-bit-equivalent saturating counters and sample-triggered halving.
+#[derive(Debug)]
+pub struct FrequencySketch {
+    /// `SKETCH_ROWS` rows of `width` counters each, flattened.
+    counters: Vec<u8>,
+    /// Power-of-two row width minus one (mask).
+    mask: usize,
+    /// Increments since the last halving.
+    additions: u64,
+    /// Halve all counters when `additions` reaches this.
+    sample_cap: u64,
+}
+
+impl FrequencySketch {
+    /// A sketch sized for roughly `capacity_hint` resident entries.
+    #[must_use]
+    pub fn new(capacity_hint: usize) -> FrequencySketch {
+        let width = capacity_hint.max(16).next_power_of_two() * 4;
+        FrequencySketch {
+            counters: vec![0; width * SKETCH_ROWS],
+            mask: width - 1,
+            additions: 0,
+            sample_cap: (width as u64) * 10,
+        }
+    }
+
+    fn slot(&self, key: u128, row: usize) -> usize {
+        // Mix both key halves with a per-row seed so rows are
+        // independent hash functions.
+        let h = splitmix((key as u64) ^ splitmix((key >> 64) as u64 ^ (row as u64).wrapping_mul(0x9e37)));
+        row * (self.mask + 1) + (h as usize & self.mask)
+    }
+
+    /// Records one access.
+    pub fn record(&mut self, key: u128) {
+        let mut bumped = false;
+        for row in 0..SKETCH_ROWS {
+            let slot = self.slot(key, row);
+            if self.counters[slot] < COUNTER_MAX {
+                self.counters[slot] += 1;
+                bumped = true;
+            }
+        }
+        if bumped {
+            self.additions += 1;
+            if self.additions >= self.sample_cap {
+                self.halve();
+            }
+        }
+    }
+
+    /// The frequency estimate for `key` (min over rows).
+    #[must_use]
+    pub fn estimate(&self, key: u128) -> u8 {
+        (0..SKETCH_ROWS)
+            .map(|row| self.counters[self.slot(key, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Ages every counter so stale popularity decays.
+    fn halve(&mut self) {
+        for c in &mut self.counters {
+            *c >>= 1;
+        }
+        self.additions /= 2;
+    }
+}
+
+/// Counters the tier exposes for the `--timings` report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTierStats {
+    /// Lookups served from the tier.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserted: u64,
+    /// Candidates the admission policy turned away.
+    pub admission_rejects: u64,
+    /// Resident entries evicted to make room.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    /// Logical touch time, key into `lru`.
+    touch: u64,
+}
+
+/// The bounded hot tier: key → serialized record payload.
+#[derive(Debug)]
+pub struct MemTier {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<u128, Entry>,
+    /// Recency order: logical touch time → key. `u64` touches never
+    /// collide (one per operation) and never wrap in practice.
+    lru: BTreeMap<u64, u128>,
+    clock: u64,
+    sketch: FrequencySketch,
+    stats: MemTierStats,
+}
+
+impl MemTier {
+    /// A tier bounded at `capacity_bytes` of payload.
+    #[must_use]
+    pub fn new(capacity_bytes: usize) -> MemTier {
+        MemTier {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+            sketch: FrequencySketch::new(1024),
+            stats: MemTierStats::default(),
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up `key`, recording the access in the frequency sketch
+    /// either way (misses inform future admission decisions).
+    pub fn get(&mut self, key: u128) -> Option<Arc<Vec<u8>>> {
+        self.sketch.record(key);
+        let tick = self.tick();
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                self.lru.remove(&entry.touch);
+                entry.touch = tick;
+                self.lru.insert(tick, key);
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.bytes))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offers `key` to the tier. TinyLFU admission: the candidate only
+    /// displaces resident entries whose estimated frequency it beats;
+    /// otherwise it is rejected and the caller keeps serving it from
+    /// the tier below. Returns whether the entry was admitted.
+    pub fn insert(&mut self, key: u128, bytes: Arc<Vec<u8>>) -> bool {
+        let len = bytes.len();
+        if len > self.capacity_bytes {
+            self.stats.admission_rejects += 1;
+            return false;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            // Refresh in place — replacing our own entry needs no vote.
+            self.used_bytes -= old.bytes.len();
+            self.lru.remove(&old.touch);
+        }
+        while self.used_bytes + len > self.capacity_bytes {
+            let Some((&victim_touch, &victim_key)) = self.lru.iter().next() else {
+                break;
+            };
+            if self.sketch.estimate(key) > self.sketch.estimate(victim_key) {
+                self.lru.remove(&victim_touch);
+                if let Some(evicted) = self.entries.remove(&victim_key) {
+                    self.used_bytes -= evicted.bytes.len();
+                }
+                self.stats.evictions += 1;
+            } else {
+                // The coldest resident is still hotter than the
+                // candidate: keep the working set, reject the newcomer.
+                self.stats.admission_rejects += 1;
+                return false;
+            }
+        }
+        let touch = self.tick();
+        self.used_bytes += len;
+        self.entries.insert(key, Entry { bytes, touch });
+        self.lru.insert(touch, key);
+        self.stats.inserted += 1;
+        true
+    }
+
+    /// Payload bytes currently resident.
+    #[must_use]
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Resident entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> MemTierStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xAB; n])
+    }
+
+    #[test]
+    fn stores_and_serves_within_budget() {
+        let mut tier = MemTier::new(1000);
+        assert!(tier.insert(1, bytes(400)));
+        assert!(tier.insert(2, bytes(400)));
+        assert!(tier.get(1).is_some());
+        assert!(tier.get(2).is_some());
+        assert_eq!(tier.used_bytes(), 800);
+        assert_eq!(tier.len(), 2);
+    }
+
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let mut tier = MemTier::new(100);
+        assert!(!tier.insert(1, bytes(101)));
+        assert!(tier.is_empty());
+    }
+
+    #[test]
+    fn hot_entries_survive_a_cold_scan() {
+        let mut tier = MemTier::new(1000);
+        tier.insert(1, bytes(900));
+        // Make key 1 hot.
+        for _ in 0..10 {
+            assert!(tier.get(1).is_some());
+        }
+        // A scan of cold keys must not displace it.
+        for cold in 100..120u128 {
+            tier.insert(cold, bytes(900));
+            assert!(tier.get(1).is_some(), "hot key evicted by cold key {cold}");
+        }
+        assert!(tier.stats().admission_rejects > 0);
+    }
+
+    #[test]
+    fn a_hotter_candidate_does_evict() {
+        let mut tier = MemTier::new(1000);
+        tier.insert(1, bytes(900));
+        // Key 2 becomes hotter than key 1 (misses still train the
+        // sketch).
+        for _ in 0..12 {
+            let _ = tier.get(2);
+        }
+        assert!(tier.insert(2, bytes(900)), "hotter candidate must be admitted");
+        assert!(tier.get(1).is_none(), "colder resident must be gone");
+        assert_eq!(tier.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut tier = MemTier::new(1000);
+        tier.insert(1, bytes(600));
+        assert!(tier.insert(1, bytes(700)), "self-replacement needs no vote");
+        assert_eq!(tier.used_bytes(), 700);
+        assert_eq!(tier.len(), 1);
+    }
+
+    #[test]
+    fn sketch_estimates_grow_and_age() {
+        let mut sketch = FrequencySketch::new(16);
+        assert_eq!(sketch.estimate(7), 0);
+        for _ in 0..5 {
+            sketch.record(7);
+        }
+        assert!(sketch.estimate(7) >= 4, "got {}", sketch.estimate(7));
+        sketch.halve();
+        assert!(sketch.estimate(7) <= 3);
+    }
+
+    #[test]
+    fn eviction_loop_terminates_when_lru_is_empty() {
+        let mut tier = MemTier::new(10);
+        // Insert cannot fit but entries/lru are empty: must not spin.
+        assert!(tier.insert(1, bytes(10)));
+        assert_eq!(tier.used_bytes(), 10);
+    }
+}
