@@ -48,10 +48,13 @@ fn bench_compressors(c: &mut Criterion) {
 }
 
 /// The simulator's per-access hot path: every L1 fill sizes the line
-/// under one compressor via `compress()`, which drives the
-/// allocation-free `BitCounter` sink. Benchmarked as a whole mixed
-/// stream per iteration — the shape the cache model actually produces —
-/// so this number tracks the scratch-reuse/no-alloc work directly.
+/// under one compressor via the size-only `probe()` stage. Benchmarked
+/// as a whole mixed stream per iteration — the shape the cache model
+/// actually produces — so this number tracks the staged/no-alloc work
+/// directly. The `*_full_encode` entries run the payload-materialising
+/// `BitWriter` path over the same stream: the probe/encode gap is the
+/// point of the staging split. The `*_probe_batch` entries size the
+/// stream through one batched call (per-burst setup amortised).
 fn bench_hot_path_stream(c: &mut Criterion) {
     let mut stream: Vec<CacheLine> = Vec::new();
     for profile in [
@@ -81,12 +84,43 @@ fn bench_hot_path_stream(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0usize;
                 for line in &stream {
-                    total += black_box(algo.compress(black_box(line))).size_bytes();
+                    total += black_box(algo.probe(black_box(line))).size_bytes();
                 }
                 black_box(total)
             });
         });
     }
+    for (name, algo) in &algos {
+        group.bench_function(format!("{name}_probe_batch"), |b| {
+            let mut sizes = Vec::with_capacity(stream.len());
+            b.iter(|| {
+                sizes.clear();
+                algo.probe_batch(black_box(&stream), &mut sizes);
+                let total: usize = sizes.iter().map(|c| c.size_bytes()).sum();
+                black_box(total)
+            });
+        });
+    }
+    let cpack = CpackZ::new();
+    group.bench_function("cpack_full_encode", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for line in &stream {
+                total += black_box(cpack.encode(black_box(line))).byte_len();
+            }
+            black_box(total)
+        });
+    });
+    let bpc = Bpc::new();
+    group.bench_function("bpc_full_encode", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for line in &stream {
+                total += black_box(bpc.encode(black_box(line))).byte_len();
+            }
+            black_box(total)
+        });
+    });
     group.finish();
 }
 
@@ -125,6 +159,37 @@ fn bench_size_probe_vs_encode(c: &mut Criterion) {
                 let mut counter = latte_compress::BitCounter::new();
                 bpc.encode_into(black_box(line), &mut counter);
                 bits += counter.bit_len();
+            }
+            black_box(bits)
+        });
+    });
+    group.bench_function("bpc_fast_probe", |b| {
+        // The transposed bit-plane probe: no BitCounter walk at all.
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for line in &lines {
+                bytes += bpc.probe(black_box(line)).size_bytes();
+            }
+            black_box(bytes)
+        });
+    });
+    let cpack = CpackZ::new();
+    group.bench_function("cpack_count_only", |b| {
+        b.iter(|| {
+            let mut bits = 0usize;
+            for line in &lines {
+                let mut counter = latte_compress::BitCounter::new();
+                cpack.encode_into(black_box(line), &mut counter);
+                bits += counter.bit_len();
+            }
+            black_box(bits)
+        });
+    });
+    group.bench_function("cpack_full_encode", |b| {
+        b.iter(|| {
+            let mut bits = 0usize;
+            for line in &lines {
+                bits += cpack.encode(black_box(line)).bit_len();
             }
             black_box(bits)
         });

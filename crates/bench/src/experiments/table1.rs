@@ -34,10 +34,11 @@ fn mean_ratio(algo: CompressionAlgo) -> f64 {
             }
             CompressionAlgo::None => unreachable!("table covers real algorithms"),
         };
-        for l in &lines {
-            total_raw += latte_compress::CacheLine::SIZE_BYTES;
-            total_stored += compressor.compress(l).size_bytes();
-        }
+        // Batched size probe: one dictionary/transform setup per burst.
+        let mut sizes = Vec::with_capacity(lines.len());
+        compressor.probe_batch(&lines, &mut sizes);
+        total_raw += lines.len() * latte_compress::CacheLine::SIZE_BYTES;
+        total_stored += sizes.iter().map(|c| c.size_bytes()).sum::<usize>();
     }
     total_raw as f64 / total_stored as f64
 }

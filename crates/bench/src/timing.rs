@@ -21,6 +21,26 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 /// Enables or disables the end-of-run timing report (`--timings`).
 pub fn set_report_enabled(on: bool) {
     ENABLED.store(on, Ordering::SeqCst);
+    if on {
+        install_compressor_clock();
+    }
+}
+
+/// Installs this binary's monotonic clock into the compress crate's
+/// operation counters, so the `--timings` report can split cumulative
+/// compressor time by stage (probe vs full encode vs decode). The
+/// compress crate itself stays wall-clock-free (lint rule D1); it only
+/// ever sees the injected function below. Idempotent: the first
+/// installation wins.
+pub fn install_compressor_clock() {
+    fn monotonic_ns() -> u64 {
+        static BASELINE: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        let base = *BASELINE.get_or_init(Instant::now);
+        u64::try_from(base.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+    // Prime the baseline so the first sample isn't measured against itself.
+    let _ = monotonic_ns();
+    latte_compress::stats::install_clock(monotonic_ns);
 }
 
 /// Returns whether the end-of-run timing report was requested.
@@ -79,7 +99,8 @@ pub fn take_sim_times() -> Vec<(String, f64)> {
 /// (slowest first), then per-sim-job compute time, then the simulation
 /// cache's counters (split by tier: in-process replay vs store memory
 /// vs store disk vs computed), then — when a persistent store is
-/// configured — the store's write/quarantine/fault counters.
+/// configured — the store's write/quarantine/fault counters, then the
+/// cumulative compressor work split by stage (probe/encode/decode).
 ///
 /// `experiments` is `(name, secs)` per completed experiment; `cache` is
 /// the simulation service's counters.
@@ -158,6 +179,21 @@ pub fn print_report(experiments: &[(&str, f64)], cache: &crate::sim::SimStats) {
         println!(
             "store verify: {} stored record(s) diverged from recompute",
             cache.verify_failures
+        );
+    }
+
+    let comp = latte_compress::stats::snapshot();
+    if comp.total_ops() > 0 {
+        let secs = |ns: u64| ns as f64 / 1e9;
+        println!(
+            "compressors: {} size probes ({:.2}s), {} full encodes ({:.2}s), \
+             {} decodes ({:.2}s)",
+            comp.probe_ops,
+            secs(comp.probe_ns),
+            comp.encode_ops,
+            secs(comp.encode_ns),
+            comp.decode_ops,
+            secs(comp.decode_ns)
         );
     }
 

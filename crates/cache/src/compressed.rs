@@ -78,6 +78,8 @@ pub struct EvictedLine {
 /// The cache tracks *placement*, not payload bytes: in the simulator, line
 /// contents are a deterministic function of the address (the workload's
 /// value generator), so only sizes and compression metadata need modelling.
+/// Accordingly, fills are fed from the compressors' size-only probe stage
+/// (`Compressor::probe`) — no bitstream is ever materialised on this path.
 /// For shadow-checked runs an optional **payload shadow**
 /// ([`CompressedCache::enable_payload_shadow`]) additionally carries the
 /// bytes each resident line would hold after its compression round trip,

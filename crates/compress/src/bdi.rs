@@ -14,7 +14,7 @@
 
 use crate::error::DecodeError;
 use crate::line::CacheLine;
-use crate::{Compression, Compressor, Cycles};
+use crate::{stats, Compression, Compressor, Cycles};
 
 /// The 4-bit encoding selector stored in a tag block (§IV-C1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -207,10 +207,14 @@ impl Bdi {
         Bdi::default()
     }
 
-    /// Compresses a line, keeping enough state to decompress it.
+    /// Compresses a line, keeping enough state to decompress it (the
+    /// payload path; size probes use [`Compressor::probe`]).
     #[must_use]
     pub fn encode(&self, line: &CacheLine) -> BdiCompressed {
-        self.encode_impl(line, true)
+        let t = stats::start();
+        let c = self.encode_impl(line, true);
+        stats::record_encode(t);
+        c
     }
 
     /// [`Bdi::encode`] with an optional raw fallback copy: the size-only
@@ -257,6 +261,13 @@ impl Bdi {
     /// (missing raw copy, missing base, or short delta/mask arrays) —
     /// reachable only from corrupted state, never from [`Bdi::encode`].
     pub fn decode(&self, c: &BdiCompressed) -> Result<CacheLine, DecodeError> {
+        let t = stats::start();
+        let result = self.decode_impl(c);
+        stats::record_decode(t);
+        result
+    }
+
+    fn decode_impl(&self, c: &BdiCompressed) -> Result<CacheLine, DecodeError> {
         match c.encoding {
             BdiEncoding::Zeros => Ok(CacheLine::zeroed()),
             BdiEncoding::Uncompressed => c.raw.as_deref().copied().ok_or({
@@ -303,7 +314,9 @@ impl Compressor for Bdi {
     fn compress(&self, line: &CacheLine) -> Compression {
         // Size-only probe: skip the raw fallback copy — an incompressible
         // line's size is the line size by definition.
+        let t = stats::start();
         let c = self.encode_impl(line, false);
+        stats::record_probe(t);
         if c.encoding == BdiEncoding::Uncompressed {
             Compression::UNCOMPRESSED
         } else {
@@ -433,6 +446,39 @@ mod tests {
         assert!(corrupted.is_err() || corrupted.as_ref() != Ok(&line));
         assert!(c.flip_bit(13));
         assert_eq!(bdi.decode(&c).as_ref(), Ok(&line));
+    }
+
+    #[test]
+    fn short_delta_storage_is_a_length_mismatch() {
+        // A torn metadata write leaving fewer blocks than the encoding
+        // needs must surface as an error, never zero-fill the tail.
+        let bdi = Bdi::new();
+        let words: Vec<u32> = (0..32).map(|i| 0x0100_0000 + i * 3).collect();
+        let mut c = bdi.encode(&CacheLine::from_u32_words(&words));
+        assert_ne!(c.encoding(), BdiEncoding::Uncompressed);
+        c.num_blocks = 1;
+        assert!(matches!(
+            bdi.decode(&c),
+            Err(DecodeError::LengthMismatch { algo: "BDI", .. })
+        ));
+    }
+
+    #[test]
+    fn lost_raw_copy_is_corrupt_metadata() {
+        let bdi = Bdi::new();
+        let mut bytes = [0u8; CacheLine::SIZE_BYTES];
+        let mut state = 0xdeadbeefu64;
+        for b in bytes.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 56) as u8;
+        }
+        let mut c = bdi.encode(&CacheLine::from_bytes(bytes));
+        assert_eq!(c.encoding(), BdiEncoding::Uncompressed);
+        c.raw = None;
+        assert!(matches!(
+            bdi.decode(&c),
+            Err(DecodeError::CorruptMetadata { algo: "BDI", .. })
+        ));
     }
 
     #[test]

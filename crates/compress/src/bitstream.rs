@@ -172,12 +172,16 @@ pub struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`, of which only the first `bit_len`
-    /// bits are valid.
+    /// bits are valid. When `bit_len` claims more bits than `bytes` can
+    /// hold — a truncated or corrupted payload whose recorded length
+    /// outlived its storage — the reader trusts the *storage*: reads past
+    /// `bytes.len() * 8` surface [`DecodeError::Truncated`] rather than
+    /// panicking or silently zero-filling.
     #[must_use]
     pub fn new(bytes: &'a [u8], bit_len: usize) -> BitReader<'a> {
         BitReader {
             bytes,
-            bit_len,
+            bit_len: bit_len.min(bytes.len() * 8),
             pos: 0,
         }
     }
@@ -326,6 +330,32 @@ mod tests {
         }
         assert_eq!(BitSink::bit_len(&w), c.bit_len());
         assert_eq!(w.byte_len(), c.byte_len());
+    }
+
+    #[test]
+    fn bit_len_beyond_storage_is_truncated_not_zero_filled() {
+        // A payload whose recorded bit length outlived its byte storage
+        // (torn write, corrupted metadata) must error, never zero-fill.
+        let bytes = [0xffu8; 2];
+        let mut r = BitReader::new(&bytes, 100);
+        assert_eq!(r.try_read_bits(16), Ok(0xffff));
+        assert_eq!(
+            r.try_read_bits(8),
+            Err(DecodeError::Truncated {
+                needed: 8,
+                remaining: 0
+            })
+        );
+    }
+
+    #[test]
+    fn empty_storage_with_claimed_bits_is_truncated() {
+        let mut r = BitReader::new(&[], 64);
+        assert_eq!(r.remaining(), 0);
+        assert!(matches!(
+            r.try_read_bit(),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

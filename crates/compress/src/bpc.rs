@@ -15,7 +15,7 @@
 use crate::bitstream::{BitCounter, BitReader, BitSink, BitWriter};
 use crate::error::DecodeError;
 use crate::line::CacheLine;
-use crate::{Compression, Compressor, Cycles};
+use crate::{stats, Compression, Compressor, Cycles};
 
 const NUM_DELTAS: usize = CacheLine::NUM_U32_WORDS - 1; // 31
 const NUM_PLANES: usize = 33; // 33-bit signed deltas
@@ -45,21 +45,25 @@ impl Bpc {
         Bpc::default()
     }
 
-    /// Encodes a line into a BPC bitstream.
+    /// Encodes a line into a BPC bitstream (the payload path; the
+    /// simulator's size probes use [`Compressor::probe`] instead).
     #[must_use]
     pub fn encode(&self, line: &CacheLine) -> BitWriter {
+        let t = stats::start();
         let mut w = BitWriter::new();
         self.encode_into(line, &mut w);
+        stats::record_encode(t);
         w
     }
 
-    /// Encodes `line` into any [`BitSink`]. The simulator's per-line hot
-    /// path drives a counting sink, so the common case allocates nothing.
+    /// Encodes `line` into any [`BitSink`]. This is the reference
+    /// encoder: it materialises the DBP/DBX transforms plane by plane.
+    /// The size-only hot path is [`Compressor::probe`], which computes
+    /// the identical bit count via a word-wide bit-matrix transpose
+    /// without the per-bit plane loop; the property suite pins the two
+    /// against each other.
     pub fn encode_into<S: BitSink>(&self, line: &CacheLine, w: &mut S) {
-        let mut words = [0u32; CacheLine::NUM_U32_WORDS];
-        for (dst, src) in words.iter_mut().zip(line.u32_words()) {
-            *dst = src;
-        }
+        let words = line.to_u32_words();
         encode_base(w, words[0]);
 
         let dbp = to_bit_planes(&words);
@@ -105,6 +109,77 @@ impl Bpc {
         }
     }
 
+    /// Exact encoded size of `line` in bits, computed without touching a
+    /// [`BitSink`] or materialising the DBP planes.
+    ///
+    /// Folding the DBP→DBX XOR into each delta — `e_j = d_j ^ (d_j >> 1)`
+    /// — makes bit `b` of `e_j` exactly bit `j` of DBX plane `b`, so one
+    /// 32×32 bit-matrix transpose of the `e` rows yields every DBX plane
+    /// at once. Plane classification then needs only the plane values, an
+    /// OR-mask of the deltas (`DBP plane b == 0` ⟺ bit `b` clear), and a
+    /// nonzero-plane mask for run scanning.
+    fn probe_size_bits(&self, line: &CacheLine) -> usize {
+        let words = line.to_u32_words();
+        let mut bits = base_cost_bits(words[0]);
+
+        let mut planes = [0u32; 32]; // rows e_j in, DBX planes 0..=31 out
+        let mut sign_plane = 0u32; // DBX plane 32, gathered from e_j bit 32
+        let mut or_d = 0u64; // bit b set ⟺ DBP plane b nonzero
+        for j in 0..NUM_DELTAS {
+            let d = (i64::from(words[j + 1]) - i64::from(words[j])) as u64 & 0x1_ffff_ffff;
+            or_d |= d;
+            let e = d ^ (d >> 1);
+            planes[j] = e as u32;
+            sign_plane |= (((e >> 32) & 1) as u32) << j;
+        }
+        // planes[31] stays 0 (only 31 deltas), so after the transpose
+        // every plane keeps bit 31 clear — within PLANE_MASK.
+        transpose32(&mut planes);
+
+        let mut nonzero = 0u64;
+        for (b, &p) in planes.iter().enumerate() {
+            if p != 0 {
+                nonzero |= 1 << b;
+            }
+        }
+        if sign_plane != 0 {
+            nonzero |= 1 << 32;
+        }
+
+        let mut b = NUM_PLANES as isize - 1;
+        while b >= 0 {
+            let below = nonzero & ((1u64 << (b + 1)) - 1);
+            if below >> b == 0 {
+                // Zero-DBX run down to the next nonzero plane (or the end).
+                let run = if below == 0 {
+                    b + 1
+                } else {
+                    b - (63 - below.leading_zeros() as isize)
+                };
+                bits += if run >= 2 { 8 } else { 3 };
+                b -= run;
+                continue;
+            }
+            let dbx = if b as usize == NUM_PLANES - 1 {
+                sign_plane
+            } else {
+                planes[b as usize]
+            };
+            // Mirrors the encoder's branch order; equal-cost branches
+            // (PLANE_MASK / DBP=0 at 5 bits, two-ones / one-one at 10)
+            // collapse into one test each.
+            if dbx == PLANE_MASK || (or_d >> b) & 1 == 0 {
+                bits += 5;
+            } else if two_consecutive_ones(dbx).is_some() || dbx.count_ones() == 1 {
+                bits += 10;
+            } else {
+                bits += 1 + NUM_DELTAS;
+            }
+            b -= 1;
+        }
+        bits
+    }
+
     /// Decodes a bitstream produced by [`Bpc::encode`].
     ///
     /// # Errors
@@ -112,6 +187,13 @@ impl Bpc {
     /// Returns a [`DecodeError`] when the bitstream is truncated, a zero
     /// run overshoots the plane count, or an unused code word appears.
     pub fn decode(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
+        let t = stats::start();
+        let result = self.decode_impl(w);
+        stats::record_decode(t);
+        result
+    }
+
+    fn decode_impl(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
         let base = decode_base(&mut r)?;
 
@@ -271,16 +353,71 @@ fn sign_extend32(v: u32, bits: u32) -> u32 {
     ((v << shift) as i32 >> shift) as u32
 }
 
+/// Bits [`encode_base`] writes for `base`, without writing them.
+fn base_cost_bits(base: u32) -> usize {
+    let signed = base as i32;
+    if base == 0 {
+        3
+    } else if (-8..8).contains(&signed) {
+        7
+    } else if (-128..128).contains(&signed) {
+        11
+    } else if (-32768..32768).contains(&signed) {
+        19
+    } else {
+        35
+    }
+}
+
+/// In-place 32×32 bit-matrix transpose (Hacker's Delight §7-3, adapted
+/// to LSB-first column numbering): afterwards, bit `j` of word `b`
+/// equals bit `b` of input word `j`. Runs in 5 swap stages — O(32·log 32)
+/// word operations instead of the 32×32 per-bit gather.
+fn transpose32(a: &mut [u32; 32]) {
+    let mut j = 16usize;
+    let mut m = 0x0000_ffffu32;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 32 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k + j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
 impl Compressor for Bpc {
     fn name(&self) -> &'static str {
         "BPC"
     }
 
     fn compress(&self, line: &CacheLine) -> Compression {
-        // Size-only probe: count bits without materializing the stream.
+        // Reference size path: count bits through the real encoder.
+        let t = stats::start();
         let mut c = BitCounter::new();
         self.encode_into(line, &mut c);
+        stats::record_probe(t);
         Compression::new(c.byte_len())
+    }
+
+    fn probe(&self, line: &CacheLine) -> Compression {
+        let t = stats::start();
+        let bits = self.probe_size_bits(line);
+        stats::record_probe(t);
+        Compression::new(bits.div_ceil(8))
+    }
+
+    fn probe_batch(&self, lines: &[CacheLine], out: &mut Vec<Compression>) {
+        // One dispatch and one timing record for the whole burst.
+        let t = stats::start();
+        out.reserve(lines.len());
+        for line in lines {
+            out.push(Compression::new(self.probe_size_bits(line).div_ceil(8)));
+        }
+        stats::record_probe(t);
     }
 
     fn decompression_latency(&self) -> Cycles {
@@ -308,7 +445,85 @@ mod tests {
         let bpc = Bpc::new();
         let w = bpc.encode(line);
         assert_eq!(bpc.decode(&w).as_ref(), Ok(line));
+        // The mask-based probe must agree bit-for-bit with the stream.
+        assert_eq!(bpc.probe_size_bits(line), w.bit_len());
+        assert_eq!(bpc.probe(line), bpc.compress(line));
         w.byte_len()
+    }
+
+    #[test]
+    fn transpose32_matches_reference_gather() {
+        let mut a = [0u32; 32];
+        let mut state = 0x1234_5678u32;
+        for row in a.iter_mut() {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            *row = state;
+        }
+        let orig = a;
+        transpose32(&mut a);
+        for b in 0..32 {
+            for j in 0..32 {
+                assert_eq!(
+                    (a[b] >> j) & 1,
+                    (orig[j] >> b) & 1,
+                    "plane {b} bit {j}"
+                );
+            }
+        }
+        // Transposing twice is the identity.
+        transpose32(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn base_cost_matches_encoder() {
+        for base in [
+            0u32, 1, 7, 8, 0xffff_fff8, 0xffff_fff7, 127, 128, 0xffff_ff80,
+            32767, 32768, 0xffff_8000, 0xdead_beef, u32::MAX,
+        ] {
+            let mut c = BitCounter::new();
+            encode_base(&mut c, base);
+            assert_eq!(base_cost_bits(base), c.bit_len(), "base {base:#x}");
+        }
+    }
+
+    #[test]
+    fn probe_parity_on_adversarial_planes() {
+        // Lines engineered to hit each plane-classification branch: all
+        // ones, DBP=0 transitions, adjacent pairs, single bits, raw.
+        let cases: Vec<Vec<u32>> = vec![
+            (0..32).map(|i| i * 2).collect(), // constant stride
+            (0..32).map(|i| if i % 2 == 0 { 0 } else { u32::MAX }).collect(), // all-ones deltas
+            (0..32).map(|i| 1u32 << (i % 31)).collect(), // walking bit
+            (0..32).map(|i| 3u32 << (i % 30)).collect(), // walking pair
+            (0..32).map(|i| 0x9e37_79b9u32.wrapping_mul(i)).collect(), // noisy
+            vec![0x8000_0000; 32], // sign-plane stress
+            (0..32).map(|i| (i as i32 - 16) as u32).collect(), // negative deltas
+        ];
+        for words in cases {
+            round_trip(&CacheLine::from_u32_words(&words));
+        }
+    }
+
+    #[test]
+    fn batch_probe_matches_per_line_loop() {
+        let bpc = Bpc::new();
+        let lines: Vec<CacheLine> = (0..48u32)
+            .map(|i| {
+                let words: Vec<u32> = (0..32)
+                    .map(|j| match i % 3 {
+                        0 => 0x1000 + j * i,
+                        1 => f32::to_bits(1.5 + (j as f32) * 0.01 * i as f32),
+                        _ => 0x9e37_79b9u32.wrapping_mul(i * 37 + j),
+                    })
+                    .collect();
+                CacheLine::from_u32_words(&words)
+            })
+            .collect();
+        let mut batched = Vec::new();
+        bpc.probe_batch(&lines, &mut batched);
+        let looped: Vec<Compression> = lines.iter().map(|l| bpc.probe(l)).collect();
+        assert_eq!(batched, looped);
     }
 
     #[test]

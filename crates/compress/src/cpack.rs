@@ -7,11 +7,17 @@
 //! partial (3- or 2-byte) match with the low bytes spelled out, a
 //! zero-prefixed byte, or raw. Full and partial matches exploit *temporal*
 //! value locality within and across words of the line.
+//!
+//! The encoder is staged: [`CpackZ::encode_into`] is generic over
+//! [`BitSink`], so the cache's per-fill size probe drives an inline
+//! [`BitCounter`](crate::BitCounter) (no payload bits, no allocation —
+//! the dictionary is a fixed array) while the payload paths (shadow
+//! roundtrip, fault injection, round-trip tests) drive a [`BitWriter`].
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::{BitCounter, BitReader, BitSink, BitWriter};
 use crate::error::DecodeError;
 use crate::line::CacheLine;
-use crate::{Compression, Compressor, Cycles};
+use crate::{stats, Compression, Compressor, Cycles};
 
 /// Number of dictionary entries (16 x 4-byte words, per the C-PACK paper).
 const DICT_ENTRIES: usize = 16;
@@ -51,16 +57,39 @@ pub struct CpackZ {
 
 /// The per-line FIFO dictionary. Encode and decode must perform identical
 /// updates or round-tripping breaks, so the logic lives in one place.
-#[derive(Debug, Default)]
+///
+/// Storage is a fixed inline array — seeding a dictionary per line is the
+/// innermost loop of every compressibility probe and must not touch the
+/// heap.
+#[derive(Debug)]
 struct Dictionary {
-    entries: Vec<u32>,
+    entries: [u32; DICT_ENTRIES],
+    len: usize,
     next: usize,
 }
 
+impl Default for Dictionary {
+    fn default() -> Dictionary {
+        Dictionary {
+            entries: [0; DICT_ENTRIES],
+            len: 0,
+            next: 0,
+        }
+    }
+}
+
 impl Dictionary {
+    /// Empties the dictionary for the next line without touching the
+    /// entry array (`len` gates every read).
+    fn reset(&mut self) {
+        self.len = 0;
+        self.next = 0;
+    }
+
     fn push(&mut self, word: u32) {
-        if self.entries.len() < DICT_ENTRIES {
-            self.entries.push(word);
+        if self.len < DICT_ENTRIES {
+            self.entries[self.len] = word;
+            self.len += 1;
         } else {
             self.entries[self.next] = word;
             self.next = (self.next + 1) % DICT_ENTRIES;
@@ -68,18 +97,20 @@ impl Dictionary {
     }
 
     fn full_match(&self, word: u32) -> Option<usize> {
-        self.entries.iter().position(|&e| e == word)
+        self.entries[..self.len].iter().position(|&e| e == word)
     }
 
     fn match_high_bytes(&self, word: u32, bytes: u32) -> Option<usize> {
         let mask = !0u32 << (8 * (4 - bytes));
-        self.entries.iter().position(|&e| e & mask == word & mask)
+        self.entries[..self.len]
+            .iter()
+            .position(|&e| e & mask == word & mask)
     }
 
     /// Looks up `idx`, failing on indexes past the entries inserted so
     /// far — reachable only from corrupted streams.
     fn get(&self, idx: usize) -> Result<u32, DecodeError> {
-        self.entries
+        self.entries[..self.len]
             .get(idx)
             .copied()
             .ok_or(DecodeError::CorruptMetadata {
@@ -96,18 +127,39 @@ impl CpackZ {
         CpackZ::default()
     }
 
-    /// Encodes a line into a C-PACK bitstream.
+    /// Encodes a line into a C-PACK bitstream (the payload path; the
+    /// simulator's size probes use [`Compressor::probe`] instead).
     #[must_use]
     pub fn encode(&self, line: &CacheLine) -> BitWriter {
+        let t = stats::start();
         let mut w = BitWriter::new();
+        let mut dict = Dictionary::default();
+        self.encode_with(line, &mut w, &mut dict);
+        stats::record_encode(t);
+        w
+    }
+
+    /// Encodes `line` into any [`BitSink`]: real bits for a
+    /// [`BitWriter`], a pure bit count for a
+    /// [`BitCounter`](crate::BitCounter). One implementation serves both,
+    /// so probe/encode size parity holds by construction.
+    pub fn encode_into<S: BitSink>(&self, line: &CacheLine, w: &mut S) {
+        let mut dict = Dictionary::default();
+        self.encode_with(line, w, &mut dict);
+    }
+
+    /// [`CpackZ::encode_into`] against a caller-owned dictionary, so
+    /// batch probes reuse one dictionary across a burst. `dict` is reset
+    /// before use.
+    fn encode_with<S: BitSink>(&self, line: &CacheLine, w: &mut S, dict: &mut Dictionary) {
         // Zero-line detection: a single bit flags the all-zero line.
         if line.is_zero() {
             w.write_bit(true);
-            return w;
+            return;
         }
         w.write_bit(false);
-        let mut dict = Dictionary::default();
-        for word in line.u32_words() {
+        dict.reset();
+        for word in line.to_u32_words() {
             if word == 0 {
                 w.write_bits(code::ZZZZ, 2);
             } else if let Some(idx) = dict.full_match(word) {
@@ -133,7 +185,6 @@ impl CpackZ {
                 dict.push(word);
             }
         }
-        w
     }
 
     /// Decodes a bitstream produced by [`CpackZ::encode`].
@@ -144,13 +195,20 @@ impl CpackZ {
     /// unassigned `1111` code, or references a dictionary entry that was
     /// never inserted.
     pub fn decode(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
+        let t = stats::start();
+        let result = self.decode_impl(w);
+        stats::record_decode(t);
+        result
+    }
+
+    fn decode_impl(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
         if r.try_read_bit()? {
             return Ok(CacheLine::zeroed());
         }
         let mut dict = Dictionary::default();
-        let mut words = Vec::with_capacity(CacheLine::NUM_U32_WORDS);
-        while words.len() < CacheLine::NUM_U32_WORDS {
+        let mut words = [0u32; CacheLine::NUM_U32_WORDS];
+        for slot in &mut words {
             let word = match r.try_read_bits(2)? {
                 code::ZZZZ => 0,
                 code::XXXX => {
@@ -192,7 +250,7 @@ impl CpackZ {
                 }
                 _ => unreachable!("2-bit code"),
             };
-            words.push(word);
+            *slot = word;
         }
         Ok(CacheLine::from_u32_words(&words))
     }
@@ -204,7 +262,25 @@ impl Compressor for CpackZ {
     }
 
     fn compress(&self, line: &CacheLine) -> Compression {
-        Compression::new(self.encode(line).byte_len())
+        // Size-only probe: drive the shared encoder with a counting sink.
+        let t = stats::start();
+        let mut c = BitCounter::new();
+        self.encode_into(line, &mut c);
+        stats::record_probe(t);
+        Compression::new(c.byte_len())
+    }
+
+    fn probe_batch(&self, lines: &[CacheLine], out: &mut Vec<Compression>) {
+        // One dictionary and one dispatch for the whole burst.
+        let t = stats::start();
+        let mut dict = Dictionary::default();
+        out.reserve(lines.len());
+        for line in lines {
+            let mut c = BitCounter::new();
+            self.encode_with(line, &mut c, &mut dict);
+            out.push(Compression::new(c.byte_len()));
+        }
+        stats::record_probe(t);
     }
 
     fn decompression_latency(&self) -> Cycles {
@@ -232,6 +308,11 @@ mod tests {
         let c = CpackZ::new();
         let w = c.encode(line);
         assert_eq!(c.decode(&w).as_ref(), Ok(line));
+        // The counting probe must agree with the materialised stream.
+        assert_eq!(
+            c.probe(line).size_bytes(),
+            Compression::new(w.byte_len()).size_bytes()
+        );
         w.byte_len()
     }
 
@@ -323,5 +404,27 @@ mod tests {
         let mut words: Vec<u32> = (0..20).map(|i| 0xa000_0000 + i * 0x0101_0101).collect();
         words.extend_from_slice(&[0xa000_0000 + 18 * 0x0101_0101; 12]);
         round_trip(&CacheLine::from_u32_words(&words));
+    }
+
+    #[test]
+    fn batch_probe_matches_per_line_loop() {
+        let cp = CpackZ::new();
+        let lines: Vec<CacheLine> = (0..64u32)
+            .map(|i| {
+                let words: Vec<u32> = (0..32)
+                    .map(|j| match i % 4 {
+                        0 => 0,
+                        1 => j % 3,
+                        2 => 0xaa00_0000 | (i * 31 + j),
+                        _ => 0x9e37_79b9u32.wrapping_mul(i * 33 + j),
+                    })
+                    .collect();
+                CacheLine::from_u32_words(&words)
+            })
+            .collect();
+        let mut batched = Vec::new();
+        cp.probe_batch(&lines, &mut batched);
+        let looped: Vec<Compression> = lines.iter().map(|l| cp.probe(l)).collect();
+        assert_eq!(batched, looped);
     }
 }

@@ -9,7 +9,7 @@
 use crate::bitstream::{BitCounter, BitReader, BitSink, BitWriter};
 use crate::error::DecodeError;
 use crate::line::CacheLine;
-use crate::{Compression, Compressor, Cycles};
+use crate::{stats, Compression, Compressor, Cycles};
 
 /// 3-bit FPC prefixes (Table 1 of the FPC paper).
 mod prefix {
@@ -48,22 +48,22 @@ impl Fpc {
         Fpc::default()
     }
 
-    /// Encodes a line into an FPC bitstream (used by tests for round-trip
-    /// verification; the simulator only consumes the size).
+    /// Encodes a line into an FPC bitstream (the payload path: shadow
+    /// roundtrips, fault injection, and round-trip tests; the simulator's
+    /// size probes use [`Compressor::probe`]).
     #[must_use]
     pub fn encode(&self, line: &CacheLine) -> BitWriter {
+        let t = stats::start();
         let mut w = BitWriter::new();
         self.encode_into(line, &mut w);
+        stats::record_encode(t);
         w
     }
 
     /// Encodes `line` into any [`BitSink`]. The simulator's per-line hot
     /// path drives a counting sink, so the common case allocates nothing.
     pub fn encode_into<S: BitSink>(&self, line: &CacheLine, w: &mut S) {
-        let mut words = [0u32; CacheLine::NUM_U32_WORDS];
-        for (dst, src) in words.iter_mut().zip(line.u32_words()) {
-            *dst = src;
-        }
+        let words = line.to_u32_words();
         let mut i = 0;
         while i < words.len() {
             let word = words[i];
@@ -90,6 +90,13 @@ impl Fpc {
     /// Returns a [`DecodeError`] when the bitstream is truncated or a
     /// zero run overshoots the fixed line size.
     pub fn decode(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
+        let t = stats::start();
+        let result = self.decode_impl(w);
+        stats::record_decode(t);
+        result
+    }
+
+    fn decode_impl(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
         let mut words = [0u32; CacheLine::NUM_U32_WORDS];
         let mut len = 0usize;
@@ -181,8 +188,10 @@ impl Compressor for Fpc {
 
     fn compress(&self, line: &CacheLine) -> Compression {
         // Size-only probe: count bits without materializing the stream.
+        let t = stats::start();
         let mut c = BitCounter::new();
         self.encode_into(line, &mut c);
+        stats::record_probe(t);
         Compression::new(c.byte_len())
     }
 

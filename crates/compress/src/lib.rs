@@ -42,6 +42,7 @@ mod error;
 mod fpc;
 mod line;
 mod sc;
+pub mod stats;
 
 pub use bdi::{Bdi, BdiCompressed, BdiEncoding};
 pub use bitstream::{BitCounter, BitReader, BitSink, BitWriter};
@@ -117,12 +118,58 @@ impl Compression {
 /// Implementations are stateless with respect to individual lines (SC's
 /// codebook is immutable at compression time; training it is a separate,
 /// explicit step via [`VftBuilder`]).
+///
+/// # Staging: probe vs full encode
+///
+/// The trait separates two stages of compression:
+///
+/// * **Size probe** ([`Compressor::probe`], [`Compressor::probe_batch`]) —
+///   computes the exact compressed footprint without emitting a single
+///   payload bit. This is the cache's hot path: every fill probes one or
+///   more algorithms to make a compressibility decision, and only the
+///   *size* feeds the decision. Probes are allocation-free.
+/// * **Full encode** (the per-algorithm `encode`/`encode_line` methods) —
+///   materialises the actual bitstream. Only paths that store or corrupt
+///   payload bytes need it: the payload-shadow roundtrip, fault injection,
+///   and the round-trip test suites.
+///
+/// `probe(line).size_bytes()` always equals the byte length of the full
+/// encoding — the property suite pins this parity for every algorithm.
 pub trait Compressor {
     /// Short human-readable name, e.g. `"BDI"`.
     fn name(&self) -> &'static str;
 
     /// Compresses one line, returning its compressed footprint.
     fn compress(&self, line: &CacheLine) -> Compression;
+
+    /// Size-only probe: the compressed footprint of `line` without
+    /// emitting payload bits. Defaults to [`Compressor::compress`];
+    /// algorithms with a faster dedicated size path override it. Must
+    /// report exactly the same size as `compress`.
+    fn probe(&self, line: &CacheLine) -> Compression {
+        self.compress(line)
+    }
+
+    /// Probes a whole fill burst, appending one [`Compression`] per line
+    /// to `out`. The default loops [`Compressor::probe`]; backends
+    /// override it to amortise per-line setup (dictionary reset, delta
+    /// transforms) and dynamic dispatch across the burst. Byte-identical
+    /// to the per-line loop.
+    fn probe_batch(&self, lines: &[CacheLine], out: &mut Vec<Compression>) {
+        out.reserve(lines.len());
+        for line in lines {
+            out.push(self.probe(line));
+        }
+    }
+
+    /// Compresses a whole burst, appending one [`Compression`] per line
+    /// to `out`. Byte-identical to looping [`Compressor::compress`].
+    fn compress_batch(&self, lines: &[CacheLine], out: &mut Vec<Compression>) {
+        out.reserve(lines.len());
+        for line in lines {
+            out.push(self.compress(line));
+        }
+    }
 
     /// Latency of decompressing a line on the hit path, in cycles
     /// (Table I / §IV-C of the paper).

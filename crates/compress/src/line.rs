@@ -146,10 +146,24 @@ impl CacheLine {
         (0..Self::NUM_U64_WORDS).map(move |i| self.u64_word(i))
     }
 
-    /// `true` if every byte of the line is zero.
+    /// The line as an array of 32 little-endian u32 words, extracted via
+    /// u64-wide reads (two words per load) — the word-granular encoders'
+    /// entry point, hot enough that per-byte assembly shows up.
+    #[must_use]
+    pub fn to_u32_words(&self) -> [u32; Self::NUM_U32_WORDS] {
+        let mut words = [0u32; Self::NUM_U32_WORDS];
+        for i in 0..Self::NUM_U64_WORDS {
+            let pair = self.u64_word(i);
+            words[i * 2] = pair as u32;
+            words[i * 2 + 1] = (pair >> 32) as u32;
+        }
+        words
+    }
+
+    /// `true` if every byte of the line is zero. Scans u64-wide.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.bytes.iter().all(|&b| b == 0)
+        (0..Self::NUM_U64_WORDS).all(|i| self.u64_word(i) == 0)
     }
 }
 
@@ -220,9 +234,24 @@ mod tests {
     #[test]
     fn zero_detection() {
         assert!(CacheLine::zeroed().is_zero());
-        let mut line = CacheLine::zeroed();
-        line.as_bytes_mut()[127] = 1;
-        assert!(!line.is_zero());
+        // Every byte position must be seen by the u64-wide scan.
+        for i in 0..CacheLine::SIZE_BYTES {
+            let mut line = CacheLine::zeroed();
+            line.as_bytes_mut()[i] = 1;
+            assert!(!line.is_zero(), "byte {i} missed");
+        }
+    }
+
+    #[test]
+    fn to_u32_words_matches_iterator() {
+        let mut bytes = [0u8; CacheLine::SIZE_BYTES];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        let line = CacheLine::from_bytes(bytes);
+        let arr = line.to_u32_words();
+        let via_iter: Vec<u32> = line.u32_words().collect();
+        assert_eq!(arr.to_vec(), via_iter);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error::DecodeError;
 use crate::line::CacheLine;
-use crate::{Compression, Compressor, Cycles};
+use crate::{stats, Compression, Compressor, Cycles};
 use std::collections::HashMap;
 
 /// Capacity of the value-frequency table (§IV-C2).
@@ -232,9 +232,12 @@ impl ScCodebook {
         self.encode.is_empty()
     }
 
-    /// Encodes a line against this codebook.
+    /// Encodes a line against this codebook (the payload path; size
+    /// probes go through [`Compressor::compress`] on [`Sc`], which sums
+    /// code lengths without emitting bits).
     #[must_use]
     pub fn encode_line(&self, line: &CacheLine) -> BitWriter {
+        let t = stats::start();
         let mut w = BitWriter::new();
         for word in line.u32_words() {
             match self.encode.get(&word) {
@@ -246,6 +249,7 @@ impl ScCodebook {
                 }
             }
         }
+        stats::record_encode(t);
         w
     }
 
@@ -257,6 +261,13 @@ impl ScCodebook {
     /// produced by a different codebook (a code exceeds the maximum
     /// length without matching any table entry).
     pub fn decode_line(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
+        let t = stats::start();
+        let result = self.decode_line_impl(w);
+        stats::record_decode(t);
+        result
+    }
+
+    fn decode_line_impl(&self, w: &BitWriter) -> Result<CacheLine, DecodeError> {
         let mut r = BitReader::new(w.as_slice(), w.bit_len());
         let mut words = [0u32; CacheLine::NUM_U32_WORDS];
         for slot in &mut words {
@@ -414,7 +425,10 @@ impl Compressor for Sc {
     }
 
     fn compress(&self, line: &CacheLine) -> Compression {
+        // Size-only probe: sums code lengths; never emits a bit.
+        let t = stats::start();
         let bits: u64 = line.u32_words().map(|w| u64::from(self.codebook.cost_bits(w))).sum();
+        stats::record_probe(t);
         Compression::new((bits as usize).div_ceil(8))
     }
 

@@ -1,0 +1,102 @@
+//! Truncated-input regression suite: every bitstream decoder must surface
+//! a [`DecodeError`] on a truncated payload — for *every* possible cut
+//! point — and never panic or silently zero-fill the missing tail.
+//!
+//! BDI stores structured metadata rather than a bitstream; its truncation
+//! analogues (short delta storage, lost raw copy) are pinned by unit
+//! tests in `bdi.rs`, which can reach the private fields. The
+//! `BitReader`-level guard — byte storage shorter than the recorded bit
+//! length — is pinned in `bitstream.rs`.
+
+use latte_compress::{BitReader, BitWriter, Bpc, CacheLine, CpackZ, Fpc, VftBuilder};
+
+/// Copies the first `bits` bits of `w` into a fresh stream.
+fn prefix(w: &BitWriter, bits: usize) -> BitWriter {
+    let mut out = BitWriter::new();
+    let mut r = BitReader::new(w.as_slice(), w.bit_len());
+    for _ in 0..bits {
+        out.write_bit(r.read_bit());
+    }
+    out
+}
+
+/// Representative lines: best case, word patterns, dictionary-friendly,
+/// and incompressible.
+fn sample_lines() -> Vec<CacheLine> {
+    let zeros = CacheLine::zeroed();
+    let stride = CacheLine::from_u32_words(&(0..32).map(|i| 0x4000_0000 + i * 4).collect::<Vec<_>>());
+    let temporal = CacheLine::from_u32_words(&(0..32).map(|i| [7u32, 0xdead_beef, 0, 0x8000_0001][i as usize % 4]).collect::<Vec<_>>());
+    let noisy = CacheLine::from_u32_words(
+        &(0..32u32)
+            .map(|i| 0x9e37_79b9u32.wrapping_mul(i ^ 0x55aa).rotate_left(i))
+            .collect::<Vec<_>>(),
+    );
+    vec![zeros, stride, temporal, noisy]
+}
+
+/// Asserts every strict prefix of `w` fails to decode.
+fn assert_all_prefixes_fail<F>(name: &str, w: &BitWriter, decode: F)
+where
+    F: Fn(&BitWriter) -> bool, // true = decoded Ok
+{
+    for cut in 0..w.bit_len() {
+        let truncated = prefix(w, cut);
+        assert!(
+            !decode(&truncated),
+            "{name}: prefix of {cut}/{} bits decoded successfully",
+            w.bit_len()
+        );
+    }
+}
+
+#[test]
+fn fpc_rejects_every_truncation() {
+    let fpc = Fpc::new();
+    for line in sample_lines() {
+        let w = fpc.encode(&line);
+        assert_all_prefixes_fail("FPC", &w, |t| fpc.decode(t).is_ok());
+    }
+}
+
+#[test]
+fn cpack_rejects_every_truncation() {
+    let cp = CpackZ::new();
+    for line in sample_lines() {
+        let w = cp.encode(&line);
+        assert_all_prefixes_fail("C-PACK", &w, |t| cp.decode(t).is_ok());
+    }
+}
+
+#[test]
+fn bpc_rejects_every_truncation() {
+    let bpc = Bpc::new();
+    for line in sample_lines() {
+        let w = bpc.encode(&line);
+        assert_all_prefixes_fail("BPC", &w, |t| bpc.decode(t).is_ok());
+    }
+}
+
+#[test]
+fn sc_rejects_every_truncation() {
+    let mut vft = VftBuilder::new();
+    for line in sample_lines() {
+        vft.observe_line(&line);
+    }
+    let cb = vft.build();
+    for line in sample_lines() {
+        let w = cb.encode_line(&line);
+        assert_all_prefixes_fail("SC", &w, |t| cb.decode_line(t).is_ok());
+    }
+}
+
+#[test]
+fn decoders_survive_byte_storage_shorter_than_bit_len() {
+    // The reader-level guard: a stream whose recorded bit length exceeds
+    // its byte storage must error out of every decoder, not panic.
+    let mut r = BitReader::new(&[0x00, 0x12], 1000);
+    let mut consumed = 0;
+    while r.try_read_bit().is_ok() {
+        consumed += 1;
+    }
+    assert_eq!(consumed, 16, "only the stored bits are readable");
+}

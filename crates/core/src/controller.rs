@@ -306,10 +306,10 @@ impl LatteCc {
     fn compress_with(&mut self, mode: CompressionMode, line: &CacheLine) -> (CompressionAlgo, Compression) {
         match mode {
             CompressionMode::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
-            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.compress(line)),
+            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.probe(line)),
             CompressionMode::HighCapacity => match self.cfg.high_capacity {
-                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
-                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
+                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.probe(line)),
+                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.probe(line)),
             },
         }
     }
@@ -462,10 +462,10 @@ impl AdaptiveHitCount {
     fn compress_with(&mut self, mode: CompressionMode, line: &CacheLine) -> (CompressionAlgo, Compression) {
         match mode {
             CompressionMode::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
-            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.compress(line)),
+            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.probe(line)),
             CompressionMode::HighCapacity => match self.cfg.high_capacity {
-                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
-                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
+                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.probe(line)),
+                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.probe(line)),
             },
         }
     }
@@ -562,10 +562,10 @@ impl AdaptiveCmp {
     fn compress_with(&mut self, mode: CompressionMode, line: &CacheLine) -> (CompressionAlgo, Compression) {
         match mode {
             CompressionMode::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
-            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.compress(line)),
+            CompressionMode::LowLatency => (CompressionAlgo::Bdi, self.bdi.probe(line)),
             CompressionMode::HighCapacity => match self.cfg.high_capacity {
-                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
-                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
+                HighCapacityAlgo::Sc => (CompressionAlgo::Sc, self.sc.probe(line)),
+                HighCapacityAlgo::Bpc => (CompressionAlgo::Bpc, self.bpc.probe(line)),
             },
         }
     }

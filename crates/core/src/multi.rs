@@ -176,9 +176,9 @@ impl LatteCcMulti {
     fn compress_with(&mut self, idx: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
         match self.cfg.options[idx] {
             ModeOption::None => (CompressionAlgo::None, Compression::UNCOMPRESSED),
-            ModeOption::Bdi => (CompressionAlgo::Bdi, self.bdi.compress(line)),
-            ModeOption::Bpc => (CompressionAlgo::Bpc, self.bpc.compress(line)),
-            ModeOption::Sc => (CompressionAlgo::Sc, self.sc.compress(line)),
+            ModeOption::Bdi => (CompressionAlgo::Bdi, self.bdi.probe(line)),
+            ModeOption::Bpc => (CompressionAlgo::Bpc, self.bpc.probe(line)),
+            ModeOption::Sc => (CompressionAlgo::Sc, self.sc.probe(line)),
         }
     }
 

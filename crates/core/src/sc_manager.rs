@@ -113,6 +113,14 @@ impl ScManager {
         self.sc.compress(line)
     }
 
+    /// Size-only probe against the current codebook (the fill hot path;
+    /// identical result to [`ScManager::compress`] without touching the
+    /// encode machinery).
+    #[must_use]
+    pub fn probe(&self, line: &CacheLine) -> Compression {
+        self.sc.probe(line)
+    }
+
     /// The underlying SC compressor (latency/energy constants).
     #[must_use]
     pub fn sc(&self) -> &Sc {

@@ -25,7 +25,7 @@ impl L1CompressionPolicy for StaticBdi {
     }
 
     fn compress_fill(&mut self, _set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
-        (CompressionAlgo::Bdi, self.bdi.compress(line))
+        (CompressionAlgo::Bdi, self.bdi.probe(line))
     }
 }
 
@@ -49,7 +49,7 @@ impl L1CompressionPolicy for StaticBpc {
     }
 
     fn compress_fill(&mut self, _set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
-        (CompressionAlgo::Bpc, self.bpc.compress(line))
+        (CompressionAlgo::Bpc, self.bpc.probe(line))
     }
 }
 
@@ -89,7 +89,7 @@ impl L1CompressionPolicy for StaticSc {
 
     fn compress_fill(&mut self, _set: usize, line: &CacheLine) -> (CompressionAlgo, Compression) {
         self.manager.observe_fill(line);
-        (CompressionAlgo::Sc, self.manager.compress(line))
+        (CompressionAlgo::Sc, self.manager.probe(line))
     }
 
     fn on_ep(&mut self, _probe: &EpProbe) {

@@ -90,6 +90,12 @@ pub trait L1CompressionPolicy: Send {
     /// Decides how to store a line being filled into `set`. Returns the
     /// algorithm tag to record and the achieved compression. Returning
     /// `(CompressionAlgo::None, Compression::UNCOMPRESSED)` stores raw.
+    ///
+    /// This is the fill hot path: the simulator only needs the *size*, so
+    /// implementations should use [`latte_compress::Compressor::probe`]
+    /// (probe/compress parity is pinned by the compress crate's parity
+    /// suite). Payload bytes are materialised elsewhere — the shadow
+    /// roundtrip and fault injection run the full encoders on their own.
     fn compress_fill(&mut self, set: usize, line: &CacheLine) -> (CompressionAlgo, Compression);
 
     /// Decompression latency charged for a hit on a line stored with

@@ -20,8 +20,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Criterion {
+        // CRITERION_QUICK=1 shrinks the measurement window for smoke
+        // runs (CI builds the benches and checks they execute; the
+        // numbers themselves are not archived from quick mode).
+        let quick = std::env::var_os("CRITERION_QUICK").is_some_and(|v| v != "0" && !v.is_empty());
         Criterion {
-            measurement: Duration::from_millis(300),
+            measurement: if quick {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(300)
+            },
         }
     }
 }
