@@ -7,7 +7,6 @@
 //! bench binary is the one component that may observe real time, and it
 //! funnels every such read through [`Stopwatch`] here so the boundary
 //! stays auditable.
-// latte-lint: allow-file(D1, reason = "the bench driver is the workspace's single wall-clock authority; timings are reporting-only and never feed back into simulation results")
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -55,6 +54,7 @@ pub struct Stopwatch(Instant);
 impl Stopwatch {
     /// Starts the clock.
     pub fn start() -> Self {
+        // latte-lint: allow(T1, reason = "the bench driver's single wall-clock read; elapsed times go to host-time report columns only and never feed back into simulated results")
         Stopwatch(Instant::now())
     }
 

@@ -107,7 +107,11 @@ impl VftBuilder {
     }
 
     /// Iterates the observed `(value, count)` pairs.
+    ///
+    /// Order is unspecified; callers must fold order-independently or
+    /// sort (codebook construction sorts by `(count desc, value)`).
     pub fn iter_counts(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        // latte-lint: allow(T1, reason = "documented unordered iterator; the only consumers sort by (count desc, value) or fold commutatively")
         self.counts.iter().map(|(&v, &c)| (v, c))
     }
 
@@ -117,6 +121,7 @@ impl VftBuilder {
     #[must_use]
     pub fn estimated_cost_bits(&self, codebook: &ScCodebook) -> u64 {
         self.counts
+            // latte-lint: allow(T1, reason = "order-independent fold: a sum of per-entry costs is the same under any iteration order")
             .iter()
             .map(|(&v, &c)| u64::from(c) * u64::from(codebook.cost_bits(v)))
             .sum()
@@ -223,6 +228,7 @@ impl ScCodebook {
     #[must_use]
     pub fn same_dictionary(&self, other: &ScCodebook) -> bool {
         self.encode.len() == other.encode.len()
+            // latte-lint: allow(T1, reason = "order-independent predicate: all() over set membership is the same under any iteration order")
             && self.encode.keys().all(|k| other.encode.contains_key(k))
     }
 

@@ -9,6 +9,7 @@
 //! [`install_clock`] — the bench binary, the workspace's single
 //! wall-clock authority, installs one when `--timings` is requested.
 //! Nothing here ever feeds back into simulation results.
+// latte-lint: shared-boundary-file(reason = "process-wide monotonic op/time counters: commutative atomic adds, read only by the driver's --timings report; no simulated state observes them")
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;

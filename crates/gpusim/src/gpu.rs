@@ -298,9 +298,16 @@ impl Gpu {
 // in per-SM state) is a build error, not a runtime surprise.
 const _: () = {
     const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
     assert_send::<Gpu>();
     assert_send::<crate::sm::Sm>();
     assert_send::<crate::faults::FaultInjector>();
+    // Kernel descriptions are shared by reference across SMs during a
+    // launch, so trait objects over them must be Send + Sync (backed by
+    // the `Kernel: Send + Sync` supertraits; lint rule S1 audits the
+    // fields that rely on this).
+    assert_send::<Box<dyn crate::ops::Kernel>>();
+    assert_sync::<Box<dyn crate::ops::Kernel>>();
 };
 
 impl std::fmt::Debug for Gpu {

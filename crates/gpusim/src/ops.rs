@@ -95,8 +95,10 @@ impl OpStream for VecStream {
 ///
 /// Kernels must be **replayable**: `warp_program` takes `&self` so oracle
 /// policies (Kernel-OPT) can re-run a kernel under different compression
-/// modes.
-pub trait Kernel {
+/// modes. They are also `Send + Sync`: a launch shares one immutable
+/// kernel description across SMs, and the planned `--sim-threads` mode
+/// reads it from every worker concurrently (lint rule S1 audits this).
+pub trait Kernel: Send + Sync {
     /// Kernel name for reports.
     fn name(&self) -> &str;
 

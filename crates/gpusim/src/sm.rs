@@ -36,13 +36,20 @@ pub(crate) struct MemEvent {
 /// Shared resources an SM needs while stepping (split off `Gpu` to keep
 /// borrows disjoint).
 pub(crate) struct MemCtx<'a> {
+    // latte-lint: shared-boundary(reason = "the shared L2; under --sim-threads every access goes through the epoch-barrier memory stage, never concurrently with SM ticks")
     pub l2: &'a mut latte_cache::SimpleCache,
+    // latte-lint: shared-boundary(reason = "the shared DRAM event queue; drained only at the deterministic epoch barrier, ordered by (cycle, seq)")
     pub events: &'a mut std::collections::BinaryHeap<std::cmp::Reverse<MemEvent>>,
+    // latte-lint: shared-boundary(reason = "GPU-level compression policy consulted on L2 fills; stateful, so it must stay behind the serialized memory stage")
     pub policy: &'a mut dyn L1CompressionPolicy,
+    // latte-lint: shared-boundary(reason = "read-only kernel description (Kernel: Send + Sync); immutable during a launch, safe to share by reference")
     pub kernel: &'a dyn Kernel,
+    // latte-lint: shared-boundary(reason = "read-only GpuConfig; immutable for the whole run")
     pub config: &'a GpuConfig,
+    // latte-lint: shared-boundary(reason = "launch-wide counters; all updates are commutative adds applied in the serialized memory stage")
     pub stats: &'a mut KernelStats,
     /// Differential-verification hook (`None` in normal runs).
+    // latte-lint: shared-boundary(reason = "verification-only shadow model; exercised in single-threaded oracle runs, absent in normal and parallel runs")
     pub shadow: Option<&'a mut (dyn ShadowCheck + 'static)>,
     /// Structural-checkpoint cadence in EPs (meaningless without `shadow`).
     pub shadow_every: u64,

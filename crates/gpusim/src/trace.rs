@@ -18,6 +18,7 @@ use std::sync::Arc;
 /// configs are interchangeable when they forward diagnostics to the
 /// same place.
 #[derive(Clone)]
+// latte-lint: shared-boundary(reason = "diagnostic fan-in deliberately shared across SMs; the sink callback is Send + Sync and line-buffered by the driver's capture layer")
 pub struct TraceSink(Arc<dyn Fn(&str) + Send + Sync>);
 
 impl TraceSink {

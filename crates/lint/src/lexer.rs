@@ -62,6 +62,24 @@ pub struct AllowMarker {
     pub file_scope: bool,
 }
 
+/// A parsed `// latte-lint: shared-boundary(reason = "...")` marker.
+///
+/// Boundary markers are how rule `S1` lets per-SM state reference shared
+/// `Gpu`-level state: the field holding the shared handle (an `Arc`, a
+/// `&mut` borrow of the L2, a channel end, ...) must carry one, and the
+/// reason must say why the crossing is safe under SM-parallel execution.
+/// `shared-boundary` covers the marker's line and the line below it;
+/// `shared-boundary-file` covers every field and static in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryMarker {
+    /// Line the marker comment starts on.
+    pub line: u32,
+    /// The (nonempty) justification string.
+    pub reason: String,
+    /// `true` for `shared-boundary-file` (whole-file scope).
+    pub file_scope: bool,
+}
+
 /// A malformed allow marker (missing reason, bad syntax). These become
 /// `A0` violations: a suppression without a justification is itself an
 /// error, and a broken marker must not silently suppress anything.
@@ -80,6 +98,8 @@ pub struct LexOutput {
     pub tokens: Vec<Tok>,
     /// Well-formed suppression markers.
     pub markers: Vec<AllowMarker>,
+    /// Well-formed shared-boundary annotations (rule `S1`).
+    pub boundaries: Vec<BoundaryMarker>,
     /// Malformed suppression markers.
     pub marker_errors: Vec<MarkerError>,
 }
@@ -123,13 +143,18 @@ pub fn lex(src: &str) -> LexOutput {
 
             b'/' if b.get(i + 1) == Some(&b'/') => {
                 // Line comment: collect the text, check for a marker.
+                // Doc comments (`///`, `//!`) are documentation, not
+                // directives: marker syntax quoted in them stays inert.
+                let is_doc = matches!(b.get(i + 2), Some(&b'/' | &b'!'));
                 let start_line = line;
                 let text_start = i + 2;
                 while i < b.len() && b[i] != b'\n' {
                     bump!();
                 }
-                let text = src.get(text_start..i).unwrap_or_default();
-                parse_marker(text, start_line, &mut out);
+                if !is_doc {
+                    let text = src.get(text_start..i).unwrap_or_default();
+                    parse_marker(text, start_line, &mut out);
+                }
             }
 
             b'/' if b.get(i + 1) == Some(&b'*') => {
@@ -359,17 +384,27 @@ fn advance_to(b: &[u8], i: &mut usize, target: usize, line: &mut u32, col: &mut 
 
 /// Parses one line-comment body for a `latte-lint:` marker.
 ///
-/// Grammar: `latte-lint: allow(RULE, reason = "...")` or
-/// `latte-lint: allow-file(RULE, reason = "...")`. The reason is
-/// mandatory and must be nonempty: a suppression is a claim about the
-/// code (e.g. "this map is never iterated") and the claim must be
-/// stated.
+/// Grammar: `latte-lint: allow(RULE, reason = "...")`,
+/// `latte-lint: allow-file(RULE, reason = "...")`,
+/// `latte-lint: shared-boundary(reason = "...")` or
+/// `latte-lint: shared-boundary-file(reason = "...")`. The reason is
+/// mandatory and must be nonempty: a suppression or boundary annotation
+/// is a claim about the code (e.g. "this map is never iterated") and the
+/// claim must be stated.
 fn parse_marker(comment_text: &str, line: u32, out: &mut LexOutput) {
-    let text = comment_text.trim_start_matches(['/', '!']).trim();
+    let text = comment_text.trim();
     let Some(rest) = text.strip_prefix("latte-lint:") else {
         return;
     };
     let rest = rest.trim();
+    if let Some(r) = rest.strip_prefix("shared-boundary-file") {
+        parse_boundary(r, line, true, out);
+        return;
+    }
+    if let Some(r) = rest.strip_prefix("shared-boundary") {
+        parse_boundary(r, line, false, out);
+        return;
+    }
     let (file_scope, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
         (true, r)
     } else if let Some(r) = rest.strip_prefix("allow") {
@@ -377,7 +412,10 @@ fn parse_marker(comment_text: &str, line: u32, out: &mut LexOutput) {
     } else {
         out.marker_errors.push(MarkerError {
             line,
-            message: format!("unknown latte-lint directive: `{rest}` (expected `allow(...)` or `allow-file(...)`)"),
+            message: format!(
+                "unknown latte-lint directive: `{rest}` (expected `allow(...)`, `allow-file(...)`, \
+                 `shared-boundary(...)` or `shared-boundary-file(...)`)"
+            ),
         });
         return;
     };
@@ -407,7 +445,44 @@ fn parse_marker(comment_text: &str, line: u32, out: &mut LexOutput) {
         });
         return;
     };
-    let Some(reason) = reason_part
+    match parse_reason(reason_part) {
+        Ok(reason) => out.markers.push(AllowMarker {
+            line,
+            rule: rule_part.to_owned(),
+            reason,
+            file_scope,
+        }),
+        Err(what) => out.marker_errors.push(MarkerError {
+            line,
+            message: format!("allow({rule_part}): {what}"),
+        }),
+    }
+}
+
+/// Parses the tail of a `shared-boundary(...)` / `shared-boundary-file(...)`
+/// directive: `(reason = "...")` with a mandatory nonempty reason.
+fn parse_boundary(rest: &str, line: u32, file_scope: bool, out: &mut LexOutput) {
+    let kind = if file_scope { "shared-boundary-file" } else { "shared-boundary" };
+    let Some(inner) = rest.trim().strip_prefix('(').and_then(|r| r.strip_suffix(')')) else {
+        out.marker_errors.push(MarkerError {
+            line,
+            message: format!("malformed {kind} marker: expected `(reason = \"...\")`"),
+        });
+        return;
+    };
+    match parse_reason(inner.trim()) {
+        Ok(reason) => out.boundaries.push(BoundaryMarker { line, reason, file_scope }),
+        Err(what) => out.marker_errors.push(MarkerError {
+            line,
+            message: format!("{kind}: {what}"),
+        }),
+    }
+}
+
+/// Parses `reason = "..."` into the reason string; the reason must be
+/// nonempty.
+fn parse_reason(text: &str) -> Result<String, String> {
+    let Some(reason) = text
         .strip_prefix("reason")
         .map(str::trim_start)
         .and_then(|r| r.strip_prefix('='))
@@ -415,25 +490,12 @@ fn parse_marker(comment_text: &str, line: u32, out: &mut LexOutput) {
         .and_then(|r| r.strip_prefix('"'))
         .and_then(|r| r.strip_suffix('"'))
     else {
-        out.marker_errors.push(MarkerError {
-            line,
-            message: format!("allow({rule_part}): malformed reason; expected `reason = \"...\"`"),
-        });
-        return;
+        return Err("malformed reason; expected `reason = \"...\"`".to_owned());
     };
     if reason.trim().is_empty() {
-        out.marker_errors.push(MarkerError {
-            line,
-            message: format!("allow({rule_part}) has an empty reason; suppressions must justify themselves"),
-        });
-        return;
+        return Err("empty reason; markers must justify themselves".to_owned());
     }
-    out.markers.push(AllowMarker {
-        line,
-        rule: rule_part.to_owned(),
-        reason: reason.trim().to_owned(),
-        file_scope,
-    });
+    Ok(reason.trim().to_owned())
 }
 
 #[cfg(test)]
@@ -556,6 +618,61 @@ mod tests {
         let out = lex("// just a note about latte-lint rules\n");
         assert_eq!(out.markers, []);
         assert_eq!(out.marker_errors, []);
+    }
+
+    #[test]
+    fn doc_comments_never_parse_as_markers() {
+        // Marker syntax *quoted in documentation* must stay inert; only a
+        // plain `//` comment is a directive.
+        let src = "\
+/// latte-lint: allow(D3, reason = \"doc example\")
+//! latte-lint: allow-file(D1, reason = \"doc example\")
+/// latte-lint: shared-boundary(reason = \"doc example\")
+fn f() {}
+";
+        let out = lex(src);
+        assert_eq!(out.markers, []);
+        assert_eq!(out.boundaries, []);
+        assert_eq!(out.marker_errors, []);
+    }
+
+    #[test]
+    fn parses_shared_boundary_markers() {
+        let src = "\
+// latte-lint: shared-boundary(reason = \"L2 access is epoch-ordered\")
+// latte-lint: shared-boundary-file(reason = \"whole file holds shared handles\")
+";
+        let out = lex(src);
+        assert_eq!(out.marker_errors, []);
+        assert_eq!(
+            out.boundaries,
+            [
+                BoundaryMarker {
+                    line: 1,
+                    reason: "L2 access is epoch-ordered".to_owned(),
+                    file_scope: false,
+                },
+                BoundaryMarker {
+                    line: 2,
+                    reason: "whole file holds shared handles".to_owned(),
+                    file_scope: true,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn boundary_marker_without_reason_is_an_error() {
+        for src in [
+            "// latte-lint: shared-boundary\n",
+            "// latte-lint: shared-boundary()\n",
+            "// latte-lint: shared-boundary(reason = \"\")\n",
+            "// latte-lint: shared-boundary-file(because = \"x\")\n",
+        ] {
+            let out = lex(src);
+            assert_eq!(out.boundaries, [], "should not parse: {src}");
+            assert_eq!(out.marker_errors.len(), 1, "should error: {src}");
+        }
     }
 
     #[test]

@@ -32,13 +32,22 @@
 // workspace uses.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
-pub use lexer::{lex, AllowMarker, LexOutput, MarkerError, Tok, TokKind};
+pub use graph::{Class, PartitionEntry, PartitionReport, TypeIndex, PARTITION_ROOTS};
+pub use lexer::{lex, AllowMarker, BoundaryMarker, LexOutput, MarkerError, Tok, TokKind};
+pub use parser::{parse, ParsedFile};
 pub use rules::{rule, FileContext, FileKind, RuleInfo, Severity, Violation, RULES, SIM_CRATES};
-pub use scan::{classify, scan_source, scan_workspace, ScanReport};
+pub use scan::{
+    analyze_workspace, classify, scan_source, scan_workspace, Analysis, AnalysisReport, FileUnit,
+    ScanReport,
+};
+pub use taint::TaintedFn;
 
 /// Serializes violations as a stable JSON document (hand-rolled: the
 /// environment is offline, and the schema is flat).
@@ -68,6 +77,97 @@ pub fn to_json(report: &ScanReport) -> String {
         s.push_str(",\"snippet\":");
         json_string(&mut s, &v.snippet);
         s.push('}');
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Serializes the S1 partition report as a stable JSON document — the
+/// `results/lint_partition.json` contract the parallelism PR consumes.
+#[must_use]
+pub fn partition_to_json(p: &PartitionReport) -> String {
+    let (per_sm, shared, violating) = p.counts();
+    let mut s = String::from("{\"roots\":[");
+    for (i, r) in p.roots.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        json_string(&mut s, r);
+    }
+    s.push_str("],\"clean\":");
+    s.push_str(if p.is_clean() { "true" } else { "false" });
+    s.push_str(&format!(
+        ",\"summary\":{{\"per_sm\":{per_sm},\"shared\":{shared},\"violating\":{violating}}}"
+    ));
+    for (key, entries) in [("fields", &p.fields), ("statics", &p.statics)] {
+        s.push_str(&format!(",\"{key}\":["));
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"owner\":");
+            json_string(&mut s, &e.owner);
+            s.push_str(",\"field\":");
+            json_string(&mut s, &e.field);
+            s.push_str(",\"path\":");
+            json_string(&mut s, &e.path);
+            s.push_str(",\"line\":");
+            s.push_str(&e.line.to_string());
+            s.push_str(",\"type\":");
+            json_string(&mut s, &e.type_text);
+            s.push_str(",\"class\":");
+            json_string(&mut s, e.class.as_str());
+            s.push_str(",\"via\":[");
+            for (j, v) in e.via.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, v);
+            }
+            s.push_str("],\"reason\":");
+            match &e.reason {
+                Some(r) => json_string(&mut s, r),
+                None => s.push_str("null"),
+            }
+            s.push_str(",\"roots\":[");
+            for (j, r) in e.roots.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                json_string(&mut s, r);
+            }
+            s.push_str("],\"allowed\":");
+            s.push_str(if e.allowed { "true" } else { "false" });
+            s.push('}');
+        }
+        s.push(']');
+    }
+    s.push('}');
+    s
+}
+
+/// Serializes the tainted-function list (the `--graph` payload).
+#[must_use]
+pub fn taint_to_json(tainted: &[TaintedFn]) -> String {
+    let mut s = String::from("{\"tainted\":[");
+    for (i, t) in tainted.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("{\"fn\":");
+        json_string(&mut s, &t.fn_desc);
+        s.push_str(",\"path\":");
+        json_string(&mut s, &t.path);
+        s.push_str(",\"line\":");
+        s.push_str(&t.line.to_string());
+        s.push_str(",\"chain\":[");
+        for (j, c) in t.chain.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            json_string(&mut s, c);
+        }
+        s.push_str("]}");
     }
     s.push_str("]}");
     s

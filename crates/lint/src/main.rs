@@ -1,16 +1,26 @@
 //! The `latte-lint` binary: scans the workspace and reports violations.
 //!
 //! ```text
-//! latte-lint [--root <dir>] [--format text|json] [--list-rules]
+//! latte-lint [--root <dir>] [--format text|json] [--json]
+//!            [--report <path>] [--partition <path>] [--graph <path>]
+//!            [--explain <rule>] [--list-rules]
 //! ```
+//!
+//! Besides the violation report, every run classifies the fields
+//! transitively reachable from the partition roots (`Sm`, `MemCtx`,
+//! `Gpu`) and writes the result to `<root>/results/lint_partition.json`
+//! (override with `--partition`; written atomically via temp+rename).
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-use latte_lint::{scan_workspace, to_json, ScanReport, RULES};
-use std::path::PathBuf;
+use latte_lint::{
+    analyze_workspace, partition_to_json, rule, taint_to_json, to_json, ScanReport, RULES,
+};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 enum Format {
@@ -19,9 +29,19 @@ enum Format {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: latte-lint [--root <dir>] [--format text|json] [--list-rules]\n");
-    eprintln!("Scans the workspace's .rs files for determinism, panic-freedom and");
-    eprintln!("output-discipline violations. Exit codes: 0 clean, 1 violations, 2 error.");
+    eprintln!(
+        "usage: latte-lint [--root <dir>] [--format text|json] [--json]\n\
+         \x20                 [--report <path>] [--partition <path>] [--graph <path>]\n\
+         \x20                 [--explain <rule>] [--list-rules]\n"
+    );
+    eprintln!("Scans the workspace's .rs files for determinism, panic-freedom,");
+    eprintln!("output-discipline and Send-partitionability violations.");
+    eprintln!("  --report <path>     also write the violation report JSON to <path>");
+    eprintln!("  --partition <path>  where to write the S1 partition report");
+    eprintln!("                      (default: <root>/results/lint_partition.json)");
+    eprintln!("  --graph <path>      write the tainted-function graph JSON to <path>");
+    eprintln!("  --explain <rule>    print the long-form guidance for one rule");
+    eprintln!("Exit codes: 0 clean, 1 violations, 2 error.");
     ExitCode::from(2)
 }
 
@@ -32,6 +52,23 @@ fn list_rules() {
     }
     println!("\nSuppression: // latte-lint: allow(RULE, reason = \"...\")   (this + next line)");
     println!("             // latte-lint: allow-file(RULE, reason = \"...\")  (whole file)");
+    println!("Shared edge: // latte-lint: shared-boundary(reason = \"...\")  (next field/static)");
+    println!("Details:     latte-lint --explain <rule>");
+}
+
+fn explain(rule_id: &str) -> ExitCode {
+    match rule(rule_id) {
+        Some(r) => {
+            println!("{} [{}]: {}\n", r.id, r.severity.as_str(), r.title);
+            println!("Why: {}\n", r.rationale);
+            println!("{}", r.explain);
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("latte-lint: unknown rule `{rule_id}` (try --list-rules)");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn print_text(report: &ScanReport) {
@@ -63,9 +100,26 @@ fn print_text(report: &ScanReport) {
     }
 }
 
+/// Writes `contents` to `path` atomically: temp file in the same
+/// directory, then rename into place.
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut format = Format::Text;
+    let mut report_path: Option<PathBuf> = None;
+    let mut partition_path: Option<PathBuf> = None;
+    let mut graph_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -78,6 +132,23 @@ fn main() -> ExitCode {
                 Some("json") => format = Format::Json,
                 _ => return usage(),
             },
+            "--json" => format = Format::Json,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--partition" => match args.next() {
+                Some(p) => partition_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--graph" => match args.next() {
+                Some(p) => graph_path = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--explain" => match args.next() {
+                Some(r) => return explain(&r),
+                None => return usage(),
+            },
             "--list-rules" => {
                 list_rules();
                 return ExitCode::SUCCESS;
@@ -85,18 +156,36 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    let report = match scan_workspace(&root) {
-        Ok(r) => r,
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("latte-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    match format {
-        Format::Text => print_text(&report),
-        Format::Json => println!("{}", to_json(&report)),
+    let partition_path =
+        partition_path.unwrap_or_else(|| root.join("results").join("lint_partition.json"));
+    if let Err(e) = write_atomic(&partition_path, &partition_to_json(&analysis.partition)) {
+        eprintln!("latte-lint: cannot write {}: {e}", partition_path.display());
+        return ExitCode::from(2);
     }
-    if report.is_clean() {
+    if let Some(p) = &report_path {
+        if let Err(e) = write_atomic(p, &to_json(&analysis.report)) {
+            eprintln!("latte-lint: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(p) = &graph_path {
+        if let Err(e) = write_atomic(p, &taint_to_json(&analysis.tainted)) {
+            eprintln!("latte-lint: cannot write {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    match format {
+        Format::Text => print_text(&analysis.report),
+        Format::Json => println!("{}", to_json(&analysis.report)),
+    }
+    if analysis.report.is_clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -1,0 +1,1325 @@
+//! An item-level Rust parser built on the [`crate::lexer`] token stream.
+//!
+//! This is *not* a full Rust grammar — the build environment is offline,
+//! so no `syn` — but a recursive-descent pass that recovers exactly the
+//! structure the interprocedural rules need:
+//!
+//! * structs/enums with per-field [`TypeExpr`]s (rule `S1` walks the
+//!   type-field graph from the partition roots),
+//! * traits with their supertraits (the `Send`-audit of `dyn Trait`
+//!   fields),
+//! * functions with an approximate call list and hash-iteration sites
+//!   (rule `T1` propagates determinism taint along these edges),
+//! * `use` declarations (cross-crate resolution hints for the graphs),
+//! * statics and type aliases.
+//!
+//! The parser is defensive: unknown constructs are skipped token by
+//! token, every loop makes forward progress, and a malformed item
+//! degrades to "not extracted" rather than a panic. Generic parameter
+//! lists are skipped with an angle-depth counter that treats `->` and
+//! `=>` as atomic so a `>` inside them never closes a generic scope.
+
+use crate::lexer::{Tok, TokKind};
+
+/// A type expression, kept as flat text plus the features the rules
+/// dispatch on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TypeExpr {
+    /// Roughly the source text of the type (token-joined).
+    pub text: String,
+    /// Every identifier appearing in the type, in order, minus type
+    /// keywords (`dyn`, `mut`, `impl`, ...).
+    pub idents: Vec<String>,
+    /// `true` when the type contains a `&` reference at any depth.
+    pub has_ref: bool,
+    /// `true` when the type contains a raw pointer (`*mut T`/`*const T`).
+    pub has_raw_ptr: bool,
+    /// The head trait of each `dyn Trait` appearing in the type.
+    pub dyn_traits: Vec<String>,
+}
+
+impl TypeExpr {
+    /// `true` when the expression carries no tokens at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+/// One named (or tuple-indexed) field of a struct, or one variant of an
+/// enum with its merged payload type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name (`"0"`, `"1"`, ... for tuple fields; the variant name
+    /// for enum variants).
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+    /// 1-based column of the field name.
+    pub col: u32,
+    /// The field's type (for enum variants: all payload types merged).
+    pub ty: TypeExpr,
+}
+
+/// A struct, union or enum definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// Enclosing module path within the file (empty at file scope).
+    pub module: Vec<String>,
+    /// Fields (or enum variants with payload types).
+    pub fields: Vec<FieldDef>,
+    /// `true` when defined under `#[cfg(test)]` or inside a test fn.
+    pub in_test: bool,
+    /// `true` for `enum` definitions.
+    pub is_enum: bool,
+}
+
+/// A trait definition with its supertraits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraitDef {
+    /// Trait name.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// Supertrait names (`trait Kernel: Send + Sync` → `[Send, Sync]`),
+    /// last path segment only.
+    pub supertraits: Vec<String>,
+    /// `true` when defined under `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+/// What a call site refers to, as far as tokens can tell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `helper(...)` — a free function (or tuple-struct constructor).
+    Free(String),
+    /// `Type::method(...)` / `a::b::f(...)` — a path call; all segments.
+    Path(Vec<String>),
+    /// `self.method(...)` — a method on the surrounding impl type.
+    SelfMethod(String),
+    /// `self.field.method(...)` — a method on a field's type.
+    FieldMethod {
+        /// The field name.
+        field: String,
+        /// The method name.
+        method: String,
+    },
+    /// `expr.method(...)` with an unresolvable receiver.
+    OtherMethod(String),
+    /// `name!(...)` — a macro invocation.
+    Macro(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// What is being called.
+    pub callee: Callee,
+    /// 1-based line of the callee name.
+    pub line: u32,
+    /// 1-based column of the callee name.
+    pub col: u32,
+}
+
+/// A function definition (free, inherent, trait method or default body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// The impl'd / trait'd type name, when inside an `impl` or `trait`
+    /// block.
+    pub owner: Option<String>,
+    /// Enclosing module path within the file.
+    pub module: Vec<String>,
+    /// `true` when the fn is test code (`#[cfg(test)]` region, or nested
+    /// in one).
+    pub in_test: bool,
+    /// `false` for bodyless trait-method declarations.
+    pub has_body: bool,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Raw `for _ in &self.field { ... }` iteration sites: `(field, line)`.
+    pub field_iters: Vec<(String, u32)>,
+}
+
+/// A `static` item (module level or function-local).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticDef {
+    /// Static name.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: u32,
+    /// `true` for `static mut`.
+    pub is_mut: bool,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// `true` when in test code.
+    pub in_test: bool,
+}
+
+/// One `use` declaration leaf (groups are expanded: `use a::{b, c}` is
+/// two decls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseDecl {
+    /// Full path segments, `as`-renames resolved to the original name.
+    pub path: Vec<String>,
+    /// 1-based line of the `use` keyword.
+    pub line: u32,
+}
+
+/// A `type Name = ...;` alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AliasDef {
+    /// Alias name.
+    pub name: String,
+    /// The aliased type.
+    pub ty: TypeExpr,
+    /// `true` when in test code.
+    pub in_test: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedFile {
+    /// Structs, unions and enums.
+    pub structs: Vec<StructDef>,
+    /// Traits.
+    pub traits: Vec<TraitDef>,
+    /// Functions.
+    pub fns: Vec<FnDef>,
+    /// Statics (module-level and function-local).
+    pub statics: Vec<StaticDef>,
+    /// Use declarations.
+    pub uses: Vec<UseDecl>,
+    /// Type aliases.
+    pub aliases: Vec<AliasDef>,
+}
+
+/// Identifiers that are keywords inside type expressions and never name
+/// a type.
+const TYPE_KEYWORDS: &[&str] = &[
+    "dyn", "mut", "const", "impl", "as", "where", "for", "unsafe", "extern", "fn", "ref", "pub",
+    "in", "crate", "self", "super", "Self",
+];
+
+/// Reserved words that can never start a call expression.
+const STMT_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "in", "loop", "else", "break", "continue", "move",
+    "let", "mut", "ref", "as", "dyn", "impl", "unsafe", "self", "Self", "super", "crate", "true",
+    "false", "where", "use", "static", "const", "struct", "enum", "fn", "trait", "type", "mod",
+    "pub", "async", "await", "box",
+];
+
+/// Parses a lexed token stream into its item-level structure.
+#[must_use]
+pub fn parse(toks: &[Tok]) -> ParsedFile {
+    let mut p = Parser { toks, i: 0, out: ParsedFile::default() };
+    let mut module = Vec::new();
+    p.items(&mut module, false, None, false);
+    p.out
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    out: ParsedFile,
+}
+
+impl Parser<'_> {
+    fn peek(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.i + off)
+    }
+
+    fn cur_ident(&self) -> Option<&str> {
+        self.peek(0).and_then(Tok::ident)
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        self.peek(0).is_some_and(|t| t.is_punct(ch))
+    }
+
+    fn line(&self) -> u32 {
+        self.peek(0).map_or(0, |t| t.line)
+    }
+
+    fn bump(&mut self) {
+        self.i += 1;
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.at_punct(ch) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes an identifier and returns it (with its position), or
+    /// `None` without advancing.
+    fn eat_ident(&mut self) -> Option<(String, u32, u32)> {
+        match self.peek(0) {
+            Some(Tok { kind: TokKind::Ident(s), line, col }) => {
+                let out = (s.clone(), *line, *col);
+                self.bump();
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Parses a run of items until end of input or (when `stop_at_close`)
+    /// an unmatched `}`. `owner` is the surrounding impl/trait type.
+    fn items(&mut self, module: &mut Vec<String>, in_test: bool, owner: Option<&str>, stop_at_close: bool) {
+        let mut pending_test = false;
+        while self.i < self.toks.len() {
+            if self.at_punct('}') {
+                if stop_at_close {
+                    return;
+                }
+                self.bump();
+                continue;
+            }
+            if self.at_punct('#') {
+                pending_test |= self.attr_is_cfg_test();
+                continue;
+            }
+            let Some(name) = self.cur_ident().map(str::to_owned) else {
+                self.bump();
+                continue;
+            };
+            let item_test = in_test || pending_test;
+            match name.as_str() {
+                "pub" => {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                    continue; // modifier: re-dispatch without clearing pending_test
+                }
+                "unsafe" | "async" | "default" | "extern" => {
+                    self.bump();
+                    continue;
+                }
+                "const" => {
+                    self.bump();
+                    if self.cur_ident() == Some("fn") {
+                        continue; // `const fn`: fall through to the fn arm
+                    }
+                    self.skip_to_semi(); // `const NAME: T = ...;`
+                }
+                "mod" => {
+                    self.bump();
+                    let Some((m, _, _)) = self.eat_ident() else { continue };
+                    if self.eat_punct('{') {
+                        module.push(m);
+                        self.items(module, item_test, None, true);
+                        module.pop();
+                        self.eat_punct('}');
+                    } else {
+                        self.eat_punct(';');
+                    }
+                }
+                "struct" | "union" => {
+                    self.bump();
+                    self.parse_struct(module, item_test, false);
+                }
+                "enum" => {
+                    self.bump();
+                    self.parse_enum(module, item_test);
+                }
+                "trait" => {
+                    self.bump();
+                    self.parse_trait(module, item_test);
+                }
+                "impl" => {
+                    self.bump();
+                    self.parse_impl(module, item_test);
+                }
+                "fn" => {
+                    self.bump();
+                    self.parse_fn(module, item_test, owner);
+                }
+                "use" => {
+                    self.bump();
+                    self.parse_use();
+                }
+                "static" => {
+                    self.bump();
+                    self.parse_static(item_test);
+                }
+                "type" => {
+                    self.bump();
+                    self.parse_alias(item_test);
+                }
+                "macro_rules" => {
+                    self.bump();
+                    self.eat_punct('!');
+                    self.eat_ident();
+                    if self.at_punct('{') {
+                        self.skip_balanced('{', '}');
+                    } else {
+                        self.skip_to_semi();
+                    }
+                }
+                _ => self.bump(),
+            }
+            pending_test = false;
+        }
+    }
+
+    /// At `#`: skips one attribute, returning `true` for `#[cfg(test)]`
+    /// (or any `cfg(...)` whose arguments mention `test`).
+    fn attr_is_cfg_test(&mut self) -> bool {
+        self.bump(); // '#'
+        self.eat_punct('!');
+        if !self.at_punct('[') {
+            return false;
+        }
+        let start = self.i;
+        self.skip_balanced('[', ']');
+        let attr = &self.toks[start..self.i];
+        let mut idents = attr.iter().filter_map(Tok::ident);
+        idents.next() == Some("cfg") && attr.iter().filter_map(Tok::ident).any(|s| s == "test")
+    }
+
+    /// At an opening delimiter: skips past its matching close.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        if !self.eat_punct(open) {
+            return;
+        }
+        let mut depth = 1u32;
+        while self.i < self.toks.len() && depth > 0 {
+            if self.at_punct(open) {
+                depth += 1;
+            } else if self.at_punct(close) {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips to just past the next `;` at bracket depth 0.
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while self.i < self.toks.len() {
+            if let Some(TokKind::Punct(c)) = self.peek(0).map(|t| t.kind.clone()) {
+                match c {
+                    '(' | '[' | '{' => depth += 1,
+                    ')' | ']' | '}' => {
+                        if depth == 0 {
+                            return; // unbalanced close: stop before it
+                        }
+                        depth -= 1;
+                    }
+                    ';' if depth == 0 => {
+                        self.bump();
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// At `<`: skips a generic parameter list, treating `->` and `=>` as
+    /// atomic so their `>` never closes the scope.
+    fn skip_generics(&mut self) {
+        if !self.eat_punct('<') {
+            return;
+        }
+        let mut depth = 1u32;
+        while self.i < self.toks.len() && depth > 0 {
+            if (self.at_punct('-') || self.at_punct('=')) && self.peek(1).is_some_and(|t| t.is_punct('>')) {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.at_punct('<') {
+                depth += 1;
+            } else if self.at_punct('>') {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// Collects a type expression until one of `stops` appears at depth 0
+    /// (the stop token is not consumed). Returns the collected type.
+    #[allow(clippy::too_many_lines)]
+    fn collect_type(&mut self, stops: &[char]) -> TypeExpr {
+        let mut ty = TypeExpr::default();
+        let mut bracket = 0i32;
+        let mut angle = 0i32;
+        let mut dyn_pending = false;
+        let mut dyn_last: Option<String> = None;
+        while self.i < self.toks.len() {
+            let tok = match self.peek(0) {
+                Some(t) => t.clone(),
+                None => break,
+            };
+            match &tok.kind {
+                TokKind::Punct(c) => {
+                    // `->` / `=>` are atomic; their `>` is not a closer.
+                    if (*c == '-' || *c == '=')
+                        && self.peek(1).is_some_and(|t| t.is_punct('>'))
+                        && !(bracket == 0 && angle == 0 && stops.contains(c))
+                    {
+                        ty.text.push(*c);
+                        ty.text.push('>');
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    if bracket == 0 && angle == 0 && stops.contains(c) {
+                        break;
+                    }
+                    match c {
+                        '(' | '[' | '{' => bracket += 1,
+                        ')' | ']' | '}' => {
+                            if bracket == 0 {
+                                break; // unbalanced close belongs to the caller
+                            }
+                            bracket -= 1;
+                        }
+                        '<' => angle += 1,
+                        '>' => {
+                            if angle == 0 {
+                                break;
+                            }
+                            angle -= 1;
+                        }
+                        '&' => ty.has_ref = true,
+                        '*' if self
+                            .peek(1)
+                            .and_then(Tok::ident)
+                            .is_some_and(|s| s == "mut" || s == "const") =>
+                        {
+                            ty.has_raw_ptr = true;
+                        }
+                        _ => {}
+                    }
+                    if dyn_pending && *c != ':' {
+                        if let Some(t) = dyn_last.take() {
+                            ty.dyn_traits.push(t);
+                        }
+                        dyn_pending = false;
+                    }
+                    ty.text.push(*c);
+                    if *c == ',' {
+                        ty.text.push(' ');
+                    }
+                    self.bump();
+                }
+                TokKind::Ident(s) => {
+                    if s == "dyn" {
+                        dyn_pending = true;
+                        dyn_last = None;
+                    } else {
+                        if dyn_pending {
+                            dyn_last = Some(s.clone());
+                        }
+                        if !TYPE_KEYWORDS.contains(&s.as_str()) {
+                            ty.idents.push(s.clone());
+                        }
+                    }
+                    if ty.text.ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
+                        ty.text.push(' ');
+                    }
+                    ty.text.push_str(s);
+                    self.bump();
+                }
+            }
+        }
+        if let Some(t) = dyn_last.take() {
+            ty.dyn_traits.push(t);
+        }
+        ty
+    }
+
+    /// After the `struct` keyword (already consumed): parses a struct or
+    /// union body. `merge_into_enum` is unused here (see `parse_enum`).
+    fn parse_struct(&mut self, module: &[String], in_test: bool, _merge_into_enum: bool) {
+        let Some((name, line, _)) = self.eat_ident() else { return };
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.cur_ident() == Some("where") {
+            // Skip the where clause up to the body or `;`.
+            while self.i < self.toks.len() && !self.at_punct('{') && !self.at_punct(';') && !self.at_punct('(') {
+                if self.at_punct('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let mut fields = Vec::new();
+        if self.eat_punct('(') {
+            // Tuple struct: `struct W(Arc<X>, u32);`
+            let mut idx = 0usize;
+            while self.i < self.toks.len() && !self.at_punct(')') {
+                while self.cur_ident() == Some("pub") {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                let (fline, fcol) = self.peek(0).map_or((line, 1), |t| (t.line, t.col));
+                let ty = self.collect_type(&[',', ')']);
+                if !ty.is_empty() {
+                    fields.push(FieldDef { name: idx.to_string(), line: fline, col: fcol, ty });
+                    idx += 1;
+                }
+                self.eat_punct(',');
+            }
+            self.eat_punct(')');
+            self.skip_to_semi();
+        } else if self.eat_punct('{') {
+            while self.i < self.toks.len() && !self.at_punct('}') {
+                if self.at_punct('#') {
+                    self.attr_is_cfg_test();
+                    continue;
+                }
+                while self.cur_ident() == Some("pub") {
+                    self.bump();
+                    if self.at_punct('(') {
+                        self.skip_balanced('(', ')');
+                    }
+                }
+                let Some((fname, fline, fcol)) = self.eat_ident() else {
+                    self.bump();
+                    continue;
+                };
+                if !self.eat_punct(':') {
+                    continue; // not a field (recovered)
+                }
+                let ty = self.collect_type(&[',', '}']);
+                fields.push(FieldDef { name: fname, line: fline, col: fcol, ty });
+                self.eat_punct(',');
+            }
+            self.eat_punct('}');
+        } else {
+            self.eat_punct(';'); // unit struct
+        }
+        self.out.structs.push(StructDef {
+            name,
+            line,
+            module: module.to_vec(),
+            fields,
+            in_test,
+            is_enum: false,
+        });
+    }
+
+    /// After the `enum` keyword: parses variants; each variant's payload
+    /// types are merged into one `TypeExpr`.
+    fn parse_enum(&mut self, module: &[String], in_test: bool) {
+        let Some((name, line, _)) = self.eat_ident() else { return };
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        while self.i < self.toks.len() && !self.at_punct('{') && !self.at_punct(';') {
+            if self.at_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        let mut fields = Vec::new();
+        if self.eat_punct('{') {
+            while self.i < self.toks.len() && !self.at_punct('}') {
+                if self.at_punct('#') {
+                    self.attr_is_cfg_test();
+                    continue;
+                }
+                let Some((vname, vline, vcol)) = self.eat_ident() else {
+                    self.bump();
+                    continue;
+                };
+                let mut ty = TypeExpr::default();
+                if self.eat_punct('(') {
+                    ty = self.collect_type(&[')']);
+                    self.eat_punct(')');
+                } else if self.eat_punct('{') {
+                    while self.i < self.toks.len() && !self.at_punct('}') {
+                        if self.at_punct('#') {
+                            self.attr_is_cfg_test();
+                            continue;
+                        }
+                        let Some((_f, _, _)) = self.eat_ident() else {
+                            self.bump();
+                            continue;
+                        };
+                        if !self.eat_punct(':') {
+                            continue;
+                        }
+                        let fty = self.collect_type(&[',', '}']);
+                        merge_type(&mut ty, fty);
+                        self.eat_punct(',');
+                    }
+                    self.eat_punct('}');
+                } else if self.eat_punct('=') {
+                    // Discriminant: skip the expression with a
+                    // bracket-only depth counter (`1 << 2` must not be
+                    // mistaken for an opening generic).
+                    let mut depth = 0i32;
+                    while self.i < self.toks.len() {
+                        if self.at_punct('(') || self.at_punct('[') || self.at_punct('{') {
+                            depth += 1;
+                        } else if self.at_punct(')') || self.at_punct(']') || self.at_punct('}') {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        } else if depth == 0 && self.at_punct(',') {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                fields.push(FieldDef { name: vname, line: vline, col: vcol, ty });
+                self.eat_punct(',');
+            }
+            self.eat_punct('}');
+        }
+        self.out.structs.push(StructDef {
+            name,
+            line,
+            module: module.to_vec(),
+            fields,
+            in_test,
+            is_enum: true,
+        });
+    }
+
+    /// After the `trait` keyword: records the trait and its supertraits,
+    /// then parses default-method bodies with the trait as owner.
+    fn parse_trait(&mut self, module: &mut Vec<String>, in_test: bool) {
+        let Some((name, line, _)) = self.eat_ident() else { return };
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        let mut supertraits = Vec::new();
+        if self.eat_punct(':') {
+            while let Some(seg) = self.last_path_segment() {
+                supertraits.push(seg);
+                if self.at_punct('<') {
+                    self.skip_generics();
+                }
+                if self.at_punct('(') {
+                    // `Fn(..)`-style bound sugar.
+                    self.skip_balanced('(', ')');
+                    if self.at_punct('-') && self.peek(1).is_some_and(|t| t.is_punct('>')) {
+                        self.bump();
+                        self.bump();
+                        let _ = self.collect_type(&['+', '{', ';']);
+                    }
+                }
+                if !self.eat_punct('+') {
+                    break;
+                }
+            }
+        }
+        while self.i < self.toks.len() && !self.at_punct('{') && !self.at_punct(';') {
+            if self.at_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        self.out.traits.push(TraitDef { name: name.clone(), line, supertraits, in_test });
+        if self.eat_punct('{') {
+            self.items(module, in_test, Some(&name), true);
+            self.eat_punct('}');
+        } else {
+            self.eat_punct(';');
+        }
+    }
+
+    /// Reads a `::`-joined path at the cursor and returns its last
+    /// segment (`a::b::C` → `C`). Returns `None` when not at an ident.
+    fn last_path_segment(&mut self) -> Option<String> {
+        let (mut last, _, _) = self.eat_ident()?;
+        loop {
+            if self.at_punct(':') && self.peek(1).is_some_and(|t| t.is_punct(':')) {
+                if let Some(s) = self.peek(2).and_then(Tok::ident).map(str::to_owned) {
+                    self.bump();
+                    self.bump();
+                    self.bump();
+                    last = s;
+                    continue;
+                }
+            }
+            return Some(last);
+        }
+    }
+
+    /// After the `impl` keyword: works out the self type (and discards
+    /// the trait path, if any), then parses the body with that owner.
+    fn parse_impl(&mut self, module: &mut Vec<String>, in_test: bool) {
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        // `impl Trait for Type` | `impl Type`; either side may be a path
+        // with generics. References / dyn heads are skipped.
+        let read_head = |p: &mut Self| -> Option<String> {
+            while p.at_punct('&') || p.cur_ident().is_some_and(|s| s == "dyn" || s == "mut") {
+                p.bump();
+            }
+            let seg = p.last_path_segment();
+            if p.at_punct('<') {
+                p.skip_generics();
+            }
+            seg
+        };
+        let first = read_head(self);
+        let owner = if self.cur_ident() == Some("for") {
+            self.bump();
+            read_head(self)
+        } else {
+            first
+        };
+        while self.i < self.toks.len() && !self.at_punct('{') && !self.at_punct(';') {
+            if self.at_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        if self.eat_punct('{') {
+            self.items(module, in_test, owner.as_deref(), true);
+            self.eat_punct('}');
+        } else {
+            self.eat_punct(';');
+        }
+    }
+
+    /// After the `fn` keyword: parses signature and (when present) the
+    /// body, extracting call sites and iteration sites.
+    fn parse_fn(&mut self, module: &[String], in_test: bool, owner: Option<&str>) {
+        let Some((name, line, _)) = self.eat_ident() else { return };
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_punct('(') {
+            self.skip_balanced('(', ')');
+        }
+        // Return type + where clause, up to the body or `;`.
+        while self.i < self.toks.len() && !self.at_punct('{') && !self.at_punct(';') {
+            if self.at_punct('<') {
+                self.skip_generics();
+            } else if (self.at_punct('-') || self.at_punct('=')) && self.peek(1).is_some_and(|t| t.is_punct('>')) {
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let mut def = FnDef {
+            name,
+            line,
+            owner: owner.map(str::to_owned),
+            module: module.to_vec(),
+            in_test,
+            has_body: false,
+            calls: Vec::new(),
+            field_iters: Vec::new(),
+        };
+        if self.at_punct('{') {
+            def.has_body = true;
+            self.walk_body(&mut def, module, in_test);
+        } else {
+            self.eat_punct(';');
+        }
+        self.out.fns.push(def);
+    }
+
+    /// At the body's `{`: walks the body, recording call sites, raw
+    /// `for _ in self.field` iterations, and nested items.
+    #[allow(clippy::too_many_lines)]
+    fn walk_body(&mut self, def: &mut FnDef, module: &[String], in_test: bool) {
+        self.bump(); // '{'
+        let mut depth = 1i32;
+        while self.i < self.toks.len() && depth > 0 {
+            if self.at_punct('{') {
+                depth += 1;
+                self.bump();
+                continue;
+            }
+            if self.at_punct('}') {
+                depth -= 1;
+                self.bump();
+                continue;
+            }
+            let Some(name) = self.cur_ident().map(str::to_owned) else {
+                self.bump();
+                continue;
+            };
+            // Nested items worth extracting.
+            match name.as_str() {
+                "fn" if self.peek(1).and_then(Tok::ident).is_some() => {
+                    self.bump();
+                    self.parse_fn(module, in_test, None);
+                    continue;
+                }
+                "static" if self.peek(1).and_then(Tok::ident).is_some() => {
+                    self.bump();
+                    self.parse_static(in_test);
+                    continue;
+                }
+                "in" => {
+                    // `for x in [&][mut] self.field` raw iteration.
+                    self.bump();
+                    let mut j = 0usize;
+                    if self.peek(j).is_some_and(|t| t.is_punct('&')) {
+                        j += 1;
+                    }
+                    if self.peek(j).and_then(Tok::ident) == Some("mut") {
+                        j += 1;
+                    }
+                    if self.peek(j).and_then(Tok::ident) == Some("self")
+                        && self.peek(j + 1).is_some_and(|t| t.is_punct('.'))
+                    {
+                        if let Some(ft) = self.peek(j + 2) {
+                            if let Some(f) = ft.ident() {
+                                // A following `.` means a method call that
+                                // the call scan already classifies.
+                                if !self.peek(j + 3).is_some_and(|t| t.is_punct('.')) {
+                                    def.field_iters.push((f.to_owned(), ft.line));
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            if STMT_KEYWORDS.contains(&name.as_str()) {
+                self.bump();
+                continue;
+            }
+            let tok = match self.peek(0) {
+                Some(t) => t.clone(),
+                None => break,
+            };
+            // Macro call: `name!(..)` / `name![..]` / `name!{..}`.
+            if self.peek(1).is_some_and(|t| t.is_punct('!'))
+                && self
+                    .peek(2)
+                    .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+            {
+                def.calls.push(CallSite {
+                    callee: Callee::Macro(name),
+                    line: tok.line,
+                    col: tok.col,
+                });
+                self.bump(); // the macro args are walked as ordinary tokens
+                continue;
+            }
+            // Call expression: `name(` with receiver classified by
+            // looking back at the already-consumed tokens.
+            if self.peek(1).is_some_and(|t| t.is_punct('(')) {
+                let callee = self.classify_call(&name);
+                def.calls.push(CallSite { callee, line: tok.line, col: tok.col });
+            }
+            self.bump();
+        }
+    }
+
+    /// Classifies the call `name(` at the cursor by inspecting the
+    /// tokens before it.
+    fn classify_call(&self, name: &str) -> Callee {
+        let before = |off: usize| -> Option<&Tok> {
+            self.i.checked_sub(off).and_then(|j| self.toks.get(j))
+        };
+        if before(1).is_some_and(|t| t.is_punct('.')) {
+            if before(2).and_then(Tok::ident) == Some("self") && !before(3).is_some_and(|t| t.is_punct('.')) {
+                return Callee::SelfMethod(name.to_owned());
+            }
+            if before(3).is_some_and(|t| t.is_punct('.'))
+                && before(4).and_then(Tok::ident) == Some("self")
+                && !before(5).is_some_and(|t| t.is_punct('.'))
+            {
+                if let Some(field) = before(2).and_then(Tok::ident) {
+                    return Callee::FieldMethod { field: field.to_owned(), method: name.to_owned() };
+                }
+            }
+            return Callee::OtherMethod(name.to_owned());
+        }
+        if before(1).is_some_and(|t| t.is_punct(':')) && before(2).is_some_and(|t| t.is_punct(':')) {
+            let mut segs = vec![name.to_owned()];
+            let mut j = 0usize; // offset of the current leftmost segment
+            loop {
+                let a = before(j + 1).is_some_and(|t| t.is_punct(':'));
+                let b = before(j + 2).is_some_and(|t| t.is_punct(':'));
+                let seg = before(j + 3).and_then(Tok::ident);
+                match (a && b, seg) {
+                    (true, Some(s)) => {
+                        segs.insert(0, s.to_owned());
+                        j += 3;
+                    }
+                    _ => break,
+                }
+            }
+            return Callee::Path(segs);
+        }
+        Callee::Free(name.to_owned())
+    }
+
+    /// After the `use` keyword: records each leaf path.
+    fn parse_use(&mut self) {
+        let line = self.line();
+        let mut prefix = Vec::new();
+        self.use_tree(&mut prefix, line);
+        self.eat_punct(';');
+    }
+
+    fn use_tree(&mut self, prefix: &mut Vec<String>, line: u32) {
+        let depth_in = prefix.len();
+        loop {
+            if let Some((seg, _, _)) = self.eat_ident() {
+                if seg == "as" {
+                    // rename: consume the alias, keep the original path
+                    self.eat_ident();
+                    self.out.uses.push(UseDecl { path: prefix.clone(), line });
+                    break;
+                }
+                prefix.push(seg);
+                if self.at_punct(':') && self.peek(1).is_some_and(|t| t.is_punct(':')) {
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                self.out.uses.push(UseDecl { path: prefix.clone(), line });
+                break;
+            }
+            if self.at_punct('{') {
+                self.bump();
+                while self.i < self.toks.len() && !self.at_punct('}') {
+                    let mut sub = prefix.clone();
+                    self.use_tree(&mut sub, line);
+                    if !self.eat_punct(',') {
+                        break;
+                    }
+                }
+                self.eat_punct('}');
+                break;
+            }
+            if self.at_punct('*') {
+                self.bump();
+                prefix.push("*".to_owned());
+                self.out.uses.push(UseDecl { path: prefix.clone(), line });
+                break;
+            }
+            break;
+        }
+        prefix.truncate(depth_in);
+    }
+
+    /// After the `static` keyword: records the static's name, mutability
+    /// and type, skipping the initializer.
+    fn parse_static(&mut self, in_test: bool) {
+        let is_mut = if self.cur_ident() == Some("mut") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let Some((name, line, _)) = self.eat_ident() else { return };
+        if !self.eat_punct(':') {
+            self.skip_to_semi();
+            return;
+        }
+        let ty = self.collect_type(&['=', ';']);
+        self.skip_to_semi();
+        self.out.statics.push(StaticDef { name, line, is_mut, ty, in_test });
+    }
+
+    /// After the `type` keyword: records `type Name = ...;` aliases;
+    /// associated types without a definition are skipped.
+    fn parse_alias(&mut self, in_test: bool) {
+        let Some((name, _, _)) = self.eat_ident() else { return };
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        // `type X: Bound;` (associated type declaration) has no alias.
+        if !self.eat_punct('=') {
+            self.skip_to_semi();
+            return;
+        }
+        let ty = self.collect_type(&[';']);
+        self.skip_to_semi();
+        self.out.aliases.push(AliasDef { name, ty, in_test });
+    }
+}
+
+/// Merges `src` into `dst` (used for enum-variant payloads).
+fn merge_type(dst: &mut TypeExpr, src: TypeExpr) {
+    if dst.is_empty() {
+        *dst = src;
+        return;
+    }
+    dst.text.push_str(", ");
+    dst.text.push_str(&src.text);
+    dst.idents.extend(src.idents);
+    dst.has_ref |= src.has_ref;
+    dst.has_raw_ptr |= src.has_raw_ptr;
+    dst.dyn_traits.extend(src.dyn_traits);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> ParsedFile {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn named_struct_fields_with_generics() {
+        let p = parse_src(
+            "pub struct Sm { pub id: usize, warps: Vec<Warp>, waiters: HashMap<LineAddr, Vec<(usize, Cycles)>> }",
+        );
+        let s = &p.structs[0];
+        assert_eq!(s.name, "Sm");
+        assert!(!s.is_enum);
+        let names: Vec<&str> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["id", "warps", "waiters"]);
+        assert!(s.fields[1].ty.idents.contains(&"Warp".to_owned()));
+        assert!(s.fields[2].ty.idents.contains(&"HashMap".to_owned()));
+        assert!(s.fields[2].ty.idents.contains(&"Cycles".to_owned()));
+    }
+
+    #[test]
+    fn tuple_struct_and_refs_and_dyn() {
+        let p = parse_src("pub struct TraceSink(Arc<dyn Fn(&str) + Send + Sync>);");
+        let s = &p.structs[0];
+        assert_eq!(s.fields.len(), 1);
+        assert_eq!(s.fields[0].name, "0");
+        let ty = &s.fields[0].ty;
+        assert!(ty.idents.contains(&"Arc".to_owned()));
+        assert!(ty.idents.contains(&"Send".to_owned()));
+        assert_eq!(ty.dyn_traits, ["Fn"]);
+        assert!(ty.has_ref, "&str inside the Fn signature");
+    }
+
+    #[test]
+    fn struct_with_lifetime_refs_and_mut() {
+        let p = parse_src(
+            "pub struct MemCtx<'a> { pub l2: &'a mut SimpleCache, pub policy: &'a mut dyn L1CompressionPolicy, pub shadow_every: u64 }",
+        );
+        let s = &p.structs[0];
+        assert_eq!(s.fields.len(), 3);
+        assert!(s.fields[0].ty.has_ref);
+        assert!(s.fields[1].ty.has_ref);
+        assert_eq!(s.fields[1].ty.dyn_traits, ["L1CompressionPolicy"]);
+        assert!(!s.fields[2].ty.has_ref);
+    }
+
+    #[test]
+    fn raw_pointers_are_flagged() {
+        let p = parse_src("struct P { a: *mut u8, b: *const Gpu }");
+        assert!(p.structs[0].fields[0].ty.has_raw_ptr);
+        assert!(p.structs[0].fields[1].ty.has_raw_ptr);
+    }
+
+    #[test]
+    fn enum_variant_payloads_merge() {
+        let p = parse_src(
+            "enum Op { Load(LineAddr), Fill { line: CacheLine, at: Cycles }, Nop, Prio = 3 }",
+        );
+        let e = &p.structs[0];
+        assert!(e.is_enum);
+        let names: Vec<&str> = e.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["Load", "Fill", "Nop", "Prio"]);
+        assert!(e.fields[0].ty.idents.contains(&"LineAddr".to_owned()));
+        assert!(e.fields[1].ty.idents.contains(&"CacheLine".to_owned()));
+        assert!(e.fields[1].ty.idents.contains(&"Cycles".to_owned()));
+        assert!(e.fields[2].ty.is_empty());
+        assert!(e.fields[3].ty.is_empty(), "discriminant is not a payload");
+    }
+
+    #[test]
+    fn traits_record_supertraits_and_methods() {
+        let p = parse_src(
+            "pub trait Kernel: Send + Sync { fn next(&mut self) -> Option<Op>; fn len(&self) -> usize { self.total() } }",
+        );
+        assert_eq!(p.traits[0].name, "Kernel");
+        assert_eq!(p.traits[0].supertraits, ["Send", "Sync"]);
+        let fns: Vec<(&str, bool)> = p.fns.iter().map(|f| (f.name.as_str(), f.has_body)).collect();
+        assert_eq!(fns, [("next", false), ("len", true)]);
+        assert_eq!(p.fns[1].owner.as_deref(), Some("Kernel"));
+        let callees: Vec<&Callee> = p.fns[1].calls.iter().map(|c| &c.callee).collect();
+        assert_eq!(callees, [&Callee::SelfMethod("total".to_owned())]);
+    }
+
+    #[test]
+    fn supertraits_with_paths() {
+        let p = parse_src("trait Check: std::marker::Send {}");
+        assert_eq!(p.traits[0].supertraits, ["Send"]);
+    }
+
+    #[test]
+    fn impl_blocks_attribute_methods_to_the_self_type() {
+        let p = parse_src(
+            "impl latte_compress::Compressor for Fpc { fn probe(&self, w: &[u32]) -> u32 { helper(w) } }\n\
+             impl<T: Clone> Holder<T> { fn get(&self) -> T { self.value.clone() } }",
+        );
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Fpc"));
+        assert_eq!(p.fns[0].calls[0].callee, Callee::Free("helper".to_owned()));
+        assert_eq!(p.fns[1].owner.as_deref(), Some("Holder"));
+        assert_eq!(
+            p.fns[1].calls[0].callee,
+            Callee::FieldMethod { field: "value".to_owned(), method: "clone".to_owned() }
+        );
+    }
+
+    #[test]
+    fn call_classification_covers_all_shapes() {
+        let src = "
+fn f(&mut self) {
+    self.tick();
+    self.l1.lookup(addr);
+    Mshr::validate(x);
+    std::time::Instant::now();
+    helper(1);
+    other.thing(2);
+    outln!(\"{} {}\", a, b.len());
+}
+";
+        let p = parse_src(src);
+        let calls: Vec<&Callee> = p.fns[0].calls.iter().map(|c| &c.callee).collect();
+        assert!(calls.contains(&&Callee::SelfMethod("tick".to_owned())));
+        assert!(calls.contains(&&Callee::FieldMethod { field: "l1".to_owned(), method: "lookup".to_owned() }));
+        assert!(calls.contains(&&Callee::Path(vec!["Mshr".to_owned(), "validate".to_owned()])));
+        assert!(calls.contains(&&Callee::Path(vec![
+            "std".to_owned(),
+            "time".to_owned(),
+            "Instant".to_owned(),
+            "now".to_owned()
+        ])));
+        assert!(calls.contains(&&Callee::Free("helper".to_owned())));
+        assert!(calls.contains(&&Callee::OtherMethod("thing".to_owned())));
+        assert!(calls.contains(&&Callee::Macro("outln".to_owned())));
+        // Calls inside macro arguments are still seen.
+        assert!(calls.contains(&&Callee::OtherMethod("len".to_owned())));
+    }
+
+    #[test]
+    fn raw_field_iteration_is_recorded() {
+        let src = "
+impl Sm {
+    fn drain(&mut self) {
+        for (addr, list) in &self.waiters { use_it(addr, list); }
+        for w in &mut self.warps { w.step(); }
+        for v in self.blocks.iter() { v.len(); }
+    }
+}
+";
+        let p = parse_src(src);
+        let iters: Vec<&str> = p.fns[0].field_iters.iter().map(|(f, _)| f.as_str()).collect();
+        // `self.blocks.iter()` is a FieldMethod call, not a raw iteration.
+        assert_eq!(iters, ["waiters", "warps"]);
+        assert!(p.fns[0]
+            .calls
+            .iter()
+            .any(|c| c.callee == Callee::FieldMethod { field: "blocks".to_owned(), method: "iter".to_owned() }));
+    }
+
+    #[test]
+    fn nested_modules_and_cfg_test_marking() {
+        let src = "
+mod inner {
+    pub struct A { x: u32 }
+    #[cfg(test)]
+    mod tests {
+        struct Fixture { y: u32 }
+        #[test]
+        fn t() { helper(); }
+    }
+}
+#[cfg(test)]
+struct OnlyInTests { z: u32 }
+struct AfterTests { w: u32 }
+";
+        let p = parse_src(src);
+        let find = |n: &str| p.structs.iter().find(|s| s.name == n).map(|s| (s.in_test, s.module.clone()));
+        assert_eq!(find("A"), Some((false, vec!["inner".to_owned()])));
+        assert_eq!(find("Fixture"), Some((true, vec!["inner".to_owned(), "tests".to_owned()])));
+        assert_eq!(find("OnlyInTests"), Some((true, vec![])));
+        assert_eq!(find("AfterTests"), Some((false, vec![])), "cfg(test) must not leak");
+        let t = p.fns.iter().find(|f| f.name == "t");
+        assert!(t.is_some_and(|f| f.in_test));
+    }
+
+    #[test]
+    fn statics_module_level_and_fn_local() {
+        let src = "
+static CLOCK: OnceLock<fn() -> u64> = OnceLock::new();
+static mut SCRATCH: u64 = 0;
+fn f() {
+    static BASELINE: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    touch(BASELINE);
+}
+";
+        let p = parse_src(src);
+        let names: Vec<(&str, bool)> = p.statics.iter().map(|s| (s.name.as_str(), s.is_mut)).collect();
+        assert_eq!(names, [("CLOCK", false), ("SCRATCH", true), ("BASELINE", false)]);
+        assert!(p.statics[0].ty.idents.contains(&"OnceLock".to_owned()));
+        assert!(p.statics[2].ty.idents.contains(&"Instant".to_owned()));
+    }
+
+    #[test]
+    fn use_groups_expand_to_leaves() {
+        let src = "use latte_cache::{mshr::Mshr, compressed::{CompressedCache, Set}};\nuse std::collections::HashMap as Map;\n";
+        let p = parse_src(src);
+        let paths: Vec<String> = p.uses.iter().map(|u| u.path.join("::")).collect();
+        assert!(paths.contains(&"latte_cache::mshr::Mshr".to_owned()), "{paths:?}");
+        assert!(paths.contains(&"latte_cache::compressed::CompressedCache".to_owned()), "{paths:?}");
+        assert!(paths.contains(&"latte_cache::compressed::Set".to_owned()), "{paths:?}");
+        assert!(paths.contains(&"std::collections::HashMap".to_owned()), "{paths:?}");
+    }
+
+    #[test]
+    fn type_aliases_resolve() {
+        let p = parse_src("pub type LineAddr = u64;\npub type SharedSink = Arc<dyn Fn(u32)>;\n");
+        assert_eq!(p.aliases.len(), 2);
+        assert_eq!(p.aliases[0].name, "LineAddr");
+        assert!(p.aliases[1].ty.idents.contains(&"Arc".to_owned()));
+        assert_eq!(p.aliases[1].ty.dyn_traits, ["Fn"]);
+    }
+
+    #[test]
+    fn fn_pointer_return_types_do_not_break_generics() {
+        // The `->` inside the generics of `new` must not close the angle
+        // scope early (regression shape from gpusim::Gpu::new).
+        let src = "
+impl Gpu {
+    pub fn new<F: Fn(usize) -> Box<dyn L1CompressionPolicy>>(config: GpuConfig, make: F) -> Self {
+        build(config, make)
+    }
+}
+struct After { ok: u32 }
+";
+        let p = parse_src(src);
+        assert_eq!(p.fns[0].name, "new");
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Gpu"));
+        assert!(p.structs.iter().any(|s| s.name == "After"), "parser must resync after generics");
+    }
+
+    #[test]
+    fn bodyless_and_const_fns() {
+        let src = "pub const fn geometry() -> u32 { helper() }\nextern \"C\" { fn ffi_thing(); }\n";
+        let p = parse_src(src);
+        assert!(p.fns.iter().any(|f| f.name == "geometry" && f.has_body));
+    }
+}

@@ -8,7 +8,7 @@
 //! `// latte-lint: allow(RULE, reason = "...")` — the reason is
 //! mandatory and checked (rule `A0`).
 
-use crate::lexer::{AllowMarker, LexOutput, Tok, TokKind};
+use crate::lexer::{LexOutput, Tok, TokKind};
 
 /// Crates whose code runs *inside* a simulation (anything that can
 /// influence simulated results). The bench driver and this linter are
@@ -54,6 +54,10 @@ pub struct RuleInfo {
     pub title: &'static str,
     /// Why the invariant exists.
     pub rationale: &'static str,
+    /// Long-form guidance shown by `latte-lint --explain <rule>`: what
+    /// the rule analyzes, how to fix a finding, and when (if ever) a
+    /// suppression is appropriate.
+    pub explain: &'static str,
     /// Severity of a violation.
     pub severity: Severity,
 }
@@ -65,6 +69,12 @@ pub const RULES: &[RuleInfo] = &[
         title: "no wall-clock reads in simulation crates",
         rationale: "std::time::Instant/SystemTime in simulation code makes results depend on \
                     host timing; wall-clock measurement belongs to the bench driver only",
+        explain: "Lexer tier. Flags the identifiers `Instant` and `SystemTime` in non-test \
+                  library/binary code of simulation crates. Simulated time is the cycle \
+                  counter; host time may only be observed by the bench driver. Fix by \
+                  threading the cycle count (or a caller-supplied clock fn) to the use site. \
+                  Suppress only for code that is provably reporting-side, with \
+                  `// latte-lint: allow(D1, reason = \"...\")`.",
         severity: Severity::Error,
     },
     RuleInfo {
@@ -73,6 +83,10 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "thread_rng/from_entropy/OsRng/random() draw from process-global or OS \
                     entropy; all randomness must flow through explicitly seeded streams \
                     (e.g. FaultInjector) so equal seeds give bit-identical runs",
+        explain: "Lexer tier. Flags `thread_rng`, `from_entropy`, `OsRng` and `random(` \
+                  everywhere, including tests (a test drawing OS entropy is a flaky test). \
+                  Fix by accepting a seed or an explicitly seeded stream (splitmix64 et al.) \
+                  from the caller. There is almost never a valid suppression.",
         severity: Severity::Error,
     },
     RuleInfo {
@@ -81,6 +95,11 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "HashMap/HashSet iteration order is unspecified and can leak into stats or \
                     replay order; each use site must either switch to an ordered container or \
                     carry an allow marker asserting it is never iterated (keyed access only)",
+        explain: "Lexer tier. Flags the identifiers `HashMap`/`HashSet` in non-test library \
+                  code of simulation crates. Keyed access is fine; iteration is not (see T1, \
+                  which checks the iteration sites themselves). Either switch to \
+                  BTreeMap/BTreeSet, or keep the hash container for O(1) access and assert \
+                  keyed-only use with `// latte-lint: allow(D3, reason = \"...\")`.",
         severity: Severity::Error,
     },
     RuleInfo {
@@ -89,6 +108,10 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "println!/eprintln! from inside a simulation interleaves across the parallel \
                     driver's worker threads; output must flow through the bench capture macros \
                     or a caller-supplied TraceSink",
+        explain: "Lexer tier. Flags `println!`, `print!`, `eprintln!`, `eprint!` and `dbg!` in \
+                  non-test library code of simulation crates. Route diagnostics through a \
+                  caller-supplied `TraceSink` and driver output through the bench capture \
+                  macros, which serialize per worker.",
         severity: Severity::Error,
     },
     RuleInfo {
@@ -97,6 +120,10 @@ pub const RULES: &[RuleInfo] = &[
         rationale: "library and binary code must surface failures as typed Results (a panicking \
                     simulation loses the whole experiment batch); extends the clippy \
                     unwrap_used/expect_used gate to crates it cannot cover",
+        explain: "Lexer tier. Flags `panic!`/`todo!`/`unimplemented!` and `.unwrap()`/\
+                  `.expect()` in non-test, non-example code. Propagate a typed error instead. \
+                  Suppress only where a panic is provably unreachable and the proof is in the \
+                  marker's reason.",
         severity: Severity::Error,
     },
     RuleInfo {
@@ -107,6 +134,46 @@ pub const RULES: &[RuleInfo] = &[
                     the *next* run, so they must be written to a temp name in the same \
                     directory and renamed into place (the sites that implement exactly that \
                     pattern carry a justified allow marker)",
+        explain: "Lexer tier. Flags `File::create`, `fs::write` and `OpenOptions` in bench/\
+                  store library and binary code. Write to `<final>.tmp.<nonce>` in the same \
+                  directory, fsync, then rename into place. The helpers that implement \
+                  exactly that pattern carry the justified allow markers; new code should \
+                  call them instead of adding markers.",
+        severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "S1",
+        title: "per-SM state must be Send-partitionable; shared edges need a boundary marker",
+        rationale: "the planned --sim-threads refactor moves each Sm to a worker thread; that \
+                    is only sound if everything Sm transitively owns is Send and free of \
+                    shared mutability, and every edge into shared Gpu-level state (L2, DRAM \
+                    queue, TraceSink, stats) is explicit and auditable",
+        explain: "Graph tier. Walks the type-field graph from the partition roots (Sm, \
+                  MemCtx, Gpu) and classifies every reachable field as per_sm, shared or \
+                  violating; the result is exported as results/lint_partition.json. \
+                  Rc/RefCell/Cell/UnsafeCell/OnceCell, raw pointers, `static mut` and trait \
+                  objects without a Send bound are violations nothing can bless — restructure \
+                  to owned data, atomics or locks. Arc/Mutex/atomics/&-references are shared \
+                  handles: legal, but only under an explicit \
+                  `// latte-lint: shared-boundary(reason = \"...\")` marker on the field or \
+                  static, which documents why cross-SM sharing through it is deterministic.",
+        severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "T1",
+        title: "no nondeterminism may flow through the call graph into simulation or output",
+        rationale: "per-line source checks (D1-D3) cannot see a clock read two calls away; \
+                    taint propagation over the approximate call graph can, and it also checks \
+                    the hash-container *iteration* sites that D3's declaration-site check \
+                    structurally cannot",
+        explain: "Graph tier. Marks functions that read wall-clock/ambient RNG or iterate a \
+                  hash container as tainted, propagates taint over resolved workspace call \
+                  edges, and reports: hash iteration in simulation library code (T1a), \
+                  simulation call sites whose callee is tainted (T1b), and output written by \
+                  a tainted non-simulation function (T1c). An \
+                  `// latte-lint: allow(T1, reason = \"...\")` marker is also a taint \
+                  *barrier*: the seed or call edge under it stops propagating, so one \
+                  justified marker at the source replaces many downstream ones.",
         severity: Severity::Error,
     },
     RuleInfo {
@@ -114,6 +181,23 @@ pub const RULES: &[RuleInfo] = &[
         title: "allow markers must be well-formed and carry a nonempty reason",
         rationale: "a suppression is a claim about the code; an unjustified or malformed \
                     marker is itself a violation and suppresses nothing",
+        explain: "Marker tier. A marker must parse as `allow(RULE, reason = \"...\")`, \
+                  `allow-file(...)`, `shared-boundary(reason = \"...\")` or \
+                  `shared-boundary-file(...)`, name a real rule, and carry a nonempty \
+                  reason. The audit rules A0 and A1 cannot themselves be suppressed.",
+        severity: Severity::Error,
+    },
+    RuleInfo {
+        id: "A1",
+        title: "stale suppressions: every marker must still do something",
+        rationale: "an allow marker whose rule no longer fires in its scope (or a \
+                    shared-boundary marker annotating nothing shared) is dead weight that \
+                    hides real future findings; the marker inventory may only shrink",
+        explain: "Audit tier. After all rules run pre-suppression, every `allow` marker must \
+                  have suppressed at least one raw finding (or served as a T1 taint barrier), \
+                  and every `shared-boundary` marker must annotate a field or static that \
+                  actually holds a shared capability. Anything else is reported at the marker \
+                  itself: delete the marker. A1 cannot be suppressed.",
         severity: Severity::Error,
     },
 ];
@@ -174,10 +258,45 @@ const D4_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 const P1_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 const P1_METHODS: &[&str] = &["unwrap", "expect"];
 
-/// Checks one lexed file against every rule.
+/// Rules that audit the marker inventory itself and therefore can never
+/// be suppressed by a marker.
+#[must_use]
+pub fn is_unsuppressible(rule_id: &str) -> bool {
+    matches!(rule_id, "A0" | "A1")
+}
+
+/// `true` when a marker at `marker_line` (with the given scope) covers
+/// source `line`: file-scope markers cover everything; line markers
+/// cover their own line and the next.
+#[must_use]
+pub fn marker_covers(file_scope: bool, marker_line: u32, line: u32) -> bool {
+    file_scope || marker_line == line || marker_line + 1 == line
+}
+
+/// Checks one lexed file against every lexer-tier rule, applying
+/// `allow` suppressions. Equivalent to [`check_raw`] filtered through
+/// the file's markers.
+#[must_use]
+pub fn check(path: &str, src: &str, lexed: &LexOutput, ctx: &FileContext) -> Vec<Violation> {
+    check_raw(path, src, lexed, ctx)
+        .into_iter()
+        .filter(|v| {
+            is_unsuppressible(v.rule)
+                || !lexed
+                    .markers
+                    .iter()
+                    .any(|m| m.rule == v.rule && marker_covers(m.file_scope, m.line, v.line))
+        })
+        .collect()
+}
+
+/// Checks one lexed file against every lexer-tier rule **without**
+/// applying suppressions. The scan layer consumes raw findings so the
+/// `A1` stale-allow audit can tell which markers actually earn their
+/// keep.
 #[must_use]
 #[allow(clippy::too_many_lines)]
-pub fn check(path: &str, src: &str, lexed: &LexOutput, ctx: &FileContext) -> Vec<Violation> {
+pub fn check_raw(path: &str, src: &str, lexed: &LexOutput, ctx: &FileContext) -> Vec<Violation> {
     let mut violations = Vec::new();
     let lines: Vec<&str> = src.lines().collect();
     let snippet = |line: u32| -> String {
@@ -212,15 +331,21 @@ pub fn check(path: &str, src: &str, lexed: &LexOutput, ctx: &FileContext) -> Vec
                 message: format!("allow marker names unknown rule `{}`", marker.rule),
                 snippet: snippet(marker.line),
             });
+        } else if is_unsuppressible(&marker.rule) {
+            violations.push(Violation {
+                rule: "A0",
+                severity: Severity::Error,
+                path: path.to_owned(),
+                line: marker.line,
+                col: 1,
+                message: format!(
+                    "rule `{}` audits the marker inventory itself and cannot be suppressed",
+                    marker.rule
+                ),
+                snippet: snippet(marker.line),
+            });
         }
     }
-
-    let allowed = |rule_id: &str, line: u32| -> bool {
-        lexed
-            .markers
-            .iter()
-            .any(|m: &AllowMarker| m.rule == rule_id && (m.file_scope || m.line == line || m.line + 1 == line))
-    };
 
     let in_code = matches!(ctx.kind, FileKind::Lib | FileKind::Bin);
     let sim_lib = ctx.is_sim_crate && ctx.kind == FileKind::Lib;
@@ -267,17 +392,15 @@ pub fn check(path: &str, src: &str, lexed: &LexOutput, ctx: &FileContext) -> Vec
                 let prev_is_dot = i > 0 && toks[i - 1].is_punct('.');
 
                 let mut report = |rule_id: &'static str, message: String| {
-                    if !allowed(rule_id, t.line) {
-                        violations.push(Violation {
-                            rule: rule_id,
-                            severity: Severity::Error,
-                            path: path.to_owned(),
-                            line: t.line,
-                            col: t.col,
-                            message,
-                            snippet: snippet(t.line),
-                        });
-                    }
+                    violations.push(Violation {
+                        rule: rule_id,
+                        severity: Severity::Error,
+                        path: path.to_owned(),
+                        line: t.line,
+                        col: t.col,
+                        message,
+                        snippet: snippet(t.line),
+                    });
                 };
 
                 // D1: wall-clock in simulation crates (lib and bin; test

@@ -1,0 +1,17 @@
+//! A1 failing fixture: three markers that no longer do anything — an
+//! allow whose rule stopped firing, a shared-boundary on a plain field,
+//! and an allow for a construct that was refactored away.
+
+// latte-lint: allow(D3, reason = "stale: the hash container was replaced by a BTreeMap long ago")
+use std::collections::BTreeMap;
+
+pub struct Sm {
+    pub table: BTreeMap<u64, u64>,
+    // latte-lint: shared-boundary(reason = "stale: this field stopped being shared when the Arc was removed")
+    pub cycles: u64,
+}
+
+// latte-lint: allow(P1, reason = "stale: the unwrap below became unwrap_or in a refactor")
+pub fn get(sm: &Sm, k: u64) -> u64 {
+    sm.table.get(&k).copied().unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+//! A1 passing fixture: every marker earns its keep — each suppresses a
+//! raw finding that would otherwise fire.
+
+// latte-lint: allow(D3, reason = "keyed access only; never iterated")
+use std::collections::HashMap;
+
+pub struct Sm {
+    // latte-lint: allow(D3, reason = "keyed access only; never iterated")
+    pub table: HashMap<u64, u64>,
+}

@@ -1,0 +1,31 @@
+//! S1 failing fixture: per-SM state that is not Send-partitionable.
+//! Every planted field is one distinct way to fail the audit.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// No `Send` supertrait — trait objects over this cannot move to a
+/// worker thread.
+pub trait Hooks {
+    fn on_tick(&mut self, cycle: u64);
+}
+
+pub struct Shared {
+    pub total: u64,
+}
+
+pub struct Sm {
+    pub id: usize,
+    /// S1: non-Send shared mutability (annotation cannot bless this).
+    pub neighbor: Rc<RefCell<Shared>>,
+    /// S1: raw pointers are not Send-auditable.
+    pub scratch: *mut u8,
+    /// S1: a shared handle with no shared-boundary marker.
+    pub l2: Arc<Shared>,
+    /// S1: trait object without a Send bound.
+    pub hooks: Box<dyn Hooks>,
+}
+
+/// S1: unsynchronized global state in a simulation crate.
+pub static mut GLOBAL_CYCLES: u64 = 0;

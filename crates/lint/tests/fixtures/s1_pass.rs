@@ -1,0 +1,24 @@
+//! S1 passing fixture: cleanly partitionable per-SM state. Owned data
+//! everywhere, a Send-bounded trait object, and the one genuinely
+//! shared handle behind an annotated boundary.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// Send supertrait makes `Box<dyn Hooks>` movable to a worker.
+pub trait Hooks: Send {
+    fn on_tick(&mut self, cycle: u64);
+}
+
+pub struct Warp {
+    pub pc: u64,
+    pub active: bool,
+}
+
+pub struct Sm {
+    pub id: usize,
+    pub warps: Vec<Warp>,
+    pub hooks: Box<dyn Hooks>,
+    // latte-lint: shared-boundary(reason = "cross-SM cycle counter; updates are commutative atomic adds and only the driver reads it")
+    pub shared_cycles: Arc<AtomicU64>,
+}

@@ -1,0 +1,29 @@
+//! T1 failing fixture: nondeterminism flowing where per-line rules
+//! cannot see it. The hash container and the clock read each carry a
+//! justified marker for their *declaration-site* rules (D3/D1) — T1
+//! still catches the iteration site and the tainted call chain.
+
+// latte-lint: allow-file(D3, reason = "fixture isolates T1; the container itself is keyed-justified")
+use std::collections::HashMap;
+
+pub struct Sampler {
+    counts: HashMap<u64, u64>,
+    last: u64,
+}
+
+impl Sampler {
+    /// T1a: iteration order leaks straight into the returned value.
+    pub fn first_key(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    fn now_ns() -> u64 {
+        // latte-lint: allow(D1, reason = "fixture isolates T1: D1 is justified here but the taint must still reach callers")
+        std::time::Instant::now().elapsed().as_nanos() as u64
+    }
+
+    /// T1b: calls a clock-tainted function from simulation code.
+    pub fn stamp(&mut self) {
+        self.last = Self::now_ns();
+    }
+}

@@ -1,0 +1,23 @@
+//! T1 passing fixture: hash iteration behind a justified barrier, and
+//! the barrier stopping propagation — callers of the barriered function
+//! are not re-flagged.
+
+// latte-lint: allow-file(D3, reason = "keyed access plus one order-independent fold")
+use std::collections::HashMap;
+
+pub struct Sampler {
+    counts: HashMap<u64, u64>,
+}
+
+impl Sampler {
+    /// An order-independent fold over the container is deterministic.
+    pub fn total(&self) -> u64 {
+        // latte-lint: allow(T1, reason = "order-independent fold: a sum is the same under any iteration order")
+        self.counts.values().sum()
+    }
+
+    /// Calling the barriered function does not taint this one.
+    pub fn report(&self) -> u64 {
+        self.total() + 1
+    }
+}

@@ -5,7 +5,7 @@
 //! compile and the scanner skips); each is lexed and checked as if it
 //! were library code of a simulation crate.
 
-use latte_lint::{scan_source, Violation};
+use latte_lint::{scan_source, Analysis, Class, Violation};
 use std::fs;
 use std::path::Path;
 use std::process::Command;
@@ -166,6 +166,94 @@ fn a0_markers_without_reasons_fire_and_do_not_suppress() {
 }
 
 #[test]
+fn s1_unpartitionable_state_fires() {
+    let src = include_str!("fixtures/s1_fail.rs");
+    let fired = rules_fired(src);
+    assert_eq!(fired, ["S1"]);
+    let violations = scan_source("crates/gpusim/src/fixture.rs", src);
+    // Rc/RefCell, raw pointer, unannotated Arc, non-Send dyn, static mut.
+    assert_eq!(violations.len(), 5, "{violations:?}");
+    let msgs: String = violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(msgs.contains("non-Send shared-mutability type `Rc`"), "{msgs}");
+    assert!(msgs.contains("raw pointer"), "{msgs}");
+    assert!(msgs.contains("shared handle (`Arc`)"), "{msgs}");
+    assert!(msgs.contains("`dyn Hooks` has no Send bound"), "{msgs}");
+    assert!(msgs.contains("`static mut`"), "{msgs}");
+}
+
+#[test]
+fn s1_partitionable_state_passes() {
+    assert_clean("s1_pass", include_str!("fixtures/s1_pass.rs"));
+}
+
+#[test]
+fn s1_partition_report_classifies_fields() {
+    let analysis = Analysis::new(vec![(
+        "crates/gpusim/src/fixture.rs".to_owned(),
+        include_str!("fixtures/s1_pass.rs").to_owned(),
+    )])
+    .run();
+    let p = &analysis.partition;
+    assert_eq!(p.roots, ["Sm"]);
+    assert!(p.is_clean());
+    let class_of = |owner: &str, field: &str| {
+        p.fields
+            .iter()
+            .find(|e| e.owner == owner && e.field == field)
+            .map(|e| e.class)
+    };
+    assert_eq!(class_of("Sm", "warps"), Some(Class::PerSm));
+    assert_eq!(class_of("Warp", "pc"), Some(Class::PerSm), "closure descends into Warp");
+    assert_eq!(class_of("Sm", "shared_cycles"), Some(Class::Shared));
+    let annotated = p
+        .fields
+        .iter()
+        .find(|e| e.field == "shared_cycles")
+        .unwrap();
+    assert!(annotated.reason.as_deref().unwrap_or("").contains("commutative atomic adds"));
+}
+
+#[test]
+fn t1_taint_fires_on_iteration_and_tainted_calls() {
+    let src = include_str!("fixtures/t1_fail.rs");
+    let fired = rules_fired(src);
+    assert_eq!(fired, ["T1"]);
+    let violations = scan_source("crates/gpusim/src/fixture.rs", src);
+    assert_eq!(violations.len(), 2, "{violations:?}");
+    assert!(
+        violations.iter().any(|v| v.message.contains("hash-container iteration")),
+        "{violations:?}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.message.contains("nondeterministic function")
+                && v.message.contains("wall-clock")),
+        "{violations:?}"
+    );
+}
+
+#[test]
+fn t1_barriers_suppress_and_stop_propagation() {
+    assert_clean("t1_pass", include_str!("fixtures/t1_pass.rs"));
+}
+
+#[test]
+fn a1_stale_markers_fire() {
+    let src = include_str!("fixtures/a1_fail.rs");
+    let fired = rules_fired(src);
+    assert_eq!(fired, ["A1"]);
+    let violations = scan_source("crates/gpusim/src/fixture.rs", src);
+    // Stale allow(D3), stale shared-boundary, stale allow(P1).
+    assert_eq!(violations.len(), 3, "{violations:?}");
+}
+
+#[test]
+fn a1_used_markers_pass() {
+    assert_clean("a1_pass", include_str!("fixtures/a1_pass.rs"));
+}
+
+#[test]
 fn violations_carry_precise_locations() {
     let violations = scan_source(
         "crates/gpusim/src/fixture.rs",
@@ -230,6 +318,33 @@ fn binary_exits_zero_on_clean_tree() {
 }
 
 #[test]
+fn binary_writes_partition_report_and_flags_s1() {
+    let root = synth_workspace("lint_e2e_s1", include_str!("fixtures/s1_fail.rs"));
+    let (code, stdout, _) = run_lint(&root, &[]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("[S1]"), "{stdout}");
+    let partition = fs::read_to_string(root.join("results/lint_partition.json")).unwrap();
+    assert!(partition.contains("\"clean\":false"), "{partition}");
+    assert!(partition.contains("\"class\":\"violating\""), "{partition}");
+}
+
+#[test]
+fn binary_explains_rules() {
+    let out = Command::new(env!("CARGO_BIN_EXE_latte-lint"))
+        .args(["--explain", "T1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("barrier"), "{stdout}");
+    let out = Command::new(env!("CARGO_BIN_EXE_latte-lint"))
+        .args(["--explain", "Z9"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn binary_rejects_bad_usage_and_missing_root() {
     let (code, _, stderr) = run_lint(Path::new("/nonexistent-latte-root"), &[]);
     assert_eq!(code, Some(2), "{stderr}");
@@ -260,5 +375,47 @@ fn workspace_is_lint_clean() {
         report.is_clean(),
         "workspace has {} lint violation(s); see stderr",
         report.violations.len()
+    );
+}
+
+#[test]
+fn workspace_partition_is_clean_and_sm_is_per_sm() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap();
+    let analysis = latte_lint::analyze_workspace(root).unwrap();
+    let p = &analysis.partition;
+    assert_eq!(p.roots, ["Sm", "MemCtx", "Gpu"]);
+    let (per_sm, shared, violating) = p.counts();
+    assert_eq!(violating, 0, "unexplained partition violations: {:?}", {
+        let mut bad: Vec<_> = p
+            .fields
+            .iter()
+            .chain(&p.statics)
+            .filter(|e| e.class == Class::Violating)
+            .map(|e| format!("{}.{} ({})", e.owner, e.field, e.path))
+            .collect();
+        bad.sort();
+        bad
+    });
+    assert!(per_sm > 100, "closure unexpectedly small: {per_sm} per-SM fields");
+    assert!(shared >= 9, "expected the MemCtx/TraceSink/stats boundaries: {shared}");
+    // The tentpole claim: everything Sm itself owns is per-SM movable.
+    assert!(
+        p.fields
+            .iter()
+            .filter(|e| e.owner == "Sm")
+            .all(|e| e.class == Class::PerSm),
+        "Sm's own fields must be exclusively owned"
+    );
+    // Every directly-annotated shared edge carries its justification.
+    assert!(
+        p.fields
+            .iter()
+            .chain(&p.statics)
+            .filter(|e| e.class == Class::Shared && e.via.is_empty())
+            .all(|e| e.reason.is_some()),
+        "annotated shared edges must carry reasons"
     );
 }
