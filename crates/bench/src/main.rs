@@ -59,8 +59,12 @@ const EXPERIMENTS: &[Experiment] = &[
 fn usage() -> ! {
     eprintln!("usage: latte-bench [options] <experiment> [<experiment> ...] | all\n");
     eprintln!("options:");
-    eprintln!("  --jobs <n>             worker threads (default: available parallelism;");
-    eprintln!("                         results are byte-identical for every n)");
+    eprintln!("  --jobs <n>             worker threads (default: available parallelism");
+    eprintln!("                         divided by --sim-threads; results are byte-identical");
+    eprintln!("                         for every n)");
+    eprintln!("  --sim-threads <n>      shard each simulation's SMs across n worker threads");
+    eprintln!("                         behind a deterministic epoch barrier (default 1 = the");
+    eprintln!("                         serial loop; results are byte-identical for every n)");
     eprintln!("  --inject <rate>        flip one bit per compressed L1 hit with this probability");
     eprintln!("  --inject-fill <rate>   flip one bit per L2/DRAM fill return with this probability");
     eprintln!("  --inject-wakeup-drop <rate>");
@@ -97,6 +101,7 @@ fn usage() -> ! {
 /// before the remaining words are matched against experiment names.
 struct Options {
     jobs: usize,
+    sim_threads: usize,
     faults: Option<FaultConfig>,
     overrides: LatteOverrides,
     timings: bool,
@@ -123,7 +128,8 @@ fn parse_force_mode(v: &str) -> Option<CompressionMode> {
 /// Extracts every `--flag [value]` option from `args` (removing them).
 #[allow(clippy::too_many_lines)]
 fn parse_options(args: &mut Vec<String>) -> Options {
-    let mut jobs = default_jobs();
+    let mut jobs: Option<usize> = None;
+    let mut sim_threads = 1usize;
     let mut bitflip_rate: Option<f64> = None;
     let mut fill_bitflip_rate: Option<f64> = None;
     let mut wakeup_drop_rate: Option<f64> = None;
@@ -157,9 +163,20 @@ fn parse_options(args: &mut Vec<String>) -> Options {
             "--jobs" => {
                 let v = take_value(args, i, "--jobs");
                 match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => jobs = n,
+                    Ok(n) if n >= 1 => jobs = Some(n),
                     _ => {
                         eprintln!("--jobs expects a positive integer, got {v}\n");
+                        usage();
+                    }
+                }
+                args.remove(i);
+            }
+            "--sim-threads" => {
+                let v = take_value(args, i, "--sim-threads");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => sim_threads = n,
+                    _ => {
+                        eprintln!("--sim-threads expects a positive integer, got {v}\n");
                         usage();
                     }
                 }
@@ -274,8 +291,13 @@ fn parse_options(args: &mut Vec<String>) -> Options {
         eprintln!("--inject-store / --store-verify require --store <dir>\n");
         usage();
     }
+    // Experiment-level jobs and intra-simulation shards multiply into
+    // total thread demand, so an unspecified --jobs shares the core
+    // budget with --sim-threads instead of oversubscribing the host.
+    let jobs = jobs.unwrap_or_else(|| (default_jobs() / sim_threads).max(1));
     Options {
         jobs,
+        sim_threads,
         faults,
         overrides,
         timings,
@@ -319,6 +341,14 @@ fn main() {
     warn_on_removed_env_knobs();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let opts = parse_options(&mut args);
+    if opts.sim_threads > 1 {
+        latte_bench::set_sim_threads(opts.sim_threads);
+        println!(
+            "[sim threads: {} — each simulation's SMs sharded behind a deterministic \
+             epoch barrier; results are byte-identical to --sim-threads 1]",
+            opts.sim_threads
+        );
+    }
     if let Some(faults) = opts.faults {
         latte_bench::set_fault_injection(faults);
         println!(

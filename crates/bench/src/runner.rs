@@ -13,8 +13,29 @@ use latte_gpusim::{
 };
 use latte_oracle::{MemoryOracle, OracleReport};
 use latte_workloads::BenchmarkSpec;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// Process-wide intra-simulation thread count, set from the
+/// `--sim-threads` command-line flag (default 1 = the serial loop).
+/// Unlike the write-once [`FAULT_INJECTION`] style globals this is a
+/// plain atomic: the epoch-barrier loop is byte-identical to the serial
+/// one for every value, so flipping it mid-process (as the determinism
+/// tests do) can never change a result — only how fast it arrives.
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the worker-thread count each simulation's cycle loop uses
+/// (`--sim-threads`). Values are clamped per-config by the simulator;
+/// `0`/`1` mean the unchanged serial path.
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS.store(n.max(1), Ordering::SeqCst);
+}
+
+/// The current intra-simulation thread count (see [`set_sim_threads`]).
+#[must_use]
+pub fn sim_threads() -> usize {
+    SIM_THREADS.load(Ordering::SeqCst)
+}
 
 /// Process-wide fault-injection override, set once from the `--inject`
 /// command-line flag. Experiments build their own [`GpuConfig`]s in many
@@ -393,6 +414,19 @@ fn run_instrumented(
     if config.faults.is_none() {
         config.faults = fault_injection();
     }
+    if config.sim_threads <= 1 {
+        // Configs that don't pin a thread count inherit the process-wide
+        // `--sim-threads` setting. Results are byte-identical either way
+        // (which is why `sim_threads` stays outside the fingerprint).
+        config.sim_threads = sim_threads();
+    }
+    if latte_overrides().debug_decide {
+        // The controller's decision trace emits into the per-experiment
+        // output capture from *inside* SM stepping; under the epoch
+        // barrier those calls would run on worker threads and miss the
+        // capture. The trace is a debugging aid, so trade speed for it.
+        config.sim_threads = 1;
+    }
     let mut gpu = Gpu::new(&config, |_| policy.build(&config));
     // Simulator diagnostics (watchdog, early termination) join the same
     // per-experiment capture as the runner's own output.
@@ -446,6 +480,7 @@ fn run_instrumented(
         }
         report
     });
+    crate::timing::record_epoch_stats(&gpu.take_epoch_stats());
     let energy = EnergyModel::paper().account(&stats);
     BenchResult {
         abbr: bench.abbr,

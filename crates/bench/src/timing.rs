@@ -40,6 +40,10 @@ pub fn install_compressor_clock() {
     // Prime the baseline so the first sample isn't measured against itself.
     let _ = monotonic_ns();
     latte_compress::stats::install_clock(monotonic_ns);
+    // The epoch-barrier scheduler shares the same injected clock so its
+    // per-thread busy/stall split lands in the same time base. Like the
+    // compressor counters, gpusim itself never reads a clock (rule D1).
+    latte_gpusim::install_epoch_clock(monotonic_ns);
 }
 
 /// Returns whether the end-of-run timing report was requested.
@@ -93,6 +97,35 @@ pub fn take_sim_times() -> Vec<(String, f64)> {
     );
     times.sort_by(|a, b| b.secs.total_cmp(&a.secs).then_with(|| a.label.cmp(&b.label)));
     times.into_iter().map(|r| (r.label, r.secs)).collect()
+}
+
+/// Epoch-barrier telemetry accumulated across every parallel simulation
+/// of the run (`Option` because [`latte_gpusim::EpochStats`] owns
+/// per-thread vectors and has no `const` constructor).
+static EPOCH: Mutex<Option<latte_gpusim::EpochStats>> = Mutex::new(None);
+
+/// Folds one simulation's epoch-barrier telemetry into the run-wide
+/// accumulator. Serial runs produce zero epochs and are skipped, so the
+/// report section only appears when `--sim-threads` actually sharded
+/// something.
+pub fn record_epoch_stats(stats: &latte_gpusim::EpochStats) {
+    if stats.epochs == 0 {
+        return;
+    }
+    let mut slot = EPOCH
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    slot.get_or_insert_with(latte_gpusim::EpochStats::default)
+        .merge(stats);
+}
+
+/// Drains the run-wide epoch-barrier telemetry, if any parallel
+/// simulation recorded some. Used by the report printer and by tests.
+pub fn take_epoch_stats() -> Option<latte_gpusim::EpochStats> {
+    EPOCH
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
 }
 
 /// Prints the `--timings` report to stdout: per-experiment wall time
@@ -195,6 +228,32 @@ pub fn print_report(experiments: &[(&str, f64)], cache: &crate::sim::SimStats) {
             comp.decode_ops,
             secs(comp.decode_ns)
         );
+    }
+
+    if let Some(epoch) = take_epoch_stats() {
+        let secs = |ns: u64| ns as f64 / 1e9;
+        println!(
+            "epoch barrier: {} epochs over {} simulated cycles \
+             (mean {:.1} cycles/epoch, longest {}), {} shard(s)",
+            epoch.epochs,
+            epoch.advanced_cycles,
+            epoch.mean_epoch_cycles(),
+            epoch.max_epoch_cycles,
+            epoch.shards
+        );
+        for (i, (&busy, &stall)) in epoch.busy_ns.iter().zip(&epoch.stall_ns).enumerate() {
+            let span = busy + stall;
+            let pct = if span == 0 {
+                0.0
+            } else {
+                100.0 * stall as f64 / span as f64
+            };
+            println!(
+                "  thread {i}: {:>8.2}s busy, {:>8.2}s barrier stall ({pct:.0}%)",
+                secs(busy),
+                secs(stall)
+            );
+        }
     }
 
     let shadow = crate::runner::shadow_tally();

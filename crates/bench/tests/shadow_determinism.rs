@@ -58,14 +58,21 @@ fn shadow_checked_parallel_warm_run_matches_serial_cold_run() {
     assert_eq!(tally.violations, 0, "clean experiments must verify clean");
     let computed_cold = sim::stats().computed;
 
+    // The warm rerun flips the process-global sim-threads setting too:
+    // `sim_threads` is excluded from the memo key, so results computed
+    // serially must replay under `--sim-threads 2` without a single
+    // recompute (and byte-identically — checked below).
+    latte_bench::set_sim_threads(2);
     let (failed, parallel_outcomes) = run_experiments_with_outcomes(&selected, 2);
     set_results_dir(None);
+    latte_bench::set_sim_threads(1);
     assert_eq!(failed, 0, "parallel shadow-checked run must succeed");
     let parallel = snapshot(&dir);
     let computed_warm = sim::stats().computed;
     assert_eq!(
         computed_warm, computed_cold,
-        "warm-cache shadow-checked re-run must not recompute any simulation"
+        "warm-cache shadow-checked re-run must not recompute any simulation \
+         even with --sim-threads flipped (it is excluded from the memo key)"
     );
     sim::verify_each_sim_ran_once().expect("one compute per unique simulation");
     assert_eq!(shadow_tally().violations, 0);

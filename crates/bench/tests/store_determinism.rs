@@ -152,3 +152,44 @@ fn warm_store_replays_byte_identically_and_survives_corruption() {
 
     let _ = fs::remove_dir_all(runs.work.parent().expect("base dir"));
 }
+
+/// `sim_threads` is excluded from the simulation fingerprint, so store
+/// records written by a serial process replay warm in a `--sim-threads`
+/// process and vice versa — zero recomputes, byte-identical results in
+/// both crossover directions.
+#[test]
+fn warm_store_hits_transfer_between_serial_and_sim_threads() {
+    // Cold serial -> warm parallel.
+    let runs = setup("simthreads-fwd");
+    let (code, stdout) = run_bench(&runs, &[]);
+    assert_eq!(code, 0, "cold serial run failed:\n{stdout}");
+    let cold = snapshot_results(&runs);
+    let (code, stdout) = run_bench(&runs, &["--sim-threads", "2"]);
+    assert_eq!(code, 0, "warm --sim-threads 2 run failed:\n{stdout}");
+    assert!(
+        sim_cache_line(&stdout).contains(" 0 computed"),
+        "serial store records must replay under --sim-threads: {}",
+        sim_cache_line(&stdout)
+    );
+    assert_eq!(snapshot_results(&runs), cold, "forward crossover must be byte-identical");
+    let _ = fs::remove_dir_all(runs.work.parent().expect("base dir"));
+
+    // Cold parallel -> warm serial.
+    let runs = setup("simthreads-rev");
+    let (code, stdout) = run_bench(&runs, &["--sim-threads", "4"]);
+    assert_eq!(code, 0, "cold --sim-threads 4 run failed:\n{stdout}");
+    assert_eq!(
+        snapshot_results(&runs),
+        cold,
+        "a parallel cold run must write the same bytes as a serial one"
+    );
+    let (code, stdout) = run_bench(&runs, &[]);
+    assert_eq!(code, 0, "warm serial run failed:\n{stdout}");
+    assert!(
+        sim_cache_line(&stdout).contains(" 0 computed"),
+        "parallel store records must replay serially: {}",
+        sim_cache_line(&stdout)
+    );
+    assert_eq!(snapshot_results(&runs), cold, "reverse crossover must be byte-identical");
+    let _ = fs::remove_dir_all(runs.work.parent().expect("base dir"));
+}

@@ -71,6 +71,13 @@ pub struct GpuConfig {
     /// happy path then takes no injection branches and produces
     /// bit-identical statistics to a build without the feature).
     pub faults: Option<FaultConfig>,
+    /// Worker threads for intra-simulation SM parallelism (the epoch
+    /// barrier, see `crates/gpusim/src/parallel.rs`). `1` (the default)
+    /// takes the unchanged serial loop; any other value produces
+    /// byte-identical results, so this knob is deliberately **excluded**
+    /// from [`GpuConfig::fingerprint`] — memoized and stored results
+    /// transfer freely between serial and parallel runs.
+    pub sim_threads: usize,
 }
 
 impl GpuConfig {
@@ -100,6 +107,7 @@ impl GpuConfig {
             flush_at_kernel_boundary: true,
             write_allocate: false,
             faults: None,
+            sim_threads: 1,
         }
     }
 
@@ -176,6 +184,10 @@ impl GpuConfig {
                 f.write_fingerprint(&mut fp);
             }
         }
+        // `sim_threads` is deliberately NOT folded in: the epoch-barrier
+        // parallel loop is byte-identical to the serial one, so the thread
+        // count cannot change results and must not fragment the memo/store
+        // key space (a warm serial store must satisfy a parallel run).
         fp.finish()
     }
 }
@@ -266,5 +278,23 @@ mod tests {
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), n, "a field mutation failed to change the fingerprint");
+    }
+
+    #[test]
+    fn sim_threads_is_excluded_from_the_fingerprint() {
+        // The epoch-barrier loop is byte-identical to the serial one, so
+        // the thread count must NOT fragment the memo/store key space:
+        // a warm serial result has to satisfy a parallel run and vice
+        // versa. This pin is load-bearing — folding `sim_threads` into
+        // `fingerprint()` would silently invalidate every stored result.
+        let base = GpuConfig::paper();
+        for n in [0, 2, 4, 64] {
+            let parallel = GpuConfig { sim_threads: n, ..base.clone() };
+            assert_eq!(
+                parallel.fingerprint(),
+                base.fingerprint(),
+                "sim_threads={n} must not change the fingerprint"
+            );
+        }
     }
 }

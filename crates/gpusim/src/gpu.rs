@@ -3,9 +3,10 @@
 
 use crate::config::GpuConfig;
 use crate::ops::Kernel;
+use crate::parallel::{self, EpochStats};
 use crate::policy::L1CompressionPolicy;
 use crate::shadow::{ShadowCheck, ShadowCheckpoint, ShadowConfig};
-use crate::sm::{MemCtx, MemEvent, Sm};
+use crate::sm::{L2Port, MemCtx, MemEvent, Sm};
 use crate::stats::{KernelStats, TerminationReason};
 use crate::trace::TraceSink;
 use latte_cache::SimpleCache;
@@ -43,6 +44,7 @@ pub struct Gpu {
     diag: Option<TraceSink>,
     shadow: Option<Box<dyn ShadowCheck>>,
     shadow_cfg: ShadowConfig,
+    epoch_stats: EpochStats,
 }
 
 impl Gpu {
@@ -67,6 +69,7 @@ impl Gpu {
             diag: None,
             shadow: None,
             shadow_cfg: ShadowConfig::default(),
+            epoch_stats: EpochStats::default(),
         }
     }
 
@@ -118,6 +121,42 @@ impl Gpu {
             policy.on_kernel_start();
         }
 
+        let threads = parallel::effective_threads(&self.config);
+        let cycle = if threads > 1 {
+            self.run_cycles_parallel(kernel, threads, &mut stats)
+        } else {
+            self.run_cycles_serial(kernel, &mut stats)
+        };
+
+        // Kernel-end checkpoint: every SM's structural invariants must
+        // hold at quiescence regardless of the in-kernel cadence.
+        if let Some(shadow) = &mut self.shadow {
+            for (sm, policy) in self.sms.iter().zip(&self.policies) {
+                let errors = sm.structural_errors(policy.as_ref());
+                shadow.on_checkpoint(sm.id, cycle, ShadowCheckpoint::KernelEnd, &errors);
+            }
+        }
+
+        stats.cycles = cycle.max(1);
+        // Instruction counts accumulate in warps as well; cross-check.
+        debug_assert_eq!(
+            stats.instructions,
+            self.sms
+                .iter()
+                .flat_map(|s| s.warps.iter())
+                .map(|w| w.instructions)
+                .sum::<u64>()
+        );
+        stats.barrier_wait_cycles = self.sms.iter().map(|s| s.barrier_wait).sum();
+        stats.l1 = self.sms.iter().map(|s| *s.l1.stats()).sum();
+        stats.l2 = *self.l2.stats();
+        stats
+    }
+
+    /// The original single-threaded cycle loop: deliver due completions,
+    /// issue every SM in id order, fast-forward idle gaps. Returns the
+    /// final processed cycle; early terminations are recorded in `stats`.
+    fn run_cycles_serial(&mut self, kernel: &dyn Kernel, stats: &mut KernelStats) -> Cycles {
         let mut cycle: Cycles = 0;
         loop {
             // Deliver memory completions due by now.
@@ -128,12 +167,12 @@ impl Gpu {
                 self.events.pop();
                 let sm = &mut self.sms[ev.sm];
                 let mut ctx = MemCtx {
-                    l2: &mut self.l2,
+                    l2: L2Port::Direct(&mut self.l2),
                     events: &mut self.events,
                     policy: self.policies[ev.sm].as_mut(),
                     kernel,
                     config: &self.config,
-                    stats: &mut stats,
+                    stats,
                     shadow: self.shadow.as_deref_mut(),
                     shadow_every: self.shadow_cfg.structural_every_eps,
                 };
@@ -144,12 +183,12 @@ impl Gpu {
             let mut issued = 0;
             for (sm, policy) in self.sms.iter_mut().zip(&mut self.policies) {
                 let mut ctx = MemCtx {
-                    l2: &mut self.l2,
+                    l2: L2Port::Direct(&mut self.l2),
                     events: &mut self.events,
                     policy: policy.as_mut(),
                     kernel,
                     config: &self.config,
-                    stats: &mut stats,
+                    stats,
                     shadow: self.shadow.as_deref_mut(),
                     shadow_every: self.shadow_cfg.structural_every_eps,
                 };
@@ -202,30 +241,44 @@ impl Gpu {
             }
             cycle = target;
         }
+        cycle
+    }
 
-        // Kernel-end checkpoint: every SM's structural invariants must
-        // hold at quiescence regardless of the in-kernel cadence.
-        if let Some(shadow) = &mut self.shadow {
-            for (sm, policy) in self.sms.iter().zip(&self.policies) {
-                let errors = sm.structural_errors(policy.as_ref());
-                shadow.on_checkpoint(sm.id, cycle, ShadowCheckpoint::KernelEnd, &errors);
-            }
-        }
-
-        stats.cycles = cycle.max(1);
-        // Instruction counts accumulate in warps as well; cross-check.
-        debug_assert_eq!(
-            stats.instructions,
-            self.sms
-                .iter()
-                .flat_map(|s| s.warps.iter())
-                .map(|w| w.instructions)
-                .sum::<u64>()
+    /// The epoch-barrier parallel loop (see [`crate::parallel`]): shards
+    /// of SMs simulate on worker threads for bounded epochs, and the
+    /// barrier arbiter replays their buffered L2 traffic in the serial
+    /// order. Byte-identical to [`Gpu::run_cycles_serial`] by design;
+    /// the determinism suite pins it.
+    fn run_cycles_parallel(
+        &mut self,
+        kernel: &dyn Kernel,
+        threads: usize,
+        stats: &mut KernelStats,
+    ) -> Cycles {
+        let outcome = parallel::run_cycles(
+            threads,
+            &mut self.sms,
+            &mut self.policies,
+            &mut self.l2,
+            self.shadow.as_deref_mut(),
+            self.shadow_cfg.structural_every_eps,
+            &self.config,
+            kernel,
+            stats,
+            &mut self.epoch_stats,
         );
-        stats.barrier_wait_cycles = self.sms.iter().map(|s| s.barrier_wait).sum();
-        stats.l1 = self.sms.iter().map(|s| *s.l1.stats()).sum();
-        stats.l2 = *self.l2.stats();
-        stats
+        if let Some(fallback) = outcome.fallback {
+            stats.timed_out = true;
+            stats.termination = self.audit_termination(fallback);
+        }
+        outcome.cycle
+    }
+
+    /// Drains the accumulated epoch/barrier accounting (populated only by
+    /// parallel runs; empty after serial ones). The bench driver's
+    /// `--timings` report surfaces it.
+    pub fn take_epoch_stats(&mut self) -> EpochStats {
+        std::mem::take(&mut self.epoch_stats)
     }
 
     /// Watchdog audit: distinguishes a stalled workload from corrupted

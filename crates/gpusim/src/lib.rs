@@ -39,6 +39,7 @@ mod faults;
 mod fingerprint;
 mod gpu;
 mod ops;
+mod parallel;
 mod policy;
 mod scheduler;
 mod shadow;
@@ -53,6 +54,7 @@ pub use faults::{BitflipOutcome, FaultConfig, FaultInjector, FaultStats};
 pub use fingerprint::{Fingerprinter, FINGERPRINT_SCHEMA_VERSION};
 pub use gpu::Gpu;
 pub use ops::{Kernel, Op, OpStream, VecStream};
+pub use parallel::{install_epoch_clock, EpochStats, ARBITER_SHARED_FIELDS};
 pub use policy::{AccessEvent, EpProbe, L1CompressionPolicy, PolicyReport, UncompressedPolicy};
 pub use scheduler::{SchedulerProbe, WarpScheduler};
 pub use shadow::{

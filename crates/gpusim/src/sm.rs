@@ -33,26 +33,149 @@ pub(crate) struct MemEvent {
     pub verified: bool,
 }
 
+/// One buffered shared-L2 access awaiting the epoch barrier.
+///
+/// Under `--sim-threads`, SMs never touch the L2 directly; they emit
+/// these records into a shard-local [`L2Buffer`] and the barrier arbiter
+/// replays them through the real cache in `(cycle, sm, seq)` order —
+/// exactly the order the serial loop would have performed them (at most
+/// one L2 access per `(cycle, sm)` thanks to the single LD/ST port, and
+/// the serial loop issues SMs in id order within a cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct L2Request {
+    /// Cycle the SM performed the access.
+    pub cycle: Cycles,
+    /// Issuing SM.
+    pub sm: usize,
+    /// Emission sequence within the buffer — a tie-break of last resort;
+    /// `(cycle, sm)` is already unique per L2 access.
+    pub seq: u64,
+    /// Line accessed.
+    pub addr: LineAddr,
+    /// What the access was.
+    pub kind: L2RequestKind,
+}
+
+/// The two kinds of shared-L2 traffic an SM generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum L2RequestKind {
+    /// A load miss's fill round trip; the arbiter owes the SM a
+    /// completion event. `spike` carries the latency-spike fault rolled
+    /// SM-locally at issue time, so the injector's stream position is
+    /// identical to the serial run.
+    LoadFill {
+        /// Extra cycles from an injected latency spike (0 when none).
+        spike: Cycles,
+    },
+    /// A write-through store; no completion is delivered.
+    Store,
+}
+
+/// Epoch-local buffer of deferred L2 accesses (one per shard). Plain
+/// owned data: the shared cache itself is only ever touched by the
+/// arbiter draining these records at the barrier.
+#[derive(Debug, Default)]
+pub(crate) struct L2Buffer {
+    /// Buffered requests, in emission order.
+    pub requests: Vec<L2Request>,
+    seq: u64,
+}
+
+impl L2Buffer {
+    fn push(&mut self, cycle: Cycles, sm: usize, addr: LineAddr, kind: L2RequestKind) {
+        self.requests.push(L2Request {
+            cycle,
+            sm,
+            seq: self.seq,
+            addr,
+            kind,
+        });
+        self.seq += 1;
+    }
+}
+
+/// How an SM reaches the shared L2 while stepping: inline in the serial
+/// loop, or deferred to the epoch-barrier arbiter under `--sim-threads`.
+/// The serial variant is the only place SM code can reach shared cache
+/// state, and it is exercised strictly one SM at a time.
+pub(crate) enum L2Port<'a> {
+    /// Serial path: access the shared L2 inline, exactly as the
+    /// single-threaded loop always has.
+    // latte-lint: shared-boundary(reason = "the shared L2, accessed inline by the single-threaded loop only; one SM steps at a time, so the reference is never aliased")
+    Direct(&'a mut latte_cache::SimpleCache),
+    /// Parallel path: buffer the access into shard-local memory; the
+    /// epoch-barrier arbiter drains every shard's buffer through the
+    /// real L2 in `(cycle, sm, seq)` order.
+    // latte-lint: shared-boundary(reason = "epoch-local request buffer; the barrier arbiter serializes it through the real L2 in fixed (cycle, sm, seq) order, so no two threads ever race on cache state")
+    Deferred(&'a mut L2Buffer),
+}
+
 /// Shared resources an SM needs while stepping (split off `Gpu` to keep
 /// borrows disjoint).
 pub(crate) struct MemCtx<'a> {
-    // latte-lint: shared-boundary(reason = "the shared L2; under --sim-threads every access goes through the epoch-barrier memory stage, never concurrently with SM ticks")
-    pub l2: &'a mut latte_cache::SimpleCache,
-    // latte-lint: shared-boundary(reason = "the shared DRAM event queue; drained only at the deterministic epoch barrier, ordered by (cycle, seq)")
+    /// The SM's window onto the shared L2 (see [`L2Port`]).
+    pub l2: L2Port<'a>,
+    // latte-lint: shared-boundary(reason = "the DRAM completion heap; every push is self-targeted, so under --sim-threads each shard owns a private heap and the barrier arbiter routes cross-stage completions, ordered by (cycle, sm, addr)")
     pub events: &'a mut std::collections::BinaryHeap<std::cmp::Reverse<MemEvent>>,
-    // latte-lint: shared-boundary(reason = "GPU-level compression policy consulted on L2 fills; stateful, so it must stay behind the serialized memory stage")
+    // latte-lint: shared-boundary(reason = "the SM's own per-SM compression policy; it travels with its SM into a shard under --sim-threads and is only consulted while that SM steps")
     pub policy: &'a mut dyn L1CompressionPolicy,
-    // latte-lint: shared-boundary(reason = "read-only kernel description (Kernel: Send + Sync); immutable during a launch, safe to share by reference")
+    // latte-lint: shared-boundary(reason = "read-only kernel description (Kernel: Send + Sync); immutable during a launch, safe to share by reference across shard threads")
     pub kernel: &'a dyn Kernel,
     // latte-lint: shared-boundary(reason = "read-only GpuConfig; immutable for the whole run")
     pub config: &'a GpuConfig,
-    // latte-lint: shared-boundary(reason = "launch-wide counters; all updates are commutative adds applied in the serialized memory stage")
+    // latte-lint: shared-boundary(reason = "launch-wide counters; all updates are commutative adds, accumulated shard-locally under --sim-threads and summed at the end of the run")
     pub stats: &'a mut KernelStats,
     /// Differential-verification hook (`None` in normal runs).
-    // latte-lint: shared-boundary(reason = "verification-only shadow model; exercised in single-threaded oracle runs, absent in normal and parallel runs")
+    // latte-lint: shared-boundary(reason = "verification-only shadow model; serial oracle runs call it directly, parallel runs record into a shard-local recorder that the barrier replays in deterministic (cycle, phase, sm, seq) order")
     pub shadow: Option<&'a mut (dyn ShadowCheck + 'static)>,
     /// Structural-checkpoint cadence in EPs (meaningless without `shadow`).
     pub shadow_every: u64,
+}
+
+impl MemCtx<'_> {
+    /// A write-through store reaching the shared L2. Serial: the access
+    /// happens now (a miss counts one DRAM access). Parallel: buffered
+    /// for the barrier arbiter, which applies the identical logic in the
+    /// identical order.
+    fn l2_store(&mut self, line: LineAddr, cycle: Cycles, sm: usize) {
+        match &mut self.l2 {
+            L2Port::Direct(l2) => {
+                if !l2.access_and_fill(line) {
+                    self.stats.dram_accesses += 1;
+                }
+            }
+            L2Port::Deferred(buf) => buf.push(cycle, sm, line, L2RequestKind::Store),
+        }
+    }
+
+    /// A primary load miss's fill round trip. Serial: access the L2 now
+    /// and schedule the completion event directly. Parallel: buffer the
+    /// request; the arbiter performs the access at the barrier and pushes
+    /// the completion into the owning shard's heap. `spike` is the
+    /// SM-locally rolled latency-spike fault (0 when none) — rolled
+    /// before this call in both paths so the fault stream is identical.
+    fn l2_load_miss(&mut self, line: LineAddr, cycle: Cycles, sm: usize, spike: Cycles) {
+        match &mut self.l2 {
+            L2Port::Direct(l2) => {
+                let mut latency = if l2.access_and_fill(line) {
+                    self.config.l2_latency
+                } else {
+                    self.stats.dram_accesses += 1;
+                    self.config.dram_latency
+                };
+                latency += spike;
+                self.events.push(std::cmp::Reverse(MemEvent {
+                    cycle: cycle + latency,
+                    sm,
+                    addr: line,
+                    verified: false,
+                }));
+            }
+            L2Port::Deferred(buf) => {
+                buf.push(cycle, sm, line, L2RequestKind::LoadFill { spike });
+            }
+        }
+    }
 }
 
 pub(crate) struct Sm {
@@ -229,9 +352,7 @@ impl Sm {
                 // a store miss also fetches the line into the L1.
                 ctx.stats.stores += 1;
                 let line = LineAddr::from_byte_addr(addr);
-                if !ctx.l2.access_and_fill(line) {
-                    ctx.stats.dram_accesses += 1;
-                }
+                ctx.l2_store(line, cycle, self.id);
                 if ctx.config.write_allocate
                     && !self.l1.contains(line)
                     && self.mshr.would_accept(line)
@@ -395,28 +516,23 @@ impl Sm {
             LookupOutcome::Miss => {
                 match self.mshr.allocate(line) {
                     MshrOutcome::Primary => {
-                        let l2_hit = ctx.l2.access_and_fill(line);
-                        let mut latency = if l2_hit {
-                            ctx.config.l2_latency
-                        } else {
-                            ctx.stats.dram_accesses += 1;
-                            ctx.config.dram_latency
-                        };
-                        if let Some(spike) = self
+                        // Roll the latency-spike fault *before* touching
+                        // the port: the injector is SM-local state, so its
+                        // stream position must not depend on which path
+                        // (direct vs deferred) the access takes.
+                        let spike = match self
                             .faults
                             .as_mut()
                             .and_then(FaultInjector::roll_latency_spike)
                         {
-                            ctx.stats.faults.latency_spikes += 1;
-                            ctx.stats.faults.spike_cycles_added += spike;
-                            latency += spike;
-                        }
-                        ctx.events.push(std::cmp::Reverse(MemEvent {
-                            cycle: cycle + latency,
-                            sm: self.id,
-                            addr: line,
-                            verified: false,
-                        }));
+                            Some(spike) => {
+                                ctx.stats.faults.latency_spikes += 1;
+                                ctx.stats.faults.spike_cycles_added += spike;
+                                spike
+                            }
+                            None => 0,
+                        };
+                        ctx.l2_load_miss(line, cycle, self.id, spike);
                     }
                     MshrOutcome::Merged => {}
                     MshrOutcome::Full => unreachable!("would_accept checked above"),

@@ -1,0 +1,351 @@
+//! Serial vs `sim_threads > 1` byte-identity: the epoch-barrier parallel
+//! loop must reproduce the serial loop's results *exactly* — every
+//! counter, cycle count, trace entry, fault tally, termination reason and
+//! shadow-hook call — across kernels, policies, fault families and
+//! termination paths. These tests are the core guarantee that lets
+//! `sim_threads` stay outside the config fingerprint.
+
+use std::sync::{Arc, Mutex};
+
+use latte_compress::{Compression, CompressionAlgo};
+use latte_gpusim::testing::{HotsetKernel, StridedKernel};
+use latte_gpusim::{
+    FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, L1CompressionPolicy, Op, OpStream,
+    ShadowCheck, ShadowCheckpoint, ShadowConfig, TerminationReason, UncompressedPolicy,
+    VecStream,
+};
+
+/// Five SMs: at 2 threads the shards split 3+2, at 4 threads 2+2+1 —
+/// deliberately uneven so the arbiter's sm→shard routing is exercised.
+fn config() -> GpuConfig {
+    GpuConfig {
+        num_sms: 5,
+        record_traces: true,
+        ..GpuConfig::small()
+    }
+}
+
+/// A policy compressing everything with one algorithm at a fixed size
+/// (enough to exercise decompression queues and EP machinery).
+struct FixedPolicy;
+
+impl L1CompressionPolicy for FixedPolicy {
+    fn name(&self) -> &'static str {
+        "Fixed"
+    }
+
+    fn compress_fill(
+        &mut self,
+        _set: usize,
+        _line: &latte_compress::CacheLine,
+    ) -> (CompressionAlgo, Compression) {
+        (CompressionAlgo::Bdi, Compression::new(32))
+    }
+}
+
+/// A kernel mixing loads, stores, compute and barriers so the store
+/// (write-through) path and the write-allocate background fetches cross
+/// the epoch barrier too.
+#[derive(Clone)]
+struct MixedKernel;
+
+impl Kernel for MixedKernel {
+    fn name(&self) -> &str {
+        "mixed-test"
+    }
+
+    fn warps_on_sm(&self, _sm: usize) -> usize {
+        6
+    }
+
+    fn warp_program(&self, sm: usize, warp: usize) -> Box<dyn OpStream> {
+        let line = |i: u64| ((sm as u64) << 20 | i) * 128;
+        let mut ops = Vec::new();
+        for i in 0..40u64 {
+            let a = line((i * 7 + warp as u64) % 96);
+            if i % 3 == 0 {
+                ops.push(Op::Store { addr: a });
+            } else {
+                ops.push(Op::Load { addr: a });
+            }
+            if i % 5 == 0 {
+                ops.push(Op::Compute { cycles: 3 });
+            }
+            if i % 16 == 0 {
+                ops.push(Op::Barrier);
+            }
+        }
+        ops.push(Op::Exit);
+        Box::new(VecStream::new(ops))
+    }
+
+    fn line_data(&self, addr: latte_cache::LineAddr) -> latte_compress::CacheLine {
+        let words: Vec<u32> = (0..32)
+            .map(|i| (addr.line_number() as u32).wrapping_mul(31).wrapping_add(i))
+            .collect();
+        latte_compress::CacheLine::from_u32_words(&words)
+    }
+}
+
+fn run_with_threads(
+    config: &GpuConfig,
+    threads: usize,
+    fixed_policy: bool,
+    kernels: &[&dyn Kernel],
+) -> (Vec<KernelStats>, f64) {
+    let config = GpuConfig {
+        sim_threads: threads,
+        ..config.clone()
+    };
+    let mut gpu = Gpu::new(&config, |_| {
+        if fixed_policy {
+            Box::new(FixedPolicy) as Box<dyn L1CompressionPolicy>
+        } else {
+            Box::new(UncompressedPolicy) as Box<dyn L1CompressionPolicy>
+        }
+    });
+    let stats = gpu.run_kernels(kernels.iter().copied());
+    let capacity = gpu.l1_effective_capacity_ratio();
+    if threads > 1 {
+        let epochs = gpu.take_epoch_stats();
+        assert!(epochs.epochs > 0, "parallel run must record epochs");
+        assert!(epochs.advanced_cycles > 0);
+    }
+    (stats, capacity)
+}
+
+fn assert_identical(config: &GpuConfig, fixed_policy: bool, kernels: &[&dyn Kernel]) {
+    let (serial, serial_cap) = run_with_threads(config, 1, fixed_policy, kernels);
+    for threads in [2, 4] {
+        let (parallel, parallel_cap) = run_with_threads(config, threads, fixed_policy, kernels);
+        assert_eq!(
+            serial, parallel,
+            "sim_threads={threads} must be byte-identical to serial"
+        );
+        assert!(
+            (serial_cap - parallel_cap).abs() < f64::EPSILON,
+            "effective capacity must match at sim_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn strided_kernel_is_identical_across_thread_counts() {
+    let strided = StridedKernel::new(12, 300, 512);
+    assert_identical(&config(), false, &[&strided]);
+    assert_identical(&config(), true, &[&strided]);
+}
+
+#[test]
+fn hotset_kernel_is_identical_across_thread_counts() {
+    let hotset = HotsetKernel::new(16, 200, 4);
+    assert_identical(&config(), false, &[&hotset]);
+    assert_identical(&config(), true, &[&hotset]);
+}
+
+#[test]
+fn store_and_barrier_traffic_is_identical() {
+    assert_identical(&config(), false, &[&MixedKernel]);
+    assert_identical(&config(), true, &[&MixedKernel]);
+    // Write-allocate adds background fetch events on store misses.
+    let wa = GpuConfig {
+        write_allocate: true,
+        ..config()
+    };
+    assert_identical(&wa, false, &[&MixedKernel]);
+}
+
+#[test]
+fn multi_kernel_runs_preserve_policy_state_identically() {
+    let strided = StridedKernel::new(8, 200, 256);
+    let hotset = HotsetKernel::new(8, 150, 8);
+    assert_identical(&config(), true, &[&strided, &hotset, &MixedKernel]);
+}
+
+#[test]
+fn fault_injection_families_are_identical() {
+    let strided = StridedKernel::new(10, 250, 384);
+    let kernels: [&dyn Kernel; 2] = [&strided, &MixedKernel];
+    let families = [
+        FaultConfig::bitflips(7, 2e-3),
+        FaultConfig::fill_bitflips(11, 2e-3),
+        FaultConfig {
+            latency_spike_rate: 5e-3,
+            latency_spike_cycles: 64,
+            ..FaultConfig::bitflips(13, 0.0)
+        },
+        FaultConfig {
+            mshr_exhaust_rate: 5e-3,
+            tag_corruption_rate: 2e-3,
+            ..FaultConfig::bitflips(17, 1e-3)
+        },
+        FaultConfig {
+            disable_recovery: true,
+            ..FaultConfig::bitflips(19, 2e-3)
+        },
+    ];
+    for faults in families {
+        let cfg = GpuConfig {
+            faults: Some(faults),
+            ..config()
+        };
+        assert_identical(&cfg, true, &kernels);
+    }
+}
+
+#[test]
+fn cycle_limit_termination_is_identical() {
+    // A limit mid-run: the parallel endgame must stop at the exact cycle
+    // the serial loop would, with the same timed_out/termination fields.
+    let strided = StridedKernel::new(12, 300, 512);
+    let cfg = GpuConfig {
+        max_cycles_per_kernel: 700,
+        ..config()
+    };
+    let (serial, _) = run_with_threads(&cfg, 1, false, &[&strided]);
+    assert!(serial[0].timed_out, "limit must actually bite");
+    assert_eq!(serial[0].termination, TerminationReason::CycleLimit);
+    assert_identical(&cfg, false, &[&strided]);
+}
+
+#[test]
+fn deadlock_termination_is_identical() {
+    // Wakeup drops at rate 1.0 strand every missing warp: a guaranteed
+    // workload deadlock, detected at the same cycle in both loops.
+    let strided = StridedKernel::new(6, 50, 256);
+    let cfg = GpuConfig {
+        faults: Some(FaultConfig::wakeup_drops(23, 1.0)),
+        ..config()
+    };
+    let (serial, _) = run_with_threads(&cfg, 1, false, &[&strided]);
+    assert!(serial[0].timed_out, "deadlock must actually happen");
+    assert_eq!(serial[0].termination, TerminationReason::Deadlock);
+    assert_identical(&cfg, false, &[&strided]);
+}
+
+#[test]
+fn oversized_thread_count_clamps_and_stays_identical() {
+    let strided = StridedKernel::new(8, 150, 256);
+    let (serial, _) = run_with_threads(&config(), 1, false, &[&strided]);
+    let (wide, _) = run_with_threads(&config(), 64, false, &[&strided]);
+    assert_eq!(serial, wide, "sim_threads > num_sms must clamp, not diverge");
+}
+
+/// Records every shadow call as a rendered line, through a shared handle
+/// so the transcript survives the `Gpu` owning the hook.
+struct TranscriptShadow(Arc<Mutex<Vec<String>>>);
+
+impl ShadowCheck for TranscriptShadow {
+    fn on_fill(
+        &mut self,
+        sm: usize,
+        addr: latte_cache::LineAddr,
+        data: &latte_compress::CacheLine,
+        cycle: u64,
+    ) {
+        let byte = data.as_bytes()[0];
+        if let Ok(mut log) = self.0.lock() {
+            log.push(format!("fill sm={sm} {addr} b0={byte} @{cycle}"));
+        }
+    }
+
+    fn on_load(
+        &mut self,
+        sm: usize,
+        addr: latte_cache::LineAddr,
+        observed: Option<&latte_compress::CacheLine>,
+        cycle: u64,
+    ) {
+        let byte = observed.map(|l| l.as_bytes()[0]);
+        if let Ok(mut log) = self.0.lock() {
+            log.push(format!("load sm={sm} {addr} b0={byte:?} @{cycle}"));
+        }
+    }
+
+    fn on_checkpoint(
+        &mut self,
+        sm: usize,
+        cycle: u64,
+        kind: ShadowCheckpoint,
+        structural_errors: &[String],
+    ) {
+        if let Ok(mut log) = self.0.lock() {
+            log.push(format!(
+                "checkpoint sm={sm} {kind} errs={} @{cycle}",
+                structural_errors.len()
+            ));
+        }
+    }
+}
+
+fn shadow_transcript(threads: usize, faults: Option<FaultConfig>) -> (Vec<String>, KernelStats) {
+    let cfg = GpuConfig {
+        sim_threads: threads,
+        faults,
+        ..config()
+    };
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let mut gpu = Gpu::new(&cfg, |_| Box::new(FixedPolicy) as Box<dyn L1CompressionPolicy>);
+    gpu.set_shadow_check(
+        Box::new(TranscriptShadow(Arc::clone(&log))),
+        ShadowConfig::default(),
+    );
+    let strided = StridedKernel::new(10, 260, 320);
+    let kernels: [&dyn Kernel; 2] = [&strided, &MixedKernel];
+    let mut total = KernelStats::default();
+    for stats in gpu.run_kernels(kernels) {
+        total.accumulate(&stats);
+    }
+    let transcript = log.lock().map(|l| l.clone()).unwrap_or_default();
+    (transcript, total)
+}
+
+#[test]
+fn shadow_call_stream_is_identical_across_thread_counts() {
+    let (serial_log, serial_stats) = shadow_transcript(1, None);
+    assert!(!serial_log.is_empty(), "shadow hook must actually fire");
+    for threads in [2, 4] {
+        let (par_log, par_stats) = shadow_transcript(threads, None);
+        assert_eq!(serial_stats, par_stats);
+        assert_eq!(
+            serial_log, par_log,
+            "shadow replay at sim_threads={threads} must reproduce the serial call order"
+        );
+    }
+}
+
+#[test]
+fn shadow_call_stream_is_identical_under_fault_injection() {
+    let faults = Some(FaultConfig {
+        fill_bitflip_rate: 2e-3,
+        ..FaultConfig::bitflips(29, 2e-3)
+    });
+    let (serial_log, serial_stats) = shadow_transcript(1, faults);
+    let (par_log, par_stats) = shadow_transcript(4, faults);
+    assert_eq!(serial_stats, par_stats);
+    assert_eq!(serial_log, par_log);
+}
+
+#[test]
+fn epoch_stats_account_for_the_whole_run() {
+    let cfg = GpuConfig {
+        sim_threads: 2,
+        ..config()
+    };
+    let strided = StridedKernel::new(8, 200, 256);
+    let mut gpu = Gpu::new(&cfg, |_| {
+        Box::new(UncompressedPolicy) as Box<dyn L1CompressionPolicy>
+    });
+    let stats = gpu.run_kernel(&strided);
+    let epochs = gpu.take_epoch_stats();
+    assert!(epochs.epochs > 0);
+    assert_eq!(
+        epochs.advanced_cycles, stats.cycles,
+        "epoch advances must cover exactly the simulated cycles"
+    );
+    assert!(epochs.max_epoch_cycles > 0);
+    assert!(epochs.mean_epoch_cycles() > 0.0);
+    assert_eq!(epochs.shards, 2);
+    // take_epoch_stats drains.
+    assert_eq!(gpu.take_epoch_stats(), latte_gpusim::EpochStats::default());
+}
