@@ -30,7 +30,10 @@ use std::fmt;
 
 /// Bump on ANY change to the encoded layout, alongside
 /// [`latte_gpusim::FINGERPRINT_SCHEMA_VERSION`].
-pub const CODEC_VERSION: u32 = 1;
+/// v2: `writebacks` kernel counter, write-back fault counters
+/// (`writeback_faults`/`writeback_retry_cycles`/`writebacks_dropped`),
+/// Assist-Warp policy tag.
+pub const CODEC_VERSION: u32 = 2;
 
 /// Everything that can be wrong with a stored payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +112,7 @@ pub(crate) fn policy_tag(policy: PolicyKind) -> u8 {
         PolicyKind::LatteCcMulti => 6,
         PolicyKind::AdaptiveHitCount => 7,
         PolicyKind::AdaptiveCmp => 8,
+        PolicyKind::AssistWarp => 9,
     }
 }
 
@@ -123,6 +127,7 @@ fn policy_from_tag(tag: u8) -> Option<PolicyKind> {
         6 => PolicyKind::LatteCcMulti,
         7 => PolicyKind::AdaptiveHitCount,
         8 => PolicyKind::AdaptiveCmp,
+        9 => PolicyKind::AssistWarp,
         _ => return None,
     })
 }
@@ -216,6 +221,7 @@ pub fn encode_outcome(result: &BenchResult, diag: &str) -> Vec<u8> {
     w.u64(s.dram_accesses);
     w.u64(s.loads);
     w.u64(s.stores);
+    w.u64(s.writebacks);
     w.algo_counts(&s.compressions);
     w.algo_counts(&s.decompressions);
     w.u64(s.mshr_stalls);
@@ -247,6 +253,9 @@ pub fn encode_outcome(result: &BenchResult, diag: &str) -> Vec<u8> {
         f.fill_bitflips,
         f.fill_retry_cycles,
         f.wakeup_drops,
+        f.writeback_faults,
+        f.writeback_retry_cycles,
+        f.writebacks_dropped,
     ] {
         w.u64(v);
     }
@@ -278,6 +287,7 @@ pub fn encode_outcome(result: &BenchResult, diag: &str) -> Vec<u8> {
             w.u8(1);
             w.u64(o.loads_checked);
             w.u64(o.fills_observed);
+            w.u64(o.stores_observed);
             w.u64(o.checkpoints);
             w.u64(o.violations_total);
             w.u64(o.violations.len() as u64);
@@ -424,6 +434,7 @@ pub fn decode_outcome(
         dram_accesses: r.u64()?,
         loads: r.u64()?,
         stores: r.u64()?,
+        writebacks: r.u64()?,
         compressions: r.algo_counts()?,
         decompressions: r.algo_counts()?,
         mshr_stalls: r.u64()?,
@@ -475,6 +486,9 @@ pub fn decode_outcome(
         fill_bitflips: r.u64()?,
         fill_retry_cycles: r.u64()?,
         wakeup_drops: r.u64()?,
+        writeback_faults: r.u64()?,
+        writeback_retry_cycles: r.u64()?,
+        writebacks_dropped: r.u64()?,
     };
 
     let energy = EnergyReport {
@@ -501,6 +515,7 @@ pub fn decode_outcome(
         1 => {
             let loads_checked = r.u64()?;
             let fills_observed = r.u64()?;
+            let stores_observed = r.u64()?;
             let checkpoints = r.u64()?;
             let violations_total = r.u64()?;
             let n_violations = r.len_prefix()?;
@@ -526,6 +541,7 @@ pub fn decode_outcome(
             Some(OracleReport {
                 loads_checked,
                 fills_observed,
+                stores_observed,
                 checkpoints,
                 violations_total,
                 violations,
@@ -607,6 +623,7 @@ mod tests {
         result.shadow = Some(OracleReport {
             loads_checked: 100,
             fills_observed: 50,
+            stores_observed: 25,
             checkpoints: 9,
             violations_total: 2,
             violations: vec![

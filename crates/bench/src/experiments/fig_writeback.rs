@@ -1,0 +1,110 @@
+//! **Write-back data path comparison** — LATTE-CC vs Assist-Warp vs the
+//! uncompressed baseline on the write-heavy suite.
+//!
+//! The paper's evaluation (and the default harness configuration) is
+//! write-through: stores are fire-and-forget and the compressed L1 never
+//! holds dirty data. This experiment runs the write-back/write-allocate
+//! data path instead: stores merge into resident compressed lines,
+//! re-compression on write grows and shrinks their footprints, and dirty
+//! victims carry their bytes to L2/DRAM. The workloads are the
+//! write-heavy suite (`latte_workloads::write_heavy_suite`) — stores are
+//! ≥40% of traffic and working sets exceed the L1, so dirty lines make
+//! intra-kernel eviction/refetch round trips.
+//!
+//! Assist-Warp (after CABA, Vijaykumar et al.) is the software
+//! alternative to LATTE-CC's hardware mode switching: BDI compression
+//! executed by assist warps, gated EP-by-EP on the same latency
+//! tolerance signal.
+
+use crate::experiments::{row, write_csv};
+use crate::report::outln;
+use crate::runner::{experiment_config, run_benchmark_with_config, PolicyKind};
+use latte_gpusim::GpuConfig;
+use std::io;
+
+/// Policies compared: the uncompressed baseline, the full adaptive
+/// hardware controller, and the software assist-warp alternative.
+const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Baseline,
+    PolicyKind::LatteCc,
+    PolicyKind::AssistWarp,
+];
+
+/// Runs the write-back comparison.
+///
+/// # Errors
+///
+/// Fails if a run produces no write-back traffic (the experiment would
+/// be comparing nothing) or the CSV cannot be written.
+pub fn run() -> io::Result<()> {
+    let config = GpuConfig {
+        write_back: true,
+        ..experiment_config()
+    };
+    let suite = latte_workloads::write_heavy_suite();
+
+    outln!("Write-back data path: write-heavy suite, dirty compressed lines\n");
+    outln!(
+        "{:>5} {:>13} {:>10} {:>8} {:>11} {:>10} {:>8}",
+        "bench", "policy", "cycles", "speedup", "writebacks", "missrate", "energy"
+    );
+    let mut rows = vec![vec![
+        "benchmark".to_owned(),
+        "policy".to_owned(),
+        "cycles".to_owned(),
+        "speedup".to_owned(),
+        "writebacks".to_owned(),
+        "l1_miss_rate".to_owned(),
+        "energy_ratio".to_owned(),
+    ]];
+
+    for bench in &suite {
+        let baseline = run_benchmark_with_config(PolicyKind::Baseline, bench, &config);
+        for policy in POLICIES {
+            let result = run_benchmark_with_config(policy, bench, &config);
+            if result.stats.stores == 0 {
+                return Err(io::Error::other(format!(
+                    "{}/{}: a write-heavy benchmark issued no stores",
+                    bench.abbr,
+                    policy.name()
+                )));
+            }
+            if result.stats.writebacks == 0 {
+                return Err(io::Error::other(format!(
+                    "{}/{}: write-back is on but no dirty line ever wrote back",
+                    bench.abbr,
+                    policy.name()
+                )));
+            }
+            let speedup = result.speedup_over(&baseline);
+            let miss_rate = result.stats.l1.misses as f64
+                / result.stats.l1.accesses().max(1) as f64;
+            let energy = result.energy_ratio_over(&baseline);
+            outln!(
+                "{}",
+                row(
+                    &[
+                        bench.abbr.to_owned(),
+                        policy.name().to_owned(),
+                        result.stats.cycles.to_string(),
+                        format!("{speedup:.3}"),
+                        result.stats.writebacks.to_string(),
+                        format!("{miss_rate:.3}"),
+                        format!("{energy:.3}"),
+                    ],
+                    10
+                )
+            );
+            rows.push(vec![
+                bench.abbr.to_owned(),
+                policy.name().to_owned(),
+                result.stats.cycles.to_string(),
+                format!("{speedup:.4}"),
+                result.stats.writebacks.to_string(),
+                format!("{miss_rate:.4}"),
+                format!("{energy:.4}"),
+            ]);
+        }
+    }
+    write_csv("fig_writeback", &rows)
+}

@@ -17,6 +17,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig18;
+pub mod fig_writeback;
 pub mod multi_mode;
 pub mod paper_machine;
 pub mod resilience;

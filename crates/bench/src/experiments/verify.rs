@@ -158,18 +158,108 @@ pub fn run() -> io::Result<()> {
         report.checkpoints.to_string(),
         report.violations_total.to_string(),
     ]);
-    write_csv("verify_oracle", &rows)?;
     if result.stats.faults.bitflips_detected == 0 {
+        write_csv("verify_oracle", &rows)?;
         return Err(io::Error::other(
             "control run detected no flips — the mutation section proved nothing",
         ));
     }
     if report.violations_total > 0 {
+        write_csv("verify_oracle", &rows)?;
         return Err(io::Error::other(format!(
             "recovery is enabled yet the oracle found {} violation(s)",
             report.violations_total
         )));
     }
-    outln!("\nverify: oracle catches planted corruption and passes clean + recovered runs");
+
+    // Write-back store model: the oracle tracks every store eagerly, so
+    // silently dropping dirty write-backs (`--no-writeback`) must surface
+    // as a stale refetch. A write-heavy benchmark guarantees dirty lines
+    // are evicted and refetched *within* a kernel.
+    outln!("\nWrite-back mutation: dirty write-backs silently DROPPED");
+    let wb_bench = latte_workloads::write_heavy_benchmark("WSC").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, "write-heavy benchmark WSC missing")
+    })?;
+    let dropped = GpuConfig {
+        write_back: true,
+        faults: Some(FaultConfig {
+            drop_writebacks: true,
+            seed,
+            ..FaultConfig::default()
+        }),
+        ..experiment_config()
+    };
+    let (result, report) = run_benchmark_shadowed(PolicyKind::LatteCc, &wb_bench, &dropped);
+    outln!(
+        "  {} write-back(s) dropped, {} stores observed, {} violation(s)",
+        result.stats.faults.writebacks_dropped,
+        report.stores_observed,
+        report.violations_total
+    );
+    rows.push(vec![
+        "wb-mutation".to_owned(),
+        wb_bench.abbr.to_owned(),
+        PolicyKind::LatteCc.name().to_owned(),
+        report.loads_checked.to_string(),
+        report.checkpoints.to_string(),
+        report.violations_total.to_string(),
+    ]);
+    if result.stats.faults.writebacks_dropped == 0 {
+        write_csv("verify_oracle", &rows)?;
+        return Err(io::Error::other(
+            "the drop-write-backs mutation never fired — the section proved nothing",
+        ));
+    }
+    match report.violations.first() {
+        Some(first) => outln!("  oracle caught the lost write-back: {first}"),
+        None => {
+            write_csv("verify_oracle", &rows)?;
+            return Err(io::Error::other(
+                "MUTATION NOT DETECTED: dirty write-backs were dropped but the oracle \
+                 reported zero violations — the store model cannot be trusted",
+            ));
+        }
+    }
+
+    // Control: the same write-back run with the data path intact (plus
+    // outbound write-back parity faults, whose retries must be invisible
+    // to the architectural bytes) verifies clean.
+    outln!("\nWrite-back control: data path intact, parity faults retried");
+    let wb_clean = GpuConfig {
+        write_back: true,
+        faults: Some(FaultConfig::writeback_faults(seed, MUTATION_RATE)),
+        ..experiment_config()
+    };
+    let (result, report) = run_benchmark_shadowed(PolicyKind::LatteCc, &wb_bench, &wb_clean);
+    outln!(
+        "  {} write-back fault(s) retried, {} stores observed, {} violation(s)",
+        result.stats.faults.writeback_faults,
+        report.stores_observed,
+        report.violations_total
+    );
+    rows.push(vec![
+        "wb-control".to_owned(),
+        wb_bench.abbr.to_owned(),
+        PolicyKind::LatteCc.name().to_owned(),
+        report.loads_checked.to_string(),
+        report.checkpoints.to_string(),
+        report.violations_total.to_string(),
+    ]);
+    write_csv("verify_oracle", &rows)?;
+    if report.stores_observed == 0 {
+        return Err(io::Error::other(
+            "write-back control observed no stores — the store model never engaged",
+        ));
+    }
+    if report.violations_total > 0 {
+        return Err(io::Error::other(format!(
+            "the write-back data path is intact yet the oracle found {} violation(s)",
+            report.violations_total
+        )));
+    }
+    outln!(
+        "\nverify: oracle catches planted corruption (consumed flips, lost write-backs) \
+         and passes clean, recovered and write-back runs"
+    );
     Ok(())
 }

@@ -54,6 +54,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("multi-mode", "4-mode LATTE-CC extension (None/BDI/BPC/SC)", exp::multi_mode::run),
     ("resilience", "fault-injection resilience sweep (bit-flip rates 1e-6..1e-3)", exp::resilience::run),
     ("verify", "differential-oracle verification: clean shadow-checked runs + mutation detection", exp::verify::run),
+    ("fig_writeback", "write-back data path: LATTE-CC vs Assist-Warp vs Baseline on write-heavy workloads", exp::fig_writeback::run),
 ];
 
 fn usage() -> ! {
@@ -70,6 +71,15 @@ fn usage() -> ! {
     eprintln!("  --inject-wakeup-drop <rate>");
     eprintln!("                         lose a refill's wakeup notification with this probability");
     eprintln!("                         (unrecoverable: exercises the deadlock watchdog)");
+    eprintln!("  --write-back           run the L1 as write-back/write-allocate with dirty");
+    eprintln!("                         compressed lines (default: write-through); stores carry");
+    eprintln!("                         data and dirty victims write back to L2/DRAM");
+    eprintln!("  --inject-writeback <rate>");
+    eprintln!("                         parity-fault an outbound dirty write-back with this");
+    eprintln!("                         probability (stats-only retry; requires --write-back)");
+    eprintln!("  --no-writeback         deliberate mutation: silently drop every dirty");
+    eprintln!("                         write-back (requires --write-back; used to demonstrate");
+    eprintln!("                         that --shadow-check catches lost stores)");
     eprintln!("  --seed <n>             fault-injection seed (default 42; same seed => same faults)");
     eprintln!("  --miss-latency <c>     AMAT effective miss-latency constant (default 150)");
     eprintln!("  --tolerance-scale <s>  latency-tolerance scale factor (default 2)");
@@ -102,6 +112,7 @@ fn usage() -> ! {
 struct Options {
     jobs: usize,
     sim_threads: usize,
+    write_back: bool,
     faults: Option<FaultConfig>,
     overrides: LatteOverrides,
     timings: bool,
@@ -133,6 +144,9 @@ fn parse_options(args: &mut Vec<String>) -> Options {
     let mut bitflip_rate: Option<f64> = None;
     let mut fill_bitflip_rate: Option<f64> = None;
     let mut wakeup_drop_rate: Option<f64> = None;
+    let mut writeback_fault_rate: Option<f64> = None;
+    let mut write_back = false;
+    let mut no_writeback = false;
     let mut seed: u64 = 42;
     let mut overrides = LatteOverrides::default();
     let mut timings = false;
@@ -190,6 +204,19 @@ fn parse_options(args: &mut Vec<String>) -> Options {
             "--inject-fill" => {
                 let v = take_value(args, i, "--inject-fill");
                 fill_bitflip_rate = Some(parse_rate("--inject-fill", &v));
+                args.remove(i);
+            }
+            "--write-back" => {
+                write_back = true;
+                args.remove(i);
+            }
+            "--inject-writeback" => {
+                let v = take_value(args, i, "--inject-writeback");
+                writeback_fault_rate = Some(parse_rate("--inject-writeback", &v));
+                args.remove(i);
+            }
+            "--no-writeback" => {
+                no_writeback = true;
                 args.remove(i);
             }
             "--inject-wakeup-drop" => {
@@ -274,12 +301,22 @@ fn parse_options(args: &mut Vec<String>) -> Options {
             _ => i += 1,
         }
     }
-    let faults = (bitflip_rate.is_some() || fill_bitflip_rate.is_some() || wakeup_drop_rate.is_some())
+    if (writeback_fault_rate.is_some() || no_writeback) && !write_back {
+        eprintln!("--inject-writeback / --no-writeback require --write-back\n");
+        usage();
+    }
+    let faults = (bitflip_rate.is_some()
+        || fill_bitflip_rate.is_some()
+        || wakeup_drop_rate.is_some()
+        || writeback_fault_rate.is_some()
+        || no_writeback)
         .then(|| FaultConfig {
             seed,
             bitflip_rate: bitflip_rate.unwrap_or(0.0),
             fill_bitflip_rate: fill_bitflip_rate.unwrap_or(0.0),
             wakeup_drop_rate: wakeup_drop_rate.unwrap_or(0.0),
+            writeback_fault_rate: writeback_fault_rate.unwrap_or(0.0),
+            drop_writebacks: no_writeback,
             disable_recovery: no_fault_recovery,
             ..FaultConfig::default()
         });
@@ -298,6 +335,7 @@ fn parse_options(args: &mut Vec<String>) -> Options {
     Options {
         jobs,
         sim_threads,
+        write_back,
         faults,
         overrides,
         timings,
@@ -349,12 +387,25 @@ fn main() {
             opts.sim_threads
         );
     }
+    if opts.write_back {
+        latte_bench::set_write_back(true);
+        println!("[write-back on: L1 runs write-back/write-allocate with dirty compressed lines]");
+    }
     if let Some(faults) = opts.faults {
         latte_bench::set_fault_injection(faults);
         println!(
             "[fault injection on: L1-hit bit-flip rate {:e}, fill bit-flip rate {:e}, \
-             wakeup-drop rate {:e}, seed {}]",
-            faults.bitflip_rate, faults.fill_bitflip_rate, faults.wakeup_drop_rate, faults.seed
+             wakeup-drop rate {:e}, write-back fault rate {:e}{}, seed {}]",
+            faults.bitflip_rate,
+            faults.fill_bitflip_rate,
+            faults.wakeup_drop_rate,
+            faults.writeback_fault_rate,
+            if faults.drop_writebacks {
+                ", DROPPING dirty write-backs (planted mutation)"
+            } else {
+                ""
+            },
+            faults.seed
         );
     }
     if opts.overrides != LatteOverrides::default() {

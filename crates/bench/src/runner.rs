@@ -3,8 +3,8 @@
 
 use crate::report::outln;
 use latte_core::{
-    AdaptiveCmp, AdaptiveHitCount, CompressionMode, HighCapacityAlgo, LatteCc, LatteCcMulti,
-    LatteConfig, MultiConfig, StaticBdi, StaticBpc, StaticSc,
+    AdaptiveCmp, AdaptiveHitCount, AssistWarp, CompressionMode, HighCapacityAlgo, LatteCc,
+    LatteCcMulti, LatteConfig, MultiConfig, StaticBdi, StaticBpc, StaticSc,
 };
 use latte_energy::{EnergyModel, EnergyReport};
 use latte_gpusim::{
@@ -74,6 +74,26 @@ pub fn set_shadow_check(enabled: bool) -> bool {
 #[must_use]
 pub fn shadow_check_enabled() -> bool {
     SHADOW_CHECK.get().copied().unwrap_or(false)
+}
+
+/// Process-wide write-back switch, set once from the `--write-back`
+/// command-line flag. When enabled, [`experiment_config`] (and thus
+/// every experiment that does not pin its own machine) runs the L1 as
+/// write-back/write-allocate with dirty compressed lines instead of the
+/// default write-through data path. `write_back` *is* part of the config
+/// fingerprint, so memoized and stored results never mix the two modes.
+static WRITE_BACK: OnceLock<bool> = OnceLock::new();
+
+/// Enables the write-back data path for every subsequent benchmark run
+/// in this process. Returns `false` if the switch was already set.
+pub fn set_write_back(enabled: bool) -> bool {
+    WRITE_BACK.set(enabled).is_ok()
+}
+
+/// Whether `--write-back` is active in this process.
+#[must_use]
+pub fn write_back_enabled() -> bool {
+    WRITE_BACK.get().copied().unwrap_or(false)
 }
 
 /// Aggregate shadow-check counters across every *genuinely executed*
@@ -196,10 +216,13 @@ pub enum PolicyKind {
     AdaptiveHitCount,
     /// Adaptive-CMP (§V-D).
     AdaptiveCmp,
+    /// CABA-style software assist warps (arXiv 1602.01348): BDI in
+    /// software, gated EP-by-EP on latency tolerance.
+    AssistWarp,
 }
 
 /// Every policy, in report order.
-pub const ALL_POLICIES: [PolicyKind; 9] = [
+pub const ALL_POLICIES: [PolicyKind; 10] = [
     PolicyKind::Baseline,
     PolicyKind::StaticBdi,
     PolicyKind::StaticSc,
@@ -209,6 +232,7 @@ pub const ALL_POLICIES: [PolicyKind; 9] = [
     PolicyKind::LatteCcMulti,
     PolicyKind::AdaptiveHitCount,
     PolicyKind::AdaptiveCmp,
+    PolicyKind::AssistWarp,
 ];
 
 impl PolicyKind {
@@ -225,6 +249,7 @@ impl PolicyKind {
             PolicyKind::LatteCcMulti => "LATTE-CC-4mode",
             PolicyKind::AdaptiveHitCount => "Adaptive-Hit-Count",
             PolicyKind::AdaptiveCmp => "Adaptive-CMP",
+            PolicyKind::AssistWarp => "Assist-Warp",
         }
     }
 
@@ -255,6 +280,7 @@ impl PolicyKind {
             })),
             PolicyKind::AdaptiveHitCount => Box::new(AdaptiveHitCount::new(latte)),
             PolicyKind::AdaptiveCmp => Box::new(AdaptiveCmp::new(latte)),
+            PolicyKind::AssistWarp => Box::new(AssistWarp::new()),
         }
     }
 }
@@ -312,6 +338,7 @@ pub fn experiment_config() -> GpuConfig {
     GpuConfig {
         num_sms: 2,
         faults: fault_injection(),
+        write_back: write_back_enabled(),
         ..GpuConfig::small()
     }
 }

@@ -7,8 +7,8 @@
 use latte_bench::{run_benchmark_shadowed, PolicyKind};
 use latte_core::{CompressionMode, LatteCc, LatteConfig};
 use latte_gpusim::{
-    FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, L1CompressionPolicy, ShadowViolationKind,
-    UncompressedPolicy,
+    FaultConfig, Gpu, GpuConfig, Kernel, KernelStats, L1CompressionPolicy, Op, OpStream,
+    ShadowViolationKind, UncompressedPolicy, VecStream,
 };
 use latte_gpusim::testing::StridedKernel;
 use latte_workloads::BenchmarkSpec;
@@ -210,6 +210,121 @@ fn oracle_flags_unrecovered_corruption_and_passes_recovered_runs() {
         "recovery enabled: detect-and-refetch must keep corrupted bytes from the warps: {:?}",
         report.violations
     );
+}
+
+/// The write-back data path is invisible to store-free workloads: with
+/// no store ever issued, no line is ever dirtied, so `write_back: true`
+/// must be byte-identical to the default write-through run — every
+/// counter of every kernel, under the baseline and under compression.
+/// (The default harness stays write-through, so the golden fig1
+/// snapshots are doubly safe; this relation pins that even opting in to
+/// write-back cannot move load-only results.)
+#[test]
+fn write_back_is_identity_on_store_free_workloads() {
+    for abbr in ["BFS", "KM"] {
+        let bench = bench(abbr);
+        let through = small_machine();
+        let back = GpuConfig {
+            write_back: true,
+            ..small_machine()
+        };
+        for policy in [PolicyKind::Baseline, PolicyKind::StaticBdi, PolicyKind::LatteCc] {
+            let a = run_all(&through, &bench, |_| policy.build(&through));
+            let b = run_all(&back, &bench, |_| policy.build(&back));
+            let stores: u64 = a.iter().map(|s| s.stores).sum();
+            assert_eq!(stores, 0, "{abbr} must be store-free for this relation");
+            assert_eq!(
+                a, b,
+                "{abbr}/{policy:?}: write-back changed a store-free workload"
+            );
+        }
+    }
+}
+
+/// A kernel that walks a working set larger than the L1, re-writing the
+/// exact bytes every line already holds (all-silent stores). `line_data`
+/// must match `warp_program`'s store payloads for the stores to be
+/// silent.
+struct SilentStoreKernel;
+
+impl Kernel for SilentStoreKernel {
+    fn name(&self) -> &str {
+        "silent-store-test"
+    }
+
+    fn warps_on_sm(&self, _sm: usize) -> usize {
+        // One warp per SM: the access stream is program order regardless
+        // of timing, so the two runs compare the same address sequence.
+        1
+    }
+
+    fn warp_program(&self, sm: usize, _warp: usize) -> Box<dyn OpStream> {
+        let line = |i: u64| ((sm as u64) << 20 | i) * 128;
+        let mut ops = Vec::new();
+        for i in 0..600u64 {
+            let addr = line((i * 13) % 512);
+            if i % 2 == 0 {
+                let sector = i % 4;
+                let bytes = self.line_data(latte_cache::LineAddr::from_byte_addr(addr));
+                let mut data = [0u8; 32];
+                data.copy_from_slice(
+                    &bytes.as_bytes()[(sector * 32) as usize..(sector * 32 + 32) as usize],
+                );
+                ops.push(Op::Store {
+                    addr: addr + sector * 32,
+                    data,
+                });
+            } else {
+                ops.push(Op::Load { addr });
+            }
+        }
+        ops.push(Op::Exit);
+        Box::new(VecStream::new(ops))
+    }
+
+    fn line_data(&self, addr: latte_cache::LineAddr) -> latte_compress::CacheLine {
+        let words: Vec<u32> = (0..32)
+            .map(|i| (addr.line_number() as u32).wrapping_mul(31).wrapping_add(i))
+            .collect();
+        latte_compress::CacheLine::from_u32_words(&words)
+    }
+}
+
+/// All-silent stores must not change cache behaviour: rewriting the
+/// bytes a line already holds re-compresses to the same footprint, so a
+/// write-back run's L1 hit/miss/eviction counters must equal the
+/// write-through run's (write-allocate in both, so store misses fill
+/// identically). Only the dirty bookkeeping — write-back traffic — may
+/// differ.
+#[test]
+fn silent_stores_do_not_change_miss_or_eviction_counters() {
+    let through = GpuConfig {
+        num_sms: 2,
+        write_allocate: true,
+        ..GpuConfig::small()
+    };
+    let back = GpuConfig {
+        write_back: true,
+        ..through.clone()
+    };
+    for policy in [PolicyKind::Baseline, PolicyKind::StaticBdi] {
+        let run = |config: &GpuConfig| {
+            let mut gpu = Gpu::new(config, |_| policy.build(config));
+            gpu.run_kernel(&SilentStoreKernel)
+        };
+        let wt = run(&through);
+        let wb = run(&back);
+        assert!(wt.stores > 0, "relation is vacuous without stores");
+        assert!(wt.l1.evictions > 0, "working set must overflow the L1");
+        assert!(
+            wb.writebacks > 0,
+            "silent stores still dirty lines: write-backs must flow"
+        );
+        assert_eq!(
+            wt.l1, wb.l1,
+            "{policy:?}: silent stores changed hit/miss/eviction counters"
+        );
+    }
 }
 
 /// Shadow-checking is observation, not interference: a shadow-checked

@@ -1,5 +1,5 @@
 //! The compressed L1 data cache organisation of §IV-A.
-// latte-lint: allow-file(D3, reason = "the payload shadow map is keyed-access only; validate() walks the deterministic tag arrays and consults the map per key, so hash iteration order can never reach results or output")
+// latte-lint: allow-file(D3, reason = "the payload shadow and line-data maps are keyed-access only; validate() and drain_dirty() walk the deterministic tag arrays and consult the maps per key, so hash iteration order can never reach results or output")
 
 use crate::geometry::{CacheGeometry, LineAddr};
 use crate::stats::CacheStats;
@@ -14,6 +14,9 @@ struct TagEntry {
     compressed: bool,
     subblocks: u8,
     lru: u64,
+    /// The line has been written since it was filled and its current
+    /// bytes exist only in this cache — eviction must write it back.
+    dirty: bool,
 }
 
 /// One cache set: up to `tags_per_set` lines sharing `subblocks_per_set`
@@ -63,13 +66,19 @@ impl LookupOutcome {
     }
 }
 
-/// A line evicted by a fill.
+/// A line evicted by a fill or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvictedLine {
     /// Address of the evicted line.
     pub addr: LineAddr,
     /// Algorithm it was stored with.
     pub algo: CompressionAlgo,
+    /// Whether the line was dirty (written since fill): the caller must
+    /// write `data` back to the next level or the write is lost.
+    pub dirty: bool,
+    /// The line's architectural bytes at eviction, when line-data
+    /// tracking is enabled ([`CompressedCache::enable_data_tracking`]).
+    pub data: Option<CacheLine>,
 }
 
 /// The compressed sector cache (§IV-A): 4× tags, 32-byte sub-block data
@@ -112,6 +121,12 @@ pub struct CompressedCache {
     /// invalidation path removes its entry). `None` in normal runs: the
     /// timing model needs no payloads and pays nothing for them.
     payload_shadow: Option<HashMap<LineAddr, CacheLine>>,
+    /// When enabled (the write-back data path), the *architectural* bytes
+    /// of every resident line — the fill data as delivered, overlaid with
+    /// every store since. Unlike the payload shadow this is part of the
+    /// simulation proper: dirty evictions carry these bytes to the next
+    /// level, and re-compression on write probes them.
+    line_data: Option<HashMap<LineAddr, CacheLine>>,
 }
 
 impl CompressedCache {
@@ -124,7 +139,79 @@ impl CompressedCache {
             stats: CacheStats::new(),
             clock: 0,
             payload_shadow: None,
+            line_data: None,
         }
+    }
+
+    /// Turns on architectural line-data tracking (the write-back data
+    /// path). All resident lines are invalidated so every tracked line
+    /// entered through a recorded fill.
+    pub fn enable_data_tracking(&mut self) {
+        self.invalidate_all();
+        self.line_data = Some(HashMap::new());
+    }
+
+    /// Whether [`CompressedCache::enable_data_tracking`] was called.
+    #[must_use]
+    pub fn data_tracking_enabled(&self) -> bool {
+        self.line_data.is_some()
+    }
+
+    /// Records the architectural bytes of a just-filled resident line.
+    /// No-op when tracking is disabled or the line is not resident.
+    pub fn record_line_data(&mut self, addr: LineAddr, data: CacheLine) {
+        if self.line_data.is_some() && self.contains(addr) {
+            if let Some(map) = &mut self.line_data {
+                map.insert(addr, data);
+            }
+        }
+    }
+
+    /// The architectural bytes of a resident line, when tracking is on.
+    #[must_use]
+    pub fn line_data(&self, addr: LineAddr) -> Option<&CacheLine> {
+        self.line_data.as_ref().and_then(|m| m.get(&addr))
+    }
+
+    /// Whether a resident line is dirty.
+    #[must_use]
+    pub fn is_dirty(&self, addr: LineAddr) -> bool {
+        self.sets[self.geometry.set_of(addr)]
+            .tags
+            .iter()
+            .any(|t| t.addr == addr && t.dirty)
+    }
+
+    /// Number of dirty resident lines.
+    #[must_use]
+    pub fn dirty_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.tags.iter())
+            .filter(|t| t.dirty)
+            .count()
+    }
+
+    /// Clears every dirty bit and returns the drained lines with their
+    /// architectural bytes, in deterministic (set index, tag slot) order.
+    /// Used by the kernel-end flush: the lines stay resident and clean.
+    pub fn drain_dirty(&mut self) -> Vec<(LineAddr, CacheLine)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for tag in &mut set.tags {
+                if tag.dirty {
+                    tag.dirty = false;
+                    let data = self
+                        .line_data
+                        .as_ref()
+                        .and_then(|m| m.get(&tag.addr))
+                        .copied()
+                        .unwrap_or_else(CacheLine::zeroed);
+                    out.push((tag.addr, data));
+                }
+            }
+        }
+        out
     }
 
     /// Turns on the payload shadow for differential verification. All
@@ -251,14 +338,50 @@ impl CompressedCache {
         let set = &mut self.sets[set_idx];
 
         // Re-fill in place when the line is already resident. The stale
-        // payload goes too; the caller re-records after the fill.
+        // payload and data go too; the caller re-records after the fill.
         if let Some(pos) = set.tags.iter().position(|t| t.addr == addr) {
             set.tags.remove(pos);
             if let Some(map) = &mut self.payload_shadow {
                 map.remove(&addr);
             }
+            if let Some(map) = &mut self.line_data {
+                map.remove(&addr);
+            }
         }
 
+        let evicted = Self::make_room(
+            set,
+            needed,
+            max_tags,
+            max_subblocks,
+            &mut self.stats,
+            &mut self.payload_shadow,
+            &mut self.line_data,
+        );
+
+        set.tags.push(TagEntry {
+            addr,
+            algo,
+            compressed,
+            subblocks: needed,
+            lru: clock,
+            dirty: false,
+        });
+        evicted
+    }
+
+    /// Evicts LRU lines from `set` until a `needed`-sub-block line fits,
+    /// returning the victims (with their dirty bits and, when tracking is
+    /// on, their architectural bytes — the caller owns writing them back).
+    fn make_room(
+        set: &mut Set,
+        needed: u8,
+        max_tags: usize,
+        max_subblocks: u32,
+        stats: &mut CacheStats,
+        payload_shadow: &mut Option<HashMap<LineAddr, CacheLine>>,
+        line_data: &mut Option<HashMap<LineAddr, CacheLine>>,
+    ) -> Vec<EvictedLine> {
         let mut evicted = Vec::new();
         loop {
             let used: u32 = set.tags.iter().map(|t| u32::from(t.subblocks)).sum();
@@ -280,24 +403,84 @@ impl CompressedCache {
                 break;
             };
             let victim = set.tags.remove(victim_pos);
-            if let Some(map) = &mut self.payload_shadow {
+            if let Some(map) = payload_shadow {
                 map.remove(&victim.addr);
             }
+            let data = line_data.as_mut().and_then(|map| map.remove(&victim.addr));
             evicted.push(EvictedLine {
                 addr: victim.addr,
                 algo: victim.algo,
+                dirty: victim.dirty,
+                data,
             });
-            self.stats.evictions += 1;
+            stats.evictions += 1;
         }
+        evicted
+    }
 
+    /// Writes a full line image to a *resident* line: re-places it at its
+    /// re-compressed size (`algo`, `compression`, probed by the caller on
+    /// the merged bytes), marks it dirty, and records `data` as its
+    /// architectural bytes. A grown line that no longer fits evicts LRU
+    /// victims — never itself. Returns `None` when the line is not
+    /// resident (the caller should treat the store as a miss), otherwise
+    /// the evicted lines.
+    ///
+    /// Unlike [`CompressedCache::fill`] this bumps no fill statistics: a
+    /// write to a resident line is not a fill, and a silent store (same
+    /// bytes, same size) leaves every miss/eviction counter untouched.
+    pub fn write(
+        &mut self,
+        addr: LineAddr,
+        algo: CompressionAlgo,
+        compression: Compression,
+        data: &CacheLine,
+        _cycle: u64,
+    ) -> Option<Vec<EvictedLine>> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (algo, compressed) = if compression.is_compressed() {
+            (algo, true)
+        } else {
+            (CompressionAlgo::None, false)
+        };
+        let needed = if compressed {
+            CacheGeometry::subblocks_for(compression.size_bytes())
+        } else {
+            CacheLine::SIZE_BYTES / crate::geometry::SUBBLOCK_BYTES
+        } as u8;
+
+        let set_idx = self.geometry.set_of(addr);
+        let max_tags = self.geometry.tags_per_set();
+        let max_subblocks = self.geometry.subblocks_per_set() as u32;
+        let set = &mut self.sets[set_idx];
+        let pos = set.tags.iter().position(|t| t.addr == addr)?;
+        // Pull the line out, make room for its new size, re-insert dirty.
+        set.tags.remove(pos);
+        if let Some(map) = &mut self.payload_shadow {
+            map.remove(&addr);
+        }
+        let evicted = Self::make_room(
+            set,
+            needed,
+            max_tags,
+            max_subblocks,
+            &mut self.stats,
+            &mut self.payload_shadow,
+            &mut self.line_data,
+        );
         set.tags.push(TagEntry {
             addr,
             algo,
             compressed,
             subblocks: needed,
             lru: clock,
+            dirty: true,
         });
-        evicted
+        if let Some(map) = &mut self.line_data {
+            map.insert(addr, *data);
+        }
+        Some(evicted)
     }
 
     /// Reacts to a failed decompression of a line that just hit: the hit
@@ -328,6 +511,9 @@ impl CompressedCache {
             if let Some(map) = &mut self.payload_shadow {
                 map.remove(&addr);
             }
+            if let Some(map) = &mut self.line_data {
+                map.remove(&addr);
+            }
             true
         } else {
             false
@@ -345,28 +531,39 @@ impl CompressedCache {
         if let Some(map) = &mut self.payload_shadow {
             map.clear();
         }
+        if let Some(map) = &mut self.line_data {
+            map.clear();
+        }
         count
     }
 
-    /// Invalidates every line stored with `algo`; returns how many. The
-    /// paper's SC invalidates stale lines when a period's codebook is
-    /// rebuilt (§IV-C2).
-    pub fn invalidate_algo(&mut self, algo: CompressionAlgo) -> usize {
-        let mut count = 0;
+    /// Invalidates every line stored with `algo`, returning the dropped
+    /// lines (with their dirty bits and tracked bytes, so the caller can
+    /// write dirty victims back). The paper's SC invalidates stale lines
+    /// when a period's codebook is rebuilt (§IV-C2).
+    pub fn invalidate_algo(&mut self, algo: CompressionAlgo) -> Vec<EvictedLine> {
+        let mut dropped = Vec::new();
         for set in &mut self.sets {
-            let before = set.tags.len();
+            let payload_shadow = &mut self.payload_shadow;
+            let line_data = &mut self.line_data;
             set.tags.retain(|t| {
                 let keep = t.algo != algo;
                 if !keep {
-                    if let Some(map) = &mut self.payload_shadow {
+                    if let Some(map) = payload_shadow {
                         map.remove(&t.addr);
                     }
+                    let data = line_data.as_mut().and_then(|map| map.remove(&t.addr));
+                    dropped.push(EvictedLine {
+                        addr: t.addr,
+                        algo: t.algo,
+                        dirty: t.dirty,
+                        data,
+                    });
                 }
                 keep
             });
-            count += before - set.tags.len();
         }
-        count
+        dropped
     }
 
     /// Number of valid lines.
@@ -452,6 +649,40 @@ impl CompressedCache {
                     "payload shadow holds {} entries for {resident} resident lines (orphaned payloads)",
                     map.len()
                 ));
+            }
+        }
+        if let Some(map) = &self.line_data {
+            // Same keyed walk as the payload shadow: every resident line
+            // must carry architectural bytes, dirty or not, and the map
+            // must hold nothing else (an orphaned entry would be a write
+            // surviving its line's eviction without a write-back).
+            let mut resident = 0usize;
+            for (i, set) in self.sets.iter().enumerate() {
+                for t in &set.tags {
+                    resident += 1;
+                    if !map.contains_key(&t.addr) {
+                        return Err(format!(
+                            "set {i}: resident {} has no tracked line data{}",
+                            t.addr,
+                            if t.dirty { " (and is dirty)" } else { "" }
+                        ));
+                    }
+                }
+            }
+            if map.len() != resident {
+                return Err(format!(
+                    "line-data map holds {} entries for {resident} resident lines (orphaned data)",
+                    map.len()
+                ));
+            }
+        } else {
+            for (i, set) in self.sets.iter().enumerate() {
+                if let Some(t) = set.tags.iter().find(|t| t.dirty) {
+                    return Err(format!(
+                        "set {i}: {} is dirty but line-data tracking is off — its bytes are nowhere",
+                        t.addr
+                    ));
+                }
             }
         }
         Ok(())
@@ -589,7 +820,7 @@ mod tests {
         c.fill(set0_addr(0), CompressionAlgo::Sc, Compression::new(16), 0);
         c.fill(set0_addr(1), CompressionAlgo::Bdi, Compression::new(16), 1);
         c.fill(set0_addr(2), CompressionAlgo::Sc, Compression::new(16), 2);
-        assert_eq!(c.invalidate_algo(CompressionAlgo::Sc), 2);
+        assert_eq!(c.invalidate_algo(CompressionAlgo::Sc).len(), 2);
         assert_eq!(c.valid_lines(), 1);
         assert!(c.contains(set0_addr(1)));
     }
@@ -736,6 +967,121 @@ mod tests {
         }
         let err = c.validate().expect_err("orphaned payload must fail validation");
         assert!(err.contains("orphaned"), "{err}");
+    }
+
+    fn tracked() -> CompressedCache {
+        let mut c = l1();
+        c.enable_data_tracking();
+        c
+    }
+
+    fn line_of(byte: u8) -> CacheLine {
+        CacheLine::from_bytes([byte; CacheLine::SIZE_BYTES])
+    }
+
+    #[test]
+    fn write_marks_dirty_and_records_bytes() {
+        let mut c = tracked();
+        let a = set0_addr(0);
+        c.fill(a, CompressionAlgo::Bdi, Compression::new(24), 0);
+        c.record_line_data(a, line_of(1));
+        assert!(!c.is_dirty(a));
+        let ev = c.write(a, CompressionAlgo::Bdi, Compression::new(24), &line_of(2), 1);
+        assert_eq!(ev, Some(vec![]), "same size: no evictions");
+        assert!(c.is_dirty(a));
+        assert_eq!(c.line_data(a), Some(&line_of(2)));
+        assert_eq!(c.stats().fills, 1, "a write is not a fill");
+        assert_eq!(c.stats().evictions, 0);
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn write_to_absent_line_is_none() {
+        let mut c = tracked();
+        assert_eq!(
+            c.write(set0_addr(7), CompressionAlgo::None, Compression::UNCOMPRESSED, &line_of(0), 0),
+            None
+        );
+    }
+
+    #[test]
+    fn grown_write_evicts_others_never_itself() {
+        let mut c = tracked();
+        // Pack the set to exactly its 16-sub-block budget: four 1-block
+        // compressed lines plus three uncompressed ones.
+        for i in 0..4 {
+            c.fill(set0_addr(i), CompressionAlgo::Bdi, Compression::new(32), i);
+            c.record_line_data(set0_addr(i), line_of(i as u8));
+        }
+        for i in 4..7 {
+            c.fill(set0_addr(i), CompressionAlgo::None, Compression::UNCOMPRESSED, i);
+            c.record_line_data(set0_addr(i), line_of(i as u8));
+        }
+        // Growing line 0 from 1 to 4 sub-blocks exceeds the budget by 3.
+        let ev = c
+            .write(set0_addr(0), CompressionAlgo::None, Compression::UNCOMPRESSED, &line_of(9), 6)
+            .unwrap_or_default();
+        assert!(!ev.is_empty(), "grown line must evict");
+        assert!(ev.iter().all(|e| e.addr != set0_addr(0)), "never evicts itself");
+        assert!(ev.iter().all(|e| e.data.is_some()), "victims carry their bytes");
+        assert!(c.is_dirty(set0_addr(0)));
+        assert_eq!(c.line_data(set0_addr(0)), Some(&line_of(9)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn evicted_dirty_line_carries_its_written_bytes() {
+        let mut c = tracked();
+        for i in 0..4 {
+            c.fill(set0_addr(i), CompressionAlgo::None, Compression::UNCOMPRESSED, i);
+            c.record_line_data(set0_addr(i), line_of(i as u8));
+        }
+        c.write(set0_addr(0), CompressionAlgo::None, Compression::UNCOMPRESSED, &line_of(0xAA), 4);
+        // Touch the clean lines so the dirty one becomes LRU.
+        for i in 1..4 {
+            c.lookup(set0_addr(i), 5 + i);
+        }
+        let ev = c.fill(set0_addr(9), CompressionAlgo::None, Compression::UNCOMPRESSED, 9);
+        c.record_line_data(set0_addr(9), line_of(9));
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].addr, set0_addr(0));
+        assert!(ev[0].dirty);
+        assert_eq!(ev[0].data, Some(line_of(0xAA)));
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn drain_dirty_clears_bits_in_deterministic_order() {
+        let mut c = tracked();
+        for i in 0..3 {
+            c.fill(set0_addr(i), CompressionAlgo::Bdi, Compression::new(32), i);
+            c.record_line_data(set0_addr(i), line_of(i as u8));
+        }
+        c.write(set0_addr(2), CompressionAlgo::Bdi, Compression::new(32), &line_of(12), 3);
+        c.write(set0_addr(0), CompressionAlgo::Bdi, Compression::new(32), &line_of(10), 4);
+        assert_eq!(c.dirty_lines(), 2);
+        let drained = c.drain_dirty();
+        // Tag-slot order within the set, regardless of write order.
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0], (set0_addr(2), line_of(12)));
+        assert_eq!(drained[1], (set0_addr(0), line_of(10)));
+        assert_eq!(c.dirty_lines(), 0);
+        assert_eq!(c.valid_lines(), 3, "flushed lines stay resident");
+        assert!(c.drain_dirty().is_empty());
+        c.assert_invariants();
+    }
+
+    #[test]
+    fn invalidate_algo_reports_dirty_victims() {
+        let mut c = tracked();
+        c.fill(set0_addr(0), CompressionAlgo::Sc, Compression::new(16), 0);
+        c.record_line_data(set0_addr(0), line_of(1));
+        c.write(set0_addr(0), CompressionAlgo::Sc, Compression::new(16), &line_of(2), 1);
+        let dropped = c.invalidate_algo(CompressionAlgo::Sc);
+        assert_eq!(dropped.len(), 1);
+        assert!(dropped[0].dirty);
+        assert_eq!(dropped[0].data, Some(line_of(2)));
+        c.assert_invariants();
     }
 
     #[test]

@@ -17,7 +17,11 @@ use std::fmt;
 /// assert_eq!(line.u64_word(3), 7);
 /// assert_eq!(line.as_bytes()[0], 7);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+// `Ord` exists so containers of lines (e.g. the simulator's memory-event
+// heap, whose events carry an optional refill payload) can derive their
+// own ordering; it is plain lexicographic byte order with no semantic
+// meaning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheLine {
     bytes: [u8; CacheLine::SIZE_BYTES],
 }

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod amat;
+mod assist;
 mod controller;
 mod error;
 mod kernel_opt;
@@ -48,6 +49,7 @@ mod sc_manager;
 mod static_policies;
 
 pub use amat::{amat_cmp, amat_gpu, ModeSample};
+pub use assist::{AssistWarp, AssistWarpConfig};
 pub use controller::{AdaptiveCmp, AdaptiveHitCount, LatteCc, LatteConfig, SamplingController};
 pub use error::SimError;
 pub use kernel_opt::{run_kernel_opt, KernelOptKernel, KernelOptResult};

@@ -67,6 +67,15 @@ pub struct GpuConfig {
     /// choice has negligible performance impact; `latte-bench sens-write`
     /// reproduces that claim.
     pub write_allocate: bool,
+    /// Run the L1 as a write-back/write-allocate cache with dirty
+    /// compressed lines: stores merge their sector into the cached line,
+    /// the line is re-compressed in place (a grown line may evict its
+    /// neighbours), and dirty victims carry their bytes to the L2/DRAM
+    /// as explicit write-back traffic. `false` (the default) keeps the
+    /// paper's write-through, write-avoid store path byte-for-byte.
+    /// Implies write-allocate behaviour for stores regardless of
+    /// `write_allocate`.
+    pub write_back: bool,
     /// Deterministic fault injection (`None` disables it entirely; the
     /// happy path then takes no injection branches and produces
     /// bit-identical statistics to a build without the feature).
@@ -106,6 +115,7 @@ impl GpuConfig {
             record_traces: false,
             flush_at_kernel_boundary: true,
             write_allocate: false,
+            write_back: false,
             faults: None,
             sim_threads: 1,
         }
@@ -177,6 +187,7 @@ impl GpuConfig {
         fp.write_bool(self.record_traces);
         fp.write_bool(self.flush_at_kernel_boundary);
         fp.write_bool(self.write_allocate);
+        fp.write_bool(self.write_back);
         match &self.faults {
             None => fp.write_u64(0),
             Some(f) => {
@@ -264,11 +275,17 @@ mod tests {
             GpuConfig { record_traces: true, ..base.clone() },
             GpuConfig { flush_at_kernel_boundary: false, ..base.clone() },
             GpuConfig { write_allocate: true, ..base.clone() },
+            GpuConfig { write_back: true, ..base.clone() },
             GpuConfig { faults: Some(FaultConfig::default()), ..base.clone() },
             GpuConfig { faults: Some(FaultConfig::bitflips(42, 1e-4)), ..base.clone() },
             GpuConfig { faults: Some(FaultConfig::bitflips(43, 1e-4)), ..base.clone() },
             GpuConfig {
                 faults: Some(FaultConfig { disable_recovery: true, ..FaultConfig::default() }),
+                ..base.clone()
+            },
+            GpuConfig { faults: Some(FaultConfig::writeback_faults(42, 1e-4)), ..base.clone() },
+            GpuConfig {
+                faults: Some(FaultConfig { drop_writebacks: true, ..FaultConfig::default() }),
                 ..base.clone()
             },
         ];

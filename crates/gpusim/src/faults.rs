@@ -63,6 +63,20 @@ pub struct FaultConfig {
     /// forever — so this site exists to exercise the simulator's
     /// deadlock watchdog ([`crate::TerminationReason::Deadlock`]).
     pub wakeup_drop_rate: f64,
+    /// Probability that a dirty write-back leaving the L1 is corrupted on
+    /// the outbound L2/DRAM link. Like [`FaultConfig::fill_bitflip_rate`]
+    /// the link is parity-protected per sector, so the corruption is
+    /// always *detected* and the write-back is re-sent, costing one extra
+    /// L2 round trip of occupancy (charged to the write-back path's
+    /// stats, not to any warp — stores are fire-and-forget).
+    pub writeback_fault_rate: f64,
+    /// Silently drops every dirty write-back instead of sending it to the
+    /// L2/DRAM image. This is a deliberate correctness mutation, the
+    /// write-back analogue of [`FaultConfig::disable_recovery`]: the
+    /// verification harness plants it (`latte-bench verify`,
+    /// `--no-writeback`) to prove the shadow oracle catches lost stores
+    /// when a victim's dirty bytes never reach memory.
+    pub drop_writebacks: bool,
     /// Disables the decode-failure recovery path: a *detected* payload
     /// bit flip is still counted, but instead of invalidating the line
     /// and re-fetching, the SM consumes the corrupted decoded data as if
@@ -95,6 +109,17 @@ impl FaultConfig {
         }
     }
 
+    /// A configuration injecting only outbound write-back link faults, at
+    /// `rate`.
+    #[must_use]
+    pub fn writeback_faults(seed: u64, rate: f64) -> FaultConfig {
+        FaultConfig {
+            seed,
+            writeback_fault_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+
     /// A configuration dropping refill wakeup notifications, at `rate`.
     #[must_use]
     pub fn wakeup_drops(seed: u64, rate: f64) -> FaultConfig {
@@ -116,6 +141,8 @@ impl FaultConfig {
         fp.write_f64(self.mshr_exhaust_rate);
         fp.write_f64(self.fill_bitflip_rate);
         fp.write_f64(self.wakeup_drop_rate);
+        fp.write_f64(self.writeback_fault_rate);
+        fp.write_bool(self.drop_writebacks);
         fp.write_bool(self.disable_recovery);
     }
 }
@@ -132,6 +159,8 @@ impl Default for FaultConfig {
             mshr_exhaust_rate: 0.0,
             fill_bitflip_rate: 0.0,
             wakeup_drop_rate: 0.0,
+            writeback_fault_rate: 0.0,
+            drop_writebacks: false,
             disable_recovery: false,
         }
     }
@@ -163,6 +192,15 @@ pub struct FaultStats {
     pub fill_retry_cycles: u64,
     /// Refill wakeup notifications dropped (warps left waiting forever).
     pub wakeup_drops: u64,
+    /// Dirty write-backs corrupted on the outbound link. Each one is
+    /// detected by parity and re-sent.
+    pub writeback_faults: u64,
+    /// Total extra cycles of link occupancy spent re-sending
+    /// parity-rejected write-backs.
+    pub writeback_retry_cycles: u64,
+    /// Dirty write-backs silently discarded by the planted
+    /// [`FaultConfig::drop_writebacks`] mutation.
+    pub writebacks_dropped: u64,
 }
 
 impl FaultStats {
@@ -175,6 +213,8 @@ impl FaultStats {
             + self.mshr_exhaustions
             + self.fill_bitflips
             + self.wakeup_drops
+            + self.writeback_faults
+            + self.writebacks_dropped
     }
 }
 
@@ -190,6 +230,9 @@ impl std::ops::AddAssign for FaultStats {
         self.fill_bitflips += rhs.fill_bitflips;
         self.fill_retry_cycles += rhs.fill_retry_cycles;
         self.wakeup_drops += rhs.wakeup_drops;
+        self.writeback_faults += rhs.writeback_faults;
+        self.writeback_retry_cycles += rhs.writeback_retry_cycles;
+        self.writebacks_dropped += rhs.writebacks_dropped;
     }
 }
 
@@ -290,6 +333,13 @@ impl FaultInjector {
     /// Should this refill's wakeup notification be lost?
     pub fn roll_wakeup_drop(&mut self) -> bool {
         let rate = self.config.wakeup_drop_rate;
+        self.roll(rate)
+    }
+
+    /// Should this dirty write-back be corrupted on the outbound link
+    /// (detected by parity, forcing a re-send)?
+    pub fn roll_writeback_fault(&mut self) -> bool {
+        let rate = self.config.writeback_fault_rate;
         self.roll(rate)
     }
 
@@ -439,6 +489,7 @@ mod tests {
         assert!(!inj.roll_tag_corruption());
         assert!(!inj.roll_mshr_exhaust());
         assert!(!inj.roll_wakeup_drop());
+        assert!(!inj.roll_writeback_fault());
         assert!(inj.roll_latency_spike().is_none());
         assert_eq!(inj.state, before);
     }
@@ -532,6 +583,9 @@ mod tests {
             fill_bitflips: 5,
             fill_retry_cycles: 120,
             wakeup_drops: 6,
+            writeback_faults: 7,
+            writeback_retry_cycles: 240,
+            writebacks_dropped: 8,
         };
         a += a;
         assert_eq!(a.bitflips_injected, 4);
@@ -539,6 +593,9 @@ mod tests {
         assert_eq!(a.fill_bitflips, 10);
         assert_eq!(a.fill_retry_cycles, 240);
         assert_eq!(a.wakeup_drops, 12);
-        assert_eq!(a.total(), 4 + 6 + 2 + 8 + 10 + 12);
+        assert_eq!(a.writeback_faults, 14);
+        assert_eq!(a.writeback_retry_cycles, 480);
+        assert_eq!(a.writebacks_dropped, 16);
+        assert_eq!(a.total(), 4 + 6 + 2 + 8 + 10 + 12 + 14 + 16);
     }
 }

@@ -6,7 +6,7 @@ use crate::ops::Kernel;
 use crate::parallel::{self, EpochStats};
 use crate::policy::L1CompressionPolicy;
 use crate::shadow::{ShadowCheck, ShadowCheckpoint, ShadowConfig};
-use crate::sm::{L2Port, MemCtx, MemEvent, Sm};
+use crate::sm::{L2Port, MemCtx, MemEvent, MemImage, Sm};
 use crate::stats::{KernelStats, TerminationReason};
 use crate::trace::TraceSink;
 use latte_cache::SimpleCache;
@@ -39,6 +39,10 @@ pub struct Gpu {
     config: GpuConfig,
     sms: Vec<Sm>,
     l2: SimpleCache,
+    /// Backing-store image behind the L2: architectural memory as
+    /// modified by dirty write-backs (empty — lines pristine — outside
+    /// write-back mode). Keyed access only, never iterated.
+    image: MemImage,
     policies: Vec<Box<dyn L1CompressionPolicy>>,
     events: BinaryHeap<Reverse<MemEvent>>,
     diag: Option<TraceSink>,
@@ -64,6 +68,7 @@ impl Gpu {
             config: config.clone(),
             sms,
             l2,
+            image: MemImage::new(),
             policies,
             events: BinaryHeap::new(),
             diag: None,
@@ -114,6 +119,11 @@ impl Gpu {
         self.events.clear();
         if self.config.flush_at_kernel_boundary {
             self.l2.invalidate_all();
+            // Each kernel's memory is defined by its own `line_data`
+            // function, so the write-back image resets with the caches.
+            // Without boundary flushes, caches stay warm, dirty lines
+            // stay resident, and the image must persist with them.
+            self.image.clear();
         }
         self.l2.reset_stats();
         for (sm, policy) in self.sms.iter_mut().zip(&mut self.policies) {
@@ -127,6 +137,29 @@ impl Gpu {
         } else {
             self.run_cycles_serial(kernel, &mut stats)
         };
+
+        // Kernel-end dirty flush: when caches flush at the boundary,
+        // dirty lines drain to the L2 and the backing-store image first
+        // (SM id order, deterministic in both loops — this runs after
+        // the parallel workers have reassembled the machine). Without
+        // boundary flushes, dirty lines legitimately stay resident. The
+        // planted `drop_writebacks` mutation discards the flush too.
+        if self.config.write_back && self.config.flush_at_kernel_boundary {
+            let dropped = self.config.faults.is_some_and(|f| f.drop_writebacks);
+            for sm in &mut self.sms {
+                for (addr, data) in sm.drain_dirty() {
+                    if dropped {
+                        stats.faults.writebacks_dropped += 1;
+                        continue;
+                    }
+                    stats.writebacks += 1;
+                    self.image.insert(addr, data);
+                    if !self.l2.access_and_fill(addr) {
+                        stats.dram_accesses += 1;
+                    }
+                }
+            }
+        }
 
         // Kernel-end checkpoint: every SM's structural invariants must
         // hold at quiescence regardless of the in-kernel cadence.
@@ -167,7 +200,10 @@ impl Gpu {
                 self.events.pop();
                 let sm = &mut self.sms[ev.sm];
                 let mut ctx = MemCtx {
-                    l2: L2Port::Direct(&mut self.l2),
+                    l2: L2Port::Direct {
+                        l2: &mut self.l2,
+                        image: &mut self.image,
+                    },
                     events: &mut self.events,
                     policy: self.policies[ev.sm].as_mut(),
                     kernel,
@@ -176,14 +212,17 @@ impl Gpu {
                     shadow: self.shadow.as_deref_mut(),
                     shadow_every: self.shadow_cfg.structural_every_eps,
                 };
-                sm.handle_fill(ev.addr, ev.cycle.max(cycle), ev.verified, &mut ctx);
+                sm.handle_fill(ev.addr, ev.cycle.max(cycle), ev.verified, ev.data, &mut ctx);
             }
 
             // Issue.
             let mut issued = 0;
             for (sm, policy) in self.sms.iter_mut().zip(&mut self.policies) {
                 let mut ctx = MemCtx {
-                    l2: L2Port::Direct(&mut self.l2),
+                    l2: L2Port::Direct {
+                        l2: &mut self.l2,
+                        image: &mut self.image,
+                    },
                     events: &mut self.events,
                     policy: policy.as_mut(),
                     kernel,
@@ -260,6 +299,7 @@ impl Gpu {
             &mut self.sms,
             &mut self.policies,
             &mut self.l2,
+            &mut self.image,
             self.shadow.as_deref_mut(),
             self.shadow_cfg.structural_every_eps,
             &self.config,

@@ -32,12 +32,18 @@ pub enum Op {
         /// Byte address accessed.
         addr: u64,
     },
-    /// A warp-level store to the line containing `addr`. Write-through,
-    /// no-allocate (the paper's write-avoid L1, §IV-C3); the warp does not
-    /// block on completion.
+    /// A warp-level store of one 32-byte sector. The warp does not block
+    /// on completion. Under the default write-through, no-allocate L1
+    /// (the paper's write-avoid configuration, §IV-C3) the payload is
+    /// ignored; with `GpuConfig::write_back` the sector selected by
+    /// `addr` bits \[5..7\] is merged into the cached line, the line is
+    /// re-compressed, and the dirty copy is written back on eviction.
     Store {
-        /// Byte address accessed.
+        /// Byte address accessed; bits \[5..7\] select the 32-byte sector
+        /// within the 128-byte line.
         addr: u64,
+        /// The 32 bytes written to the selected sector.
+        data: [u8; 32],
     },
     /// Block-wide barrier: the warp waits until every warp of its block
     /// arrives.

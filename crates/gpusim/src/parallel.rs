@@ -42,7 +42,7 @@ use crate::config::GpuConfig;
 use crate::ops::Kernel;
 use crate::policy::L1CompressionPolicy;
 use crate::shadow::{ShadowCheck, ShadowCheckpoint};
-use crate::sm::{L2Buffer, L2Port, L2RequestKind, MemCtx, MemEvent, Sm};
+use crate::sm::{L2Buffer, L2Port, L2RequestKind, MemCtx, MemEvent, MemImage, Sm};
 use crate::stats::{KernelStats, TerminationReason};
 use latte_cache::{LineAddr, SimpleCache};
 use latte_compress::{CacheLine, Cycles};
@@ -164,13 +164,14 @@ pub(crate) struct Outcome {
 enum ShadowCall {
     Fill { addr: LineAddr, data: CacheLine },
     Load { addr: LineAddr, observed: Option<CacheLine> },
+    Store { addr: LineAddr, data: CacheLine },
     Checkpoint { kind: ShadowCheckpoint, errors: Vec<String> },
 }
 
 struct ShadowRecord {
     cycle: Cycles,
-    /// 0 = delivery phase (fills), 1 = issue phase (loads, checkpoints);
-    /// the serial loop delivers before issuing within a cycle.
+    /// 0 = delivery phase, 1 = issue phase; the serial loop delivers
+    /// before issuing within a cycle.
     phase: u8,
     sm: usize,
     /// Emission order within this recorder (ties inside one phase of one
@@ -181,17 +182,26 @@ struct ShadowRecord {
 
 /// Shard-local [`ShadowCheck`] implementation: buffers every call with
 /// its replay key instead of touching the real (single-threaded) hook.
+///
+/// The replay phase is a recorder *state* set by `process_cycle`, not a
+/// property of the call kind: fills happen only at delivery and
+/// loads/checkpoints only at issue, but a store call fires in either —
+/// at issue for a store hit, at delivery when a fill merges a pending
+/// write-allocate store — and must replay exactly where the serial loop
+/// would have made it.
 #[derive(Default)]
 struct ShadowRecorder {
     records: Vec<ShadowRecord>,
     seq: u64,
+    /// 0 = delivery phase, 1 = issue phase (set by `process_cycle`).
+    phase: u8,
 }
 
 impl ShadowRecorder {
-    fn record(&mut self, cycle: Cycles, phase: u8, sm: usize, call: ShadowCall) {
+    fn record(&mut self, cycle: Cycles, sm: usize, call: ShadowCall) {
         self.records.push(ShadowRecord {
             cycle,
-            phase,
+            phase: self.phase,
             sm,
             seq: self.seq,
             call,
@@ -202,7 +212,7 @@ impl ShadowRecorder {
 
 impl ShadowCheck for ShadowRecorder {
     fn on_fill(&mut self, sm: usize, addr: LineAddr, data: &CacheLine, cycle: Cycles) {
-        self.record(cycle, 0, sm, ShadowCall::Fill { addr, data: *data });
+        self.record(cycle, sm, ShadowCall::Fill { addr, data: *data });
     }
 
     fn on_load(
@@ -214,13 +224,16 @@ impl ShadowCheck for ShadowRecorder {
     ) {
         self.record(
             cycle,
-            1,
             sm,
             ShadowCall::Load {
                 addr,
                 observed: observed.copied(),
             },
         );
+    }
+
+    fn on_store(&mut self, sm: usize, addr: LineAddr, data: &CacheLine, cycle: Cycles) {
+        self.record(cycle, sm, ShadowCall::Store { addr, data: *data });
     }
 
     fn on_checkpoint(
@@ -232,7 +245,6 @@ impl ShadowCheck for ShadowRecorder {
     ) {
         self.record(
             cycle,
-            1,
             sm,
             ShadowCall::Checkpoint {
                 kind,
@@ -298,8 +310,25 @@ impl Shard<'_> {
         Some(target.max(last + 1))
     }
 
+    /// Local quiescence. Buffered load-fill requests count as pending
+    /// work: a fire-and-forget store's write-allocate fill leaves no
+    /// blocked warp behind, so without this term a shard would declare
+    /// itself done while the fill (and its eventual dirty write-back)
+    /// is still waiting for the barrier arbiter. The serial loop gets
+    /// this for free — `L2Port::Direct` pushes the completion into the
+    /// global heap before the `done` check ever runs. Buffered stores
+    /// and write-backs do NOT block doneness: they produce no
+    /// completion event, the arbiter drains every shard's buffer
+    /// regardless of `done_at`, and the serial loop likewise observes
+    /// `done` on the very cycle it processes them inline.
     fn is_done(&self) -> bool {
-        self.units.iter().all(|u| u.sm.all_finished()) && self.events.is_empty()
+        self.units.iter().all(|u| u.sm.all_finished())
+            && self.events.is_empty()
+            && !self
+                .buffer
+                .requests
+                .iter()
+                .any(|r| matches!(r.kind, L2RequestKind::LoadFill { .. }))
     }
 
     /// Processes one cycle exactly as the serial loop would for these
@@ -313,6 +342,9 @@ impl Shard<'_> {
                     unit.sm.account_idle(skipped);
                 }
             }
+        }
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.phase = 0;
         }
         while let Some(&Reverse(ev)) = self.events.peek() {
             if ev.cycle > cycle {
@@ -333,7 +365,11 @@ impl Shard<'_> {
                     .map(|r| r as &mut (dyn ShadowCheck + 'static)),
                 shadow_every: self.shadow_every,
             };
-            unit.sm.handle_fill(ev.addr, ev.cycle.max(cycle), ev.verified, &mut ctx);
+            unit.sm
+                .handle_fill(ev.addr, ev.cycle.max(cycle), ev.verified, ev.data, &mut ctx);
+        }
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.phase = 1;
         }
         let mut issued = 0;
         for unit in &mut self.units {
@@ -413,16 +449,21 @@ fn merge_counters(into: &mut KernelStats, from: &KernelStats) {
     into.eps_completed += from.eps_completed;
     into.decompression_queue_wait += from.decompression_queue_wait;
     into.traces.extend(from.traces.iter().copied());
+    into.writebacks += from.writebacks;
     into.faults += from.faults;
 }
 
 /// Drains every shard's buffered L2 traffic through the real cache in
-/// the serial total order — `(cycle, sm, seq)` — updating the launch
-/// stats and routing load-fill completions into the owning shard's heap.
+/// the serial total order — `(cycle, phase, sm, seq)` — updating the
+/// launch stats and routing load-fill completions into the owning
+/// shard's heap. The `phase` key exists for the write-back path: dirty
+/// evictions at fill delivery reach the L2 in the serial loop's delivery
+/// sweep (phase 0), before any of that cycle's issued traffic (phase 1).
 fn arbitrate(
     shards: &mut [Option<Box<Shard<'_>>>],
     chunk: usize,
     l2: &mut SimpleCache,
+    image: &mut MemImage,
     config: &GpuConfig,
     stats: &mut KernelStats,
 ) {
@@ -430,10 +471,16 @@ fn arbitrate(
     for shard in shards.iter_mut().flatten() {
         requests.append(&mut shard.buffer.requests);
     }
-    requests.sort_unstable_by_key(|r| (r.cycle, r.sm, r.seq));
+    requests.sort_unstable_by_key(|r| (r.cycle, r.phase, r.sm, r.seq));
     for req in requests {
         match req.kind {
             L2RequestKind::Store => {
+                if !l2.access_and_fill(req.addr) {
+                    stats.dram_accesses += 1;
+                }
+            }
+            L2RequestKind::WriteBack { data } => {
+                image.insert(req.addr, data);
                 if !l2.access_and_fill(req.addr) {
                     stats.dram_accesses += 1;
                 }
@@ -452,6 +499,7 @@ fn arbitrate(
                         sm: req.sm,
                         addr: req.addr,
                         verified: false,
+                        data: image.get(&req.addr).copied(),
                     }));
                 }
             }
@@ -483,6 +531,9 @@ fn replay_shadow(
             ShadowCall::Load { addr, observed } => {
                 hook.on_load(record.sm, addr, observed.as_ref(), record.cycle);
             }
+            ShadowCall::Store { addr, data } => {
+                hook.on_store(record.sm, addr, &data, record.cycle);
+            }
             ShadowCall::Checkpoint { kind, errors } => {
                 hook.on_checkpoint(record.sm, record.cycle, kind, &errors);
             }
@@ -500,6 +551,7 @@ pub(crate) fn run_cycles<'k>(
     sms: &mut Vec<Sm>,
     policies: &mut Vec<Box<dyn L1CompressionPolicy>>,
     l2: &mut SimpleCache,
+    image: &mut MemImage,
     mut shadow: Option<&mut (dyn ShadowCheck + 'static)>,
     shadow_every: u64,
     config: &'k GpuConfig,
@@ -614,7 +666,7 @@ pub(crate) fn run_cycles<'k>(
                         }
                     }
                 }
-                arbitrate(&mut shards, chunk, l2, config, stats);
+                arbitrate(&mut shards, chunk, l2, image, config, stats);
                 replay_shadow(&mut shards, &mut shadow);
                 epochs += 1;
                 let all_done = shards.iter().flatten().all(|s| s.done_at.is_some());
@@ -661,7 +713,7 @@ pub(crate) fn run_cycles<'k>(
                 stall[i] += span.saturating_sub(b);
             }
 
-            arbitrate(&mut shards, chunk, l2, config, stats);
+            arbitrate(&mut shards, chunk, l2, image, config, stats);
             replay_shadow(&mut shards, &mut shadow);
 
             epochs += 1;

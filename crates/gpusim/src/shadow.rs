@@ -122,6 +122,17 @@ pub trait ShadowCheck: Send {
     /// from the fill path, which [`ShadowCheck::on_fill`] sees.
     fn on_load(&mut self, sm: usize, addr: LineAddr, observed: Option<&CacheLine>, cycle: Cycles);
 
+    /// A store committed architecturally on `sm`: `data` is the full
+    /// 128-byte line *after* the store's sector was merged in (for a
+    /// store hit, at the cycle the L1 line was rewritten; for a
+    /// write-allocate miss, at the cycle the allocating fill arrived and
+    /// the pending sector merged). Only emitted when the write-back data
+    /// path is on; the default write-through configuration never calls
+    /// this, which the default no-op implementation reflects.
+    fn on_store(&mut self, sm: usize, addr: LineAddr, data: &CacheLine, cycle: Cycles) {
+        let _ = (sm, addr, data, cycle);
+    }
+
     /// A structural checkpoint fired on `sm`. `structural_errors` holds
     /// the failures the simulator's own validators found (empty when the
     /// machine is consistent).

@@ -1,10 +1,12 @@
 //! One streaming multiprocessor: warps, schedulers, L1, decompression
 //! queue, MSHRs and the experimental-phase (EP) bookkeeping.
 
-// Order-independence audit (2026-08): `waiters` is accessed only through
-// keyed operations (entry/remove/contains_key/is_empty/clear) — never
-// iterated — and the Vec behind each key preserves enqueue order, so
-// wakeup order is insertion order, not hash order.
+// Order-independence audit (2026-08): `waiters` and `pending_stores` are
+// accessed only through keyed operations (entry/remove/contains_key/
+// is_empty/clear) — never iterated — and the Vec behind each `waiters`
+// key preserves enqueue order, so wakeup order is insertion order, not
+// hash order. The shared memory image behind `L2Port::Direct` is likewise
+// keyed-only (get/insert).
 // latte-lint: allow-file(D3, reason = "keyed access only, never iterated; per-key Vec keeps wakeups in enqueue order")
 
 use crate::config::GpuConfig;
@@ -18,8 +20,18 @@ use crate::warp::{Warp, WarpState};
 use latte_cache::{
     CompressedCache, DecompressionQueue, LineAddr, LookupOutcome, Mshr, MshrOutcome,
 };
-use latte_compress::{Compression, Cycles};
+use latte_compress::{CacheLine, Compression, Cycles};
 use std::collections::HashMap;
+
+/// The backing-store image: architectural memory contents *behind* the
+/// L2, as modified by dirty write-backs. Lines absent from the map still
+/// hold their pristine [`Kernel::line_data`] bytes, so the map stays
+/// empty (and the write-through configurations stay allocation-free)
+/// unless the write-back data path runs. Accessed only at L2-access
+/// points — inline in the serial loop, at the barrier arbiter under
+/// `--sim-threads` — so both paths read and write it in the identical
+/// `(cycle, phase, sm, seq)` order.
+pub(crate) type MemImage = HashMap<LineAddr, CacheLine>;
 
 /// A memory request completing at `cycle` for `sm`'s line `addr`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -31,24 +43,39 @@ pub(crate) struct MemEvent {
     /// already been checked, so the fill-bitflip site must not roll
     /// again (guarantees forward progress even at injection rate 1.0).
     pub verified: bool,
+    /// Refill payload resolved from the backing-store image at L2-access
+    /// time (`None` = the line is pristine and the fill delivers
+    /// [`Kernel::line_data`]). Always `None` outside write-back mode.
+    /// Kept as the last field so the derived heap order stays
+    /// `(cycle, sm, addr, verified)`-major; the payload can never decide
+    /// a tie because each SM has at most one outstanding fill per line.
+    pub data: Option<CacheLine>,
 }
 
 /// One buffered shared-L2 access awaiting the epoch barrier.
 ///
 /// Under `--sim-threads`, SMs never touch the L2 directly; they emit
 /// these records into a shard-local [`L2Buffer`] and the barrier arbiter
-/// replays them through the real cache in `(cycle, sm, seq)` order —
-/// exactly the order the serial loop would have performed them (at most
-/// one L2 access per `(cycle, sm)` thanks to the single LD/ST port, and
-/// the serial loop issues SMs in id order within a cycle).
+/// replays them through the real cache in `(cycle, phase, sm, seq)`
+/// order — exactly the order the serial loop would have performed them.
+/// Issue-phase traffic (loads, stores) is unique per `(cycle, sm)`
+/// thanks to the single LD/ST port, and the serial loop issues SMs in id
+/// order within a cycle; delivery-phase traffic (dirty write-backs from
+/// fill-time evictions) drains from per-shard event heaps whose pop
+/// order matches the serial heap's `(cycle, sm, addr)` order, with `seq`
+/// preserving each SM's emission order inside one cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct L2Request {
     /// Cycle the SM performed the access.
     pub cycle: Cycles,
+    /// 0 = memory-delivery phase (write-backs from fill-time evictions),
+    /// 1 = issue phase (loads, stores, issue-time write-backs); the
+    /// serial loop delivers completions before issuing within a cycle.
+    pub phase: u8,
     /// Issuing SM.
     pub sm: usize,
-    /// Emission sequence within the buffer — a tie-break of last resort;
-    /// `(cycle, sm)` is already unique per L2 access.
+    /// Emission sequence within the buffer, ordering one SM's multiple
+    /// accesses inside a single `(cycle, phase)`.
     pub seq: u64,
     /// Line accessed.
     pub addr: LineAddr,
@@ -56,7 +83,7 @@ pub(crate) struct L2Request {
     pub kind: L2RequestKind,
 }
 
-/// The two kinds of shared-L2 traffic an SM generates.
+/// The kinds of shared-L2 traffic an SM generates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum L2RequestKind {
     /// A load miss's fill round trip; the arbiter owes the SM a
@@ -69,6 +96,13 @@ pub(crate) enum L2RequestKind {
     },
     /// A write-through store; no completion is delivered.
     Store,
+    /// A dirty line's write-back: `data` lands in the backing-store
+    /// image so later fills of the line observe the written bytes. No
+    /// completion is delivered (stores are fire-and-forget).
+    WriteBack {
+        /// The evicted line's architectural bytes.
+        data: CacheLine,
+    },
 }
 
 /// Epoch-local buffer of deferred L2 accesses (one per shard). Plain
@@ -82,9 +116,10 @@ pub(crate) struct L2Buffer {
 }
 
 impl L2Buffer {
-    fn push(&mut self, cycle: Cycles, sm: usize, addr: LineAddr, kind: L2RequestKind) {
+    fn push(&mut self, cycle: Cycles, phase: u8, sm: usize, addr: LineAddr, kind: L2RequestKind) {
         self.requests.push(L2Request {
             cycle,
+            phase,
             sm,
             seq: self.seq,
             addr,
@@ -99,10 +134,15 @@ impl L2Buffer {
 /// The serial variant is the only place SM code can reach shared cache
 /// state, and it is exercised strictly one SM at a time.
 pub(crate) enum L2Port<'a> {
-    /// Serial path: access the shared L2 inline, exactly as the
-    /// single-threaded loop always has.
-    // latte-lint: shared-boundary(reason = "the shared L2, accessed inline by the single-threaded loop only; one SM steps at a time, so the reference is never aliased")
-    Direct(&'a mut latte_cache::SimpleCache),
+    /// Serial path: access the shared L2 (and the backing-store image
+    /// behind it) inline, exactly as the single-threaded loop always has.
+    // latte-lint: shared-boundary(reason = "the shared L2 and backing-store image, accessed inline by the single-threaded loop only; one SM steps at a time, so the references are never aliased")
+    Direct {
+        /// The shared L2.
+        l2: &'a mut latte_cache::SimpleCache,
+        /// The backing-store image dirty write-backs land in.
+        image: &'a mut MemImage,
+    },
     /// Parallel path: buffer the access into shard-local memory; the
     /// epoch-barrier arbiter drains every shard's buffer through the
     /// real L2 in `(cycle, sm, seq)` order.
@@ -139,12 +179,12 @@ impl MemCtx<'_> {
     /// identical order.
     fn l2_store(&mut self, line: LineAddr, cycle: Cycles, sm: usize) {
         match &mut self.l2 {
-            L2Port::Direct(l2) => {
+            L2Port::Direct { l2, .. } => {
                 if !l2.access_and_fill(line) {
                     self.stats.dram_accesses += 1;
                 }
             }
-            L2Port::Deferred(buf) => buf.push(cycle, sm, line, L2RequestKind::Store),
+            L2Port::Deferred(buf) => buf.push(cycle, 1, sm, line, L2RequestKind::Store),
         }
     }
 
@@ -154,9 +194,13 @@ impl MemCtx<'_> {
     /// the completion into the owning shard's heap. `spike` is the
     /// SM-locally rolled latency-spike fault (0 when none) — rolled
     /// before this call in both paths so the fault stream is identical.
+    /// The refill payload is resolved from the backing-store image at
+    /// the L2-access point in both paths, so a fill issued after a
+    /// write-back of the same line (in `(cycle, phase, sm, seq)` order)
+    /// always observes the written bytes.
     fn l2_load_miss(&mut self, line: LineAddr, cycle: Cycles, sm: usize, spike: Cycles) {
         match &mut self.l2 {
-            L2Port::Direct(l2) => {
+            L2Port::Direct { l2, image } => {
                 let mut latency = if l2.access_and_fill(line) {
                     self.config.l2_latency
                 } else {
@@ -169,10 +213,36 @@ impl MemCtx<'_> {
                     sm,
                     addr: line,
                     verified: false,
+                    data: image.get(&line).copied(),
                 }));
             }
             L2Port::Deferred(buf) => {
-                buf.push(cycle, sm, line, L2RequestKind::LoadFill { spike });
+                buf.push(cycle, 1, sm, line, L2RequestKind::LoadFill { spike });
+            }
+        }
+    }
+
+    /// A dirty line's write-back reaching the shared L2 and the
+    /// backing-store image. `phase` is 0 for write-backs emitted while
+    /// delivering fills and 1 for issue-time ones, mirroring the serial
+    /// loop's deliver-then-issue order within a cycle. Under the planted
+    /// `drop_writebacks` mutation the write-back is silently discarded —
+    /// the lost-store failure mode the shadow oracle must catch.
+    fn l2_writeback(&mut self, line: LineAddr, data: CacheLine, cycle: Cycles, sm: usize, phase: u8) {
+        if self.config.faults.is_some_and(|f| f.drop_writebacks) {
+            self.stats.faults.writebacks_dropped += 1;
+            return;
+        }
+        self.stats.writebacks += 1;
+        match &mut self.l2 {
+            L2Port::Direct { l2, image } => {
+                image.insert(line, data);
+                if !l2.access_and_fill(line) {
+                    self.stats.dram_accesses += 1;
+                }
+            }
+            L2Port::Deferred(buf) => {
+                buf.push(cycle, phase, sm, line, L2RequestKind::WriteBack { data });
             }
         }
     }
@@ -187,6 +257,10 @@ pub(crate) struct Sm {
     dq: DecompressionQueue,
     /// Warps blocked on each outstanding line.
     waiters: HashMap<LineAddr, Vec<(usize, Cycles)>>,
+    /// Write-back mode: sectors stored while the line's allocating fill
+    /// is in flight, merged into the line when the fill arrives (last
+    /// write to a sector wins). Keyed access only, never iterated.
+    pending_stores: HashMap<LineAddr, [Option<[u8; 32]>; 4]>,
     /// Warp ids per thread block (barrier scope).
     blocks: Vec<Vec<usize>>,
     /// Deterministic fault source (absent when injection is disabled).
@@ -205,14 +279,21 @@ pub(crate) struct Sm {
 
 impl Sm {
     pub(crate) fn new(id: usize, config: &GpuConfig) -> Sm {
+        let mut l1 = CompressedCache::new(config.l1_geometry);
+        if config.write_back {
+            // The write-back data path needs every resident line's
+            // architectural bytes (store merges, dirty evictions).
+            l1.enable_data_tracking();
+        }
         Sm {
             id,
             warps: Vec::new(),
             schedulers: Vec::new(),
-            l1: CompressedCache::new(config.l1_geometry),
+            l1,
             mshr: Mshr::new(config.mshr_entries, config.mshr_merges),
             dq: DecompressionQueue::new(),
             waiters: HashMap::new(),
+            pending_stores: HashMap::new(),
             blocks: Vec::new(),
             faults: config.faults.map(|fc| FaultInjector::new(fc, id)),
             ep_access_count: 0,
@@ -258,6 +339,7 @@ impl Sm {
             self.mshr.flush();
             self.dq.flush();
             self.waiters.clear();
+            self.pending_stores.clear();
         }
         self.l1.reset_stats();
         if let Some(f) = &mut self.faults {
@@ -345,11 +427,16 @@ impl Sm {
             }
             Op::Load { addr } => self.execute_load(wid, addr, cycle, true, ctx),
             Op::LoadAsync { addr } => self.execute_load(wid, addr, cycle, false, ctx),
-            Op::Store { addr } => {
-                // Write-through; the warp does not wait for completion.
-                // Default is the paper's write-avoid L1 (§IV-C3: no
-                // allocation pressure from writes); with `write_allocate`
-                // a store miss also fetches the line into the L1.
+            Op::Store { addr, data } => {
+                if ctx.config.write_back {
+                    return self.execute_store_writeback(wid, addr, data, cycle, ctx);
+                }
+                // Write-through; the warp does not wait for completion,
+                // and the payload is architecturally ignored (memory is
+                // modelled as pristine `Kernel::line_data`). Default is
+                // the paper's write-avoid L1 (§IV-C3: no allocation
+                // pressure from writes); with `write_allocate` a store
+                // miss also fetches the line into the L1.
                 ctx.stats.stores += 1;
                 let line = LineAddr::from_byte_addr(addr);
                 ctx.l2_store(line, cycle, self.id);
@@ -364,6 +451,7 @@ impl Sm {
                         sm: self.id,
                         addr: line,
                         verified: false,
+                        data: None,
                     }));
                 }
                 self.warps[wid].state = WarpState::BusyUntil(cycle + 1);
@@ -439,7 +527,18 @@ impl Sm {
             if let Some(inj) = self.faults.as_mut() {
                 if inj.roll_bitflip() && self.mshr.would_accept(line) {
                     ctx.stats.faults.bitflips_injected += 1;
-                    let data = ctx.kernel.line_data(line);
+                    // Ground truth is the line's architectural bytes: the
+                    // tracked (possibly store-merged) data in write-back
+                    // mode, pristine kernel data otherwise. Note the
+                    // recovery path re-fetches from memory, so a detected
+                    // flip on a *dirty* line loses its unwritten stores —
+                    // a modelled (and documented) hazard of parity-only
+                    // dirty data, not a simulator bug.
+                    let data = self
+                        .l1
+                        .line_data(line)
+                        .copied()
+                        .unwrap_or_else(|| ctx.kernel.line_data(line));
                     match inj.corrupt_compressed_read_observed(algo, &data) {
                         (BitflipOutcome::Detected, observed) => {
                             ctx.stats.faults.bitflips_detected += 1;
@@ -555,6 +654,120 @@ impl Sm {
         true
     }
 
+    /// A store under the write-back/write-allocate data path
+    /// (`GpuConfig::write_back`). A hit merges the addressed 32-byte
+    /// sector into the line's architectural bytes, re-compresses the
+    /// line in place (a grown line may evict its set-mates — never
+    /// itself — and dirty victims are written back), and marks it dirty.
+    /// A miss allocates through the MSHR like a load, parks the sector
+    /// in the pending-store buffer, and commits when the allocating fill
+    /// arrives. Stores stay fire-and-forget: the warp never blocks on
+    /// completion, but a miss the MSHR cannot absorb replays like a
+    /// load would.
+    fn execute_store_writeback(
+        &mut self,
+        wid: usize,
+        addr: u64,
+        sector: [u8; 32],
+        cycle: Cycles,
+        ctx: &mut MemCtx<'_>,
+    ) -> bool {
+        let line = LineAddr::from_byte_addr(addr);
+        if !self.l1.contains(line) && !self.mshr.would_accept(line) {
+            ctx.stats.mshr_stalls += 1;
+            self.warps[wid].unfetch(Op::Store { addr, data: sector });
+            self.warps[wid].state = WarpState::BusyUntil(cycle + 8);
+            return false;
+        }
+        ctx.stats.stores += 1;
+        let sector_index = ((addr >> 5) & 3) as usize;
+        if self.l1.contains(line) {
+            let base = self
+                .l1
+                .line_data(line)
+                .copied()
+                .unwrap_or_else(|| ctx.kernel.line_data(line));
+            let merged = merge_sector(&base, sector_index, &sector);
+            self.commit_store(line, merged, cycle, 1, ctx);
+        } else {
+            if self.mshr.allocate(line) == MshrOutcome::Primary {
+                // Write-allocate fetch. No latency-spike roll: stores are
+                // fire-and-forget, so a spike could never be observed.
+                ctx.l2_load_miss(line, cycle, self.id, 0);
+            }
+            self.pending_stores.entry(line).or_insert([None; 4])[sector_index] = Some(sector);
+        }
+        self.warps[wid].state = WarpState::BusyUntil(cycle + 1);
+        true
+    }
+
+    /// Commits a store's fully merged line into the L1: re-compress
+    /// under the policy's choice, rewrite the line in place (marking it
+    /// dirty), write back any dirty victims the size change displaced,
+    /// and report the committed bytes to the shadow hook. `phase`
+    /// follows the [`MemCtx::l2_writeback`] convention.
+    fn commit_store(
+        &mut self,
+        line: LineAddr,
+        merged: CacheLine,
+        cycle: Cycles,
+        phase: u8,
+        ctx: &mut MemCtx<'_>,
+    ) {
+        let set = self.l1.set_of(line);
+        let (algo, mut compression) = ctx.policy.compress_fill(set, &merged);
+        if algo != latte_compress::CompressionAlgo::None {
+            ctx.stats.compressions.bump(algo);
+        }
+        if ctx.config.ignore_capacity_benefit && compression.is_compressed() {
+            compression = Compression::new(CacheLine::SIZE_BYTES - 1);
+        }
+        if let Some(evicted) = self.l1.write(line, algo, compression, &merged, cycle) {
+            if self.l1.payload_shadow_enabled() {
+                let stored_algo = if compression.is_compressed() {
+                    algo
+                } else {
+                    latte_compress::CompressionAlgo::None
+                };
+                self.l1.record_payload(line, roundtrip_stored(stored_algo, &merged));
+            }
+            for victim in evicted {
+                self.writeback_victim(&victim, cycle, phase, ctx);
+            }
+            if let Some(shadow) = ctx.shadow.as_deref_mut() {
+                shadow.on_store(self.id, line, &merged, cycle);
+            }
+        }
+    }
+
+    /// Sends one evicted line's dirty bytes back to the L2/DRAM (no-op
+    /// for clean victims). The outbound-link fault is rolled SM-locally
+    /// before the port access so the injector's stream position is
+    /// identical in the serial and deferred paths; a parity-detected
+    /// corruption is re-sent by the memory partition, costing link
+    /// occupancy (counted) but no warp-visible latency.
+    fn writeback_victim(
+        &mut self,
+        victim: &latte_cache::EvictedLine,
+        cycle: Cycles,
+        phase: u8,
+        ctx: &mut MemCtx<'_>,
+    ) {
+        if !victim.dirty {
+            return;
+        }
+        let Some(data) = victim.data else { return };
+        if self
+            .faults
+            .as_mut()
+            .is_some_and(FaultInjector::roll_writeback_fault)
+        {
+            ctx.stats.faults.writeback_faults += 1;
+            ctx.stats.faults.writeback_retry_cycles += ctx.config.l2_latency;
+        }
+        ctx.l2_writeback(victim.addr, data, cycle, self.id, phase);
+    }
+
     /// Handles a refill arriving from the memory system. `verified` is
     /// `true` when this delivery is a parity-retry re-send whose data has
     /// already been checked on the return path.
@@ -563,6 +776,7 @@ impl Sm {
         addr: LineAddr,
         cycle: Cycles,
         verified: bool,
+        payload: Option<CacheLine>,
         ctx: &mut MemCtx<'_>,
     ) {
         // Fault injection on the L2/DRAM return path: the refill arrives
@@ -586,6 +800,7 @@ impl Sm {
                     sm: self.id,
                     addr,
                     verified: true,
+                    data: payload,
                 }));
                 return;
             }
@@ -597,10 +812,26 @@ impl Sm {
             .faults
             .as_mut()
             .is_some_and(FaultInjector::roll_tag_corruption);
+        // The ground-truth refill payload: the backing-store image's
+        // bytes when a write-back landed on this line, pristine kernel
+        // data otherwise.
+        let data = payload.unwrap_or_else(|| ctx.kernel.line_data(addr));
         if drop_fill {
             ctx.stats.faults.tag_corruptions += 1;
+            // Write-back mode: the allocation was lost, but a store that
+            // was waiting on this fill must still commit architecturally
+            // — send the merged line straight through to memory so the
+            // written bytes are not silently lost.
+            if ctx.config.write_back {
+                if let Some(sectors) = self.pending_stores.remove(&addr) {
+                    let merged = merge_sectors(&data, &sectors);
+                    ctx.l2_writeback(addr, merged, cycle, self.id, 0);
+                    if let Some(shadow) = ctx.shadow.as_deref_mut() {
+                        shadow.on_store(self.id, addr, &merged, cycle);
+                    }
+                }
+            }
         } else {
-            let data = ctx.kernel.line_data(addr);
             let set = self.l1.set_of(addr);
             let (algo, mut compression) = ctx.policy.compress_fill(set, &data);
             if algo != latte_compress::CompressionAlgo::None {
@@ -612,7 +843,10 @@ impl Sm {
                 // size (127 B quantises to the full four sub-blocks).
                 compression = Compression::new(latte_compress::CacheLine::SIZE_BYTES - 1);
             }
-            self.l1.fill(addr, algo, compression, cycle);
+            for victim in self.l1.fill(addr, algo, compression, cycle) {
+                self.writeback_victim(&victim, cycle, 0, ctx);
+            }
+            self.l1.record_line_data(addr, data);
             if self.l1.payload_shadow_enabled() {
                 // Record what the array actually holds: the encode/decode
                 // round trip under the stored algorithm (fill() downgrades
@@ -626,6 +860,16 @@ impl Sm {
             }
             if let Some(shadow) = ctx.shadow.as_deref_mut() {
                 shadow.on_fill(self.id, addr, &data, cycle);
+            }
+            // Write-allocate commit: sectors stored while this fill was
+            // in flight merge into the just-filled line, which becomes
+            // dirty. Ordered after `on_fill` so the shadow model sees
+            // the delivered bytes before the store overlays them.
+            if ctx.config.write_back {
+                if let Some(sectors) = self.pending_stores.remove(&addr) {
+                    let merged = merge_sectors(&data, &sectors);
+                    self.commit_store(addr, merged, cycle, 0, ctx);
+                }
             }
         }
         self.mshr.release(addr);
@@ -736,7 +980,12 @@ impl Sm {
         };
         ctx.policy.on_ep(&probe);
         if let Some(algo) = ctx.policy.pending_invalidation() {
-            self.l1.invalidate_algo(algo);
+            // A retrain invalidation may drop dirty lines (e.g. the SC
+            // codebook rebuild); their bytes must still reach memory.
+            // EP boundaries are observed at issue time, hence phase 1.
+            for victim in self.l1.invalidate_algo(algo) {
+                self.writeback_victim(&victim, cycle, 1, ctx);
+            }
         }
         ctx.stats.eps_completed += 1;
         if ctx.config.record_traces && self.id == 0 {
@@ -773,6 +1022,14 @@ impl Sm {
         self.ep_start_cycle = cycle;
     }
 
+    /// Drains every dirty line into `(addr, data)` pairs for the
+    /// kernel-end flush (deterministic set/slot order; lines stay
+    /// resident but clean). The GPU epilogue routes them to the L2 and
+    /// the backing-store image.
+    pub(crate) fn drain_dirty(&mut self) -> Vec<(LineAddr, CacheLine)> {
+        self.l1.drain_dirty()
+    }
+
     /// Collects every structural-invariant failure visible from this SM:
     /// the compressed L1's tag/capacity/shadow checks, the MSHR bounds,
     /// and the compression policy's internal-state checks.
@@ -789,4 +1046,23 @@ impl Sm {
         }
         errors
     }
+}
+
+/// Replaces one 32-byte sector of `base` with `bytes`.
+fn merge_sector(base: &CacheLine, sector: usize, bytes: &[u8; 32]) -> CacheLine {
+    let mut out = *base.as_bytes();
+    out[sector * 32..(sector + 1) * 32].copy_from_slice(bytes);
+    CacheLine::from_bytes(out)
+}
+
+/// Overlays every pending sector write onto `base` (absent sectors keep
+/// the delivered bytes).
+fn merge_sectors(base: &CacheLine, sectors: &[Option<[u8; 32]>; 4]) -> CacheLine {
+    let mut out = *base.as_bytes();
+    for (i, s) in sectors.iter().enumerate() {
+        if let Some(bytes) = s {
+            out[i * 32..(i + 1) * 32].copy_from_slice(bytes);
+        }
+    }
+    CacheLine::from_bytes(out)
 }

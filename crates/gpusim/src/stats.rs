@@ -135,6 +135,9 @@ pub struct KernelStats {
     pub loads: u64,
     /// Warp-level stores issued.
     pub stores: u64,
+    /// Dirty lines written back to the L2/DRAM (write-back mode only;
+    /// includes the kernel-end dirty flush).
+    pub writebacks: u64,
     /// Compression operations per algorithm.
     pub compressions: AlgoCounts,
     /// Decompression operations per algorithm.
@@ -184,6 +187,7 @@ impl KernelStats {
         self.dram_accesses += other.dram_accesses;
         self.loads += other.loads;
         self.stores += other.stores;
+        self.writebacks += other.writebacks;
         self.compressions += other.compressions;
         self.decompressions += other.decompressions;
         self.mshr_stalls += other.mshr_stalls;

@@ -71,6 +71,8 @@ fn fault_runs_are_bit_identical_across_same_seed_runs() {
             mshr_exhaust_rate: 0.01,
             fill_bitflip_rate: 0.02,
             wakeup_drop_rate: 0.0,
+            writeback_fault_rate: 0.0,
+            drop_writebacks: false,
             disable_recovery: false,
         }),
         ..base_config()

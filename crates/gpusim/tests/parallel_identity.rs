@@ -64,7 +64,20 @@ impl Kernel for MixedKernel {
         for i in 0..40u64 {
             let a = line((i * 7 + warp as u64) % 96);
             if i % 3 == 0 {
-                ops.push(Op::Store { addr: a });
+                // Sector and payload vary with (warp, i) so write-back
+                // runs exercise sector merging and dirty re-compression.
+                let sector = (i + warp as u64) % 4;
+                let mut data = [0u8; 32];
+                for (j, b) in data.iter_mut().enumerate() {
+                    *b = (i as u8)
+                        .wrapping_mul(13)
+                        .wrapping_add(warp as u8)
+                        .wrapping_add(j as u8);
+                }
+                ops.push(Op::Store {
+                    addr: a + sector * 32,
+                    data,
+                });
             } else {
                 ops.push(Op::Load { addr: a });
             }
@@ -74,6 +87,112 @@ impl Kernel for MixedKernel {
             if i % 16 == 0 {
                 ops.push(Op::Barrier);
             }
+        }
+        ops.push(Op::Exit);
+        Box::new(VecStream::new(ops))
+    }
+
+    fn line_data(&self, addr: latte_cache::LineAddr) -> latte_compress::CacheLine {
+        let words: Vec<u32> = (0..32)
+            .map(|i| (addr.line_number() as u32).wrapping_mul(31).wrapping_add(i))
+            .collect();
+        latte_compress::CacheLine::from_u32_words(&words)
+    }
+}
+
+/// A store-dominated kernel whose working set far exceeds the L1, so
+/// dirty lines are evicted and refetched *within* the kernel — the
+/// in-flight traffic the outbound write-back fault site rolls on (the
+/// kernel-end flush deliberately rolls no faults, so [`MixedKernel`],
+/// which fits the L1, never exercises that site).
+#[derive(Clone)]
+struct WritePressureKernel;
+
+impl Kernel for WritePressureKernel {
+    fn name(&self) -> &str {
+        "write-pressure-test"
+    }
+
+    fn warps_on_sm(&self, _sm: usize) -> usize {
+        8
+    }
+
+    fn warp_program(&self, sm: usize, warp: usize) -> Box<dyn OpStream> {
+        let line = |i: u64| ((sm as u64) << 20 | i) * 128;
+        let mut ops = Vec::new();
+        for i in 0..120u64 {
+            let a = line((i * 13 + warp as u64 * 7) % 1024);
+            if i % 2 == 0 {
+                let sector = (i + warp as u64) % 4;
+                let mut data = [0u8; 32];
+                for (j, b) in data.iter_mut().enumerate() {
+                    *b = (i as u8)
+                        .wrapping_mul(29)
+                        .wrapping_add(warp as u8)
+                        .wrapping_add(j as u8);
+                }
+                ops.push(Op::Store {
+                    addr: a + sector * 32,
+                    data,
+                });
+            } else {
+                ops.push(Op::Load { addr: a });
+            }
+        }
+        ops.push(Op::Exit);
+        Box::new(VecStream::new(ops))
+    }
+
+    fn line_data(&self, addr: latte_cache::LineAddr) -> latte_compress::CacheLine {
+        let words: Vec<u32> = (0..32)
+            .map(|i| (addr.line_number() as u32).wrapping_mul(31).wrapping_add(i))
+            .collect();
+        latte_compress::CacheLine::from_u32_words(&words)
+    }
+}
+
+/// A kernel whose very last operations are stores to lines that are
+/// not resident: each one misses, write-allocates a background fill,
+/// and the warp exits without waiting (stores are fire-and-forget).
+/// The serial loop keeps running until the fill's completion event
+/// drains from the global heap; the parallel loop's shard-done
+/// condition must count the buffered fill request as pending work or
+/// it declares the kernel over early — cycles, write-backs and the
+/// shadow transcript all diverge.
+#[derive(Clone)]
+struct TailStoreKernel;
+
+impl Kernel for TailStoreKernel {
+    fn name(&self) -> &str {
+        "tail-store-test"
+    }
+
+    fn warps_on_sm(&self, _sm: usize) -> usize {
+        4
+    }
+
+    fn warp_program(&self, sm: usize, warp: usize) -> Box<dyn OpStream> {
+        let line = |i: u64| ((sm as u64) << 20 | i) * 128;
+        let mut ops = Vec::new();
+        // A short load phase warms unrelated lines...
+        for i in 0..12u64 {
+            ops.push(Op::Load {
+                addr: line((i + warp as u64 * 3) % 24),
+            });
+        }
+        // ...then the warp's final ops are stores to fresh lines.
+        for i in 0..4u64 {
+            let mut data = [0u8; 32];
+            for (j, b) in data.iter_mut().enumerate() {
+                *b = (i as u8)
+                    .wrapping_mul(37)
+                    .wrapping_add(warp as u8)
+                    .wrapping_add(j as u8);
+            }
+            ops.push(Op::Store {
+                addr: line(512 + i * 16 + warp as u64 * 4),
+                data,
+            });
         }
         ops.push(Op::Exit);
         Box::new(VecStream::new(ops))
@@ -262,6 +381,19 @@ impl ShadowCheck for TranscriptShadow {
         }
     }
 
+    fn on_store(
+        &mut self,
+        sm: usize,
+        addr: latte_cache::LineAddr,
+        data: &latte_compress::CacheLine,
+        cycle: u64,
+    ) {
+        let byte = data.as_bytes()[0];
+        if let Ok(mut log) = self.0.lock() {
+            log.push(format!("store sm={sm} {addr} b0={byte} @{cycle}"));
+        }
+    }
+
     fn on_checkpoint(
         &mut self,
         sm: usize,
@@ -278,10 +410,15 @@ impl ShadowCheck for TranscriptShadow {
     }
 }
 
-fn shadow_transcript(threads: usize, faults: Option<FaultConfig>) -> (Vec<String>, KernelStats) {
+fn shadow_transcript(
+    threads: usize,
+    faults: Option<FaultConfig>,
+    write_back: bool,
+) -> (Vec<String>, KernelStats) {
     let cfg = GpuConfig {
         sim_threads: threads,
         faults,
+        write_back,
         ..config()
     };
     let log = Arc::new(Mutex::new(Vec::new()));
@@ -302,10 +439,10 @@ fn shadow_transcript(threads: usize, faults: Option<FaultConfig>) -> (Vec<String
 
 #[test]
 fn shadow_call_stream_is_identical_across_thread_counts() {
-    let (serial_log, serial_stats) = shadow_transcript(1, None);
+    let (serial_log, serial_stats) = shadow_transcript(1, None, false);
     assert!(!serial_log.is_empty(), "shadow hook must actually fire");
     for threads in [2, 4] {
-        let (par_log, par_stats) = shadow_transcript(threads, None);
+        let (par_log, par_stats) = shadow_transcript(threads, None, false);
         assert_eq!(serial_stats, par_stats);
         assert_eq!(
             serial_log, par_log,
@@ -320,10 +457,115 @@ fn shadow_call_stream_is_identical_under_fault_injection() {
         fill_bitflip_rate: 2e-3,
         ..FaultConfig::bitflips(29, 2e-3)
     });
-    let (serial_log, serial_stats) = shadow_transcript(1, faults);
-    let (par_log, par_stats) = shadow_transcript(4, faults);
+    let (serial_log, serial_stats) = shadow_transcript(1, faults, false);
+    let (par_log, par_stats) = shadow_transcript(4, faults, false);
     assert_eq!(serial_stats, par_stats);
     assert_eq!(serial_log, par_log);
+}
+
+#[test]
+fn shadow_call_stream_is_identical_with_write_back() {
+    let (serial_log, serial_stats) = shadow_transcript(1, None, true);
+    assert!(
+        serial_log.iter().any(|l| l.starts_with("store ")),
+        "write-back runs must emit store shadow calls"
+    );
+    for threads in [2, 4] {
+        let (par_log, par_stats) = shadow_transcript(threads, None, true);
+        assert_eq!(serial_stats, par_stats);
+        assert_eq!(
+            serial_log, par_log,
+            "store shadow replay at sim_threads={threads} must reproduce the serial order"
+        );
+    }
+}
+
+#[test]
+fn write_back_traffic_is_identical() {
+    // Clean write-back: dirty evictions, write-allocate pending-store
+    // merges and the kernel-end flush all cross the epoch barrier.
+    let wb = GpuConfig {
+        write_back: true,
+        ..config()
+    };
+    assert_identical(&wb, false, &[&MixedKernel]);
+    assert_identical(&wb, true, &[&MixedKernel]);
+    let (serial, _) = run_with_threads(&wb, 1, true, &[&MixedKernel]);
+    assert!(serial[0].writebacks > 0, "dirty lines must actually write back");
+}
+
+#[test]
+fn tail_store_write_allocate_fills_outlive_all_warps() {
+    // Pins the shard-done condition: at warp exit the last stores'
+    // write-allocate fills are still in flight with no blocked warp
+    // behind them, so only the buffered/enqueued fill traffic keeps
+    // the run alive.
+    let wb = GpuConfig {
+        write_back: true,
+        ..config()
+    };
+    assert_identical(&wb, false, &[&TailStoreKernel]);
+    assert_identical(&wb, true, &[&TailStoreKernel]);
+    let (serial, _) = run_with_threads(&wb, 1, true, &[&TailStoreKernel]);
+    assert!(
+        serial[0].writebacks > 0,
+        "the tail stores' dirty lines must flush at kernel end"
+    );
+}
+
+#[test]
+fn write_back_fault_injection_is_identical() {
+    // --inject-writeback: outbound write-back parity faults (stats-only
+    // retries) plus the wider bitflip family for cross-fire coverage.
+    let inj = GpuConfig {
+        write_back: true,
+        faults: Some(FaultConfig {
+            writeback_fault_rate: 5e-2,
+            ..FaultConfig::bitflips(31, 1e-3)
+        }),
+        ..config()
+    };
+    assert_identical(&inj, true, &[&WritePressureKernel]);
+    let (serial, _) = run_with_threads(&inj, 1, true, &[&WritePressureKernel]);
+    assert!(
+        serial[0].faults.writeback_faults > 0,
+        "write-back faults must actually fire at this rate"
+    );
+    assert_eq!(
+        serial[0].faults.writeback_retry_cycles,
+        serial[0].faults.writeback_faults * inj.l2_latency,
+        "each write-back fault costs exactly one retry round trip"
+    );
+    // The planted drop-dirty-write-backs mutation must also be
+    // thread-count invariant (the oracle flags it either way).
+    let dropped = GpuConfig {
+        write_back: true,
+        faults: Some(FaultConfig {
+            drop_writebacks: true,
+            ..FaultConfig::default()
+        }),
+        ..config()
+    };
+    assert_identical(&dropped, true, &[&MixedKernel]);
+    let (serial, _) = run_with_threads(&dropped, 1, true, &[&MixedKernel]);
+    assert!(serial[0].faults.writebacks_dropped > 0);
+    assert_eq!(serial[0].writebacks, 0, "dropped write-backs never count as sent");
+}
+
+#[test]
+fn write_back_deadlock_termination_is_identical() {
+    let strided = StridedKernel::new(6, 50, 256);
+    let cfg = GpuConfig {
+        write_back: true,
+        faults: Some(FaultConfig {
+            wakeup_drop_rate: 1.0,
+            ..FaultConfig::wakeup_drops(41, 1.0)
+        }),
+        ..config()
+    };
+    let (serial, _) = run_with_threads(&cfg, 1, false, &[&strided, &MixedKernel]);
+    assert!(serial.iter().any(|s| s.timed_out), "deadlock must actually happen");
+    assert_identical(&cfg, false, &[&strided, &MixedKernel]);
 }
 
 #[test]

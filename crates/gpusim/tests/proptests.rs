@@ -47,7 +47,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         3 => (1u32..20).prop_map(|cycles| Op::Compute { cycles }),
         4 => (0u64..64).prop_map(|line| Op::Load { addr: line * 128 }),
         2 => (0u64..64).prop_map(|line| Op::LoadAsync { addr: line * 128 }),
-        1 => (0u64..64).prop_map(|line| Op::Store { addr: line * 128 }),
+        1 => (0u64..64, 0u64..4, any::<u8>()).prop_map(|(line, sector, fill)| Op::Store {
+            addr: line * 128 + sector * 32,
+            data: [fill; 32],
+        }),
     ]
 }
 

@@ -37,7 +37,7 @@
 use latte_cache::LineAddr;
 use latte_compress::{CacheLine, Cycles};
 use latte_gpusim::{ShadowCheck, ShadowCheckpoint, ShadowViolation, ShadowViolationKind};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Cap on violations kept verbatim in the report; past this, only the
@@ -52,6 +52,8 @@ pub struct OracleReport {
     pub loads_checked: u64,
     /// Fills mirrored into the reference memory.
     pub fills_observed: u64,
+    /// Stores overlaid onto the reference memory (write-back runs only).
+    pub stores_observed: u64,
     /// Structural checkpoints taken (EP boundaries, mode switches,
     /// kernel-end audits), across all SMs.
     pub checkpoints: u64,
@@ -98,6 +100,10 @@ pub struct MemoryOracle {
     /// Reference contents. Keyed access only — never iterated — so the
     /// hash map's nondeterministic order cannot leak into any output.
     memory: HashMap<LineAddr, CacheLine>,
+    /// Lines with architecturally committed stores this kernel. A refetch
+    /// of such a line must deliver the reference bytes — anything else
+    /// means the hierarchy lost a dirty write-back. Keyed access only.
+    stored: HashSet<LineAddr>,
     report: Arc<Mutex<OracleReport>>,
 }
 
@@ -113,6 +119,7 @@ impl MemoryOracle {
         (
             MemoryOracle {
                 memory: HashMap::new(),
+                stored: HashSet::new(),
                 report,
             },
             handle,
@@ -155,9 +162,42 @@ fn mismatch_detail(observed: &CacheLine, expected: &CacheLine) -> String {
 }
 
 impl ShadowCheck for MemoryOracle {
-    fn on_fill(&mut self, _sm: usize, addr: LineAddr, data: &CacheLine, _cycle: Cycles) {
-        self.memory.insert(addr, *data);
+    fn on_fill(&mut self, sm: usize, addr: LineAddr, data: &CacheLine, cycle: Cycles) {
         self.bump(|r| r.fills_observed += 1);
+        if self.stored.contains(&addr) {
+            // A line we saw stores commit on is being refetched: the
+            // hierarchy must hand back the bytes it was given (the dirty
+            // line was written back before, or during, the eviction that
+            // made this refetch necessary). A mismatch means a dirty
+            // write-back was lost between L1 and the backing store.
+            if let Some(expected) = self.memory.get(&addr) {
+                if data != expected {
+                    let detail = format!(
+                        "refetch lost a dirty write-back: {}",
+                        mismatch_detail(data, expected)
+                    );
+                    self.record(ShadowViolation {
+                        sm,
+                        cycle,
+                        addr: Some(addr),
+                        kind: ShadowViolationKind::DataIntegrity,
+                        detail,
+                    });
+                }
+            }
+        }
+        // Adopt the delivered bytes either way: after the (single)
+        // violation above, the model follows the machine so one lost
+        // write-back doesn't cascade into a violation on every load.
+        self.memory.insert(addr, *data);
+    }
+
+    fn on_store(&mut self, _sm: usize, addr: LineAddr, data: &CacheLine, _cycle: Cycles) {
+        // Eager overlay: `data` is the full line after the sector merge,
+        // architecturally committed the moment the hook fires.
+        self.memory.insert(addr, *data);
+        self.stored.insert(addr);
+        self.bump(|r| r.stores_observed += 1);
     }
 
     fn on_load(&mut self, sm: usize, addr: LineAddr, observed: Option<&CacheLine>, cycle: Cycles) {
@@ -207,6 +247,18 @@ impl ShadowCheck for MemoryOracle {
                 kind: ShadowViolationKind::Structural,
                 detail: format!("{kind}: {error}"),
             });
+        }
+        if kind == ShadowCheckpoint::KernelEnd {
+            // Dirty state does not outlive a kernel: the simulator flushes
+            // (or deliberately drops, under the planted mutation) every
+            // dirty line before these checkpoints fire, and a config that
+            // resets caches at kernel boundaries refills from pristine
+            // kernel data the next kernel. Keeping the marks would turn
+            // those legitimate pristine refills into false positives. The
+            // byte contents stay: a persistent-cache config can keep
+            // serving the stored bytes, and `on_fill` overwrites stale
+            // entries before any load checks against them.
+            self.stored.clear();
         }
     }
 }
@@ -265,6 +317,68 @@ mod tests {
         oracle.on_fill(0, addr, &line(1), 1);
         oracle.on_load(0, addr, None, 2);
         assert_eq!(handle.report().violations_total, 1);
+    }
+
+    #[test]
+    fn store_overlays_the_reference_eagerly() {
+        let (mut oracle, handle) = MemoryOracle::new();
+        let addr = LineAddr::new(11);
+        oracle.on_fill(0, addr, &line(0x10), 1);
+        oracle.on_store(0, addr, &line(0x20), 2);
+        // A hit after the store must observe the stored bytes...
+        oracle.on_load(0, addr, Some(&line(0x20)), 3);
+        assert!(handle.report().is_clean());
+        // ...and observing the pre-store bytes is a violation.
+        oracle.on_load(0, addr, Some(&line(0x10)), 4);
+        let report = handle.report();
+        assert_eq!(report.violations_total, 1);
+        assert_eq!(report.stores_observed, 1);
+    }
+
+    #[test]
+    fn refetch_matching_the_stored_bytes_is_clean() {
+        let (mut oracle, handle) = MemoryOracle::new();
+        let addr = LineAddr::new(12);
+        oracle.on_fill(0, addr, &line(1), 1);
+        oracle.on_store(0, addr, &line(2), 2);
+        // Evicted (dirty write-back) then refetched with the same bytes.
+        oracle.on_fill(0, addr, &line(2), 50);
+        assert!(handle.report().is_clean());
+    }
+
+    #[test]
+    fn refetch_losing_a_writeback_is_flagged_once() {
+        let (mut oracle, handle) = MemoryOracle::new();
+        let addr = LineAddr::new(13);
+        oracle.on_fill(0, addr, &line(1), 1);
+        oracle.on_store(1, addr, &line(2), 2);
+        // The write-back was dropped: the refetch hands back stale bytes.
+        oracle.on_fill(1, addr, &line(1), 50);
+        let report = handle.report();
+        assert_eq!(report.violations_total, 1);
+        let v = &report.violations[0];
+        assert_eq!(v.kind, ShadowViolationKind::DataIntegrity);
+        assert!(v.detail.contains("lost a dirty write-back"), "{}", v.detail);
+        // The model adopted the delivered bytes: no cascade on later loads.
+        oracle.on_load(1, addr, Some(&line(1)), 60);
+        assert_eq!(handle.report().violations_total, 1);
+    }
+
+    #[test]
+    fn kernel_end_retires_dirty_marks_but_keeps_bytes() {
+        let (mut oracle, handle) = MemoryOracle::new();
+        let addr = LineAddr::new(14);
+        oracle.on_fill(0, addr, &line(1), 1);
+        oracle.on_store(0, addr, &line(2), 2);
+        oracle.on_checkpoint(0, 100, ShadowCheckpoint::KernelEnd, &[]);
+        // Next kernel refills from pristine data — not a violation.
+        oracle.on_fill(0, addr, &line(1), 200);
+        assert!(handle.report().is_clean());
+        // A persistent-cache hit before any refill still checks against
+        // the stored bytes (exercised via a fresh store + load).
+        oracle.on_store(0, addr, &line(3), 300);
+        oracle.on_load(0, addr, Some(&line(3)), 301);
+        assert!(handle.report().is_clean());
     }
 
     #[test]

@@ -271,11 +271,35 @@ impl PhaseStream {
         let is_store = p.store_percent > 0
             && mix64(self.seed ^ line ^ i.rotate_left(23)) % 100 < u64::from(p.store_percent);
         if is_store {
-            Op::Store { addr }
+            // Stores target one 32-byte sector of the line; the sector
+            // choice and payload are pure functions of (seed, line, i) so
+            // replays — and the differential oracle — see identical
+            // bytes. The sector offset stays inside the line (addr/128
+            // is unchanged), so write-through timing is unaffected.
+            let (sector, data) = store_payload(self.seed, line, i);
+            Op::Store {
+                addr: addr + sector as u64 * 32,
+                data,
+            }
         } else {
             Op::Load { addr }
         }
     }
+}
+
+/// The deterministic sector index and 32-byte payload of the `i`-th
+/// memory op on `line` when that op is a store. Public so tests can
+/// reconstruct the architecturally expected bytes of any workload store
+/// without replaying the op stream.
+#[must_use]
+pub fn store_payload(seed: u64, line: u64, i: u64) -> (usize, [u8; 32]) {
+    let sector = (mix64(seed ^ line.rotate_left(17) ^ i) % 4) as usize;
+    let mut data = [0u8; 32];
+    for (j, chunk) in data.chunks_exact_mut(8).enumerate() {
+        let word = mix64(seed ^ line ^ (i << 8) ^ ((sector as u64) << 2) ^ j as u64);
+        chunk.copy_from_slice(&word.to_le_bytes());
+    }
+    (sector, data)
 }
 
 impl OpStream for PhaseStream {
